@@ -1,0 +1,47 @@
+"""Design-choice ablations from DESIGN.md.
+
+* Eviction policy: Algorithm 1 (gap-aware sliding-window scoring) vs LRU vs
+  FIFO inside the otherwise identical runtime.
+* Cache organization: shared flush/prefetch cache vs the statically split
+  halves the paper argues against (Section 4.1.2).
+"""
+
+import pytest
+
+from benchmarks.conftest import SNAPSHOTS, attach_rows, run_once
+from repro.harness.figures import ablation_eviction_policy, ablation_shared_cache
+from repro.util.units import parse_bandwidth
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_eviction_policy(benchmark):
+    result = run_once(benchmark, ablation_eviction_policy, num_snapshots=SNAPSHOTS)
+    attach_rows(benchmark, result)
+    rates = {row[0]: parse_bandwidth(row[2]) for row in result.rows}
+    assert set(rates) == {"score", "lru", "fifo"}
+    # The scoring policy should not lose badly to either naive policy.
+    assert rates["score"] > 0.5 * max(rates.values())
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_shared_cache(benchmark):
+    result = run_once(benchmark, ablation_shared_cache, num_snapshots=SNAPSHOTS)
+    attach_rows(benchmark, result)
+    rates = {row[0]: parse_bandwidth(row[2]) for row in result.rows}
+    assert set(rates) == {"shared", "split"}
+    # Splitting the cache statically wastes capacity: the shared design's
+    # checkpoint throughput should be at least comparable.
+    assert rates["shared"] > 0.5 * rates["split"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_gpudirect(benchmark):
+    from repro.harness.figures import ablation_gpudirect
+
+    result = run_once(benchmark, ablation_gpudirect, num_snapshots=SNAPSHOTS)
+    attach_rows(benchmark, result)
+    rates = {row[0]: parse_bandwidth(row[2]) for row in result.rows}
+    assert set(rates) == {"host-staged", "gpudirect"}
+    # Losing the host cache tier must not make restores free: GPUDirect
+    # reads come from the SSD, so host-staged restores stay competitive.
+    assert rates["host-staged"] > 0.3 * rates["gpudirect"]

@@ -1,0 +1,26 @@
+"""Figure 4: size distribution of RTM snapshots across 32 ranks.
+
+Regenerates the min/max/avg envelope of the synthetic RTM traces and checks
+the paper's headline properties: per-shot totals in the 38–50 GB band and
+the small-early / plateau-late ramp.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_rows, run_once
+from repro.harness.figures import fig4_size_distribution
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_size_distribution(benchmark):
+    result = run_once(benchmark, fig4_size_distribution, num_ranks=32, num_snapshots=384)
+    attach_rows(benchmark, result)
+    totals = result.extras["per_rank_totals_gib"]
+    # Paper: aggregated size per shot ranges 38–50 GB (some generator slack).
+    assert all(25.0 < t < 85.0 for t in totals)
+    assert sum(totals) / len(totals) == pytest.approx(48.0, rel=0.25)
+    # Ramp: first snapshots far below the plateau.
+    rows = result.rows
+    early_avg = sum(r[3] for r in rows[:16]) / 16
+    late_avg = sum(r[3] for r in rows[-64:]) / 64
+    assert early_avg < 0.5 * late_avg

@@ -1,0 +1,42 @@
+"""Figure 6: throughput when the restore phase immediately follows the
+checkpoint phase (uniform = Fig. 6a, variable = Fig. 6b).
+
+The adjoint scenario: overall runtime matters and checkpoints need not be
+persisted — consumed checkpoints are discarded and their flushes abandoned.
+Restore rates drop versus Fig. 5 (eviction interleaving), and ADIOS2 stays
+the slowest approach.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, SNAPSHOTS, attach_rows, run_once
+from repro.harness.approaches import TABLE1
+from repro.harness.figures import ORDERS, fig6_nowait
+from repro.workloads.patterns import RestoreOrder
+
+_ORDERS = ORDERS if FULL else (RestoreOrder.SEQUENTIAL,)
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("workload", ["uniform", "variable"])
+def test_fig6_nowait(benchmark, workload):
+    result = run_once(
+        benchmark,
+        fig6_nowait,
+        workload=workload,
+        num_snapshots=SNAPSHOTS,
+        approaches=TABLE1,
+        orders=_ORDERS,
+    )
+    attach_rows(benchmark, result)
+    results = result.extras["results"]
+    adios = [r.restore_rate for r in results if "ADIOS2" in r.experiment.approach.label]
+    score = [r.restore_rate for r in results if "Score" in r.experiment.approach.label]
+    uvm = [r.restore_rate for r in results if "UVM" in r.experiment.approach.label]
+    assert max(adios) < min(score)
+    # Paper (Section 5.4.3): Score outperforms optimized UVM on restores.
+    assert max(score) > max(uvm) * 0.8
+    ckpt_adios = [r.checkpoint_rate for r in results if "ADIOS2" in r.experiment.approach.label]
+    ckpt_rest = [r.checkpoint_rate for r in results if "ADIOS2" not in r.experiment.approach.label]
+    # ADIOS2 checkpoints are the slowest too (no device cache + marshaling).
+    assert max(ckpt_adios) < min(ckpt_rest)

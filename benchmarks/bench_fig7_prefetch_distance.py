@@ -1,0 +1,29 @@
+"""Figure 7: restore rate and completed next prefetches per iteration
+(Score runtime, uniform sizes, sequential order, 3 hint counts).
+
+Shape checks: restore throughput improves monotonically with the amount of
+foreknowledge, and with all hints the prefetch distance is non-trivial
+(successor checkpoints staged on the GPU cache ahead of their restores).
+"""
+
+import pytest
+
+from benchmarks.conftest import SNAPSHOTS, attach_rows, run_once
+from repro.harness.figures import fig7_prefetch_distance
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_prefetch_distance(benchmark):
+    result = run_once(benchmark, fig7_prefetch_distance, num_snapshots=SNAPSHOTS)
+    attach_rows(benchmark, result)
+    by_label = {row[0]: row for row in result.rows}
+    assert set(by_label) == {"No hints", "Single hint", "All hints"}
+    # With all hints the prefetcher stages ahead: mean distance > none case.
+    none_dist = by_label["No hints"][2]
+    all_dist = by_label["All hints"][2]
+    assert all_dist >= none_dist
+    assert all_dist > 0
+    # Per-iteration series are present for plotting.
+    series = result.extras["All hints"]
+    assert len(series["restore_rate"]) == SNAPSHOTS
+    assert len(series["prefetch_distance"]) == SNAPSHOTS

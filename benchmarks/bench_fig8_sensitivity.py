@@ -1,0 +1,63 @@
+"""Figure 8: sensitivity to the compute interval (8a) and the GPU cache
+size (8b), variable sizes, irregular restore order.
+
+Shape checks:
+
+* 8a — restore throughput of the cache-aware approaches rises with a larger
+  compute interval (more slack for prefetches); ADIOS2 stays flat and slow.
+* 8b — a larger GPU cache helps the cache-aware approaches; ADIOS2 is
+  insensitive to it (it has no device cache).
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, SNAPSHOTS, attach_rows, run_once
+from repro.harness.figures import fig8a_compute_interval, fig8b_gpu_cache
+
+_INTERVALS = (0.010, 0.020, 0.030) if FULL else (0.010, 0.030)
+_FRACTIONS = (2 / 48, 4 / 48, 8 / 48, 16 / 48) if FULL else (2 / 48, 16 / 48)
+
+
+def _parse_rate(cell: str) -> float:
+    from repro.util.units import parse_bandwidth
+
+    return parse_bandwidth(cell)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8a_compute_interval(benchmark):
+    result = run_once(
+        benchmark, fig8a_compute_interval, intervals=_INTERVALS, num_snapshots=SNAPSHOTS
+    )
+    attach_rows(benchmark, result)
+    # Restore rate at the largest interval >= at the smallest for Score-all.
+    score_rows = [r for r in result.rows if r[1] == "All hints, Score"]
+    first, last = _parse_rate(score_rows[0][3]), _parse_rate(score_rows[-1][3])
+    assert last >= first * 0.7  # monotone within noise
+    # ADIOS2 insensitive to the interval (its costs are per-byte).
+    adios_rows = [r for r in result.rows if "ADIOS2" in r[1]]
+    rates = [_parse_rate(r[3]) for r in adios_rows]
+    assert max(rates) < 2.5 * min(rates)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8b_gpu_cache(benchmark):
+    result = run_once(benchmark, fig8b_gpu_cache, fractions=_FRACTIONS, num_snapshots=SNAPSHOTS)
+    attach_rows(benchmark, result)
+    adios_rows = [r for r in result.rows if "ADIOS2" in r[1]]
+    rates = [_parse_rate(r[3]) for r in adios_rows]
+    # No GPU cache: ADIOS2 unchanged across cache sizes.
+    assert max(rates) < 2.5 * min(rates)
+    # Cache-aware approaches benefit from a larger device cache.  Use the
+    # low-variance signals: checkpoint throughput with all hints (a bigger
+    # cache delays evictions) and the combined Score restore rates.
+    ckpt_rows = [r for r in result.rows if r[1] == "All hints, Score"]
+    small_c, large_c = _parse_rate(ckpt_rows[0][2]), _parse_rate(ckpt_rows[-1][2])
+    assert large_c >= small_c * 0.7
+    small_r = sum(
+        _parse_rate(r[3]) for r in result.rows[: len(result.rows) // 2] if "Score" in r[1]
+    )
+    large_r = sum(
+        _parse_rate(r[3]) for r in result.rows[len(result.rows) // 2 :] if "Score" in r[1]
+    )
+    assert large_r >= small_r * 0.5

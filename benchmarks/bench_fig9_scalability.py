@@ -1,0 +1,42 @@
+"""Figure 9: per-process throughput at scale (8→32 GPUs), variable sizes,
+tightly coupled (9a) and embarrassingly parallel (9b).
+
+Shape checks: per-process throughput of the Score runtime stays within a
+modest factor when the GPU count grows (the paper reports "relatively
+stable throughput for an increasing number of GPUs"), while ADIOS2's
+checkpoint throughput does not improve.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, attach_rows, run_once
+from repro.harness.figures import fig9_scalability
+from repro.util.units import parse_bandwidth
+
+_GPUS = (8, 16, 32) if FULL else (8, 16)
+_SNAPSHOTS = 32  # scalability runs multiply the process count
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("tightly_coupled", [False, True], ids=["parallel", "coupled"])
+def test_fig9_scalability(benchmark, tightly_coupled):
+    result = run_once(
+        benchmark,
+        fig9_scalability,
+        gpu_counts=_GPUS,
+        tightly_coupled=tightly_coupled,
+        num_snapshots=_SNAPSHOTS,
+    )
+    attach_rows(benchmark, result)
+    # Score per-process restore throughput at max scale within 4x of 8 GPUs.
+    score_rows = [r for r in result.rows if r[1] == "Single hint, Score"]
+    assert len(score_rows) == len(_GPUS)
+    small = parse_bandwidth(score_rows[0][3])
+    large = parse_bandwidth(score_rows[-1][3])
+    assert large > small / 4.0
+    # ADIOS2 remains the slowest at every scale.
+    for gpus in _GPUS:
+        rows_at = [r for r in result.rows if r[0] == gpus]
+        adios = [parse_bandwidth(r[3]) for r in rows_at if "ADIOS2" in r[1]]
+        others = [parse_bandwidth(r[3]) for r in rows_at if "ADIOS2" not in r[1]]
+        assert max(adios) < max(others)

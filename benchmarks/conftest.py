@@ -1,0 +1,56 @@
+"""Benchmark configuration.
+
+Each figure bench replays the corresponding experiment grid from
+:mod:`repro.harness.figures` and prints the paper-style table.  Scale knobs
+(environment variables):
+
+* ``REPRO_BENCH_SNAPSHOTS`` — snapshots per rank (default 48; the paper
+  uses 384 — larger values sharpen the shapes at the cost of wall time).
+* ``REPRO_BENCH_FULL=1`` — run the full order × approach grids instead of
+  the reduced default grid.
+
+Throughput numbers are nominal (paper-unit) bytes/second; wall time of a
+bench is dominated by the scaled virtual-time simulation, so the
+pytest-benchmark timings measure *simulation cost*, not checkpoint speed —
+the interesting output is the printed table and the ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SNAPSHOTS = int(os.environ.get("REPRO_BENCH_SNAPSHOTS", "48"))
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_snapshots() -> int:
+    return SNAPSHOTS
+
+
+@pytest.fixture(scope="session")
+def full_grid() -> bool:
+    return FULL
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def attach_rows(benchmark, result) -> None:
+    """Store the figure rows in the benchmark report, print the table, and
+    persist it under ``benchmarks/results/`` for EXPERIMENTS.md."""
+    benchmark.extra_info["figure"] = result.figure
+    benchmark.extra_info["rows"] = [[str(c) for c in row] for row in result.rows]
+    print()
+    print(result.rendered)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.figure}-{SNAPSHOTS}.txt")
+    with open(path, "a") as fh:
+        fh.write(result.rendered + "\n\n")

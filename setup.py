@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works on environments without the `wheel`
+package (legacy editable installs go through `setup.py develop`).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

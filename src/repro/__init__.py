@@ -1,0 +1,55 @@
+"""repro — reproduction of "GPU-Enabled Asynchronous Multi-level Checkpoint
+Caching and Prefetching" (HPDC '23).
+
+Quick start::
+
+    from repro import Client, Cluster, bench_config
+
+    cfg = bench_config()
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        with Client.create(ctx) as client:
+            buf = ctx.device.alloc_buffer(128 * 2**20)
+            client.mem_protect(1, buf)
+            client.checkpoint("wavefield", version=0)
+            client.restart(version=0)
+
+See ``examples/quickstart.py`` for a runnable version, DESIGN.md for the
+architecture, and EXPERIMENTS.md for the paper-figure reproductions.
+"""
+
+from repro.config import (
+    BENCH_SCALE,
+    CacheConfig,
+    HardwareSpec,
+    RuntimeConfig,
+    ScaleModel,
+    bench_config,
+)
+from repro.clock import VirtualClock
+from repro.core.client import Client
+from repro.core.engine import ScoreEngine
+from repro.baselines.adios2 import Adios2Engine
+from repro.baselines.uvm_runtime import UvmEngine
+from repro.tiers.topology import Cluster, Node, ProcessContext
+from repro.metrics.recorder import Recorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCH_SCALE",
+    "CacheConfig",
+    "HardwareSpec",
+    "RuntimeConfig",
+    "ScaleModel",
+    "bench_config",
+    "VirtualClock",
+    "Client",
+    "ScoreEngine",
+    "Adios2Engine",
+    "UvmEngine",
+    "Cluster",
+    "Node",
+    "ProcessContext",
+    "Recorder",
+]

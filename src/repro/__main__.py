@@ -1,0 +1,11 @@
+"""Command-line entry point.
+
+``python -m repro <figure>`` regenerates one paper figure (see
+``python -m repro --list``); this is a thin alias for
+:mod:`repro.harness.figures`.
+"""
+
+from repro.harness.figures import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Comparator runtimes and ablation policies.
+
+* :mod:`~repro.baselines.adios2` — an ADIOS2-BP5-like deferred I/O runtime
+  (host staging, no GPU cache);
+* :mod:`~repro.baselines.uvm_runtime` — the paper's "optimized UVM"
+  comparator on the page-granular UVM simulation;
+* :mod:`~repro.baselines.naive` — LRU / FIFO eviction policies pluggable
+  into the Score runtime (design-choice ablations).
+"""
+
+from repro.baselines.naive import FifoPolicy, LruPolicy
+from repro.baselines.adios2 import Adios2Engine
+from repro.baselines.uvm_runtime import UvmEngine
+
+__all__ = ["FifoPolicy", "LruPolicy", "Adios2Engine", "UvmEngine"]

@@ -1,0 +1,204 @@
+"""Allocation table of one contiguous cache arena.
+
+The arena ``[0, capacity)`` is tiled by an ordered sequence of *fragments*,
+each either a checkpoint extent or a gap.  This is the table ``A`` of
+Algorithm 1: eviction slides windows over exactly this sequence.
+
+Invariants (property-tested):
+
+* fragments are sorted by offset, non-overlapping, and tile the arena
+  completely (``sum(sizes) == capacity``);
+* no two adjacent gaps (gaps coalesce on removal);
+* every checkpoint appears at most once.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import AllocationError, CapacityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.catalog import CheckpointRecord
+
+
+class Fragment:
+    """One extent of the arena: a checkpoint or a gap (``record is None``)."""
+
+    __slots__ = ("offset", "size", "record", "inserted_at", "last_access")
+
+    def __init__(
+        self,
+        offset: int,
+        size: int,
+        record: Optional["CheckpointRecord"] = None,
+        inserted_at: float = 0.0,
+    ) -> None:
+        self.offset = offset
+        self.size = size
+        self.record = record
+        self.inserted_at = inserted_at
+        self.last_access = inserted_at
+
+    @property
+    def is_gap(self) -> bool:
+        return self.record is None
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        what = "gap" if self.is_gap else f"ckpt {self.record.ckpt_id}"
+        return f"Fragment([{self.offset}, {self.end}), {what})"
+
+
+class AllocTable:
+    """Ordered fragment table tiling ``[0, capacity)``."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise AllocationError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._fragments: List[Fragment] = [Fragment(0, capacity)]
+        self._by_ckpt = {}
+
+    # -- queries -----------------------------------------------------------
+    def fragments(self) -> List[Fragment]:
+        """The ordered fragment list (do not mutate)."""
+        return self._fragments
+
+    def __len__(self) -> int:
+        return len(self._fragments)
+
+    def lookup(self, ckpt_id: int) -> Fragment:
+        frag = self._by_ckpt.get(ckpt_id)
+        if frag is None:
+            raise AllocationError(f"checkpoint {ckpt_id} not in this table")
+        return frag
+
+    def contains(self, ckpt_id: int) -> bool:
+        return ckpt_id in self._by_ckpt
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(f.size for f in self._fragments if not f.is_gap)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def largest_gap(self, limit: Optional[int] = None) -> int:
+        best = 0
+        for frag in self._fragments:
+            if frag.is_gap:
+                size = frag.size
+                if limit is not None:
+                    size = min(size, max(0, limit - frag.offset))
+                best = max(best, size)
+        return best
+
+    def checkpoint_count(self) -> int:
+        return len(self._by_ckpt)
+
+    def find_gap(
+        self, size: int, limit: Optional[int] = None, min_offset: int = 0
+    ) -> Optional[int]:
+        """First-fit: the placement offset of the first gap holding ``size``
+        bytes within ``[min_offset, limit)``.
+
+        ``limit`` restricts placement to ``offset + size <= limit``;
+        ``min_offset`` to ``offset >= min_offset`` (used by the split
+        flush/prefetch cache ablation and by lazily-pinned host caches).
+        """
+        if size <= 0:
+            raise AllocationError(f"size must be positive: {size}")
+        for frag in self._fragments:
+            if not frag.is_gap:
+                continue
+            place = max(frag.offset, min_offset)
+            if frag.end - place < size:
+                continue
+            if limit is None or place + size <= limit:
+                return place
+        return None
+
+    # -- mutation ------------------------------------------------------------
+    def _index_at(self, offset: int) -> int:
+        """Index of the fragment containing ``offset``."""
+        starts = [f.offset for f in self._fragments]
+        idx = bisect.bisect_right(starts, offset) - 1
+        if idx < 0 or offset >= self._fragments[idx].end:
+            raise AllocationError(f"offset {offset} outside arena [0, {self.capacity})")
+        return idx
+
+    def insert(
+        self, record: "CheckpointRecord", size: int, offset: int, now: float = 0.0
+    ) -> Fragment:
+        """Carve a checkpoint fragment out of the gap containing the range."""
+        if size <= 0:
+            raise AllocationError(f"size must be positive: {size}")
+        if size > self.capacity:
+            raise CapacityError(
+                f"checkpoint of {size} bytes can never fit arena of {self.capacity}"
+            )
+        if record.ckpt_id in self._by_ckpt:
+            raise AllocationError(f"checkpoint {record.ckpt_id} already in table")
+        idx = self._index_at(offset)
+        gap = self._fragments[idx]
+        if not gap.is_gap or offset + size > gap.end:
+            raise AllocationError(
+                f"range [{offset}, {offset + size}) not inside a free gap"
+            )
+        pieces: List[Fragment] = []
+        if offset > gap.offset:
+            pieces.append(Fragment(gap.offset, offset - gap.offset))
+        frag = Fragment(offset, size, record, inserted_at=now)
+        pieces.append(frag)
+        if offset + size < gap.end:
+            pieces.append(Fragment(offset + size, gap.end - (offset + size)))
+        self._fragments[idx : idx + 1] = pieces
+        self._by_ckpt[record.ckpt_id] = frag
+        return frag
+
+    def remove(self, ckpt_id: int) -> int:
+        """Turn a checkpoint fragment into a gap (coalescing); return size."""
+        frag = self._by_ckpt.pop(ckpt_id, None)
+        if frag is None:
+            raise AllocationError(f"checkpoint {ckpt_id} not in this table")
+        idx = self._index_at(frag.offset)
+        assert self._fragments[idx] is frag
+        size = frag.size
+        start, end = frag.offset, frag.end
+        lo, hi = idx, idx + 1
+        if lo > 0 and self._fragments[lo - 1].is_gap:
+            start = self._fragments[lo - 1].offset
+            lo -= 1
+        if hi < len(self._fragments) and self._fragments[hi].is_gap:
+            end = self._fragments[hi].end
+            hi += 1
+        self._fragments[lo:hi] = [Fragment(start, end - start)]
+        return size
+
+    def touch(self, ckpt_id: int, now: float) -> None:
+        """Record an access (LRU ablation bookkeeping)."""
+        self.lookup(ckpt_id).last_access = now
+
+    # -- invariant check (used by tests) -------------------------------------
+    def check_invariants(self) -> None:
+        frags = self._fragments
+        if not frags:
+            raise AssertionError("empty fragment list")
+        if frags[0].offset != 0 or frags[-1].end != self.capacity:
+            raise AssertionError("fragments do not span the arena")
+        for a, b in zip(frags, frags[1:]):
+            if a.end != b.offset:
+                raise AssertionError(f"gap/overlap between {a} and {b}")
+            if a.is_gap and b.is_gap:
+                raise AssertionError(f"adjacent gaps {a}, {b}")
+        ids = [f.record.ckpt_id for f in frags if not f.is_gap]
+        if len(ids) != len(set(ids)):
+            raise AssertionError("duplicate checkpoint in table")
+        if set(ids) != set(self._by_ckpt):
+            raise AssertionError("index out of sync with fragment list")

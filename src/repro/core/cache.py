@@ -1,0 +1,271 @@
+"""CacheBuffer: one contiguous cache arena plus its eviction machinery.
+
+Combines an :class:`~repro.simgpu.memory.Arena`, an
+:class:`~repro.core.alloctable.AllocTable`, and a pluggable eviction policy
+under the engine monitor.  ``reserve`` implements the blocking semantics of
+Algorithm 1: pick the best window, wait until its members are evictable
+(states change concurrently as the flusher progresses and the application
+consumes checkpoints — after every wait the selection is re-evaluated
+against the fresh table), evict, and claim the resulting gap.
+
+Safety invariant enforced here: eviction never destroys the only complete
+copy of an unconsumed checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.clock import VirtualClock
+from repro.core.alloctable import AllocTable, Fragment
+from repro.core.lifecycle import CkptState
+from repro.core.predict import instance_state_ts
+from repro.core.scoring import ScorePolicy, Window, make_cost_fn
+from repro.core.sync import Monitor
+from repro.errors import AllocationError, CapacityError
+from repro.simgpu.memory import Arena
+from repro.tiers.base import TierLevel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.catalog import CheckpointRecord
+    from repro.core.restore_queue import RestoreQueue
+
+
+class CacheBuffer:
+    """A managed cache tier (GPU or host) for one process."""
+
+    def __init__(
+        self,
+        name: str,
+        level: TierLevel,
+        arena: Arena,
+        monitor: Monitor,
+        clock: VirtualClock,
+        restore_queue: "RestoreQueue",
+        flush_estimate: Callable[[int], float],
+        policy=None,
+        usable_capacity: Optional[Callable[[], int]] = None,
+        on_evict: Optional[Callable[["CheckpointRecord", TierLevel], None]] = None,
+    ) -> None:
+        self.name = name
+        self.level = level
+        self.arena = arena
+        self.monitor = monitor
+        self.clock = clock
+        self.queue = restore_queue
+        self.flush_estimate = flush_estimate
+        self.policy = policy or ScorePolicy()
+        self.usable_capacity = usable_capacity
+        self.on_evict = on_evict
+        self.table = AllocTable(arena.nominal_capacity)
+        #: Section 4.1.2 ablation: when set, write-path reservations are
+        #: confined to ``[0, write_boundary)`` and prefetch-path ones to
+        #: ``[write_boundary, capacity)`` — the "naive" statically split
+        #: flush/prefetch cache the paper argues against.  ``None`` = the
+        #: shared design.
+        self.write_boundary: Optional[int] = None
+        # counters
+        self.evictions = 0
+        self.forced_evictions = 0
+        self.eviction_wait_time = 0.0
+
+    # -- helpers (monitor held) ---------------------------------------------
+    def contains(self, record: "CheckpointRecord") -> bool:
+        return self.table.contains(record.ckpt_id)
+
+    def offset_of(self, record: "CheckpointRecord") -> int:
+        return self.table.lookup(record.ckpt_id).offset
+
+    def pinned_bytes(self) -> int:
+        """Bytes held by prefetched-but-unconsumed instances."""
+        total = 0
+        for frag in self.table.fragments():
+            if frag.is_gap:
+                continue
+            inst = frag.record.peek(self.level)
+            if inst is not None and inst.pinned:
+                total += frag.size
+        return total
+
+    def _limit(self) -> Optional[int]:
+        return None if self.usable_capacity is None else self.usable_capacity()
+
+    def _cost_fn(self, allow_pinned: bool):
+        def state_ts(frag: Fragment) -> float:
+            return instance_state_ts(
+                frag.record, self.level, self.flush_estimate, allow_pinned=allow_pinned
+            )
+
+        def distance(frag: Fragment) -> Optional[int]:
+            return self.queue.distance(frag.record.ckpt_id)
+
+        # s-contribution for unhinted checkpoints must dominate every real
+        # distance; the queue can never hold more live hints than the table
+        # has fragments plus the whole history, so table length + queue
+        # length is a safe bound.
+        no_hint = float(len(self.table) + len(self.queue) + 1)
+        return make_cost_fn(state_ts, distance, no_hint)
+
+    # -- reservation -----------------------------------------------------------
+    def reserve(
+        self,
+        record: "CheckpointRecord",
+        initial_state: CkptState,
+        blocking: bool = True,
+        allow_pinned: bool = False,
+    ) -> Optional[float]:
+        """Claim space for ``record`` and create its instance on this tier.
+
+        Blocks (releasing the monitor while waiting) until space can be
+        made; returns the nominal seconds spent waiting for evictions (the
+        figure callers charge to blocking-time metrics).  With
+        ``blocking=False`` returns ``None`` instead of waiting — only
+        windows that are evictable *right now* are used.  With
+        ``allow_pinned=True`` (demand restores deviating from the hints)
+        prefetched-but-unconsumed instances may be force-evicted, provided a
+        copy survives on a slower tier.
+        """
+        size = record.nominal_size
+        if size > self.table.capacity:
+            raise CapacityError(
+                f"checkpoint {record.ckpt_id} ({size}B) exceeds cache "
+                f"{self.name!r} capacity {self.table.capacity}B"
+            )
+        min_offset, region_limit = self._region_for(initial_state)
+        if region_limit is not None and size > region_limit - min_offset:
+            raise CapacityError(
+                f"checkpoint {record.ckpt_id} ({size}B) exceeds the "
+                f"{initial_state.value} partition of cache {self.name!r}"
+            )
+        wait_started: Optional[float] = None
+        with self.monitor:
+            while True:
+                if self.table.contains(record.ckpt_id):
+                    raise AllocationError(
+                        f"checkpoint {record.ckpt_id} already cached in {self.name!r}"
+                    )
+                limit = self._limit()
+                if region_limit is not None:
+                    limit = region_limit if limit is None else min(limit, region_limit)
+                offset = self.table.find_gap(size, limit, min_offset)
+                if offset is None:
+                    offset = self._try_evict_window(size, limit, allow_pinned, min_offset)
+                if offset is not None:
+                    now = self.clock.now()
+                    inst = record.instance(self.level)
+                    inst.transition(initial_state, now)
+                    self.table.insert(record, size, offset, now)
+                    waited = 0.0
+                    if wait_started is not None:
+                        waited = self.clock.now() - wait_started
+                        self.eviction_wait_time += waited
+                    self.monitor.notify_all()
+                    return waited
+                if not blocking:
+                    return None
+                if wait_started is None:
+                    wait_started = self.clock.now()
+                # Re-evaluate after any state change; the timeout guards
+                # against missed wakeups from other engines' resources.
+                self.monitor.wait(virtual_timeout=0.05)
+
+    def _region_for(self, initial_state: CkptState):
+        """Placement region for a reservation kind (split-cache ablation)."""
+        if self.write_boundary is None:
+            return 0, None
+        if initial_state is CkptState.READ_IN_PROGRESS:
+            return self.write_boundary, None
+        return 0, self.write_boundary
+
+    def _try_evict_window(
+        self, size: int, limit: Optional[int], allow_pinned: bool, min_offset: int = 0
+    ) -> Optional[int]:
+        """Select the best window; evict it if ready.  Monitor held.
+
+        Returns the gap offset on success, ``None`` if the caller must wait
+        (members not yet evictable or no admissible window).
+        """
+        fragments = self.table.fragments()
+        window = self.policy.select(
+            fragments, size, self._cost_fn(allow_pinned), limit, min_offset
+        )
+        if window is None:
+            return None
+        if not self._window_ready(window, allow_pinned):
+            return None
+        self._evict_window(window, allow_pinned)
+        return self.table.find_gap(size, limit, min_offset)
+
+    def _window_ready(self, window: Window, allow_pinned: bool) -> bool:
+        for frag in self.table.fragments()[window.start : window.end]:
+            if frag.is_gap:
+                continue
+            inst = frag.record.peek(self.level)
+            if inst is None:
+                continue
+            if inst.read_pinned:
+                return False  # an in-flight promotion reads this extent
+            if inst.evictable and not inst.flush_pending:
+                continue
+            if allow_pinned and inst.state == CkptState.READ_COMPLETE:
+                continue
+            return False
+        return True
+
+    def _evict_window(self, window: Window, allow_pinned: bool) -> None:
+        victims = [
+            frag.record
+            for frag in self.table.fragments()[window.start : window.end]
+            if not frag.is_gap
+        ]
+        for record in victims:
+            self._evict_record(record, force=allow_pinned)
+
+    def _evict_record(self, record: "CheckpointRecord", force: bool) -> None:
+        inst = record.peek(self.level)
+        assert inst is not None, f"evicting {record.ckpt_id} with no instance"
+        forced = inst.pinned
+        if forced and not force:
+            raise AllocationError(
+                f"attempt to evict pinned checkpoint {record.ckpt_id} from {self.name!r}"
+            )
+        if not record.consumed and not record.has_copy_besides(self.level):
+            raise AllocationError(
+                f"eviction of checkpoint {record.ckpt_id} from {self.name!r} "
+                "would destroy its only copy"
+            )
+        self.table.remove(record.ckpt_id)
+        record.drop_instance(self.level)
+        self.evictions += 1
+        if forced:
+            self.forced_evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(record, self.level)
+
+    def evict(self, record: "CheckpointRecord") -> None:
+        """Explicitly evict (engine-driven, e.g. discard-after-consume)."""
+        with self.monitor:
+            if self.table.contains(record.ckpt_id):
+                self._evict_record(record, force=True)
+                self.monitor.notify_all()
+
+    # -- payload I/O -------------------------------------------------------------
+    def read_payload(self, record: "CheckpointRecord") -> np.ndarray:
+        with self.monitor:
+            offset = self.offset_of(record)
+        return self.arena.read(offset, record.nominal_size)
+
+    def write_payload(self, record: "CheckpointRecord", payload: np.ndarray) -> None:
+        with self.monitor:
+            offset = self.offset_of(record)
+        self.arena.write(offset, payload)
+
+    # -- stats ----------------------------------------------------------------------
+    def occupancy(self) -> float:
+        with self.monitor:
+            return self.table.used_bytes / self.table.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CacheBuffer({self.name!r}, level={self.level.name})"

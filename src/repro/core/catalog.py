@@ -1,0 +1,126 @@
+"""Checkpoint records and the per-engine catalog.
+
+A :class:`CheckpointRecord` is the engine-wide identity of one checkpoint:
+its nominal (aligned) and true sizes, its payload checksum, its per-tier
+:class:`~repro.core.lifecycle.Instance` map, durability and consumption
+status, and the cancellation flag that implements problem condition (5)
+(pending flushes of a discarded checkpoint need not complete).
+
+All mutation happens under the engine monitor.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional
+
+from repro.core.lifecycle import Instance
+from repro.errors import CheckpointNotFound, LifecycleError
+from repro.tiers.base import TierLevel
+
+
+class CheckpointRecord:
+    """Identity + state of one checkpoint across every tier."""
+
+    def __init__(self, ckpt_id: int, nominal_size: int, true_size: int, checksum: int) -> None:
+        self.ckpt_id = ckpt_id
+        self.nominal_size = nominal_size
+        self.true_size = true_size
+        self.checksum = checksum
+        self.instances: Dict[TierLevel, Instance] = {}
+        #: slowest tier confirmed to hold a durable copy (SSD/PFS), if any.
+        self.durable_level: Optional[TierLevel] = None
+        #: the store object actually holding the durable copy when it is
+        #: not the process's home store (e.g. a partner node's SSD after
+        #: recovery from replication); None → the engine's default store.
+        self.durable_store = None
+        self.consumed = False
+        self.discarded = False
+        #: set to abandon in-flight flushes (checked chunk-wise by Link).
+        self.cancel_flush = threading.Event()
+        #: the prefetcher is currently moving this checkpoint between tiers.
+        self.prefetch_inflight = False
+
+    # -- instances ---------------------------------------------------------
+    def instance(self, level: TierLevel) -> Instance:
+        """Get-or-create the instance for a tier (created in INIT)."""
+        inst = self.instances.get(level)
+        if inst is None:
+            inst = Instance(level)
+            self.instances[level] = inst
+        return inst
+
+    def peek(self, level: TierLevel) -> Optional[Instance]:
+        return self.instances.get(level)
+
+    def drop_instance(self, level: TierLevel) -> None:
+        if level not in self.instances:
+            raise LifecycleError(f"ckpt {self.ckpt_id} has no instance on {level!r}")
+        del self.instances[level]
+
+    # -- copy location queries ----------------------------------------------
+    def cached_copy_levels(self) -> Iterable[TierLevel]:
+        """Cache tiers (GPU/host) holding a complete copy, fastest first."""
+        for level in (TierLevel.GPU, TierLevel.HOST):
+            inst = self.instances.get(level)
+            if inst is not None and inst.has_copy:
+                yield level
+
+    def fastest_cached_level(self) -> Optional[TierLevel]:
+        for level in self.cached_copy_levels():
+            return level
+        return None
+
+    def has_copy_besides(self, level: TierLevel) -> bool:
+        """A complete copy exists somewhere other than ``level``.
+
+        Durable store copies (SSD/PFS) count; used to assert that eviction
+        never destroys the only copy of an unconsumed checkpoint.
+        """
+        if self.durable_level is not None and self.durable_level != level:
+            return True
+        return any(lv != level for lv in self.cached_copy_levels())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        states = {lv.name: inst.state.value for lv, inst in self.instances.items()}
+        return f"CheckpointRecord({self.ckpt_id}, {self.nominal_size}B, {states})"
+
+
+class Catalog:
+    """All checkpoints one engine knows about, keyed by checkpoint id."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, CheckpointRecord] = {}
+
+    def create(
+        self, ckpt_id: int, nominal_size: int, true_size: int, checksum: int
+    ) -> CheckpointRecord:
+        if ckpt_id in self._records:
+            raise LifecycleError(
+                f"checkpoint {ckpt_id} already exists; checkpoints are immutable"
+            )
+        record = CheckpointRecord(ckpt_id, nominal_size, true_size, checksum)
+        self._records[ckpt_id] = record
+        return record
+
+    def get(self, ckpt_id: int) -> CheckpointRecord:
+        record = self._records.get(ckpt_id)
+        if record is None:
+            raise CheckpointNotFound(f"unknown checkpoint id {ckpt_id}")
+        return record
+
+    def maybe_get(self, ckpt_id: int) -> Optional[CheckpointRecord]:
+        return self._records.get(ckpt_id)
+
+    def contains(self, ckpt_id: int) -> bool:
+        return ckpt_id in self._records
+
+    def forget(self, ckpt_id: int) -> None:
+        """Remove a fully-discarded checkpoint from the catalog."""
+        self._records.pop(ckpt_id, None)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all_records(self):
+        return list(self._records.values())

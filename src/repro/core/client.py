@@ -1,0 +1,152 @@
+"""VELOC-like public API (Section 4.3, Listing 1).
+
+The :class:`Client` mirrors the paper's extended VELOC primitives:
+
+================================  =========================================
+Paper API                         This library
+================================  =========================================
+``VELOC_Init``                    ``Client(engine)`` / ``Client.create``
+``VELOC_Mem_protect(id, p, n)``   ``client.mem_protect(region_id, buffer)``
+``VELOC_Checkpoint(name, ver)``   ``client.checkpoint(name, version)``
+``VELOC_Recover_size(ver, id)``   ``client.recover_size(version, region_id)``
+``VELOC_Restart(ver)``            ``client.restart(version)``
+``VELOC_Prefetch_enqueue(ver)``   ``client.prefetch_enqueue(version)``
+``VELOC_Prefetch_start()``        ``client.prefetch_start()``
+================================  =========================================
+
+A *version* may protect several memory regions; each (version, region)
+pair becomes one engine-level checkpoint object, and version-level hints
+expand to the member regions in order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.engine import ScoreEngine
+from repro.errors import CheckpointNotFound, HintError
+from repro.simgpu.memory import DeviceBuffer
+from repro.tiers.topology import ProcessContext
+
+#: Room for this many regions per version in the flat engine id space.
+_REGION_STRIDE = 1024
+
+
+class Client:
+    """Application-facing checkpointing interface for one process."""
+
+    def __init__(self, engine: ScoreEngine) -> None:
+        self.engine = engine
+        self._regions: Dict[int, DeviceBuffer] = {}
+        self._version_regions: Dict[int, List[int]] = {}
+
+    @classmethod
+    def create(cls, context: ProcessContext, **engine_kwargs) -> "Client":
+        """``VELOC_Init`` equivalent: build an engine on a process context."""
+        return cls(ScoreEngine(context, **engine_kwargs))
+
+    # -- region registry ------------------------------------------------------
+    def mem_protect(self, region_id: int, buffer: DeviceBuffer) -> None:
+        """Declare (or re-point) a protected memory region."""
+        if not 0 <= region_id < _REGION_STRIDE:
+            raise HintError(f"region_id must be in [0, {_REGION_STRIDE}): {region_id}")
+        self._regions[region_id] = buffer
+
+    def unprotect(self, region_id: int) -> None:
+        self._regions.pop(region_id, None)
+
+    def _ckpt_id(self, version: int, region_id: int) -> int:
+        return version * _REGION_STRIDE + region_id
+
+    # -- write ---------------------------------------------------------------------
+    def checkpoint(self, name: str, version: int) -> float:
+        """Checkpoint every protected region under ``version``.
+
+        Returns the total nominal seconds the application was blocked.
+        """
+        if not self._regions:
+            raise HintError("no protected regions; call mem_protect first")
+        if version in self._version_regions:
+            raise HintError(f"version {version} was already checkpointed")
+        del name  # kept for API fidelity; versions are the identity here
+        blocked = 0.0
+        members: List[int] = []
+        for region_id in sorted(self._regions):
+            blocked += self.engine.checkpoint(
+                self._ckpt_id(version, region_id), self._regions[region_id]
+            )
+            members.append(region_id)
+        self._version_regions[version] = members
+        return blocked
+
+    # -- hints ----------------------------------------------------------------------
+    def prefetch_enqueue(self, version: int) -> None:
+        """Hint that ``version`` will be restored next (after prior hints)."""
+        regions = self._version_regions.get(version)
+        if regions is None:
+            # Hints may precede the checkpoints (Listing 1 enqueues them
+            # first); assume the currently protected region set.
+            regions = sorted(self._regions)
+        if not regions:
+            raise HintError("cannot hint a version with no regions")
+        for region_id in regions:
+            self.engine.prefetch_enqueue(self._ckpt_id(version, region_id))
+
+    def prefetch_start(self) -> None:
+        self.engine.prefetch_start()
+
+    # -- read ----------------------------------------------------------------------------
+    def recover_size(self, version: int, region_id: int) -> int:
+        return self.engine.recover_size(self._ckpt_id(version, region_id))
+
+    def restart(self, version: int) -> float:
+        """Restore every protected region from ``version``.
+
+        Returns the total nominal seconds the application was blocked.
+        """
+        if not self._regions:
+            raise HintError("no protected regions; call mem_protect first")
+        blocked = 0.0
+        for region_id in sorted(self._regions):
+            ckpt_id = self._ckpt_id(version, region_id)
+            if not self.engine.catalog.contains(ckpt_id):
+                raise CheckpointNotFound(
+                    f"version {version} region {region_id} was never checkpointed"
+                )
+            blocked += self.engine.restore(ckpt_id, self._regions[region_id])
+        return blocked
+
+    # -- restart recovery --------------------------------------------------------------------
+    def recover(self) -> List[int]:
+        """Rebuild state from the durable tiers after a process restart.
+
+        Returns the recovered version numbers (``VELOC``'s restart flow:
+        query what exists, ``mem_protect`` buffers of ``recover_size``,
+        then ``restart`` the version you need).
+        """
+        self.engine.recover_history()
+        versions: Dict[int, List[int]] = {}
+        for record in self.engine.catalog.all_records():
+            if record.consumed:
+                continue
+            version, region = divmod(record.ckpt_id, _REGION_STRIDE)
+            versions.setdefault(version, []).append(region)
+        for version, regions in versions.items():
+            self._version_regions.setdefault(version, sorted(regions))
+        return sorted(versions)
+
+    # -- maintenance ------------------------------------------------------------------------
+    def wait_for_flushes(self) -> float:
+        return self.engine.wait_for_flushes()
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

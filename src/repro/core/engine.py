@@ -1,0 +1,608 @@
+"""The per-process checkpointing engine ("Score").
+
+One :class:`ScoreEngine` per application process (one process per GPU).  It
+owns the process's GPU and host cache buffers, the flush cascade, the
+prefetch thread, the restore-order queue and the checkpoint catalog, and
+implements the blocking semantics of the problem formulation (Section 2):
+
+* ``checkpoint`` blocks only until the data is copied into the GPU cache;
+  flushing to slower tiers proceeds asynchronously;
+* ``restore`` is served from the GPU cache when possible; otherwise it
+  blocks while the prefetcher promotes the checkpoint level by level;
+* restore-order hints drive prefetching and the eviction scores;
+* consumed checkpoints become evictable everywhere; when the engine runs
+  with ``discard_consumed=True`` their pending flushes are abandoned
+  (condition (5)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clock import Stopwatch
+from repro.config import RuntimeConfig
+from repro.core.cache import CacheBuffer
+from repro.core.catalog import Catalog, CheckpointRecord
+from repro.core.flusher import Flusher
+from repro.core.lifecycle import CkptState
+from repro.core.prefetcher import Prefetcher
+from repro.core.restore_queue import RestoreQueue
+from repro.core.scoring import ScorePolicy
+from repro.core.sync import Monitor
+from repro.errors import (
+    EngineClosedError,
+    IntegrityError,
+    LifecycleError,
+    ReproError,
+    TransferError,
+)
+from repro.metrics.recorder import OpEvent, OpKind, Recorder
+from repro.simgpu.memory import DeviceBuffer, checksum_payload
+from repro.tiers.base import TierLevel
+from repro.tiers.topology import ProcessContext
+
+
+class ScoreEngine:
+    """Checkpoint runtime for one process."""
+
+    def __init__(
+        self,
+        context: ProcessContext,
+        recorder: Optional[Recorder] = None,
+        eviction_policy=None,
+        discard_consumed: bool = False,
+        verify_restores: bool = True,
+        flush_to_pfs: bool = False,
+        prefetch_budget_fraction: float = 0.9,
+        prefetch_lookahead: int = 64,
+        gpudirect: bool = False,
+        partner_replication: bool = False,
+    ) -> None:
+        self.context = context
+        self.config: RuntimeConfig = context.config
+        self.clock = context.clock
+        self.scale = context.scale
+        self.device = context.device
+        self.ssd = context.ssd
+        self.pfs = context.pfs
+        self.process_id = context.process_id
+        self.node_id = context.node.node_id
+        self.discard_consumed = discard_consumed
+        self.verify_restores = verify_restores
+        self.flush_to_pfs = flush_to_pfs
+        self.prefetch_budget_fraction = prefetch_budget_fraction
+        #: GPUDirect storage (the paper's future-work item): flushes move
+        #: GPU cache → SSD directly over PCIe DMA, bypassing the host cache;
+        #: promotions likewise read SSD → GPU.  The host tier is unused.
+        self.gpudirect = gpudirect
+        #: VELOC-style partner replication: once durable on the local SSD,
+        #: a copy also crosses the fabric to the next node's SSD, so a full
+        #: node failure loses nothing (Section 3.1's complementary
+        #: resilience strategy).  No-op on single-node clusters.
+        self.partner_replication = partner_replication
+        cluster = context.node.cluster
+        self.partner_node_id = None
+        self.partner_ssd = None
+        if partner_replication and len(cluster.nodes) > 1:
+            self.partner_node_id = (self.node_id + 1) % len(cluster.nodes)
+            self.partner_ssd = cluster.nodes[self.partner_node_id].ssd
+            self.partner_link = cluster.internode_link(self.node_id, self.partner_node_id)
+
+        self.monitor = Monitor(self.clock)
+        self.catalog = Catalog()
+        self.queue = RestoreQueue()
+        self.recorder = recorder or Recorder(process_id=self.process_id)
+        #: restores currently promoting on demand; while non-zero the
+        #: prefetcher backs off so demand never loses a freed cache slot to
+        #: a speculative prefetch (demand-first priority, Section 4.3.2).
+        self.demand_active = 0
+        self._closed = False
+
+        policy = eviction_policy or self._default_policy()
+        gpu_arena = context.gpu_cache_arena()
+        host_arena = context.host_cache_arena()
+        self.gpu_cache = CacheBuffer(
+            name=f"p{self.process_id}-gpu",
+            level=TierLevel.GPU,
+            arena=gpu_arena,
+            monitor=self.monitor,
+            clock=self.clock,
+            restore_queue=self.queue,
+            flush_estimate=lambda n: self.device.d2h_link.estimate(n),
+            policy=policy,
+        )
+        self.host_cache = CacheBuffer(
+            name=f"p{self.process_id}-host",
+            level=TierLevel.HOST,
+            arena=host_arena,
+            monitor=self.monitor,
+            clock=self.clock,
+            restore_queue=self.queue,
+            flush_estimate=lambda n: self.ssd.write_link.estimate(n),
+            policy=policy,
+            usable_capacity=context.host_usable_capacity,
+        )
+        if not self.config.shared_cache:
+            # Section 4.1.2 ablation: statically split each cache into a
+            # flush half and a prefetch half instead of sharing the space.
+            self.gpu_cache.write_boundary = self.scale.align(
+                self.gpu_cache.table.capacity // 2
+            )
+            self.host_cache.write_boundary = self.scale.align(
+                self.host_cache.table.capacity // 2
+            )
+        self.flusher = Flusher(self)
+        self.prefetcher = Prefetcher(self, lookahead=prefetch_lookahead)
+
+    def _default_policy(self):
+        name = self.config.eviction_policy
+        if name == "score":
+            return ScorePolicy()
+        from repro.baselines.naive import FifoPolicy, LruPolicy  # cycle-free
+
+        return {"lru": LruPolicy(), "fifo": FifoPolicy()}[name]
+
+    # -- helpers -----------------------------------------------------------------
+    def store_key(self, record: CheckpointRecord):
+        return (self.process_id, record.ckpt_id)
+
+    def durable_store_of(self, record: CheckpointRecord):
+        """The object store holding this record's durable copy."""
+        if record.durable_store is not None:
+            return record.durable_store
+        if record.durable_level is TierLevel.PFS:
+            return self.pfs
+        return self.ssd
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError(f"engine p{self.process_id} is closed")
+
+    # -- write path ------------------------------------------------------------------
+    def checkpoint(self, ckpt_id: int, buffer: DeviceBuffer) -> float:
+        """Checkpoint an application GPU buffer under ``ckpt_id``.
+
+        Blocks until the data sits in the GPU cache (the checkpoint is then
+        safe against application overwrites); returns the nominal seconds
+        the caller was blocked.
+        """
+        self._require_open()
+        nominal = self.scale.align(buffer.nominal_size)
+        checksum = buffer.checksum()
+        started = self.clock.now()
+        with self.monitor:
+            record = self.catalog.create(ckpt_id, nominal, buffer.nominal_size, checksum)
+        waited = self.gpu_cache.reserve(record, CkptState.WRITE_IN_PROGRESS, blocking=True)
+        # Device-to-device copy of the protected region into the cache.
+        copied = self.device.d2d_link.transfer(nominal)
+        self.gpu_cache.write_payload(record, buffer.payload)
+        with self.monitor:
+            record.instance(TierLevel.GPU).transition(
+                CkptState.WRITE_COMPLETE, self.clock.now()
+            )
+            self.monitor.notify_all()
+        self.flusher.schedule(record)
+        # Blocking time = eviction wait + cache copy (accounted, so the
+        # figure stays exact under aggressive time scaling).
+        blocked = (waited or 0.0) + copied
+        self.recorder.record(
+            OpEvent(
+                kind=OpKind.CHECKPOINT,
+                ckpt_id=ckpt_id,
+                started_at=started,
+                blocked=blocked,
+                nominal_bytes=nominal,
+            )
+        )
+        return blocked
+
+    # -- hints ---------------------------------------------------------------------------
+    def prefetch_enqueue(self, ckpt_id: int) -> None:
+        """Hint: ``ckpt_id`` will be restored after all earlier hints."""
+        self._require_open()
+        with self.monitor:
+            self.queue.enqueue(ckpt_id)
+            self.monitor.notify_all()
+
+    def prefetch_start(self) -> None:
+        """Allow the prefetcher to start acting on the hints."""
+        self._require_open()
+        with self.monitor:
+            self.queue.start()
+            self.monitor.notify_all()
+
+    # -- read path ------------------------------------------------------------------------
+    def recover_size(self, ckpt_id: int) -> int:
+        """True (unaligned) size of a checkpoint, as the application wrote it."""
+        self._require_open()
+        with self.monitor:
+            return self.catalog.get(ckpt_id).true_size
+
+    def restore(self, ckpt_id: int, buffer: DeviceBuffer) -> float:
+        """Restore checkpoint ``ckpt_id`` into an application GPU buffer.
+
+        Returns the nominal seconds the caller was blocked.  The checkpoint
+        is marked *consumed* afterwards and will not be served again.
+        """
+        self._require_open()
+        started = self.clock.now()
+        with self.monitor:
+            record = self.catalog.get(ckpt_id)
+            if record.consumed:
+                raise LifecycleError(f"checkpoint {ckpt_id} was already consumed")
+            distance = self._sample_prefetch_distance(ckpt_id)
+            source = self._current_source_level(record)
+        # _await_gpu_copy pins the extent (crossover to READ_COMPLETE)
+        # before returning, so it cannot be evicted under the copy below.
+        waited = self._await_gpu_copy(record)
+        # Copy out to the application buffer (device-to-device).
+        payload = self.gpu_cache.read_payload(record)
+        copied = self.device.d2d_link.transfer(record.nominal_size)
+        buffer.copy_from(payload)
+        if self.verify_restores:
+            actual = checksum_payload(payload[: buffer.payload.size])
+            if actual != record.checksum:
+                raise IntegrityError(
+                    f"checkpoint {ckpt_id} payload corrupt: "
+                    f"crc {actual:#010x} != {record.checksum:#010x}"
+                )
+        self._consume(record)
+        blocked = waited + copied
+        self.recorder.record(
+            OpEvent(
+                kind=OpKind.RESTORE,
+                ckpt_id=ckpt_id,
+                started_at=started,
+                blocked=blocked,
+                nominal_bytes=record.nominal_size,
+                prefetch_distance=distance,
+                source_level=source,
+            )
+        )
+        return blocked
+
+    def _await_gpu_copy(self, record: CheckpointRecord) -> float:
+        """Block until the GPU cache holds a full copy of ``record``;
+        returns the nominal seconds charged to the caller.
+
+        Demand promotion runs *inline* in the calling thread: a restore that
+        misses the GPU cache promotes the checkpoint level by level itself
+        (with blocking reservations and permission to force-evict
+        prefetched-but-unconsumed extents — the hint-deviation penalty).
+        When the prefetcher is already moving this checkpoint, the restore
+        just waits for that transfer to land.
+
+        On success the GPU instance has crossed over to ``READ_COMPLETE``
+        (pinned) *within the same monitor section* that observed the copy —
+        otherwise a concurrent prefetch reservation could evict a FLUSHED
+        extent between the check and the restore's payload read.
+        """
+
+        def ready() -> bool:
+            inst = record.peek(TierLevel.GPU)
+            if inst is None or not inst.has_copy:
+                return False
+            # Pin: cached write-path instances cross to the read path.
+            inst.try_transition(CkptState.READ_COMPLETE, self.clock.now())
+            return True
+
+        with self.monitor:
+            if ready():
+                return 0.0
+            # Pause the prefetcher for the whole demand episode so it never
+            # races the restore for freed cache slots or for this record.
+            self.demand_active += 1
+        blocked = 0.0
+        try:
+            while True:
+                step = None
+                with self.monitor:
+                    if ready():
+                        return blocked
+                    if record.prefetch_inflight or self._transfer_inflight(record):
+                        wait_started = self.clock.now()
+                        self.monitor.wait(virtual_timeout=0.05)
+                        blocked += self.clock.now() - wait_started
+                        continue
+                    step = self.promotion_step(record)
+                    if step is None:
+                        # Only copy is mid-flush; wait for the flusher.
+                        wait_started = self.clock.now()
+                        self.monitor.wait(virtual_timeout=0.05)
+                        blocked += self.clock.now() - wait_started
+                        continue
+                    record.prefetch_inflight = True
+                src, dst = step
+                seconds: Optional[float] = None
+                try:
+                    seconds = self.promote_once(
+                        record, src, dst, blocking=True, allow_pinned=True
+                    )
+                except ReproError:
+                    # The source moved while we promoted; re-resolve.
+                    pass
+                finally:
+                    with self.monitor:
+                        record.prefetch_inflight = False
+                        self.monitor.notify_all()
+                if seconds is not None:
+                    blocked += seconds
+        finally:
+            with self.monitor:
+                self.demand_active -= 1
+                self.monitor.notify_all()
+
+    def _transfer_inflight(self, record: CheckpointRecord) -> bool:
+        """Monitor held: a tier extent of this record is mid-transfer."""
+        for inst in record.instances.values():
+            if inst.state in (CkptState.READ_IN_PROGRESS, CkptState.WRITE_IN_PROGRESS):
+                return True
+        return False
+
+    # -- promotion machinery (shared with the prefetcher) ---------------------
+    def promotion_step(self, record: CheckpointRecord):
+        """Monitor held: next one-level promotion toward the GPU, or None."""
+        gpu_inst = record.peek(TierLevel.GPU)
+        if gpu_inst is not None and (
+            gpu_inst.has_copy or gpu_inst.state is CkptState.READ_IN_PROGRESS
+        ):
+            return None
+        host_inst = record.peek(TierLevel.HOST)
+        if host_inst is not None and host_inst.has_copy:
+            return (TierLevel.HOST, TierLevel.GPU)
+        if host_inst is not None:
+            return None  # host extent in flight (being written or promoted)
+        if record.durable_level is not None:
+            if self.gpudirect:
+                # GPUDirect reads pull straight from storage into HBM.
+                return (record.durable_level, TierLevel.GPU)
+            return (record.durable_level, TierLevel.HOST)
+        return None  # only copy is mid-flush; the flusher will land it
+
+    def promote_once(
+        self,
+        record: CheckpointRecord,
+        src: TierLevel,
+        dst: TierLevel,
+        blocking: bool,
+        allow_pinned: bool,
+    ) -> Optional[float]:
+        """Move ``record`` one level toward the GPU.  Monitor NOT held.
+
+        Returns the accounted nominal seconds, or ``None`` when a
+        non-blocking reservation could not claim space.
+        """
+        if dst == TierLevel.GPU and src in (TierLevel.SSD, TierLevel.PFS):
+            # GPUDirect storage read: SSD/PFS → HBM over PCIe DMA.
+            waited = self.gpu_cache.reserve(
+                record,
+                CkptState.READ_IN_PROGRESS,
+                blocking=blocking,
+                allow_pinned=allow_pinned,
+            )
+            if waited is None:
+                return None
+            try:
+                store = self.durable_store_of(record)
+                if src == TierLevel.PFS:
+                    payload, read_seconds = store.get(
+                        self.store_key(record), node_id=self.node_id
+                    )
+                else:
+                    payload, read_seconds = store.get(self.store_key(record))
+            except Exception:
+                self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
+                raise
+            seconds = waited + read_seconds
+            seconds += self.device.h2d_link.transfer(record.nominal_size)
+            self.gpu_cache.write_payload(record, payload)
+            with self.monitor:
+                record.instance(TierLevel.GPU).transition(
+                    CkptState.READ_COMPLETE, self.clock.now()
+                )
+                self.monitor.notify_all()
+            return seconds
+        if dst == TierLevel.GPU:
+            waited = self.gpu_cache.reserve(
+                record,
+                CkptState.READ_IN_PROGRESS,
+                blocking=blocking,
+                allow_pinned=allow_pinned,
+            )
+            if waited is None:
+                return None
+            # Pin the host source extent for the (short) payload read so
+            # eviction cannot reclaim it underneath us; if it vanished
+            # while we were reserving, release the reservation and let the
+            # caller re-resolve the source level.
+            with self.monitor:
+                host_inst = record.peek(TierLevel.HOST)
+                if host_inst is None or not host_inst.has_copy:
+                    self.gpu_cache.table.remove(record.ckpt_id)
+                    record.drop_instance(TierLevel.GPU)
+                    self.monitor.notify_all()
+                    raise TransferError(
+                        f"host copy of checkpoint {record.ckpt_id} vanished "
+                        "before promotion"
+                    )
+                host_inst.read_pinned += 1
+            try:
+                payload = self.host_cache.read_payload(record)
+            finally:
+                with self.monitor:
+                    host_inst.read_pinned -= 1
+                    self.monitor.notify_all()
+            seconds = waited + self.device.h2d_link.transfer(record.nominal_size)
+            self.gpu_cache.write_payload(record, payload)
+            with self.monitor:
+                record.instance(TierLevel.GPU).transition(
+                    CkptState.READ_COMPLETE, self.clock.now()
+                )
+                self.monitor.notify_all()
+            return seconds
+        waited = self.host_cache.reserve(
+            record, CkptState.READ_IN_PROGRESS, blocking=blocking, allow_pinned=allow_pinned
+        )
+        if waited is None:
+            return None
+        try:
+            store = self.durable_store_of(record)
+            if src == TierLevel.PFS:
+                payload, read_seconds = store.get(self.store_key(record), node_id=self.node_id)
+            else:
+                payload, read_seconds = store.get(self.store_key(record))
+        except Exception:
+            self._release_reservation(self.host_cache, record, TierLevel.HOST)
+            raise
+        self.host_cache.write_payload(record, payload)
+        with self.monitor:
+            record.instance(TierLevel.HOST).transition(
+                CkptState.READ_COMPLETE, self.clock.now()
+            )
+            self.monitor.notify_all()
+        return waited + read_seconds
+
+    def _release_reservation(self, cache, record: CheckpointRecord, level: TierLevel) -> None:
+        """Undo a READ_IN_PROGRESS reservation whose transfer failed."""
+        with self.monitor:
+            if cache.table.contains(record.ckpt_id):
+                cache.table.remove(record.ckpt_id)
+            if record.peek(level) is not None:
+                record.drop_instance(level)
+            self.monitor.notify_all()
+
+    def _current_source_level(self, record: CheckpointRecord) -> str:
+        fastest = record.fastest_cached_level()
+        if fastest is not None:
+            return fastest.name
+        if record.durable_level is not None:
+            return record.durable_level.name
+        return "IN_FLIGHT"
+
+    def _sample_prefetch_distance(self, ckpt_id: int) -> int:
+        """Successive upcoming hints already staged on the GPU (Fig. 7)."""
+        count = 0
+        for upcoming_id in self.queue.upcoming(self.prefetcher.lookahead):
+            if upcoming_id == ckpt_id:
+                continue
+            record = self.catalog.maybe_get(upcoming_id)
+            if record is None:
+                break
+            inst = record.peek(TierLevel.GPU)
+            if inst is not None and inst.has_copy:
+                count += 1
+            else:
+                break
+        return count
+
+    def _consume(self, record: CheckpointRecord) -> None:
+        with self.monitor:
+            record.consumed = True
+            now = self.clock.now()
+            for inst in list(record.instances.values()):
+                if inst.state is CkptState.WRITE_COMPLETE:
+                    inst.try_transition(CkptState.READ_COMPLETE, now)
+                inst.try_transition(CkptState.CONSUMED, now)
+            self.queue.consume(record.ckpt_id)
+            if self.discard_consumed:
+                # Condition (5): pending flushes of a discarded checkpoint
+                # need not complete — cancel in-flight transfers and release
+                # the snapshot guards so the extents evict immediately.
+                record.discarded = True
+                record.cancel_flush.set()
+                for inst in record.instances.values():
+                    inst.flush_pending = False
+            self.monitor.notify_all()
+
+    # -- restart recovery --------------------------------------------------------------------
+    def recovery_meta(self, record: CheckpointRecord) -> dict:
+        """Metadata persisted next to durable copies for restart recovery."""
+        return {
+            "true_size": record.true_size,
+            "checksum": record.checksum,
+        }
+
+    def recover_history(self) -> int:
+        """Rebuild the catalog from the durable tiers after a restart.
+
+        Scans the node-local SSD (and the PFS, when present) for this
+        process's checkpoints, recreating catalog records with their
+        recovery metadata so they can be hinted and restored exactly like
+        checkpoints written in this incarnation.  Returns the number of
+        checkpoints recovered.  Already-known ids are skipped, so calling
+        this on a warm engine is a no-op.
+        """
+        self._require_open()
+        recovered = 0
+        sources = [(TierLevel.SSD, self.ssd)]
+        for node in self.context.node.cluster.nodes:
+            if node.ssd is not self.ssd:
+                # Partner replicas on other nodes' SSDs are recoverable too.
+                sources.append((TierLevel.SSD, node.ssd))
+        if self.pfs is not None:
+            sources.append((TierLevel.PFS, self.pfs))
+        with self.monitor:
+            for level, store in sources:
+                for key in store.keys_for_process(self.process_id):
+                    ckpt_id = key[1]
+                    if self.catalog.contains(ckpt_id):
+                        existing = self.catalog.get(ckpt_id)
+                        if existing.durable_level is None or existing.durable_level < level:
+                            pass  # keep the fastest durable level
+                        continue
+                    meta = store.meta(key)
+                    nominal = store.size_of(key)
+                    record = self.catalog.create(
+                        ckpt_id,
+                        nominal,
+                        int(meta.get("true_size", nominal)),
+                        int(meta.get("checksum", 0)),
+                    )
+                    record.durable_level = level
+                    if store is not self.ssd and level is TierLevel.SSD:
+                        record.durable_store = store  # a partner node's SSD
+                    recovered += 1
+            self.monitor.notify_all()
+        return recovered
+
+    # -- maintenance ------------------------------------------------------------------------
+    def wait_for_flushes(self) -> float:
+        """Block until every pending flush reached its final tier; returns
+        the nominal seconds spent waiting (the paper's ~70 s/rank gap
+        between the checkpoint and restore phases in the WAIT variant)."""
+        self._require_open()
+        with Stopwatch(self.clock) as sw:
+            self.flusher.drain()
+        return sw.elapsed
+
+    def stats(self) -> dict:
+        """Counters for diagnostics and the benchmark harness."""
+        with self.monitor:
+            return {
+                "process_id": self.process_id,
+                "checkpoints": len(self.catalog),
+                "gpu_occupancy": self.gpu_cache.table.used_bytes / self.gpu_cache.table.capacity,
+                "host_occupancy": self.host_cache.table.used_bytes
+                / self.host_cache.table.capacity,
+                "gpu_evictions": self.gpu_cache.evictions,
+                "host_evictions": self.host_cache.evictions,
+                "forced_evictions": self.gpu_cache.forced_evictions
+                + self.host_cache.forced_evictions,
+                "promotions": self.prefetcher.promotions,
+                "abandoned_flushes": self.flusher.abandoned,
+                "ssd_objects": self.ssd.object_count(),
+            }
+
+    def close(self) -> None:
+        """Stop background threads; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.prefetcher.stop()
+        self.flusher.close()
+
+    def __enter__(self) -> "ScoreEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

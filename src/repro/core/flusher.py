@@ -1,0 +1,283 @@
+"""Asynchronous multi-level flushing (T_D2H and T_H2F of Section 4.3.1).
+
+Each process runs two dedicated flush streams:
+
+* ``flush-d2h`` — GPU cache → pinned host cache, over the (shared) PCIe
+  link;
+* ``flush-h2f`` — host cache → node-local SSD (and optionally onward to the
+  parallel file system when persistence beyond the node is requested).
+
+The cascade follows the life cycle: a tier's instance becomes ``FLUSHED``
+(evictable) only once the next slower tier holds a complete copy.  The
+flusher snapshots the payload out of the source arena *before* the
+throttled transfer, so an instance that becomes consumable mid-flight can be
+evicted without corrupting the flush (``Instance.flush_pending`` guards the
+snapshot window).
+
+Problem condition (5): flushes of discarded checkpoints are abandoned —
+``record.cancel_flush`` is checked chunk-wise inside the link transfer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.lifecycle import CkptState
+from repro.errors import AllocationError, ReproError, TransferError
+from repro.metrics.recorder import OpEvent, OpKind
+from repro.tiers.base import TierLevel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.catalog import CheckpointRecord
+    from repro.core.engine import ScoreEngine
+
+
+class Flusher:
+    """The flush cascade of one engine."""
+
+    def __init__(self, engine: "ScoreEngine") -> None:
+        self.engine = engine
+        self.d2h_stream = engine.device.create_stream("flush-d2h")
+        self.h2f_stream = engine.device.create_stream("flush-h2f")
+        self.f2p_stream = (
+            engine.device.create_stream("flush-f2p") if engine.flush_to_pfs else None
+        )
+        self.repl_stream = (
+            engine.device.create_stream("flush-repl")
+            if engine.partner_ssd is not None
+            else None
+        )
+        self.abandoned = 0
+        self.replicated = 0
+
+    def schedule(self, record: "CheckpointRecord") -> None:
+        """Queue the D2H (or GPUDirect D2S) leg after the GPU write."""
+        with self.engine.monitor:
+            record.instance(TierLevel.GPU).flush_pending = True
+        if self.engine.gpudirect:
+            self.d2h_stream.submit(
+                lambda: self._flush_d2s(record), label=f"d2s-{record.ckpt_id}"
+            )
+        else:
+            self.d2h_stream.submit(
+                lambda: self._flush_d2h(record), label=f"d2h-{record.ckpt_id}"
+            )
+
+    def drain(self) -> None:
+        """Wait for the whole cascade to settle (the paper's WAIT variant)."""
+        for _ in range(2):
+            # Two passes: a d2h item may have enqueued h2f (and onward)
+            # work after the first downstream sync.
+            self.d2h_stream.synchronize()
+            self.h2f_stream.synchronize()
+            if self.repl_stream is not None:
+                self.repl_stream.synchronize()
+            if self.f2p_stream is not None:
+                self.f2p_stream.synchronize()
+
+    def close(self) -> None:
+        self.d2h_stream.close(drain=True)
+        self.h2f_stream.close(drain=True)
+        if self.repl_stream is not None:
+            self.repl_stream.close(drain=True)
+        if self.f2p_stream is not None:
+            self.f2p_stream.close(drain=True)
+
+    # -- stages --------------------------------------------------------------
+    def _flush_d2h(self, record: "CheckpointRecord") -> None:
+        engine = self.engine
+        started = engine.clock.now()
+        with engine.monitor:
+            gpu_inst = record.peek(TierLevel.GPU)
+            if record.discarded or gpu_inst is None:
+                if gpu_inst is not None:
+                    gpu_inst.flush_pending = False
+                self.abandoned += 1
+                engine.monitor.notify_all()
+                return
+        # Snapshot the bytes, then release the instance for eviction.
+        try:
+            payload = engine.gpu_cache.read_payload(record)
+        except AllocationError:
+            # Discarded and evicted between the check and the snapshot.
+            self.abandoned += 1
+            return
+        with engine.monitor:
+            gpu_inst.flush_pending = False
+            engine.monitor.notify_all()
+        # Claim host cache space (blocks for evictions as needed).
+        engine.host_cache.reserve(record, CkptState.WRITE_IN_PROGRESS, blocking=True)
+        try:
+            engine.device.d2h_link.transfer(record.nominal_size, cancelled=record.cancel_flush)
+        except TransferError:
+            with engine.monitor:
+                # Abandon: release the half-written host extent.
+                engine.host_cache.table.remove(record.ckpt_id)
+                record.drop_instance(TierLevel.HOST)
+                self.abandoned += 1
+                engine.monitor.notify_all()
+            return
+        engine.host_cache.write_payload(record, payload)
+        with engine.monitor:
+            host_inst = record.instance(TierLevel.HOST)
+            host_inst.transition(CkptState.WRITE_COMPLETE, engine.clock.now())
+            host_inst.flush_pending = True
+            gpu_now = record.peek(TierLevel.GPU)
+            if gpu_now is not None:
+                gpu_now.try_transition(CkptState.FLUSHED, engine.clock.now())
+            engine.monitor.notify_all()
+        engine.recorder.record(
+            OpEvent(
+                kind=OpKind.FLUSH,
+                ckpt_id=record.ckpt_id,
+                started_at=started,
+                blocked=engine.clock.now() - started,
+                nominal_bytes=record.nominal_size,
+                source_level=TierLevel.GPU.name,
+            )
+        )
+        self.h2f_stream.submit(lambda: self._flush_h2f(record), label=f"h2f-{record.ckpt_id}")
+
+    def _flush_d2s(self, record: "CheckpointRecord") -> None:
+        """GPUDirect storage flush: GPU cache → SSD, no host staging."""
+        engine = self.engine
+        started = engine.clock.now()
+        with engine.monitor:
+            gpu_inst = record.peek(TierLevel.GPU)
+            if record.discarded or gpu_inst is None:
+                if gpu_inst is not None:
+                    gpu_inst.flush_pending = False
+                self.abandoned += 1
+                engine.monitor.notify_all()
+                return
+        try:
+            payload = engine.gpu_cache.read_payload(record)
+        except AllocationError:
+            self.abandoned += 1
+            return
+        with engine.monitor:
+            gpu_inst.flush_pending = False
+            engine.monitor.notify_all()
+        try:
+            # The DMA crosses the same PCIe link, then commits to the drive.
+            engine.device.d2h_link.transfer(record.nominal_size, cancelled=record.cancel_flush)
+            engine.ssd.put(
+                engine.store_key(record),
+                payload,
+                record.nominal_size,
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+            )
+        except TransferError:
+            self.abandoned += 1
+            return
+        with engine.monitor:
+            if record.durable_level is None or record.durable_level < TierLevel.SSD:
+                record.durable_level = TierLevel.SSD
+            gpu_now = record.peek(TierLevel.GPU)
+            if gpu_now is not None:
+                gpu_now.try_transition(CkptState.FLUSHED, engine.clock.now())
+            engine.monitor.notify_all()
+        engine.recorder.record(
+            OpEvent(
+                kind=OpKind.FLUSH,
+                ckpt_id=record.ckpt_id,
+                started_at=started,
+                blocked=engine.clock.now() - started,
+                nominal_bytes=record.nominal_size,
+                source_level=TierLevel.GPU.name,
+            )
+        )
+        if self.f2p_stream is not None:
+            self.f2p_stream.submit(lambda: self._flush_f2p(record), label=f"f2p-{record.ckpt_id}")
+
+    def _flush_h2f(self, record: "CheckpointRecord") -> None:
+        engine = self.engine
+        with engine.monitor:
+            host_inst = record.peek(TierLevel.HOST)
+            if record.discarded or host_inst is None:
+                if host_inst is not None:
+                    host_inst.flush_pending = False
+                self.abandoned += 1
+                engine.monitor.notify_all()
+                return
+        try:
+            payload = engine.host_cache.read_payload(record)
+        except AllocationError:
+            self.abandoned += 1
+            return
+        with engine.monitor:
+            host_inst.flush_pending = False
+            engine.monitor.notify_all()
+        try:
+            engine.ssd.put(
+                engine.store_key(record),
+                payload,
+                record.nominal_size,
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+            )
+        except TransferError:
+            self.abandoned += 1
+            return
+        with engine.monitor:
+            if record.durable_level is None or record.durable_level < TierLevel.SSD:
+                record.durable_level = TierLevel.SSD
+            host_now = record.peek(TierLevel.HOST)
+            if host_now is not None:
+                host_now.try_transition(CkptState.FLUSHED, engine.clock.now())
+            engine.monitor.notify_all()
+        if self.repl_stream is not None:
+            self.repl_stream.submit(
+                lambda: self._replicate(record), label=f"repl-{record.ckpt_id}"
+            )
+        if self.f2p_stream is not None:
+            self.f2p_stream.submit(lambda: self._flush_f2p(record), label=f"f2p-{record.ckpt_id}")
+
+    def _replicate(self, record: "CheckpointRecord") -> None:
+        """Copy the durable checkpoint to the partner node's SSD."""
+        engine = self.engine
+        with engine.monitor:
+            if record.discarded:
+                self.abandoned += 1
+                return
+        try:
+            payload, _ = engine.ssd.get(engine.store_key(record))
+            engine.partner_link.transfer(record.nominal_size, cancelled=record.cancel_flush)
+            engine.partner_ssd.put(
+                engine.store_key(record),
+                payload,
+                record.nominal_size,
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+            )
+        except (TransferError, ReproError):
+            self.abandoned += 1
+            return
+        self.replicated += 1
+
+    def _flush_f2p(self, record: "CheckpointRecord") -> None:
+        engine = self.engine
+        with engine.monitor:
+            if record.discarded:
+                self.abandoned += 1
+                return
+        pfs = engine.pfs
+        if pfs is None:
+            return
+        payload, _ = engine.ssd.get(engine.store_key(record))
+        try:
+            pfs.put(
+                engine.store_key(record),
+                payload,
+                record.nominal_size,
+                node_id=engine.node_id,
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+            )
+        except TransferError:
+            self.abandoned += 1
+            return
+        with engine.monitor:
+            record.durable_level = TierLevel.PFS
+            engine.monitor.notify_all()

@@ -1,0 +1,123 @@
+"""Checkpoint life cycle (Figure 1 of the paper).
+
+Every *instance* — one checkpoint's presence on one cache tier — walks the
+finite-state machine below.  The checkpointing path runs
+``INIT → WRITE_IN_PROGRESS → WRITE_COMPLETE → FLUSHED``; the prefetching
+path runs ``INIT → READ_IN_PROGRESS → READ_COMPLETE → CONSUMED``; a cached
+instance that serves a restore before being evicted crosses over
+(``WRITE_COMPLETE``/``FLUSHED`` → ``READ_COMPLETE`` → ``CONSUMED``).
+
+Only ``FLUSHED`` and ``CONSUMED`` instances are evictable.
+``READ_IN_PROGRESS`` / ``READ_COMPLETE`` instances are *pinned*: the paper's
+anti-thrashing rule (problem condition (4)) forbids evicting a prefetched
+checkpoint before it is consumed.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet
+
+from repro.errors import LifecycleError
+
+
+class CkptState(Enum):
+    INIT = "init"
+    WRITE_IN_PROGRESS = "write_in_progress"
+    WRITE_COMPLETE = "write_complete"
+    FLUSHED = "flushed"
+    READ_IN_PROGRESS = "read_in_progress"
+    READ_COMPLETE = "read_complete"
+    CONSUMED = "consumed"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.value}>"
+
+
+#: Legal transitions of Figure 1 (plus the record-level consumption edge
+#: FLUSHED → CONSUMED: consuming a checkpoint marks *all* its cached
+#: instances consumed, including already-flushed ones — both states are
+#: evictable, so this only widens what eviction may reclaim).
+_TRANSITIONS: Dict[CkptState, FrozenSet[CkptState]] = {
+    CkptState.INIT: frozenset({CkptState.WRITE_IN_PROGRESS, CkptState.READ_IN_PROGRESS}),
+    CkptState.WRITE_IN_PROGRESS: frozenset({CkptState.WRITE_COMPLETE}),
+    CkptState.WRITE_COMPLETE: frozenset({CkptState.FLUSHED, CkptState.READ_COMPLETE}),
+    CkptState.FLUSHED: frozenset({CkptState.READ_COMPLETE, CkptState.CONSUMED}),
+    CkptState.READ_IN_PROGRESS: frozenset({CkptState.READ_COMPLETE}),
+    CkptState.READ_COMPLETE: frozenset({CkptState.CONSUMED}),
+    CkptState.CONSUMED: frozenset(),
+}
+
+#: States in which the instance's bytes on the tier are complete and usable.
+COPY_STATES: FrozenSet[CkptState] = frozenset(
+    {CkptState.WRITE_COMPLETE, CkptState.FLUSHED, CkptState.READ_COMPLETE, CkptState.CONSUMED}
+)
+
+#: States making an instance immediately evictable.
+EVICTABLE_STATES: FrozenSet[CkptState] = frozenset({CkptState.FLUSHED, CkptState.CONSUMED})
+
+#: States that pin the instance until consumption (anti-thrashing rule).
+PINNED_STATES: FrozenSet[CkptState] = frozenset(
+    {CkptState.READ_IN_PROGRESS, CkptState.READ_COMPLETE}
+)
+
+
+def validate_transition(current: CkptState, new: CkptState) -> None:
+    """Raise :class:`LifecycleError` unless ``current → new`` is legal."""
+    if new not in _TRANSITIONS[current]:
+        raise LifecycleError(f"illegal transition {current.value} -> {new.value}")
+
+
+def allowed_transitions(current: CkptState) -> FrozenSet[CkptState]:
+    return _TRANSITIONS[current]
+
+
+class Instance:
+    """One checkpoint's presence on one tier.
+
+    State mutations must happen with the owning engine's monitor held; the
+    caller is responsible for notifying the monitor afterwards.
+    """
+
+    __slots__ = ("level", "state", "state_since", "flush_pending", "read_pinned")
+
+    def __init__(self, level) -> None:
+        self.level = level
+        self.state = CkptState.INIT
+        self.state_since = 0.0
+        #: an in-flight flush still needs to snapshot this tier's bytes;
+        #: until cleared the instance must not be reclaimed even if its
+        #: state is evictable (set on schedule, cleared once the flusher
+        #: has copied the payload out of the arena).
+        self.flush_pending = False
+        #: number of in-flight promotions reading this extent as their
+        #: source; a non-zero count blocks eviction like ``flush_pending``.
+        self.read_pinned = 0
+
+    def transition(self, new: CkptState, now: float = 0.0) -> None:
+        validate_transition(self.state, new)
+        self.state = new
+        self.state_since = now
+
+    def try_transition(self, new: CkptState, now: float = 0.0) -> bool:
+        """Transition if legal; return whether it happened."""
+        if new in _TRANSITIONS[self.state]:
+            self.state = new
+            self.state_since = now
+            return True
+        return False
+
+    @property
+    def has_copy(self) -> bool:
+        return self.state in COPY_STATES
+
+    @property
+    def evictable(self) -> bool:
+        return self.state in EVICTABLE_STATES
+
+    @property
+    def pinned(self) -> bool:
+        return self.state in PINNED_STATES
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Instance({self.level!r}, {self.state.value})"

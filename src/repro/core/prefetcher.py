@@ -1,0 +1,122 @@
+"""Asynchronous multi-tier prefetching (T_PF of Section 4.3.1).
+
+One daemon thread per engine promotes *hinted* checkpoints toward the GPU
+cache in restore order, one level per step (SSD→host, host→GPU), using
+non-blocking reservations.  Promotion stops at the *budget*:
+prefetched-but-unconsumed bytes may occupy at most
+``prefetch_budget_fraction`` of a cache, which prevents prefetches from
+starving writes and is the paper's anti-thrashing throttle.
+
+Demand requests (restores that miss the GPU cache) are promoted *inline* by
+the restoring thread (see ``ScoreEngine._await_gpu_copy``); the
+``prefetch_inflight`` flag keeps the two promoters from racing on the same
+checkpoint.  Pipelining across levels emerges naturally as the loop
+re-evaluates after every step.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.metrics.recorder import OpEvent, OpKind
+from repro.tiers.base import TierLevel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.catalog import CheckpointRecord
+    from repro.core.engine import ScoreEngine
+
+#: (record, source level, destination level)
+Task = Tuple["CheckpointRecord", TierLevel, TierLevel]
+
+
+class Prefetcher:
+    """The hint-driven prefetch thread of one engine."""
+
+    def __init__(self, engine: "ScoreEngine", lookahead: int = 64) -> None:
+        self.engine = engine
+        self.lookahead = lookahead
+        self.promotions = 0
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._run, name=f"prefetcher-p{engine.process_id}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        with self.engine.monitor:
+            self._running = False
+            self.engine.monitor.notify_all()
+        self._thread.join()
+
+    # -- main loop -----------------------------------------------------------
+    def _run(self) -> None:
+        engine = self.engine
+        while True:
+            task: Optional[Task] = None
+            with engine.monitor:
+                while self._running:
+                    task = self._pick_task()
+                    if task is not None:
+                        break
+                    engine.monitor.wait(virtual_timeout=0.05)
+                if not self._running:
+                    return
+                task[0].prefetch_inflight = True
+            record, src, dst = task
+            started = engine.clock.now()
+            seconds: Optional[float] = None
+            try:
+                seconds = engine.promote_once(
+                    record, src, dst, blocking=False, allow_pinned=False
+                )
+            except ReproError:
+                # Raced with a concurrent state change (e.g. the extent
+                # appeared on the destination meanwhile); re-evaluate.
+                pass
+            finally:
+                with engine.monitor:
+                    record.prefetch_inflight = False
+                    engine.monitor.notify_all()
+            if seconds is not None:
+                self.promotions += 1
+                engine.recorder.record(
+                    OpEvent(
+                        kind=OpKind.PREFETCH,
+                        ckpt_id=record.ckpt_id,
+                        started_at=started,
+                        blocked=seconds,
+                        nominal_bytes=record.nominal_size,
+                        source_level=src.name,
+                    )
+                )
+
+    # -- task selection (monitor held) ------------------------------------------
+    def _pick_task(self) -> Optional[Task]:
+        engine = self.engine
+        if not engine.queue.started:
+            return None
+        if engine.demand_active:
+            return None  # demand promotions own the freed slots right now
+        gpu_budget = int(engine.prefetch_budget_fraction * engine.gpu_cache.table.capacity)
+        host_budget = int(engine.prefetch_budget_fraction * engine.host_cache.table.capacity)
+        for ckpt_id in engine.queue.upcoming(self.lookahead):
+            record = engine.catalog.maybe_get(ckpt_id)
+            if record is None or record.consumed or record.prefetch_inflight:
+                continue
+            gpu_inst = record.peek(TierLevel.GPU)
+            if gpu_inst is not None and gpu_inst.has_copy:
+                continue  # already staged
+            step = engine.promotion_step(record)
+            if step is None:
+                continue  # still being written somewhere; revisit later
+            src, dst = step
+            if dst == TierLevel.GPU:
+                if engine.gpu_cache.pinned_bytes() + record.nominal_size > gpu_budget:
+                    return None  # budget full: wait for consumption
+            else:
+                if engine.host_cache.pinned_bytes() + record.nominal_size > host_budget:
+                    return None
+            return (record, src, dst)
+        return None

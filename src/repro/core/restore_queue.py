@@ -1,0 +1,106 @@
+"""Restore-order hint queue (Section 4.1.1).
+
+The application enqueues checkpoint ids it intends to restore, in order,
+at any time (``VELOC_Prefetch_enqueue``); hints cannot be revoked.
+Prefetching begins when the application calls ``VELOC_Prefetch_start``
+(optional — it lets a forward pass finish flushing before prefetches start
+competing for bandwidth).
+
+Hints are advisory: restores may deviate.  A deviating restore consumes its
+entry wherever it is in the queue (at a performance penalty, since the
+prefetcher was working toward the head).
+
+``distance(ckpt_id)`` is the *prefetch distance* of Section 4.2 — the number
+of queue entries between the head and the checkpoint — and feeds the
+``s_score`` of Algorithm 1.
+
+All methods require the engine monitor to be held by the caller.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.errors import HintError
+
+
+class RestoreQueue:
+    """Hint queue for one process."""
+
+    def __init__(self) -> None:
+        self._order: List[int] = []  # all hints ever enqueued, in order
+        self._position: Dict[int, int] = {}  # ckpt_id -> index in _order
+        self._consumed: set = set()
+        self._consumed_positions: List[int] = []  # sorted, for O(log n) counts
+        self._head = 0  # index of the first unconsumed hint
+        self.started = False
+
+    # -- application-facing ---------------------------------------------------
+    def enqueue(self, ckpt_id: int) -> None:
+        if ckpt_id in self._position:
+            raise HintError(f"hint for checkpoint {ckpt_id} already enqueued")
+        self._position[ckpt_id] = len(self._order)
+        self._order.append(ckpt_id)
+
+    def start(self) -> None:
+        self.started = True
+
+    # -- queries ----------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of unconsumed hints."""
+        consumed_past_head = len(self._consumed_positions) - bisect.bisect_left(
+            self._consumed_positions, self._head
+        )
+        return len(self._order) - self._head - consumed_past_head
+
+    def head(self) -> Optional[int]:
+        self._advance_head()
+        if self._head < len(self._order):
+            return self._order[self._head]
+        return None
+
+    def upcoming(self, n: int) -> List[int]:
+        """The next ``n`` unconsumed hinted checkpoint ids, in order."""
+        self._advance_head()
+        out: List[int] = []
+        idx = self._head
+        while idx < len(self._order) and len(out) < n:
+            ckpt_id = self._order[idx]
+            if ckpt_id not in self._consumed:
+                out.append(ckpt_id)
+            idx += 1
+        return out
+
+    def distance(self, ckpt_id: int) -> Optional[int]:
+        """Prefetch distance from the head; ``None`` when unhinted.
+
+        Consumed entries between the head and the checkpoint do not count.
+        """
+        pos = self._position.get(ckpt_id)
+        if pos is None or ckpt_id in self._consumed:
+            return None
+        self._advance_head()
+        if pos < self._head:
+            return None
+        consumed_between = bisect.bisect_left(
+            self._consumed_positions, pos
+        ) - bisect.bisect_left(self._consumed_positions, self._head)
+        return pos - self._head - consumed_between
+
+    def is_hinted(self, ckpt_id: int) -> bool:
+        return self._position.get(ckpt_id) is not None and ckpt_id not in self._consumed
+
+    # -- consumption ---------------------------------------------------------------
+    def consume(self, ckpt_id: int) -> None:
+        """Mark a restore as served; tolerates unhinted ids (deviation)."""
+        if ckpt_id in self._consumed:
+            raise HintError(f"checkpoint {ckpt_id} consumed twice")
+        if ckpt_id in self._position:
+            self._consumed.add(ckpt_id)
+            bisect.insort(self._consumed_positions, self._position[ckpt_id])
+            self._advance_head()
+
+    def _advance_head(self) -> None:
+        while self._head < len(self._order) and self._order[self._head] in self._consumed:
+            self._head += 1

@@ -1,0 +1,162 @@
+"""Algorithm 1: score-based look-ahead cache eviction.
+
+Given the fragment table of a cache arena and the size of an incoming
+checkpoint, find the sequence of consecutive fragments (checkpoints and
+gaps) whose eviction:
+
+1. forms a contiguous gap large enough for the new checkpoint, and
+2. minimizes ``p_score`` — the estimated total blocking time until every
+   member is evictable — breaking ties by maximizing ``s_score`` — the sum
+   of the members' prefetch distances (evict what will be restored last).
+
+Gaps participate as highest-priority members: zero blocking time and a
+prefetch-distance contribution above every real checkpoint.
+
+The search is the paper's O(n) two-pointer sliding window.  Fragments that
+can never become evictable by waiting (prefetched-but-unconsumed instances,
+unless a forced demand eviction is permitted) act as window *barriers*: no
+window may cross them, so when the right pointer hits one, the window
+restarts beyond it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.alloctable import Fragment
+
+
+@dataclass(frozen=True)
+class FragmentCost:
+    """Scoring contributions of one fragment."""
+
+    p: float  # estimated nominal seconds until evictable
+    s: float  # prefetch-distance contribution (higher = safer to evict)
+    barrier: bool  # window may not include this fragment
+
+
+@dataclass(frozen=True)
+class Window:
+    """A chosen eviction window over ``fragments[start:end]``."""
+
+    start: int  # first fragment index (inclusive)
+    end: int  # last fragment index (exclusive)
+    offset: int  # arena offset of the resulting gap
+    size: int  # total bytes the window covers
+    p_score: float
+    s_score: float
+
+
+CostFn = Callable[[Fragment], FragmentCost]
+
+
+class ScorePolicy:
+    """The paper's gap-aware sliding-window policy."""
+
+    name = "score"
+
+    def select(
+        self,
+        fragments: Sequence[Fragment],
+        size_new: int,
+        cost_of: CostFn,
+        limit: Optional[int] = None,
+        min_offset: int = 0,
+    ) -> Optional[Window]:
+        """Best eviction window for a ``size_new``-byte checkpoint.
+
+        ``limit`` / ``min_offset`` restrict windows to the arena region
+        ``[min_offset, limit)`` (split-cache ablation, lazily-pinned
+        caches).  Returns ``None`` when no admissible window exists yet (the
+        caller waits for state changes and retries).
+        """
+        n = len(fragments)
+        costs: List[Optional[FragmentCost]] = [None] * n
+        best: Optional[Window] = None
+
+        def cost(idx: int) -> FragmentCost:
+            c = costs[idx]
+            if c is None:
+                c = cost_of(fragments[idx])
+                costs[idx] = c
+            return c
+
+        i = 0
+        j = 0
+        p_sum = 0.0
+        s_sum = 0.0
+        window = 0
+        while i < n:
+            barrier_at = None
+            while window < size_new and j < n:
+                cj = cost(j)
+                if (
+                    cj.barrier
+                    or (limit is not None and fragments[j].end > limit)
+                    or fragments[j].offset < min_offset
+                ):
+                    barrier_at = j
+                    break
+                p_sum += cj.p
+                s_sum += cj.s
+                window += fragments[j].size
+                j += 1
+            if window >= size_new:
+                if (
+                    best is None
+                    or p_sum < best.p_score
+                    or (p_sum == best.p_score and s_sum > best.s_score)
+                ):
+                    best = Window(
+                        start=i,
+                        end=j,
+                        offset=fragments[i].offset,
+                        size=window,
+                        p_score=p_sum,
+                        s_score=s_sum,
+                    )
+                # slide: drop the leftmost fragment
+                ci = cost(i)
+                p_sum -= ci.p
+                s_sum -= ci.s
+                window -= fragments[i].size
+                i += 1
+            elif barrier_at is not None:
+                i = barrier_at + 1
+                j = i
+                p_sum = 0.0
+                s_sum = 0.0
+                window = 0
+            else:
+                break  # right pointer exhausted
+        return best
+
+
+def make_cost_fn(
+    state_ts: Callable[[Fragment], float],
+    prefetch_distance: Callable[[Fragment], Optional[int]],
+    no_hint_score: float,
+) -> CostFn:
+    """Build the Algorithm-1 cost function from engine context callbacks.
+
+    * ``state_ts(frag)`` — predicted nominal seconds until evictable
+      (``math.inf`` marks a barrier);
+    * ``prefetch_distance(frag)`` — position in the restore-order queue, or
+      ``None`` when unhinted;
+    * ``no_hint_score`` — s-contribution for unhinted checkpoints; gaps use
+      ``no_hint_score + 1`` (strictly the most eviction-friendly members).
+    """
+
+    def cost_of(frag: Fragment) -> FragmentCost:
+        if frag.is_gap:
+            return FragmentCost(p=0.0, s=no_hint_score + 1.0, barrier=False)
+        ts = state_ts(frag)
+        if math.isinf(ts):
+            return FragmentCost(p=ts, s=0.0, barrier=True)
+        dist = prefetch_distance(frag)
+        s = float(dist) if dist is not None else no_hint_score
+        return FragmentCost(p=ts, s=s, barrier=False)
+
+    return cost_of

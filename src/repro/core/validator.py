@@ -1,0 +1,111 @@
+"""Engine-wide invariant checking (debugging / test support).
+
+``validate_engine`` takes one engine's monitor and asserts the global
+consistency properties the design relies on:
+
+* every cache table tiles its arena with no overlaps or adjacent gaps;
+* every table entry has a catalog record with a live instance on that tier,
+  and vice versa;
+* instance states are plausible for where the data is (a ``FLUSHED`` GPU
+  extent implies a copy below; a ``READ_COMPLETE`` extent holds a copy);
+* no unconsumed checkpoint exists whose *only* copy is mid-flight;
+* the restore queue's unconsumed hints reference known or future ids.
+
+Raises :class:`InvariantViolation` with a description on failure.  Cheap
+enough to call from tests after every scenario.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.lifecycle import CkptState
+from repro.errors import ReproError
+from repro.tiers.base import TierLevel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import ScoreEngine
+
+
+class InvariantViolation(ReproError):
+    """An engine-wide consistency invariant does not hold."""
+
+
+def validate_engine(engine: "ScoreEngine") -> None:
+    """Check all invariants; must be called while the engine is quiescent
+    (no application operation in flight)."""
+    with engine.monitor:
+        _check_tables(engine)
+        _check_instances(engine)
+        _check_copies(engine)
+
+
+def _check_tables(engine: "ScoreEngine") -> None:
+    for cache in (engine.gpu_cache, engine.host_cache):
+        try:
+            cache.table.check_invariants()
+        except AssertionError as exc:
+            raise InvariantViolation(f"{cache.name}: {exc}")
+
+
+def _check_instances(engine: "ScoreEngine") -> None:
+    for cache in (engine.gpu_cache, engine.host_cache):
+        for frag in cache.table.fragments():
+            if frag.is_gap:
+                continue
+            record = engine.catalog.maybe_get(frag.record.ckpt_id)
+            if record is None:
+                raise InvariantViolation(
+                    f"{cache.name}: fragment for unknown checkpoint "
+                    f"{frag.record.ckpt_id}"
+                )
+            inst = record.peek(cache.level)
+            if inst is None:
+                raise InvariantViolation(
+                    f"{cache.name}: checkpoint {record.ckpt_id} cached "
+                    "without an instance"
+                )
+            if frag.size != record.nominal_size:
+                raise InvariantViolation(
+                    f"{cache.name}: checkpoint {record.ckpt_id} fragment "
+                    f"size {frag.size} != nominal {record.nominal_size}"
+                )
+    # Reverse direction: an instance implies a fragment (or, for stores,
+    # a durable copy).
+    for record in engine.catalog.all_records():
+        for level, inst in record.instances.items():
+            if level == TierLevel.GPU and not engine.gpu_cache.table.contains(record.ckpt_id):
+                raise InvariantViolation(
+                    f"checkpoint {record.ckpt_id}: GPU instance without a "
+                    f"GPU cache fragment (state {inst.state.value})"
+                )
+            if level == TierLevel.HOST and not engine.host_cache.table.contains(record.ckpt_id):
+                raise InvariantViolation(
+                    f"checkpoint {record.ckpt_id}: host instance without a "
+                    f"host cache fragment (state {inst.state.value})"
+                )
+
+
+def _check_copies(engine: "ScoreEngine") -> None:
+    for record in engine.catalog.all_records():
+        if record.consumed or record.discarded:
+            continue
+        has_cached = record.fastest_cached_level() is not None
+        has_durable = record.durable_level is not None and engine.durable_store_of(
+            record
+        ).contains(engine.store_key(record))
+        in_flight = any(
+            inst.state in (CkptState.WRITE_IN_PROGRESS, CkptState.READ_IN_PROGRESS)
+            for inst in record.instances.values()
+        )
+        if not (has_cached or has_durable or in_flight):
+            raise InvariantViolation(
+                f"unconsumed checkpoint {record.ckpt_id} has no copy anywhere"
+            )
+        if record.durable_level is not None and not engine.durable_store_of(
+            record
+        ).contains(engine.store_key(record)):
+            raise InvariantViolation(
+                f"checkpoint {record.ckpt_id} marked durable on "
+                f"{record.durable_level.name} but absent from its store"
+            )

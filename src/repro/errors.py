@@ -1,0 +1,56 @@
+"""Exception hierarchy for the checkpoint runtime.
+
+All runtime-raised exceptions derive from :class:`ReproError` so callers can
+catch library failures without masking programming errors (``TypeError`` etc.
+are still raised directly for misuse of the API surface).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` runtime."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class AllocationError(ReproError):
+    """A cache arena or device allocation could not be satisfied."""
+
+
+class CapacityError(AllocationError):
+    """The requested object can never fit the tier, even when empty."""
+
+
+class FragmentationError(AllocationError):
+    """No eviction window can produce a large-enough contiguous gap."""
+
+
+class LifecycleError(ReproError):
+    """An invalid checkpoint state transition was attempted."""
+
+
+class CheckpointNotFound(ReproError):
+    """The requested checkpoint version does not exist on any tier."""
+
+
+class IntegrityError(ReproError):
+    """Restored payload bytes do not match the recorded checksum."""
+
+
+class EngineClosedError(ReproError):
+    """An operation was issued after the engine was shut down."""
+
+
+class HintError(ReproError):
+    """A prefetch hint is invalid (e.g. enqueued after being consumed)."""
+
+
+class TransferError(ReproError):
+    """An asynchronous transfer failed or was cancelled unexpectedly."""
+
+
+class UvmError(ReproError):
+    """Unified-virtual-memory simulation misuse (bad advice, OOB access)."""

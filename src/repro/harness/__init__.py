@@ -1,0 +1,15 @@
+"""Experiment harness: the Table-1 approach matrix, experiment runner, and
+one entry point per paper figure."""
+
+from repro.harness.approaches import APPROACHES, TABLE1, Approach, make_engine_factory
+from repro.harness.experiment import Experiment, ExperimentResult, run_experiment
+
+__all__ = [
+    "Approach",
+    "APPROACHES",
+    "TABLE1",
+    "make_engine_factory",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+]

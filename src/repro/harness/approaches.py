@@ -1,0 +1,66 @@
+"""The compared approaches (Table 1).
+
+=====================  ========  =============
+Notation               Runtime   Prefetch hints
+=====================  ========  =============
+No hints, ADIOS2       adios2    0
+No hints, UVM          uvm       0
+No hints, Score        score     0
+Single hint, UVM       uvm       1
+Single hint, Score     score     1
+All hints, UVM         uvm       all
+All hints, Score       score     all
+=====================  ========  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.baselines.adios2 import Adios2Engine
+from repro.baselines.uvm_runtime import UvmEngine
+from repro.core.engine import ScoreEngine
+from repro.errors import ConfigError
+from repro.tiers.topology import ProcessContext
+from repro.workloads.shot import HintMode
+
+
+@dataclass(frozen=True)
+class Approach:
+    """One row of Table 1."""
+
+    label: str
+    runtime: str  # "score" | "uvm" | "adios2"
+    hint_mode: HintMode
+
+    @property
+    def key(self) -> str:
+        return f"{self.runtime}-{self.hint_mode.value}"
+
+
+TABLE1 = (
+    Approach("No hints, ADIOS2", "adios2", HintMode.NONE),
+    Approach("No hints, UVM", "uvm", HintMode.NONE),
+    Approach("No hints, Score", "score", HintMode.NONE),
+    Approach("Single hint, UVM", "uvm", HintMode.SINGLE),
+    Approach("Single hint, Score", "score", HintMode.SINGLE),
+    Approach("All hints, UVM", "uvm", HintMode.ALL),
+    Approach("All hints, Score", "score", HintMode.ALL),
+)
+
+APPROACHES: Dict[str, Approach] = {a.key: a for a in TABLE1}
+
+_RUNTIMES = {
+    "score": ScoreEngine,
+    "uvm": UvmEngine,
+    "adios2": Adios2Engine,
+}
+
+
+def make_engine_factory(runtime: str, **engine_kwargs) -> Callable[[ProcessContext], object]:
+    """Engine factory for :func:`repro.workloads.run_multiprocess_shot`."""
+    cls = _RUNTIMES.get(runtime)
+    if cls is None:
+        raise ConfigError(f"unknown runtime {runtime!r}; expected one of {sorted(_RUNTIMES)}")
+    return lambda ctx: cls(ctx, **engine_kwargs)

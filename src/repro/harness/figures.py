@@ -1,0 +1,520 @@
+"""One entry point per figure of the paper's evaluation (Section 5.4).
+
+Each ``figN_*`` function runs the corresponding experiment grid at a
+configurable iteration count (capacity ratios preserved — see
+:func:`repro.harness.experiment.scaled_caches`) and returns structured rows
+plus a paper-style text rendering.  The benchmark suite wraps these; they
+are also directly runnable::
+
+    python -m repro.harness.figures fig5 --snapshots 96
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import CacheConfig, bench_config
+from repro.harness.approaches import APPROACHES, TABLE1, Approach
+from repro.harness.experiment import (
+    Experiment,
+    ExperimentResult,
+    run_experiment,
+    scaled_caches,
+)
+from repro.metrics.prefetch import prefetch_distance_series
+from repro.metrics.report import render_series, render_table
+from repro.metrics.throughput import restore_rate_series, stacked_per_process
+from repro.util.units import GiB, MiB, format_bandwidth
+from repro.workloads.patterns import RestoreOrder
+from repro.workloads.rtm import snapshot_size_distribution, variable_trace
+
+DEFAULT_SNAPSHOTS = 192
+ORDERS = (RestoreOrder.SEQUENTIAL, RestoreOrder.REVERSE, RestoreOrder.IRREGULAR)
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one figure reproduction."""
+
+    figure: str
+    columns: List[str]
+    rows: List[Tuple]
+    rendered: str = ""
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def print(self) -> None:  # pragma: no cover - convenience
+        print(self.rendered)
+
+
+# --------------------------------------------------------------------------
+# Figure 4 — RTM snapshot size distribution
+# --------------------------------------------------------------------------
+def fig4_size_distribution(
+    num_ranks: int = 32, num_snapshots: int = 384, seed: int = 7
+) -> FigureResult:
+    """Min/max/avg snapshot size across ranks (no simulation involved)."""
+    scale = bench_config().scale
+    traces = [
+        variable_trace(scale, rank=r, seed=seed, num_snapshots=num_snapshots)
+        for r in range(num_ranks)
+    ]
+    dist = snapshot_size_distribution(traces)
+    rows = [(i, mn // MiB, mx // MiB, round(avg / MiB, 1)) for i, mn, mx, avg in dist]
+    rendered = render_series(
+        "Figure 4: size distribution of RTM snapshots (MiB, across "
+        f"{num_ranks} ranks)",
+        [(i, f"min {mn} / max {mx} / avg {avg}") for i, mn, mx, avg in rows],
+        x_label="snapshot",
+        y_label="size",
+    )
+    totals = [t.total_bytes / GiB for t in traces]
+    return FigureResult(
+        figure="fig4",
+        columns=["snapshot", "min_mib", "max_mib", "avg_mib"],
+        rows=rows,
+        rendered=rendered,
+        extras={"per_rank_totals_gib": totals},
+    )
+
+
+# --------------------------------------------------------------------------
+# Figures 5 & 6 — throughput grids (WAIT / NO-WAIT)
+# --------------------------------------------------------------------------
+def _throughput_grid(
+    figure: str,
+    workload: str,
+    wait_for_flush: bool,
+    num_snapshots: int,
+    approaches: Sequence[Approach] = TABLE1,
+    orders: Sequence[RestoreOrder] = ORDERS,
+) -> FigureResult:
+    rows = []
+    results: List[ExperimentResult] = []
+    for order in orders:
+        for approach in approaches:
+            exp = Experiment(
+                approach=approach,
+                workload=workload,
+                order=order,
+                num_snapshots=num_snapshots,
+                wait_for_flush=wait_for_flush,
+            )
+            result = run_experiment(exp)
+            results.append(result)
+            rows.append(
+                (
+                    order.value,
+                    approach.label,
+                    format_bandwidth(max(result.checkpoint_rate, 1.0)),
+                    format_bandwidth(max(result.restore_rate, 1.0)),
+                )
+            )
+    title = (
+        f"Figure {figure[3:]}: avg checkpoint+restore throughput, "
+        f"{workload} sizes, {'WAIT' if wait_for_flush else 'NO-WAIT'} "
+        f"({num_snapshots} snapshots/rank, 8 GPUs)"
+    )
+    rendered = render_table(title, ["order", "approach", "ckpt", "restore"], rows)
+    return FigureResult(
+        figure=figure,
+        columns=["order", "approach", "checkpoint_rate", "restore_rate"],
+        rows=rows,
+        rendered=rendered,
+        extras={"results": results},
+    )
+
+
+def fig5_wait(
+    workload: str = "uniform",
+    num_snapshots: int = DEFAULT_SNAPSHOTS,
+    approaches: Sequence[Approach] = TABLE1,
+    orders: Sequence[RestoreOrder] = ORDERS,
+) -> FigureResult:
+    """Fig. 5a (uniform) / 5b (variable): restore waits for the flushes."""
+    return _throughput_grid(
+        "fig5", workload, True, num_snapshots, approaches, orders
+    )
+
+
+def fig6_nowait(
+    workload: str = "uniform",
+    num_snapshots: int = DEFAULT_SNAPSHOTS,
+    approaches: Sequence[Approach] = TABLE1,
+    orders: Sequence[RestoreOrder] = ORDERS,
+) -> FigureResult:
+    """Fig. 6a (uniform) / 6b (variable): restore follows immediately."""
+    return _throughput_grid(
+        "fig6", workload, False, num_snapshots, approaches, orders
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 7 — restore rate & prefetch distance per iteration
+# --------------------------------------------------------------------------
+def fig7_prefetch_distance(num_snapshots: int = DEFAULT_SNAPSHOTS) -> FigureResult:
+    """Score runtime, uniform sizes, sequential order, 3 hint counts."""
+    rows = []
+    extras: Dict[str, object] = {}
+    for hint_key, label in (
+        ("score-none", "No hints"),
+        ("score-single", "Single hint"),
+        ("score-all", "All hints"),
+    ):
+        exp = Experiment(
+            approach=APPROACHES[hint_key],
+            workload="uniform",
+            order=RestoreOrder.SEQUENTIAL,
+            num_snapshots=num_snapshots,
+            wait_for_flush=False,
+        )
+        result = run_experiment(exp)
+        rec = result.shots[0].recorder
+        rates = restore_rate_series(rec)
+        dists = prefetch_distance_series(rec)
+        extras[label] = {"restore_rate": rates, "prefetch_distance": dists}
+        mean_rate = sum(r for _, r in rates) / len(rates)
+        mean_dist = sum(d for _, d in dists) / len(dists)
+        rows.append((label, format_bandwidth(max(mean_rate, 1.0)), round(mean_dist, 2)))
+    rendered = render_table(
+        "Figure 7: restore rate and completed next prefetches (score, "
+        "sequential, uniform)",
+        ["hints", "mean restore rate", "mean prefetch distance"],
+        rows,
+    )
+    return FigureResult(
+        figure="fig7",
+        columns=["hints", "mean_restore_rate", "mean_prefetch_distance"],
+        rows=rows,
+        rendered=rendered,
+        extras=extras,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 8 — compute-interval and GPU-cache-size sensitivity
+# --------------------------------------------------------------------------
+_FIG8_APPROACHES = (
+    APPROACHES["adios2-none"],
+    APPROACHES["uvm-none"],
+    APPROACHES["score-none"],
+    APPROACHES["uvm-all"],
+    APPROACHES["score-all"],
+)
+
+
+def fig8a_compute_interval(
+    intervals: Sequence[float] = (0.010, 0.020, 0.030),
+    num_snapshots: int = DEFAULT_SNAPSHOTS,
+) -> FigureResult:
+    """Irregular order, variable sizes, sweep the compute interval."""
+    rows = []
+    for interval in intervals:
+        for approach in _FIG8_APPROACHES:
+            exp = Experiment(
+                approach=approach,
+                workload="variable",
+                order=RestoreOrder.IRREGULAR,
+                num_snapshots=num_snapshots,
+                compute_interval=interval,
+                wait_for_flush=False,
+            )
+            result = run_experiment(exp)
+            rows.append(
+                (
+                    f"{interval * 1e3:.0f}ms",
+                    approach.label,
+                    format_bandwidth(max(result.checkpoint_rate, 1.0)),
+                    format_bandwidth(max(result.restore_rate, 1.0)),
+                )
+            )
+    rendered = render_table(
+        "Figure 8a: I/O throughput vs compute interval (variable sizes, "
+        "irregular order)",
+        ["interval", "approach", "ckpt", "restore"],
+        rows,
+    )
+    return FigureResult(
+        figure="fig8a",
+        columns=["interval", "approach", "checkpoint_rate", "restore_rate"],
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+def fig8b_gpu_cache(
+    fractions: Sequence[float] = (2 / 48, 4 / 48, 8 / 48, 16 / 48),
+    num_snapshots: int = DEFAULT_SNAPSHOTS,
+) -> FigureResult:
+    """Sweep the GPU cache share of the working set (paper: 2–16 GB of 48 GB)."""
+    rows = []
+    total = num_snapshots * 128 * MiB
+    for fraction in fractions:
+        cache = CacheConfig(
+            gpu_cache_size=max(1, int(total * fraction)),
+            host_cache_size=scaled_caches(total).host_cache_size,
+        )
+        for approach in _FIG8_APPROACHES:
+            exp = Experiment(
+                approach=approach,
+                workload="variable",
+                order=RestoreOrder.IRREGULAR,
+                num_snapshots=num_snapshots,
+                cache=cache,
+                wait_for_flush=False,
+            )
+            result = run_experiment(exp)
+            rows.append(
+                (
+                    f"{fraction * 48:.0f}GB-equiv",
+                    approach.label,
+                    format_bandwidth(max(result.checkpoint_rate, 1.0)),
+                    format_bandwidth(max(result.restore_rate, 1.0)),
+                )
+            )
+    rendered = render_table(
+        "Figure 8b: I/O throughput vs GPU cache size (variable sizes, "
+        "irregular order)",
+        ["gpu cache", "approach", "ckpt", "restore"],
+        rows,
+    )
+    return FigureResult(
+        figure="fig8b",
+        columns=["gpu_cache", "approach", "checkpoint_rate", "restore_rate"],
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 9 — scalability
+# --------------------------------------------------------------------------
+_FIG9_APPROACHES = (
+    APPROACHES["adios2-none"],
+    APPROACHES["uvm-none"],
+    APPROACHES["score-none"],
+    APPROACHES["uvm-single"],
+    APPROACHES["score-single"],
+)
+
+
+def fig9_scalability(
+    gpu_counts: Sequence[int] = (8, 16, 32),
+    tightly_coupled: bool = False,
+    num_snapshots: int = 48,
+    approaches: Sequence[Approach] = _FIG9_APPROACHES,
+) -> FigureResult:
+    """Per-process throughput at scale, variable sizes (Fig. 9a/9b)."""
+    rows = []
+    extras: Dict[str, object] = {}
+    for gpus in gpu_counts:
+        if gpus % 8 == 0:
+            nodes, ppn = gpus // 8, 8
+        else:
+            nodes, ppn = 1, gpus
+        for approach in approaches:
+            exp = Experiment(
+                approach=approach,
+                workload="variable",
+                order=RestoreOrder.REVERSE,
+                num_snapshots=num_snapshots,
+                num_nodes=nodes,
+                processes_per_node=ppn,
+                tightly_coupled=tightly_coupled,
+                wait_for_flush=False,
+            )
+            result = run_experiment(exp)
+            per_proc = stacked_per_process([s.recorder for s in result.shots])
+            extras[f"{gpus}-{approach.key}"] = per_proc
+            rows.append(
+                (
+                    gpus,
+                    approach.label,
+                    format_bandwidth(max(result.checkpoint_rate, 1.0)),
+                    format_bandwidth(max(result.restore_rate, 1.0)),
+                )
+            )
+    mode = "tightly coupled" if tightly_coupled else "embarrassingly parallel"
+    rendered = render_table(
+        f"Figure 9: per-process throughput at scale ({mode}, variable sizes)",
+        ["gpus", "approach", "ckpt/proc", "restore/proc"],
+        rows,
+    )
+    return FigureResult(
+        figure="fig9b" if not tightly_coupled else "fig9a",
+        columns=["gpus", "approach", "checkpoint_rate", "restore_rate"],
+        rows=rows,
+        rendered=rendered,
+        extras=extras,
+    )
+
+
+# --------------------------------------------------------------------------
+# Ablations (DESIGN.md: eviction policy, shared vs split cache)
+# --------------------------------------------------------------------------
+def ablation_eviction_policy(num_snapshots: int = DEFAULT_SNAPSHOTS) -> FigureResult:
+    """Algorithm 1 vs LRU vs FIFO inside the same runtime."""
+    rows = []
+    for policy in ("score", "lru", "fifo"):
+        exp = Experiment(
+            approach=APPROACHES["score-all"],
+            workload="variable",
+            order=RestoreOrder.IRREGULAR,
+            num_snapshots=num_snapshots,
+            wait_for_flush=False,
+            config=bench_config(eviction_policy=policy),
+        )
+        result = run_experiment(exp)
+        rows.append(
+            (
+                policy,
+                format_bandwidth(max(result.checkpoint_rate, 1.0)),
+                format_bandwidth(max(result.restore_rate, 1.0)),
+            )
+        )
+    rendered = render_table(
+        "Ablation: eviction policy (variable sizes, irregular order, all hints)",
+        ["policy", "ckpt", "restore"],
+        rows,
+    )
+    return FigureResult(
+        figure="ablation-eviction",
+        columns=["policy", "checkpoint_rate", "restore_rate"],
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+def ablation_gpudirect(num_snapshots: int = DEFAULT_SNAPSHOTS) -> FigureResult:
+    """GPUDirect storage (future work of the paper) vs host-staged flushing.
+
+    GPUDirect skips the pinned host cache entirely: flushes commit straight
+    to the SSD and misses read it back directly — saving host memory and a
+    staging hop at the price of losing the (large, fast) host cache tier.
+    """
+    from repro.core.engine import ScoreEngine
+    from repro.harness.experiment import _build_traces, _runtime_config
+    from repro.metrics.throughput import throughput
+    from repro.tiers.topology import Cluster
+    from repro.workloads.multiproc import run_multiprocess_shot
+    from repro.workloads.patterns import restore_order
+    from repro.workloads.shot import ShotSpec
+
+    rows = []
+    for gds in (False, True):
+        exp = Experiment(
+            approach=APPROACHES["score-all"],
+            workload="uniform",
+            order=RestoreOrder.REVERSE,
+            num_snapshots=num_snapshots,
+            wait_for_flush=False,
+        )
+        cfg = _runtime_config(exp)
+        traces = _build_traces(exp, cfg.total_processes)
+        specs = [
+            ShotSpec(
+                trace=trace,
+                restore_order=restore_order(exp.order, len(trace), seed=exp.seed, rank=rank),
+                hint_mode=exp.approach.hint_mode,
+                compute_interval=exp.compute_interval,
+            )
+            for rank, trace in enumerate(traces)
+        ]
+        with Cluster(cfg) as cluster:
+            shots = run_multiprocess_shot(
+                cluster,
+                lambda ctx: ScoreEngine(ctx, discard_consumed=True, gpudirect=gds),
+                specs,
+            )
+        summary = throughput([s.recorder for s in shots])
+        rows.append(
+            (
+                "gpudirect" if gds else "host-staged",
+                format_bandwidth(max(summary.checkpoint, 1.0)),
+                format_bandwidth(max(summary.restore, 1.0)),
+            )
+        )
+    rendered = render_table(
+        "Ablation: GPUDirect storage vs host-staged flushing (uniform, reverse)",
+        ["flush path", "ckpt", "restore"],
+        rows,
+    )
+    return FigureResult(
+        figure="ablation-gpudirect",
+        columns=["flush_path", "checkpoint_rate", "restore_rate"],
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+def ablation_shared_cache(num_snapshots: int = DEFAULT_SNAPSHOTS) -> FigureResult:
+    """Shared flush/prefetch cache vs statically split halves (Section 4.1.2)."""
+    rows = []
+    for shared in (True, False):
+        exp = Experiment(
+            approach=APPROACHES["score-all"],
+            workload="uniform",
+            order=RestoreOrder.REVERSE,
+            num_snapshots=num_snapshots,
+            wait_for_flush=False,
+            config=bench_config(shared_cache=shared),
+        )
+        result = run_experiment(exp)
+        rows.append(
+            (
+                "shared" if shared else "split",
+                format_bandwidth(max(result.checkpoint_rate, 1.0)),
+                format_bandwidth(max(result.restore_rate, 1.0)),
+            )
+        )
+    rendered = render_table(
+        "Ablation: shared vs split flush/prefetch cache (uniform, reverse, all hints)",
+        ["cache design", "ckpt", "restore"],
+        rows,
+    )
+    return FigureResult(
+        figure="ablation-shared-cache",
+        columns=["cache_design", "checkpoint_rate", "restore_rate"],
+        rows=rows,
+        rendered=rendered,
+    )
+
+
+_FIGURES = {
+    "fig4": fig4_size_distribution,
+    "fig5": fig5_wait,
+    "fig6": fig6_nowait,
+    "fig7": fig7_prefetch_distance,
+    "fig8a": fig8a_compute_interval,
+    "fig8b": fig8b_gpu_cache,
+    "fig9": fig9_scalability,
+    "ablation-eviction": ablation_eviction_policy,
+    "ablation-gpudirect": ablation_gpudirect,
+    "ablation-shared-cache": ablation_shared_cache,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figure", nargs="?", choices=sorted(_FIGURES), help="figure to regenerate"
+    )
+    parser.add_argument("--snapshots", type=int, default=None)
+    parser.add_argument("--list", action="store_true", help="list available figures")
+    args = parser.parse_args(argv)
+    if args.list or args.figure is None:
+        for name in sorted(_FIGURES):
+            doc = (_FIGURES[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        return 0
+    kwargs = {}
+    if args.snapshots is not None:
+        kwargs["num_snapshots"] = args.snapshots
+    result = _FIGURES[args.figure](**kwargs)
+    print(result.rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

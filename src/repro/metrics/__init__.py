@@ -1,0 +1,18 @@
+"""Measurement: per-operation event recording and paper-style aggregation."""
+
+from repro.metrics.recorder import OpEvent, OpKind, Recorder
+from repro.metrics.throughput import ThroughputSummary, restore_rate_series, throughput
+from repro.metrics.prefetch import prefetch_distance_series
+from repro.metrics.report import render_series, render_table
+
+__all__ = [
+    "OpEvent",
+    "OpKind",
+    "Recorder",
+    "ThroughputSummary",
+    "throughput",
+    "restore_rate_series",
+    "prefetch_distance_series",
+    "render_table",
+    "render_series",
+]

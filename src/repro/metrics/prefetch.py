@@ -1,0 +1,28 @@
+"""Prefetch-distance series (Fig. 7).
+
+The prefetch distance of a restore is the number of *successor* checkpoints
+(per the hint order) already staged on the GPU cache at the moment the
+restore is issued — the engine samples it per restore; this module extracts
+the series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.metrics.recorder import Recorder
+
+
+def prefetch_distance_series(recorder: Recorder) -> List[Tuple[int, int]]:
+    """``(iteration, completed next prefetches)`` in restore order."""
+    out: List[Tuple[int, int]] = []
+    for idx, event in enumerate(recorder.restores()):
+        out.append((idx, event.prefetch_distance if event.prefetch_distance is not None else 0))
+    return out
+
+
+def mean_prefetch_distance(recorder: Recorder) -> float:
+    series = prefetch_distance_series(recorder)
+    if not series:
+        return 0.0
+    return sum(d for _, d in series) / len(series)

@@ -1,0 +1,79 @@
+"""Per-operation event recording.
+
+Each engine gets a :class:`Recorder`; the application-facing operations
+record one :class:`OpEvent` per call with the *blocking* duration (what the
+paper measures: "total checkpoint size divided by blocking time of
+checkpoint and restore operations"), and background activities record
+flush/prefetch/eviction events for diagnostics.
+
+Durations and timestamps are nominal seconds on the engine's virtual clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class OpKind(Enum):
+    CHECKPOINT = "checkpoint"
+    RESTORE = "restore"
+    FLUSH = "flush"
+    PREFETCH = "prefetch"
+    EVICTION = "eviction"
+
+
+@dataclass(frozen=True)
+class OpEvent:
+    kind: OpKind
+    ckpt_id: int
+    started_at: float  # nominal seconds
+    blocked: float  # nominal seconds the caller was blocked
+    nominal_bytes: int
+    #: restore only: checkpoints already staged on the GPU cache ahead of
+    #: this one per the hint order (the paper's prefetch distance, Fig. 7).
+    prefetch_distance: Optional[int] = None
+    #: restore only: which tier served the request before promotion.
+    source_level: Optional[str] = None
+
+
+@dataclass
+class Recorder:
+    """Thread-safe event sink for one process."""
+
+    process_id: int = 0
+    events: List[OpEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, event: OpEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def of_kind(self, kind: OpKind) -> List[OpEvent]:
+        with self._lock:
+            return [e for e in self.events if e.kind is kind]
+
+    def checkpoints(self) -> List[OpEvent]:
+        return self.of_kind(OpKind.CHECKPOINT)
+
+    def restores(self) -> List[OpEvent]:
+        return self.of_kind(OpKind.RESTORE)
+
+    def total_blocked(self, kind: OpKind) -> float:
+        return sum(e.blocked for e in self.of_kind(kind))
+
+    def total_bytes(self, kind: OpKind) -> int:
+        return sum(e.nominal_bytes for e in self.of_kind(kind))
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out: Dict[str, int] = {}
+            for e in self.events:
+                out[e.kind.value] = out.get(e.kind.value, 0) + 1
+            return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()

@@ -1,0 +1,49 @@
+"""Plain-text rendering of paper-style tables and series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.util.units import format_bandwidth
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """A fixed-width table with a title rule, like the paper's result grids."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: Sequence[Tuple[object, object]],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 32,
+) -> str:
+    """A compact two-column rendering of an (x, y) series, downsampled."""
+    points = list(series)
+    if len(points) > max_points:
+        step = max(1, len(points) // max_points)
+        points = points[::step]
+    return render_table(title, [x_label, y_label], points)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 2**20:  # looks like a byte rate
+            return format_bandwidth(cell)
+        return f"{cell:.3g}"
+    return str(cell)

@@ -1,0 +1,105 @@
+"""Throughput aggregation in the paper's terms.
+
+Checkpoint (restore) throughput = total checkpoint bytes / total blocking
+time of the checkpoint (restore) operations, per process; figures report the
+average across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.metrics.recorder import OpKind, Recorder
+
+
+@dataclass(frozen=True)
+class ThroughputSummary:
+    """Per-run aggregate across a set of processes (nominal bytes/second).
+
+    ``checkpoint`` / ``restore`` are pooled rates (all processes' bytes over
+    all processes' blocking time — a bytes-weighted harmonic mean of the
+    per-process rates, robust to one unblocked outlier process);
+    ``checkpoint_mean`` / ``restore_mean`` are the arithmetic means of the
+    per-process rates (what a per-rank bar chart would show).
+    """
+
+    checkpoint: float
+    restore: float
+    checkpoint_mean: float
+    restore_mean: float
+    checkpoint_blocked: float  # mean nominal seconds blocked per process
+    restore_blocked: float
+    total_bytes: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ckpt {self.checkpoint / 2**30:.2f} GiB/s, "
+            f"restore {self.restore / 2**30:.2f} GiB/s"
+        )
+
+
+def _per_process_rate(recorder: Recorder, kind: OpKind) -> Tuple[float, float, int]:
+    blocked = recorder.total_blocked(kind)
+    nbytes = recorder.total_bytes(kind)
+    rate = nbytes / blocked if blocked > 0 else 0.0
+    return rate, blocked, nbytes
+
+
+def throughput(recorders: Iterable[Recorder]) -> ThroughputSummary:
+    """Average per-process checkpoint/restore throughput."""
+    recorders = list(recorders)
+    if not recorders:
+        raise ValueError("no recorders to aggregate")
+    ckpt_rates: List[float] = []
+    rst_rates: List[float] = []
+    ckpt_blocked: List[float] = []
+    rst_blocked: List[float] = []
+    ckpt_bytes = 0
+    rst_bytes = 0
+    for rec in recorders:
+        rate, blocked, nbytes = _per_process_rate(rec, OpKind.CHECKPOINT)
+        if nbytes:
+            ckpt_rates.append(rate)
+            ckpt_blocked.append(blocked)
+            ckpt_bytes += nbytes
+        rate, blocked, nbytes = _per_process_rate(rec, OpKind.RESTORE)
+        if nbytes:
+            rst_rates.append(rate)
+            rst_blocked.append(blocked)
+            rst_bytes += nbytes
+    pooled_ckpt = ckpt_bytes / sum(ckpt_blocked) if sum(ckpt_blocked) > 0 else 0.0
+    pooled_rst = rst_bytes / sum(rst_blocked) if sum(rst_blocked) > 0 else 0.0
+    return ThroughputSummary(
+        checkpoint=pooled_ckpt,
+        restore=pooled_rst,
+        checkpoint_mean=sum(ckpt_rates) / len(ckpt_rates) if ckpt_rates else 0.0,
+        restore_mean=sum(rst_rates) / len(rst_rates) if rst_rates else 0.0,
+        checkpoint_blocked=sum(ckpt_blocked) / len(ckpt_blocked) if ckpt_blocked else 0.0,
+        restore_blocked=sum(rst_blocked) / len(rst_blocked) if rst_blocked else 0.0,
+        total_bytes=ckpt_bytes,
+    )
+
+
+def restore_rate_series(recorder: Recorder) -> List[Tuple[int, float]]:
+    """Per-restore throughput over iterations (Fig. 7's restore-rate line).
+
+    Returns ``(iteration, bytes_per_second)`` in restore order.
+    """
+    out: List[Tuple[int, float]] = []
+    for idx, event in enumerate(recorder.restores()):
+        rate = event.nominal_bytes / event.blocked if event.blocked > 0 else float("inf")
+        out.append((idx, rate))
+    return out
+
+
+def stacked_per_process(
+    recorders: Sequence[Recorder],
+) -> List[Tuple[int, float, float]]:
+    """Per-process (pid, ckpt rate, restore rate) — Fig. 9's stacked bars."""
+    out: List[Tuple[int, float, float]] = []
+    for rec in recorders:
+        c, _, _ = _per_process_rate(rec, OpKind.CHECKPOINT)
+        r, _, _ = _per_process_rate(rec, OpKind.RESTORE)
+        out.append((rec.process_id, c, r))
+    return out

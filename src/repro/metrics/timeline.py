@@ -1,0 +1,80 @@
+"""Timeline export and terminal sparklines.
+
+``export_csv`` / ``export_json`` dump a recorder's per-operation events for
+external plotting (the figures in the paper are scatter/line plots over
+these).  ``sparkline`` renders a quick terminal view of a series — the
+examples use it to show the Fig.-7 shape without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import List, Sequence, Tuple
+
+from repro.metrics.recorder import Recorder
+
+_FIELDS = (
+    "kind",
+    "ckpt_id",
+    "started_at",
+    "blocked",
+    "nominal_bytes",
+    "prefetch_distance",
+    "source_level",
+)
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def _event_rows(recorder: Recorder) -> List[dict]:
+    rows = []
+    for event in sorted(recorder.events, key=lambda e: e.started_at):
+        rows.append(
+            {
+                "kind": event.kind.value,
+                "ckpt_id": event.ckpt_id,
+                "started_at": event.started_at,
+                "blocked": event.blocked,
+                "nominal_bytes": event.nominal_bytes,
+                "prefetch_distance": event.prefetch_distance,
+                "source_level": event.source_level,
+            }
+        )
+    return rows
+
+
+def export_csv(recorder: Recorder, path: str) -> int:
+    """Write one row per recorded event; returns the row count."""
+    rows = _event_rows(recorder)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def export_json(recorder: Recorder, path: str) -> int:
+    """Write the event list as JSON; returns the event count."""
+    rows = _event_rows(recorder)
+    with open(path, "w") as fh:
+        json.dump({"process_id": recorder.process_id, "events": rows}, fh)
+    return len(rows)
+
+
+def sparkline(series: Sequence[Tuple[object, float]], width: int = 60) -> str:
+    """A one-line unicode rendering of an (x, y) series, downsampled."""
+    values = [float(y) for _, y in series]
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _BARS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_BARS) - 1))
+        out.append(_BARS[idx])
+    return "".join(out)

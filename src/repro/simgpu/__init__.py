@@ -1,0 +1,37 @@
+"""Simulated CUDA-like substrate.
+
+The paper's runtime sits on top of CUDA streams, copy engines and pinned
+buffers.  This package provides the equivalent building blocks with costs
+driven by a :class:`repro.config.HardwareSpec` on a
+:class:`repro.clock.VirtualClock`:
+
+* :class:`~repro.simgpu.bandwidth.Link` — a shared interconnect with finite
+  bandwidth; concurrent transfers contend by chunk-interleaving.
+* :class:`~repro.simgpu.stream.Stream` / :class:`~repro.simgpu.stream.Event`
+  — ordered asynchronous work queues, one worker thread each (the analogue
+  of a dedicated CUDA stream serviced by its own copy engine).
+* :class:`~repro.simgpu.memory.Arena` and buffer types — real numpy-backed
+  storage scaled by ``ScaleModel.data_scale``.
+* :class:`~repro.simgpu.device.Device` — one GPU: HBM arena plus dedicated
+  D2D/D2H/H2D engines wired to the node's PCIe links.
+* :class:`~repro.simgpu.uvm.UvmSpace` — page-granular unified memory with
+  fault-driven migration, used by the UVM comparator baseline.
+"""
+
+from repro.simgpu.bandwidth import Link
+from repro.simgpu.stream import Event, Stream
+from repro.simgpu.memory import Arena, DeviceBuffer, HostBuffer
+from repro.simgpu.device import Device
+from repro.simgpu.uvm import UvmAllocation, UvmSpace
+
+__all__ = [
+    "Link",
+    "Event",
+    "Stream",
+    "Arena",
+    "DeviceBuffer",
+    "HostBuffer",
+    "Device",
+    "UvmAllocation",
+    "UvmSpace",
+]

@@ -1,0 +1,142 @@
+"""Shared-interconnect bandwidth model.
+
+A :class:`Link` represents one finite-bandwidth resource: a PCIe Gen 4 link
+(shared by two GPUs on a DGX-A100), the per-GPU HBM fabric, a node-local
+NVMe drive, or a node's share of the parallel file system.
+
+Contention model: a transfer is split into fixed-size nominal chunks and the
+chunks of concurrent transfers interleave through a FIFO mutex.  Two steady
+concurrent users therefore each observe ~half the link bandwidth — the
+behaviour the paper's scalability study depends on — while head-of-line
+blocking is bounded by one chunk.  The per-transfer ``latency`` models
+command submission cost and is paid once per transfer, outside the mutex.
+
+The link also keeps running totals (``busy_time``, ``bytes_moved``,
+``pending_bytes``) used both for metrics and by the Score runtime's
+``predict_evictable`` estimator (Section 4.2: the estimation accounts for
+"other enqueued flushes and prefetches that compete for bandwidth").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.clock import VirtualClock
+from repro.errors import ConfigError, TransferError
+from repro.util.units import MiB
+
+
+class Link:
+    """A finite-bandwidth interconnect shared by any number of clients."""
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: float,
+        clock: VirtualClock,
+        latency: float = 0.0,
+        chunk_size: int = 8 * MiB,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ConfigError(f"bandwidth must be positive: {bandwidth}")
+        if latency < 0:
+            raise ConfigError(f"latency must be non-negative: {latency}")
+        if chunk_size <= 0:
+            raise ConfigError(f"chunk_size must be positive: {chunk_size}")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.chunk_size = int(chunk_size)
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._busy_time = 0.0
+        self._bytes_moved = 0
+        self._pending_bytes = 0
+        self._transfers = 0
+
+    # -- observability ----------------------------------------------------
+    @property
+    def busy_time(self) -> float:
+        """Total nominal seconds this link spent moving bytes."""
+        with self._stats_lock:
+            return self._busy_time
+
+    @property
+    def bytes_moved(self) -> int:
+        with self._stats_lock:
+            return self._bytes_moved
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes announced (via :meth:`transfer`) but not yet moved."""
+        with self._stats_lock:
+            return self._pending_bytes
+
+    @property
+    def transfer_count(self) -> int:
+        with self._stats_lock:
+            return self._transfers
+
+    def estimate(self, nbytes: int, include_pending: bool = True) -> float:
+        """Nominal seconds to move ``nbytes``, optionally queueing behind
+        the bytes already announced on this link."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        backlog = self.pending_bytes if include_pending else 0
+        return self.latency + (nbytes + backlog) / self.bandwidth
+
+    # -- the transfer itself ----------------------------------------------
+    def transfer(self, nbytes: int, cancelled: Optional[threading.Event] = None) -> float:
+        """Move ``nbytes`` nominal bytes across the link, blocking the
+        caller for the (contended) transfer duration.
+
+        Returns the *accounted* nominal duration: submission latency, plus
+        bytes over bandwidth, plus the time spent queued behind other
+        transfers' chunks.  The accounted figure is what callers should
+        charge to blocking-time metrics — it excludes the Python-level
+        bookkeeping around the sleeps, which at aggressive ``time_scale``
+        would otherwise dominate short transfers when measured by wall
+        clock.
+
+        If ``cancelled`` is set while chunks remain, raises
+        :class:`TransferError` — the flusher uses this to abandon flushes of
+        consumed checkpoints (condition (5) of the problem formulation).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        with self._stats_lock:
+            self._pending_bytes += nbytes
+            self._transfers += 1
+        remaining = nbytes
+        accounted = 0.0
+        try:
+            if self.latency:
+                self._clock.sleep(self.latency)
+                accounted += self.latency
+            per_byte = 1.0 / self.bandwidth
+            while remaining > 0:
+                if cancelled is not None and cancelled.is_set():
+                    raise TransferError(
+                        f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
+                    )
+                chunk = min(remaining, self.chunk_size)
+                queued_at = self._clock.now()
+                with self._mutex:
+                    accounted += self._clock.now() - queued_at  # contention
+                    self._clock.sleep(chunk * per_byte)
+                accounted += chunk * per_byte
+                with self._stats_lock:
+                    self._busy_time += chunk * per_byte
+                    self._bytes_moved += chunk
+                    self._pending_bytes -= chunk
+                remaining -= chunk
+        finally:
+            if remaining > 0:  # cancelled mid-flight: release unmoved bytes
+                with self._stats_lock:
+                    self._pending_bytes -= remaining
+        return accounted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Link({self.name!r}, {self.bandwidth:.3g} B/s)"

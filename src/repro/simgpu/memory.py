@@ -1,0 +1,165 @@
+"""Numpy-backed memory arenas and application buffers.
+
+Everything visible to the allocation logic is expressed in *nominal* bytes;
+an :class:`Arena` translates nominal offsets/sizes into its scaled backing
+store (``ScaleModel.data_scale`` nominal bytes per stored byte).  The
+checkpoint payloads are real bytes — restores are checksum-verified by the
+test-suite — so tier-to-tier copies genuinely move data.
+
+:class:`DeviceBuffer` / :class:`HostBuffer` model application-owned
+allocations (the protected memory regions of ``VELOC_Mem_protect``), with a
+nominal size used for all cost arithmetic and a scaled payload.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Optional
+
+import numpy as np
+
+from repro.config import ScaleModel
+from repro.errors import AllocationError, ConfigError
+
+
+class Arena:
+    """A contiguous pre-allocated byte arena addressed in nominal units."""
+
+    def __init__(self, name: str, nominal_capacity: int, scale: ScaleModel) -> None:
+        if nominal_capacity <= 0:
+            raise ConfigError(f"arena capacity must be positive: {nominal_capacity}")
+        if nominal_capacity % scale.alignment != 0:
+            raise ConfigError(
+                f"arena capacity {nominal_capacity} not aligned to {scale.alignment}"
+            )
+        self.name = name
+        self.nominal_capacity = int(nominal_capacity)
+        self.scale = scale
+        self._payload = np.zeros(scale.payload_bytes(nominal_capacity), dtype=np.uint8)
+        self._lock = threading.Lock()
+
+    @property
+    def payload_capacity(self) -> int:
+        return self._payload.size
+
+    def _slice(self, nominal_offset: int, nominal_size: int) -> slice:
+        if nominal_offset < 0 or nominal_size < 0:
+            raise AllocationError(
+                f"negative arena access at {nominal_offset}+{nominal_size}"
+            )
+        if nominal_offset + nominal_size > self.nominal_capacity:
+            raise AllocationError(
+                f"arena {self.name!r} access [{nominal_offset}, "
+                f"{nominal_offset + nominal_size}) exceeds capacity "
+                f"{self.nominal_capacity}"
+            )
+        start = self.scale.payload_bytes(nominal_offset)
+        length = self.scale.payload_bytes(self.scale.align(nominal_size))
+        return slice(start, start + length)
+
+    def write(self, nominal_offset: int, data: np.ndarray) -> None:
+        """Copy ``data`` (payload bytes) into the arena at a nominal offset."""
+        sl = self._slice(nominal_offset, int(data.size) * self.scale.data_scale)
+        with self._lock:
+            self._payload[sl.start : sl.start + data.size] = data
+
+    def read(self, nominal_offset: int, nominal_size: int) -> np.ndarray:
+        """Copy payload bytes for a nominal range out of the arena."""
+        nominal_size = self.scale.align(nominal_size)
+        sl = self._slice(nominal_offset, nominal_size)
+        with self._lock:
+            return self._payload[sl].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Arena({self.name!r}, {self.nominal_capacity}B nominal)"
+
+
+class _AppBuffer:
+    """Base for application-owned buffers with a nominal size."""
+
+    location = "abstract"
+
+    def __init__(self, nominal_size: int, scale: ScaleModel) -> None:
+        if nominal_size <= 0:
+            raise ConfigError(f"buffer size must be positive: {nominal_size}")
+        aligned = scale.align(nominal_size)
+        if aligned != nominal_size:
+            raise ConfigError(
+                f"buffer size {nominal_size} must be aligned to {scale.alignment}"
+            )
+        self.nominal_size = int(nominal_size)
+        self.scale = scale
+        self.payload = np.zeros(scale.payload_bytes(nominal_size), dtype=np.uint8)
+
+    _POOL: Optional[np.ndarray] = None
+
+    def fill_random(self, rng: np.random.Generator) -> None:
+        """Fill with deterministic pseudo-random bytes.
+
+        Uses a lazily-built shared random pool with a per-call rotation +
+        XOR tweak instead of drawing fresh bytes: payload generation sits on
+        the benchmark's application critical path and must stay cheap, while
+        checksums still differ call to call.
+        """
+        cls = _AppBuffer
+        if cls._POOL is None or cls._POOL.size < self.payload.size:
+            pool_rng = np.random.default_rng(0xC0FFEE)
+            size = max(1 << 20, self.payload.size)
+            cls._POOL = pool_rng.integers(0, 256, size=size, dtype=np.uint8)
+        start = int(rng.integers(0, cls._POOL.size - self.payload.size + 1))
+        tweak = np.uint8(int(rng.integers(0, 256)))
+        np.bitwise_xor(
+            cls._POOL[start : start + self.payload.size], tweak, out=self.payload
+        )
+
+    def checksum(self) -> int:
+        """CRC32 of the payload (used for end-to-end restore verification)."""
+        return zlib.crc32(self.payload.tobytes())
+
+    def copy_from(self, data: np.ndarray) -> None:
+        if data.size < self.payload.size:
+            raise AllocationError(
+                f"payload of {data.size} bytes cannot fill buffer of "
+                f"{self.payload.size}"
+            )
+        self.payload[:] = data[: self.payload.size]
+
+
+class DeviceBuffer(_AppBuffer):
+    """An application buffer resident in GPU HBM."""
+
+    location = "device"
+
+    def __init__(self, nominal_size: int, scale: ScaleModel, device_id: int = 0) -> None:
+        super().__init__(nominal_size, scale)
+        self.device_id = device_id
+
+
+class HostBuffer(_AppBuffer):
+    """An application buffer resident in host memory.
+
+    ``pinned`` host buffers transfer at the full PCIe rate; pageable ones at
+    the unpinned staging rate (what the ADIOS2 baseline pays).
+    """
+
+    location = "host"
+
+    def __init__(self, nominal_size: int, scale: ScaleModel, pinned: bool = True) -> None:
+        super().__init__(nominal_size, scale)
+        self.pinned = pinned
+
+
+def checksum_payload(data: np.ndarray) -> int:
+    """CRC32 of raw payload bytes."""
+    return zlib.crc32(np.ascontiguousarray(data).tobytes())
+
+
+def make_payload(
+    nominal_size: int, scale: ScaleModel, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Payload array for an (aligned) nominal size, optionally randomized."""
+    size = scale.payload_bytes(scale.align(nominal_size))
+    if rng is None:
+        return np.zeros(size, dtype=np.uint8)
+    return rng.integers(0, 256, size=size, dtype=np.uint8)

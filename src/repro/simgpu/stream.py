@@ -1,0 +1,138 @@
+"""CUDA-like streams and events.
+
+A :class:`Stream` is an ordered asynchronous work queue serviced by one
+daemon thread — the analogue of a CUDA stream bound to a dedicated copy
+engine.  Work items are plain callables; submission returns an
+:class:`Event` that can be queried, waited on, and that captures any
+exception raised by the work item (re-raised in the waiter, mirroring how
+the real runtime surfaces asynchronous CUDA errors).
+
+The checkpoint runtime creates *separate* streams for flushing and
+prefetching per direction (Section 4.3.1), so D2H flushes, H2D prefetches
+and D2D cache copies all overlap — the simulated :class:`Link` underneath
+provides the bandwidth contention.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import TransferError
+
+
+class Event:
+    """Completion handle for one submitted work item."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._done = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._cancelled = False
+
+    def _finish(self, error: Optional[BaseException] = None) -> None:
+        self._error = error
+        self._done.set()
+
+    def query(self) -> bool:
+        """True when the work item has finished (successfully or not)."""
+        return self._done.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until completion; re-raise the work item's exception.
+
+        ``timeout`` is in *wall-clock* seconds (used only as a watchdog by
+        tests); on timeout a :class:`TransferError` is raised.
+        """
+        if not self._done.wait(timeout):
+            raise TransferError(f"timed out waiting for event {self.label!r}")
+        if self._error is not None:
+            raise self._error
+
+
+class Stream:
+    """An ordered asynchronous work queue with one worker thread."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._thread = threading.Thread(target=self._run, name=f"stream-{name}", daemon=True)
+        self._thread.start()
+
+    def submit(self, work: Callable[[], None], label: str = "") -> Event:
+        """Enqueue ``work``; it runs after everything previously submitted."""
+        event = Event(label or getattr(work, "__name__", "work"))
+        with self._lock:
+            if self._closed:
+                raise TransferError(f"stream {self.name!r} is closed")
+            self._queue.append((work, event))
+            self._in_flight += 1
+            self._wakeup.notify()
+        return event
+
+    def synchronize(self) -> None:
+        """Block until every submitted work item has completed."""
+        with self._lock:
+            self._idle.wait_for(lambda: self._in_flight == 0)
+
+    @property
+    def depth(self) -> int:
+        """Number of submitted-but-unfinished work items."""
+        with self._lock:
+            return self._in_flight
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work; optionally wait for the queue to drain.
+
+        With ``drain=False`` queued-but-unstarted items are cancelled (their
+        events complete with ``cancelled`` set and a :class:`TransferError`).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                while self._queue:
+                    _, event = self._queue.popleft()
+                    event._cancelled = True
+                    event._finish(TransferError(f"stream {self.name!r} closed"))
+                    self._in_flight -= 1
+                if self._in_flight == 0:
+                    self._idle.notify_all()
+            self._wakeup.notify()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                self._wakeup.wait_for(lambda: self._queue or self._closed)
+                if not self._queue:
+                    return  # closed and drained
+                work, event = self._queue.popleft()
+            error: Optional[BaseException] = None
+            try:
+                work()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+                error = exc
+            event._finish(error)
+            with self._lock:
+                self._in_flight -= 1
+                if self._in_flight == 0:
+                    self._idle.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stream({self.name!r}, depth={self.depth})"

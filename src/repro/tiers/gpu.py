@@ -1,0 +1,16 @@
+"""GPU cache-tier arena construction."""
+
+from __future__ import annotations
+
+from repro.simgpu.device import Device
+from repro.simgpu.memory import Arena
+
+
+def make_gpu_cache_arena(device: Device, nominal_capacity: int, charge_cost: bool = True) -> Arena:
+    """Pre-allocate one process's contiguous device cache (Section 4.1.4).
+
+    The capacity is rounded up to the scale model's alignment so every
+    checkpoint offset maps exactly onto the scaled backing store.
+    """
+    capacity = device.scale.align(nominal_capacity)
+    return device.alloc_arena(capacity, charge_cost=charge_cost)

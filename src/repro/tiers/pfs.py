@@ -1,0 +1,118 @@
+"""Parallel-file-system tier (Lustre stand-in).
+
+One :class:`PfsStore` per cluster, shared by every node.  Each node funnels
+its PFS traffic through its own per-node ingress/egress links (a node's
+share of the fabric), while a global pair of links models the file system's
+aggregate bandwidth — so both per-node and cluster-wide saturation occur.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+import numpy as np
+
+from repro.clock import VirtualClock
+from repro.config import HardwareSpec, ScaleModel
+from repro.errors import CheckpointNotFound
+from repro.simgpu.bandwidth import Link
+from repro.tiers.base import InMemoryIndex, ObjectStore, StoreKey, TierLevel
+
+
+class PfsStore(ObjectStore):
+    """Throttled cluster-shared checkpoint store."""
+
+    level = TierLevel.PFS
+
+    def __init__(
+        self,
+        spec: HardwareSpec,
+        scale: ScaleModel,
+        clock: VirtualClock,
+        num_nodes: int = 1,
+        aggregate_factor: float = 2.0,
+    ) -> None:
+        """``aggregate_factor``: the file system sustains this multiple of a
+        single node's share before becoming the bottleneck."""
+        self.scale = scale
+        self._clock = clock
+        aggregate_write = spec.pfs_write_bandwidth * max(1.0, aggregate_factor)
+        aggregate_read = spec.pfs_read_bandwidth * max(1.0, aggregate_factor)
+        self.global_write_link = Link(
+            "pfs-write", aggregate_write, clock, latency=0.0, chunk_size=1 << 62
+        )
+        self.global_read_link = Link(
+            "pfs-read", aggregate_read, clock, latency=0.0, chunk_size=1 << 62
+        )
+        self._node_write_links: Dict[int, Link] = {}
+        self._node_read_links: Dict[int, Link] = {}
+        self._link_lock = threading.Lock()
+        self._spec = spec
+        self._index = InMemoryIndex()
+        self._blobs: Dict[StoreKey, np.ndarray] = {}
+        self._blob_lock = threading.Lock()
+
+    def node_links(self, node_id: int):
+        """Per-node ingress/egress links (created lazily)."""
+        with self._link_lock:
+            if node_id not in self._node_write_links:
+                self._node_write_links[node_id] = Link(
+                    f"node{node_id}-pfs-write",
+                    self._spec.pfs_write_bandwidth,
+                    self._clock,
+                    latency=self._spec.pfs_latency,
+                )
+                self._node_read_links[node_id] = Link(
+                    f"node{node_id}-pfs-read",
+                    self._spec.pfs_read_bandwidth,
+                    self._clock,
+                    latency=self._spec.pfs_latency,
+                )
+            return self._node_write_links[node_id], self._node_read_links[node_id]
+
+    def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
+        node_id = kw.get("node_id", 0)
+        cancelled = kw.get("cancelled")
+        meta = kw.get("meta")
+        node_link, _ = self.node_links(node_id)
+        seconds = node_link.transfer(nominal_size, cancelled=cancelled)
+        seconds += self.global_write_link.transfer(nominal_size, cancelled=cancelled)
+        with self._blob_lock:
+            self._blobs[key] = payload.copy()
+        self._index.add(key, nominal_size, meta)
+        return seconds
+
+    def get(self, key: StoreKey, node_id: int = 0):
+        nominal_size = self._index.require(key)
+        _, node_link = self.node_links(node_id)
+        seconds = node_link.transfer(nominal_size)
+        seconds += self.global_read_link.transfer(nominal_size)
+        with self._blob_lock:
+            payload = self._blobs.get(key)
+        if payload is None:
+            raise CheckpointNotFound(f"checkpoint {key} missing from PFS store")
+        return payload.copy(), seconds
+
+    def delete(self, key: StoreKey) -> None:
+        if self._index.remove(key):
+            with self._blob_lock:
+                self._blobs.pop(key, None)
+
+    def contains(self, key: StoreKey) -> bool:
+        return self._index.contains(key)
+
+    def meta(self, key: StoreKey) -> dict:
+        return self._index.meta(key)
+
+    def size_of(self, key: StoreKey) -> int:
+        return self._index.size_of(key)
+
+    def keys_for_process(self, process_id: int):
+        return self._index.keys_for_process(process_id)
+
+    def stored_bytes(self) -> int:
+        return self._index.total()
+
+    def object_count(self) -> int:
+        return self._index.count()

@@ -1,0 +1,167 @@
+"""Node-local SSD tier.
+
+One :class:`SsdStore` per compute node, shared by all co-located processes
+(the paper's setup: checkpoints of a node fit on its NVMe drives).  Reads
+and writes are throttled through per-direction :class:`~repro.simgpu.bandwidth.Link`
+objects so concurrent flushes from many processes contend exactly like they
+do on the shared drives.
+
+Two backends:
+
+* in-memory (default) — payloads in a dict; the throttling links still model
+  the full transfer cost.  Used by tests and benchmarks.
+* file-backed — payloads written to real files under a directory, giving an
+  end-to-end path through the OS page cache for integration tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.clock import VirtualClock
+from repro.config import HardwareSpec, ScaleModel
+from repro.errors import CheckpointNotFound
+from repro.simgpu.bandwidth import Link
+from repro.tiers.base import InMemoryIndex, ObjectStore, StoreKey, TierLevel
+
+
+class SsdStore(ObjectStore):
+    """Throttled node-local checkpoint store."""
+
+    level = TierLevel.SSD
+
+    def __init__(
+        self,
+        node_id: int,
+        spec: HardwareSpec,
+        scale: ScaleModel,
+        clock: VirtualClock,
+        directory: Optional[str] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.scale = scale
+        # Whole-object transfers (no chunk interleaving): an NVMe queue
+        # *streams* completions, so the first submitted write finishes after
+        # its own duration instead of all concurrent writers completing in
+        # lockstep — which matters for the eviction pipeline's latency.
+        self.write_link = Link(
+            f"node{node_id}-ssd-write",
+            spec.ssd_write_bandwidth,
+            clock,
+            latency=spec.ssd_latency,
+            chunk_size=1 << 62,
+        )
+        self.read_link = Link(
+            f"node{node_id}-ssd-read",
+            spec.ssd_read_bandwidth,
+            clock,
+            latency=spec.ssd_latency,
+            chunk_size=1 << 62,
+        )
+        self._index = InMemoryIndex()
+        self._directory = directory
+        self._blobs: Dict[StoreKey, np.ndarray] = {}
+        self._blob_lock = threading.Lock()
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._rebuild_index()
+
+    def _meta_path(self, key: StoreKey) -> str:
+        return self._path(key) + ".meta.json"
+
+    def _rebuild_index(self) -> None:
+        """Re-index checkpoints left on disk by a previous run (restart)."""
+        assert self._directory is not None
+        for name in os.listdir(self._directory):
+            if not name.endswith(".meta.json"):
+                continue
+            try:
+                with open(os.path.join(self._directory, name)) as fh:
+                    entry = json.load(fh)
+                key = (int(entry["process_id"]), int(entry["ckpt_id"]))
+                self._index.add(key, int(entry["nominal_size"]), entry.get("meta"))
+            except (ValueError, KeyError, OSError, json.JSONDecodeError):
+                continue  # ignore torn/foreign files
+
+    # -- helpers -----------------------------------------------------------
+    def _path(self, key: StoreKey) -> str:
+        assert self._directory is not None
+        return os.path.join(self._directory, f"ckpt-p{key[0]}-v{key[1]}.bin")
+
+    # -- ObjectStore --------------------------------------------------------
+    def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
+        cancelled = kw.get("cancelled")
+        meta = kw.get("meta")
+        seconds = self.write_link.transfer(nominal_size, cancelled=cancelled)
+        if self._directory is not None:
+            with open(self._path(key), "wb") as fh:
+                fh.write(np.ascontiguousarray(payload).tobytes())
+            with open(self._meta_path(key), "w") as fh:
+                json.dump(
+                    {
+                        "process_id": key[0],
+                        "ckpt_id": key[1],
+                        "nominal_size": nominal_size,
+                        "meta": meta or {},
+                    },
+                    fh,
+                )
+        else:
+            with self._blob_lock:
+                self._blobs[key] = payload.copy()
+        self._index.add(key, nominal_size, meta)
+        return seconds
+
+    def get(self, key: StoreKey):
+        nominal_size = self._index.require(key)
+        seconds = self.read_link.transfer(nominal_size)
+        if self._directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "rb") as fh:
+                    return np.frombuffer(fh.read(), dtype=np.uint8).copy(), seconds
+            except FileNotFoundError:
+                raise CheckpointNotFound(f"checkpoint {key} missing from {path}")
+        with self._blob_lock:
+            payload = self._blobs.get(key)
+        if payload is None:
+            raise CheckpointNotFound(f"checkpoint {key} missing from SSD store")
+        return payload.copy(), seconds
+
+    def delete(self, key: StoreKey) -> None:
+        if not self._index.remove(key):
+            return
+        if self._directory is not None:
+            for path in (self._path(key), self._meta_path(key)):
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+        else:
+            with self._blob_lock:
+                self._blobs.pop(key, None)
+
+    def contains(self, key: StoreKey) -> bool:
+        return self._index.contains(key)
+
+    def meta(self, key: StoreKey) -> dict:
+        """Recovery metadata recorded at put() time."""
+        return self._index.meta(key)
+
+    def size_of(self, key: StoreKey) -> int:
+        return self._index.size_of(key)
+
+    def keys_for_process(self, process_id: int):
+        """All checkpoint keys this store holds for one process."""
+        return self._index.keys_for_process(process_id)
+
+    def stored_bytes(self) -> int:
+        return self._index.total()
+
+    def object_count(self) -> int:
+        return self._index.count()

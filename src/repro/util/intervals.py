@@ -1,0 +1,168 @@
+"""Half-open interval arithmetic used by allocation tables and UVM paging.
+
+An :class:`Interval` is ``[start, stop)`` over integer byte offsets.  An
+:class:`IntervalSet` maintains a disjoint, sorted, coalesced collection and
+supports the set algebra the cache arena needs (add/remove/overlap queries).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open byte range ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ValueError(f"inverted interval [{self.start}, {self.stop})")
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    def is_empty(self) -> bool:
+        return self.stop == self.start
+
+    def contains(self, offset: int) -> bool:
+        return self.start <= offset < self.stop
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.stop and other.start < self.stop
+
+    def touches(self, other: "Interval") -> bool:
+        """True when the intervals overlap or are adjacent (can coalesce)."""
+        return self.start <= other.stop and other.start <= self.stop
+
+    def intersection(self, other: "Interval") -> "Interval":
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        if stop < start:
+            return Interval(start, start)
+        return Interval(start, stop)
+
+    def union_touching(self, other: "Interval") -> "Interval":
+        if not self.touches(other):
+            raise ValueError(f"{self} and {other} neither overlap nor touch")
+        return Interval(min(self.start, other.start), max(self.stop, other.stop))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.stop})"
+
+
+class IntervalSet:
+    """A sorted, disjoint, coalesced set of half-open intervals."""
+
+    def __init__(self, intervals: Optional[Iterable[Interval]] = None) -> None:
+        self._starts: List[int] = []
+        self._stops: List[int] = []
+        if intervals:
+            for iv in intervals:
+                self.add(iv)
+
+    # -- queries ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[Interval]:
+        for start, stop in zip(self._starts, self._stops):
+            yield Interval(start, stop)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._stops == other._stops
+
+    def total_length(self) -> int:
+        return sum(stop - start for start, stop in zip(self._starts, self._stops))
+
+    def contains(self, offset: int) -> bool:
+        idx = bisect.bisect_right(self._starts, offset) - 1
+        return idx >= 0 and offset < self._stops[idx]
+
+    def covers(self, iv: Interval) -> bool:
+        """True when ``iv`` lies entirely inside one stored interval."""
+        if iv.is_empty():
+            return True
+        idx = bisect.bisect_right(self._starts, iv.start) - 1
+        return idx >= 0 and self._stops[idx] >= iv.stop
+
+    def overlapping(self, iv: Interval) -> List[Interval]:
+        """All stored intervals intersecting ``iv``."""
+        if iv.is_empty():
+            return []
+        out = []
+        idx = bisect.bisect_left(self._starts, iv.start)
+        if idx > 0 and self._stops[idx - 1] > iv.start:
+            idx -= 1
+        while idx < len(self._starts) and self._starts[idx] < iv.stop:
+            out.append(Interval(self._starts[idx], self._stops[idx]))
+            idx += 1
+        return out
+
+    def first_fit(self, length: int) -> Optional[Interval]:
+        """The lowest-offset stored interval at least ``length`` long."""
+        if length <= 0:
+            raise ValueError(f"length must be positive: {length}")
+        for start, stop in zip(self._starts, self._stops):
+            if stop - start >= length:
+                return Interval(start, start + length)
+        return None
+
+    # -- mutation --------------------------------------------------------
+    def add(self, iv: Interval) -> None:
+        """Insert ``iv``, coalescing with overlapping/adjacent intervals."""
+        if iv.is_empty():
+            return
+        start, stop = iv.start, iv.stop
+        lo = bisect.bisect_left(self._stops, start)
+        hi = bisect.bisect_right(self._starts, stop)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            stop = max(stop, self._stops[hi - 1])
+        del self._starts[lo:hi]
+        del self._stops[lo:hi]
+        self._starts.insert(lo, start)
+        self._stops.insert(lo, stop)
+
+    def remove(self, iv: Interval) -> None:
+        """Remove ``iv`` from the set (no-op where nothing is stored)."""
+        if iv.is_empty():
+            return
+        lo = bisect.bisect_right(self._stops, iv.start)
+        new_starts: List[int] = []
+        new_stops: List[int] = []
+        idx = lo
+        while idx < len(self._starts) and self._starts[idx] < iv.stop:
+            s, e = self._starts[idx], self._stops[idx]
+            if s < iv.start:
+                new_starts.append(s)
+                new_stops.append(iv.start)
+            if e > iv.stop:
+                new_starts.append(iv.stop)
+                new_stops.append(e)
+            idx += 1
+        self._starts[lo:idx] = new_starts
+        self._stops[lo:idx] = new_stops
+
+    def copy(self) -> "IntervalSet":
+        out = IntervalSet()
+        out._starts = list(self._starts)
+        out._stops = list(self._stops)
+        return out
+
+    def as_tuples(self) -> List[Tuple[int, int]]:
+        return list(zip(self._starts, self._stops))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"[{s}, {e})" for s, e in self.as_tuples())
+        return f"IntervalSet({body})"

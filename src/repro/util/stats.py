@@ -1,0 +1,73 @@
+"""Small statistics helpers for metric aggregation and reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.4g} min={self.minimum:.4g} "
+            f"max={self.maximum:.4g} sd={self.stddev:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty sequence of numbers."""
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    total = float(sum(values))
+    mean = total / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    return Summary(
+        count=n,
+        total=total,
+        mean=mean,
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        stddev=math.sqrt(var),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if len(values) == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean (natural for averaging throughputs over equal work)."""
+    if len(values) == 0:
+        raise ValueError("cannot average an empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)

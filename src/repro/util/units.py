@@ -1,0 +1,129 @@
+"""Byte-size and bandwidth unit helpers.
+
+The paper quotes sizes in binary-ish marketing units (``128 MB`` checkpoints,
+``4 GB`` GPU cache, ``25 GB/s`` PCIe).  We standardize on binary multiples
+(``MiB``/``GiB``) internally; the parser accepts both spellings and treats
+``MB`` as ``MiB`` etc., which is what the paper's arithmetic implies
+(4 GB cache / 128 MB checkpoints = exactly 32 checkpoints).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+_UNIT_FACTORS = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+    "t": TiB,
+    "tb": TiB,
+    "tib": TiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(value) -> int:
+    """Parse a size into bytes.
+
+    Accepts an ``int`` (returned unchanged), a ``float`` with integral value,
+    or a string such as ``"128MB"``, ``"4 GiB"``, ``"0.5g"``.
+
+    >>> parse_size("128MB") == 128 * MiB
+    True
+    """
+    if isinstance(value, bool):
+        raise ConfigError(f"not a size: {value!r}")
+    if isinstance(value, int):
+        if value < 0:
+            raise ConfigError(f"negative size: {value}")
+        return value
+    if isinstance(value, float):
+        if value < 0 or value != int(value):
+            raise ConfigError(f"not an integral byte count: {value}")
+        return int(value)
+    if not isinstance(value, str):
+        raise ConfigError(f"not a size: {value!r}")
+    m = _SIZE_RE.match(value)
+    if not m:
+        raise ConfigError(f"unparseable size: {value!r}")
+    number, unit = m.groups()
+    factor = _UNIT_FACTORS.get(unit.lower())
+    if factor is None:
+        raise ConfigError(f"unknown size unit {unit!r} in {value!r}")
+    result = float(number) * factor
+    if result != int(result):
+        raise ConfigError(f"size {value!r} is not a whole number of bytes")
+    return int(result)
+
+
+def format_size(nbytes: int) -> str:
+    """Render a byte count in the largest unit with a short mantissa.
+
+    >>> format_size(128 * MiB)
+    '128MiB'
+    """
+    if nbytes < 0:
+        raise ConfigError(f"negative size: {nbytes}")
+    for unit, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if nbytes >= factor:
+            value = nbytes / factor
+            if value == int(value):
+                return f"{int(value)}{unit}"
+            return f"{value:.2f}{unit}"
+    return f"{nbytes}B"
+
+
+def parse_bandwidth(value) -> float:
+    """Parse a bandwidth into bytes/second.
+
+    Accepts numbers (bytes/s) or strings such as ``"25GB/s"`` / ``"4 GiB/s"``.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value <= 0:
+            raise ConfigError(f"bandwidth must be positive: {value}")
+        return float(value)
+    if not isinstance(value, str):
+        raise ConfigError(f"not a bandwidth: {value!r}")
+    text = value.strip()
+    if text.lower().endswith("/s"):
+        text = text[:-2]
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ConfigError(f"unparseable bandwidth: {value!r}")
+    number, unit = m.groups()
+    factor = _UNIT_FACTORS.get(unit.lower())
+    if factor is None:
+        raise ConfigError(f"unknown bandwidth unit {unit!r} in {value!r}")
+    rate = float(number) * factor  # fractional byte rates are fine
+    if rate <= 0:
+        raise ConfigError(f"bandwidth must be positive: {value!r}")
+    return rate
+
+
+def format_bandwidth(bps: float) -> str:
+    """Render a bytes/second rate, e.g. ``format_bandwidth(25*GiB)`` → ``'25GiB/s'``."""
+    if bps <= 0:
+        raise ConfigError(f"bandwidth must be positive: {bps}")
+    for unit, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if bps >= factor:
+            value = bps / factor
+            if abs(value - round(value)) < 1e-9:
+                return f"{int(round(value))}{unit}/s"
+            return f"{value:.2f}{unit}/s"
+    return f"{bps:.0f}B/s"

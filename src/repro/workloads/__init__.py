@@ -1,0 +1,25 @@
+"""Workload generation: RTM traces, restore orders, shot drivers."""
+
+from repro.workloads.rtm import (
+    RtmTrace,
+    snapshot_size_distribution,
+    uniform_trace,
+    variable_trace,
+)
+from repro.workloads.patterns import RestoreOrder, restore_order
+from repro.workloads.shot import HintMode, ShotResult, ShotSpec, run_shot
+from repro.workloads.multiproc import run_multiprocess_shot
+
+__all__ = [
+    "RtmTrace",
+    "uniform_trace",
+    "variable_trace",
+    "snapshot_size_distribution",
+    "RestoreOrder",
+    "restore_order",
+    "HintMode",
+    "ShotSpec",
+    "ShotResult",
+    "run_shot",
+    "run_multiprocess_shot",
+]

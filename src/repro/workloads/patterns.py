@@ -1,0 +1,43 @@
+"""Restore-order patterns (Section 5.3.2).
+
+* **sequential** — the backward pass consumes checkpoints in write order
+  (reproducibility replay, producer–consumer pipelines);
+* **reverse** — consumes them in reverse write order (adjoint methods such
+  as RTM and quantum optimal control);
+* **irregular** — a random but *predetermined* permutation (binomial
+  checkpointing interleavings and priority-driven workflows).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List
+
+from repro.errors import ConfigError
+from repro.util.rng import make_rng
+
+
+class RestoreOrder(Enum):
+    SEQUENTIAL = "sequential"
+    REVERSE = "reverse"
+    IRREGULAR = "irregular"
+
+
+def restore_order(
+    pattern: RestoreOrder, num_snapshots: int, seed: int = 0, rank: int = 0
+) -> List[int]:
+    """Version numbers in the order the backward pass restores them."""
+    if num_snapshots <= 0:
+        raise ConfigError(f"num_snapshots must be positive: {num_snapshots}")
+    if isinstance(pattern, str):  # convenience for harness configs
+        pattern = RestoreOrder(pattern)
+    if pattern is RestoreOrder.SEQUENTIAL:
+        return list(range(num_snapshots))
+    if pattern is RestoreOrder.REVERSE:
+        return list(range(num_snapshots - 1, -1, -1))
+    if pattern is RestoreOrder.IRREGULAR:
+        rng = make_rng(seed, "restore-order", rank)
+        order = list(range(num_snapshots))
+        rng.shuffle(order)
+        return order
+    raise ConfigError(f"unknown restore order: {pattern!r}")

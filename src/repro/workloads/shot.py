@@ -1,0 +1,140 @@
+"""The shot driver: one process's forward + backward pass (Listing 1).
+
+A *shot* checkpoints ``len(trace)`` snapshots at a fixed compute interval
+(the benchmark emulates computation by sleeping, exactly like the paper's
+trace-replay benchmarks), optionally waits for all flushes, then restores
+the snapshots in a given order at the same interval.
+
+Hint modes (Table 1):
+
+* ``NONE`` — direct reads, no foreknowledge;
+* ``SINGLE`` — at the start of each restore iteration, the application
+  enqueues the hint for the *next* iteration;
+* ``ALL`` — the full restore order is enqueued before the forward pass
+  (Listing 1 lines 2–3) and prefetching starts between the passes.
+
+The driver is engine-agnostic: any object with the
+checkpoint/restore/prefetch_enqueue/prefetch_start/wait_for_flushes surface
+(Score, UVM, ADIOS2) runs unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.metrics.recorder import Recorder
+from repro.simgpu.memory import DeviceBuffer
+from repro.util.rng import make_rng
+from repro.workloads.rtm import RtmTrace
+
+
+class HintMode(Enum):
+    NONE = "none"
+    SINGLE = "single"
+    ALL = "all"
+
+
+@dataclass(frozen=True)
+class ShotSpec:
+    """Everything one shot run needs besides the engine."""
+
+    trace: RtmTrace
+    restore_order: Sequence[int]
+    hint_mode: HintMode = HintMode.ALL
+    #: nominal seconds of simulated computation between operations
+    #: (the paper fixes 10 ms to match RTM's checkpoint frequency).
+    compute_interval: float = 0.010
+    #: WAIT variant (Fig. 5) vs immediate restore (Fig. 6).
+    wait_for_flush: bool = False
+    #: fill payloads with seeded random bytes (restores checksum-verify).
+    randomize_payloads: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if sorted(self.restore_order) != list(range(len(self.trace))):
+            raise ConfigError(
+                "restore_order must be a permutation of the snapshot indices"
+            )
+        if self.compute_interval < 0:
+            raise ConfigError(f"negative compute interval: {self.compute_interval}")
+        if isinstance(self.hint_mode, str):
+            object.__setattr__(self, "hint_mode", HintMode(self.hint_mode))
+
+
+@dataclass
+class ShotResult:
+    """Outcome of one process's shot."""
+
+    process_id: int
+    recorder: Recorder
+    checkpoint_phase_seconds: float
+    flush_wait_seconds: float
+    restore_phase_seconds: float
+    engine_stats: dict = field(default_factory=dict)
+    error: Optional[BaseException] = None
+
+
+def run_shot(
+    engine,
+    spec: ShotSpec,
+    iteration_hook: Optional[Callable[[str, int], None]] = None,
+) -> ShotResult:
+    """Run one shot on ``engine``.
+
+    ``iteration_hook(phase, iteration)`` is called once per iteration (the
+    multi-process runner uses it for tight-coupling barriers).
+    """
+    clock = engine.clock
+    scale = engine.scale
+    rng = make_rng(spec.seed, "shot-payloads", spec.trace.rank)
+    n = len(spec.trace)
+
+    if spec.hint_mode is HintMode.ALL:
+        for version in spec.restore_order:
+            engine.prefetch_enqueue(version)
+
+    # -- forward pass ------------------------------------------------------
+    ckpt_started = clock.now()
+    for version in range(n):
+        if iteration_hook is not None:
+            iteration_hook("checkpoint", version)
+        clock.sleep(spec.compute_interval)  # compute + compress
+        size = spec.trace.sizes[version]
+        buffer = DeviceBuffer(scale.align(size), scale, getattr(engine.device, "device_id", 0))
+        if spec.randomize_payloads:
+            buffer.fill_random(rng)
+        engine.checkpoint(version, buffer)
+    checkpoint_phase = clock.now() - ckpt_started
+
+    # -- optional flush barrier ------------------------------------------------
+    flush_wait = 0.0
+    if spec.wait_for_flush:
+        flush_wait = engine.wait_for_flushes()
+
+    if spec.hint_mode is not HintMode.NONE:
+        engine.prefetch_start()
+
+    # -- backward pass -------------------------------------------------------------
+    restore_started = clock.now()
+    for idx, version in enumerate(spec.restore_order):
+        if iteration_hook is not None:
+            iteration_hook("restore", idx)
+        if spec.hint_mode is HintMode.SINGLE and idx + 1 < n:
+            engine.prefetch_enqueue(spec.restore_order[idx + 1])
+        clock.sleep(spec.compute_interval)  # compute on the restored data
+        size = engine.recover_size(version)
+        buffer = DeviceBuffer(scale.align(size), scale, getattr(engine.device, "device_id", 0))
+        engine.restore(version, buffer)
+    restore_phase = clock.now() - restore_started
+
+    return ShotResult(
+        process_id=getattr(engine, "process_id", 0),
+        recorder=engine.recorder,
+        checkpoint_phase_seconds=checkpoint_phase,
+        flush_wait_seconds=flush_wait,
+        restore_phase_seconds=restore_phase,
+        engine_stats=engine.stats(),
+    )

@@ -1,0 +1,109 @@
+"""Import/export of checkpoint-size traces.
+
+Users with real production traces (the paper's RTM shots record one
+checkpoint size per rank per iteration) can load them instead of the
+synthetic generator.  Two formats:
+
+* **CSV** — one row per snapshot: ``snapshot,rank,size`` (header optional;
+  sizes accept unit suffixes, e.g. ``128MB``);
+* **JSON** — ``{"ranks": {"0": [sizes...], "1": [...]}}`` or a plain list
+  of per-snapshot sizes for a single rank.
+
+Loaded sizes are aligned to the runtime's allocation granularity, exactly
+like the synthetic traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Sequence
+
+from repro.config import ScaleModel
+from repro.errors import ConfigError
+from repro.util.units import parse_size
+from repro.workloads.rtm import RtmTrace
+
+
+def save_traces_csv(path: str, traces: Sequence[RtmTrace]) -> None:
+    """Write traces as ``snapshot,rank,size`` rows."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["snapshot", "rank", "size"])
+        for trace in traces:
+            for snapshot, size in enumerate(trace.sizes):
+                writer.writerow([snapshot, trace.rank, size])
+
+
+def load_traces_csv(path: str, scale: ScaleModel) -> List[RtmTrace]:
+    """Read ``snapshot,rank,size`` rows back into per-rank traces."""
+    per_rank: Dict[int, Dict[int, int]] = {}
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        for lineno, row in enumerate(reader):
+            if not row or (lineno == 0 and row[0].strip().lower() == "snapshot"):
+                continue
+            if len(row) != 3:
+                raise ConfigError(f"{path}:{lineno + 1}: expected 3 columns, got {len(row)}")
+            try:
+                snapshot = int(row[0])
+                rank = int(row[1])
+            except ValueError as exc:
+                raise ConfigError(f"{path}:{lineno + 1}: bad snapshot/rank: {exc}")
+            size = parse_size(row[2].strip())
+            per_rank.setdefault(rank, {})[snapshot] = size
+    return _assemble(per_rank, scale, path)
+
+
+def save_traces_json(path: str, traces: Sequence[RtmTrace]) -> None:
+    """Write traces as ``{"ranks": {rank: [sizes...]}}``."""
+    payload = {"ranks": {str(t.rank): list(t.sizes) for t in traces}}
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+def load_traces_json(path: str, scale: ScaleModel) -> List[RtmTrace]:
+    """Read the JSON format (or a bare list for a single rank 0)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if isinstance(payload, list):
+        payload = {"ranks": {"0": payload}}
+    ranks = payload.get("ranks")
+    if not isinstance(ranks, dict) or not ranks:
+        raise ConfigError(f"{path}: expected a 'ranks' object with per-rank size lists")
+    per_rank: Dict[int, Dict[int, int]] = {}
+    for rank_key, sizes in ranks.items():
+        try:
+            rank = int(rank_key)
+        except ValueError:
+            raise ConfigError(f"{path}: bad rank key {rank_key!r}")
+        if not isinstance(sizes, list) or not sizes:
+            raise ConfigError(f"{path}: rank {rank}: expected a non-empty size list")
+        per_rank[rank] = {i: parse_size(s) for i, s in enumerate(sizes)}
+    return _assemble(per_rank, scale, path)
+
+
+def _assemble(
+    per_rank: Dict[int, Dict[int, int]], scale: ScaleModel, path: str
+) -> List[RtmTrace]:
+    if not per_rank:
+        raise ConfigError(f"{path}: no trace rows found")
+    lengths = {len(snaps) for snaps in per_rank.values()}
+    if len(lengths) != 1:
+        raise ConfigError(
+            f"{path}: ranks have differing snapshot counts: {sorted(lengths)}"
+        )
+    n = lengths.pop()
+    traces = []
+    for rank in sorted(per_rank):
+        snaps = per_rank[rank]
+        if set(snaps) != set(range(n)):
+            raise ConfigError(
+                f"{path}: rank {rank}: snapshot indices must be 0..{n - 1} "
+                "with no gaps"
+            )
+        sizes = tuple(scale.align(snaps[i]) for i in range(n))
+        if any(s <= 0 for s in sizes):
+            raise ConfigError(f"{path}: rank {rank}: sizes must be positive")
+        traces.append(RtmTrace(rank=rank, sizes=sizes))
+    return traces

@@ -1,0 +1,185 @@
+"""Allocation table: tiling invariants, coalescing, placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alloctable import AllocTable
+from repro.core.catalog import CheckpointRecord
+from repro.errors import AllocationError, CapacityError
+
+
+def rec(ckpt_id, size=10):
+    return CheckpointRecord(ckpt_id, size, size, 0)
+
+
+class TestBasicOps:
+    def test_starts_as_one_gap(self):
+        t = AllocTable(100)
+        frags = t.fragments()
+        assert len(frags) == 1 and frags[0].is_gap and frags[0].size == 100
+        assert t.free_bytes == 100 and t.used_bytes == 0
+
+    def test_insert_splits_gap(self):
+        t = AllocTable(100)
+        t.insert(rec(1), 10, 20)
+        sizes = [(f.offset, f.size, f.is_gap) for f in t.fragments()]
+        assert sizes == [(0, 20, True), (20, 10, False), (30, 70, True)]
+        t.check_invariants()
+
+    def test_insert_at_gap_start(self):
+        t = AllocTable(100)
+        t.insert(rec(1), 10, 0)
+        assert [f.is_gap for f in t.fragments()] == [False, True]
+        t.check_invariants()
+
+    def test_insert_fills_gap_exactly(self):
+        t = AllocTable(10)
+        t.insert(rec(1), 10, 0)
+        assert len(t.fragments()) == 1
+        assert t.free_bytes == 0
+
+    def test_insert_overlap_rejected(self):
+        t = AllocTable(100)
+        t.insert(rec(1), 10, 0)
+        with pytest.raises(AllocationError):
+            t.insert(rec(2), 10, 5)
+
+    def test_duplicate_ckpt_rejected(self):
+        t = AllocTable(100)
+        t.insert(rec(1), 10, 0)
+        with pytest.raises(AllocationError):
+            t.insert(rec(1), 10, 50)
+
+    def test_oversized_rejected(self):
+        t = AllocTable(100)
+        with pytest.raises(CapacityError):
+            t.insert(rec(1), 101, 0)
+
+    def test_remove_coalesces_both_sides(self):
+        t = AllocTable(100)
+        t.insert(rec(1), 10, 20)
+        assert t.remove(1) == 10
+        frags = t.fragments()
+        assert len(frags) == 1 and frags[0].is_gap and frags[0].size == 100
+        t.check_invariants()
+
+    def test_remove_between_neighbors(self):
+        t = AllocTable(30)
+        t.insert(rec(1), 10, 0)
+        t.insert(rec(2), 10, 10)
+        t.insert(rec(3), 10, 20)
+        t.remove(2)
+        frags = t.fragments()
+        assert [f.is_gap for f in frags] == [False, True, False]
+        t.check_invariants()
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(AllocationError):
+            AllocTable(10).remove(7)
+
+    def test_lookup(self):
+        t = AllocTable(100)
+        t.insert(rec(5), 10, 30)
+        assert t.lookup(5).offset == 30
+        assert t.contains(5)
+        with pytest.raises(AllocationError):
+            t.lookup(6)
+
+    def test_touch_updates_last_access(self):
+        t = AllocTable(100)
+        t.insert(rec(1), 10, 0, now=1.0)
+        t.touch(1, 5.0)
+        assert t.lookup(1).last_access == 5.0
+        assert t.lookup(1).inserted_at == 1.0
+
+
+class TestFindGap:
+    def test_first_fit(self):
+        t = AllocTable(100)
+        t.insert(rec(1), 10, 0)
+        t.insert(rec(2), 10, 30)
+        # gaps: [10,30) and [40,100)
+        assert t.find_gap(15) == 10
+        assert t.find_gap(25) == 40
+        assert t.find_gap(61) is None
+
+    def test_limit_restricts_end(self):
+        t = AllocTable(100)
+        assert t.find_gap(10, limit=50) == 0
+        assert t.find_gap(60, limit=50) is None
+
+    def test_min_offset_restricts_start(self):
+        t = AllocTable(100)
+        assert t.find_gap(10, min_offset=40) == 40
+        t.insert(rec(1), 30, 40)
+        # gap [0,40) + [70,100): placement >= 40 only fits at 70
+        assert t.find_gap(10, min_offset=40) == 70
+        assert t.find_gap(40, min_offset=40) is None
+
+    def test_min_offset_inside_gap(self):
+        t = AllocTable(100)
+        # whole arena is one gap; place at the boundary
+        assert t.find_gap(60, min_offset=35) == 35
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(AllocationError):
+            AllocTable(10).find_gap(0)
+
+    def test_largest_gap(self):
+        t = AllocTable(100)
+        t.insert(rec(1), 10, 20)
+        assert t.largest_gap() == 70
+        assert t.largest_gap(limit=50) == 20
+
+
+@st.composite
+def table_ops(draw):
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "remove"]), st.integers(1, 30)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+
+
+class TestProperties:
+    @given(table_ops())
+    @settings(max_examples=120, deadline=None)
+    def test_invariants_hold_under_random_ops(self, ops):
+        t = AllocTable(200)
+        live = {}
+        next_id = 0
+        for op, size in ops:
+            if op == "insert":
+                offset = t.find_gap(size)
+                if offset is None:
+                    continue
+                next_id += 1
+                t.insert(rec(next_id, size), size, offset)
+                live[next_id] = size
+            elif live:
+                victim = sorted(live)[0]
+                assert t.remove(victim) == live.pop(victim)
+            t.check_invariants()
+            assert t.used_bytes == sum(live.values())
+
+    @given(table_ops())
+    @settings(max_examples=60, deadline=None)
+    def test_free_bytes_conservation(self, ops):
+        t = AllocTable(200)
+        live = set()
+        next_id = 0
+        for op, size in ops:
+            if op == "insert":
+                offset = t.find_gap(size)
+                if offset is None:
+                    continue
+                next_id += 1
+                t.insert(rec(next_id, size), size, offset)
+                live.add(next_id)
+            elif live:
+                t.remove(live.pop())
+            assert t.free_bytes + t.used_bytes == 200
+            assert t.checkpoint_count() == len(live)

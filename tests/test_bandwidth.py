@@ -1,0 +1,152 @@
+"""Link (shared bandwidth) behaviour."""
+
+import threading
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import ConfigError, TransferError
+from repro.simgpu.bandwidth import Link
+from repro.util.units import MiB
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock(time_scale=0.001)
+
+
+def test_transfer_duration_accounted(clock):
+    link = Link("t", bandwidth=100 * MiB, clock=clock, latency=0.0)
+    seconds = link.transfer(50 * MiB)
+    assert seconds == pytest.approx(0.5, rel=0.05)
+
+
+def test_latency_added_once(clock):
+    link = Link("t", bandwidth=100 * MiB, clock=clock, latency=0.25)
+    seconds = link.transfer(25 * MiB)
+    assert seconds == pytest.approx(0.5, rel=0.05)
+
+
+def test_zero_bytes_costs_latency_only(clock):
+    link = Link("t", bandwidth=100 * MiB, clock=clock, latency=0.1)
+    assert link.transfer(0) == pytest.approx(0.1, rel=0.2)
+
+
+def test_negative_bytes_rejected(clock):
+    link = Link("t", bandwidth=100 * MiB, clock=clock)
+    with pytest.raises(ValueError):
+        link.transfer(-1)
+
+
+def test_stats_accumulate(clock):
+    link = Link("t", bandwidth=100 * MiB, clock=clock)
+    link.transfer(10 * MiB)
+    link.transfer(20 * MiB)
+    assert link.bytes_moved == 30 * MiB
+    assert link.transfer_count == 2
+    assert link.busy_time == pytest.approx(0.3, rel=0.05)
+    assert link.pending_bytes == 0
+
+
+def test_estimate_includes_backlog(clock):
+    link = Link("t", bandwidth=100 * MiB, clock=clock, latency=0.0)
+    base = link.estimate(100 * MiB)
+    assert base == pytest.approx(1.0)
+    with link._stats_lock:
+        link._pending_bytes += 100 * MiB
+    assert link.estimate(100 * MiB) == pytest.approx(2.0)
+    assert link.estimate(100 * MiB, include_pending=False) == pytest.approx(1.0)
+
+
+def test_contention_halves_throughput():
+    clock = VirtualClock(time_scale=0.01)
+    link = Link("t", bandwidth=100 * MiB, clock=clock, chunk_size=1 * MiB)
+    barrier = threading.Barrier(2)
+    results = []
+
+    def worker():
+        barrier.wait()
+        # 10 s virtual = 100 ms wall: long enough that OS scheduling jitter
+        # cannot accidentally serialize the two transfers.
+        results.append(link.transfer(1000 * MiB))
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Two concurrent 10 s transfers share the link: fairness of the split
+    # depends on lock scheduling, but whoever loses pays for the winner's
+    # chunks — at least one transfer must observe clear slowdown, and
+    # neither can beat its solo time.
+    assert max(results) > 13.0
+    for seconds in results:
+        assert seconds >= 9.5
+
+
+def test_cancellation_raises_and_releases_pending(clock):
+    link = Link("t", bandwidth=1 * MiB, clock=clock, chunk_size=64 * 1024)
+    cancelled = threading.Event()
+    cancelled.set()
+    with pytest.raises(TransferError):
+        link.transfer(10 * MiB, cancelled=cancelled)
+    assert link.pending_bytes == 0
+
+
+def test_mid_transfer_cancellation():
+    clock = VirtualClock(time_scale=0.01)
+    link = Link("t", bandwidth=10 * MiB, clock=clock, chunk_size=1 * MiB)
+    cancelled = threading.Event()
+    errors = []
+    started = threading.Event()
+
+    def worker():
+        started.set()
+        try:
+            link.transfer(1000 * MiB, cancelled=cancelled)  # 100 s virtual
+        except TransferError as exc:
+            errors.append(exc)
+
+    t = threading.Thread(target=worker)
+    t.start()
+    started.wait(timeout=5)
+    clock.sleep(1.0)
+    cancelled.set()
+    t.join(timeout=10)
+    assert errors, "transfer should have been cancelled"
+    assert link.pending_bytes == 0
+
+
+def test_invalid_construction():
+    clock = VirtualClock(0.001)
+    with pytest.raises(ConfigError):
+        Link("t", bandwidth=0, clock=clock)
+    with pytest.raises(ConfigError):
+        Link("t", bandwidth=1, clock=clock, latency=-1)
+    with pytest.raises(ConfigError):
+        Link("t", bandwidth=1, clock=clock, chunk_size=0)
+
+
+def test_serialized_link_whole_object():
+    """chunk_size larger than any transfer serializes whole objects."""
+    clock = VirtualClock(time_scale=0.01)
+    link = Link("ssd", bandwidth=100 * MiB, clock=clock, chunk_size=1 << 62)
+    barrier = threading.Barrier(3)
+    durations = []
+    lock = threading.Lock()
+
+    def worker():
+        barrier.wait()
+        seconds = link.transfer(100 * MiB)
+        with lock:
+            durations.append(seconds)
+
+    threads = [threading.Thread(target=worker) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    durations.sort()
+    # Serialized completions stream out: ~1 s, ~2 s, ~3 s.
+    assert durations[0] == pytest.approx(1.0, rel=0.4)
+    assert durations[-1] == pytest.approx(3.0, rel=0.4)

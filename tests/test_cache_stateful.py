@@ -1,0 +1,141 @@
+"""Model-based (hypothesis stateful) test of the CacheBuffer.
+
+A random interleaving of reserves, state transitions, consumptions and
+evictions is replayed against a simple reference model; after every rule
+the allocation-table invariants and the model agreement are checked.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.clock import VirtualClock
+from repro.config import ScaleModel
+from repro.core.cache import CacheBuffer
+from repro.core.catalog import CheckpointRecord
+from repro.core.lifecycle import CkptState
+from repro.core.restore_queue import RestoreQueue
+from repro.core.sync import Monitor
+from repro.errors import AllocationError
+from repro.simgpu.memory import Arena
+from repro.tiers.base import TierLevel
+from repro.util.units import KiB, MiB
+
+SCALE = ScaleModel(data_scale=64 * KiB, alignment=64 * KiB, time_scale=0.002)
+SLOT = 1 * MiB
+CAPACITY_SLOTS = 6
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        clock = VirtualClock(time_scale=0.002)
+        self.cache = CacheBuffer(
+            name="model",
+            level=TierLevel.GPU,
+            arena=Arena("model", CAPACITY_SLOTS * SLOT, SCALE),
+            monitor=Monitor(clock),
+            clock=clock,
+            restore_queue=RestoreQueue(),
+            flush_estimate=lambda n: 0.05,
+        )
+        self.records = {}  # ckpt_id -> record
+        self.cached = set()  # model: ids the cache should contain
+        self.next_id = 0
+
+    # -- rules -------------------------------------------------------------
+    def _snapshot_unevictable(self):
+        out = set()
+        for ckpt_id in self.cached:
+            inst = self.records[ckpt_id].peek(TierLevel.GPU)
+            if inst is not None and not (inst.evictable and not inst.flush_pending):
+                out.add(ckpt_id)
+        return out
+
+    def _reconcile_after_reserve(self, unevictable_before):
+        """reserve() may auto-evict evictable extents; sync the model and
+        assert that nothing unevictable was reclaimed."""
+        with self.cache.monitor:
+            table_ids = {
+                f.record.ckpt_id for f in self.cache.table.fragments() if not f.is_gap
+            }
+        evicted = self.cached - table_ids
+        assert not (evicted & unevictable_before), (
+            f"unevictable extents were reclaimed: {evicted & unevictable_before}"
+        )
+        for ckpt_id in evicted:
+            assert self.records[ckpt_id].peek(TierLevel.GPU) is None
+        self.cached -= evicted
+
+    @rule(size_slots=st.integers(1, 3))
+    def reserve_write(self, size_slots):
+        record = CheckpointRecord(self.next_id, size_slots * SLOT, size_slots * SLOT, 0)
+        self.next_id += 1
+        record.durable_level = TierLevel.SSD  # copies always exist below
+        unevictable = self._snapshot_unevictable()
+        got = self.cache.reserve(record, CkptState.WRITE_IN_PROGRESS, blocking=False)
+        self._reconcile_after_reserve(unevictable)
+        if got is not None:
+            self.records[record.ckpt_id] = record
+            self.cached.add(record.ckpt_id)
+
+    @precondition(lambda self: self.cached)
+    @rule(data=st.data())
+    def advance_state(self, data):
+        ckpt_id = data.draw(st.sampled_from(sorted(self.cached)))
+        inst = self.records[ckpt_id].instance(TierLevel.GPU)
+        next_states = {
+            CkptState.WRITE_IN_PROGRESS: CkptState.WRITE_COMPLETE,
+            CkptState.WRITE_COMPLETE: CkptState.FLUSHED,
+            CkptState.FLUSHED: CkptState.CONSUMED,
+        }
+        nxt = next_states.get(inst.state)
+        if nxt is not None:
+            with self.cache.monitor:
+                inst.transition(nxt)
+                if nxt is CkptState.CONSUMED:
+                    self.records[ckpt_id].consumed = True
+                self.cache.monitor.notify_all()
+
+    @precondition(lambda self: self.cached)
+    @rule(data=st.data())
+    def explicit_evict(self, data):
+        ckpt_id = data.draw(st.sampled_from(sorted(self.cached)))
+        record = self.records[ckpt_id]
+        inst = record.peek(TierLevel.GPU)
+        if inst is not None and inst.evictable:
+            self.cache.evict(record)
+            self.cached.discard(ckpt_id)
+
+    @rule()
+    def double_reserve_rejected(self):
+        for ckpt_id in sorted(self.cached):
+            record = self.records[ckpt_id]
+            try:
+                self.cache.reserve(record, CkptState.WRITE_IN_PROGRESS, blocking=False)
+            except AllocationError:
+                return  # expected
+            raise AssertionError("double reserve must raise")
+
+    # -- invariants -----------------------------------------------------------
+    @invariant()
+    def table_invariants_hold(self):
+        with self.cache.monitor:
+            self.cache.table.check_invariants()
+
+    @invariant()
+    def model_agrees(self):
+        with self.cache.monitor:
+            table_ids = {
+                f.record.ckpt_id for f in self.cache.table.fragments() if not f.is_gap
+            }
+        assert table_ids == self.cached
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        with self.cache.monitor:
+            assert self.cache.table.used_bytes <= self.cache.table.capacity
+
+
+TestCacheMachine = CacheMachine.TestCase
+TestCacheMachine.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)

@@ -1,0 +1,105 @@
+"""Checkpoint records and the catalog."""
+
+import pytest
+
+from repro.core.catalog import Catalog, CheckpointRecord
+from repro.core.lifecycle import CkptState
+from repro.errors import CheckpointNotFound, LifecycleError
+from repro.tiers.base import TierLevel
+
+
+def make_record(ckpt_id=1):
+    return CheckpointRecord(ckpt_id, nominal_size=1024, true_size=1000, checksum=0xAB)
+
+
+class TestRecord:
+    def test_instance_created_on_demand(self):
+        r = make_record()
+        inst = r.instance(TierLevel.GPU)
+        assert inst.state is CkptState.INIT
+        assert r.instance(TierLevel.GPU) is inst
+
+    def test_peek_returns_none_when_absent(self):
+        assert make_record().peek(TierLevel.GPU) is None
+
+    def test_drop_instance(self):
+        r = make_record()
+        r.instance(TierLevel.GPU)
+        r.drop_instance(TierLevel.GPU)
+        assert r.peek(TierLevel.GPU) is None
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(LifecycleError):
+            make_record().drop_instance(TierLevel.HOST)
+
+    def test_cached_copy_levels_fastest_first(self):
+        r = make_record()
+        host = r.instance(TierLevel.HOST)
+        host.transition(CkptState.WRITE_IN_PROGRESS)
+        host.transition(CkptState.WRITE_COMPLETE)
+        gpu = r.instance(TierLevel.GPU)
+        gpu.transition(CkptState.READ_IN_PROGRESS)
+        # GPU extent incomplete: only host counts.
+        assert list(r.cached_copy_levels()) == [TierLevel.HOST]
+        gpu.transition(CkptState.READ_COMPLETE)
+        assert list(r.cached_copy_levels()) == [TierLevel.GPU, TierLevel.HOST]
+        assert r.fastest_cached_level() == TierLevel.GPU
+
+    def test_has_copy_besides_uses_durable(self):
+        r = make_record()
+        gpu = r.instance(TierLevel.GPU)
+        gpu.transition(CkptState.WRITE_IN_PROGRESS)
+        gpu.transition(CkptState.WRITE_COMPLETE)
+        assert not r.has_copy_besides(TierLevel.GPU)
+        r.durable_level = TierLevel.SSD
+        assert r.has_copy_besides(TierLevel.GPU)
+        # the GPU cached copy counts as "besides SSD"
+        assert r.has_copy_besides(TierLevel.SSD)
+        assert r.fastest_cached_level() is TierLevel.GPU
+
+    def test_has_copy_besides_other_cache(self):
+        r = make_record()
+        for level in (TierLevel.GPU, TierLevel.HOST):
+            inst = r.instance(level)
+            inst.transition(CkptState.WRITE_IN_PROGRESS)
+            inst.transition(CkptState.WRITE_COMPLETE)
+        assert r.has_copy_besides(TierLevel.GPU)
+        assert r.has_copy_besides(TierLevel.HOST)
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        cat = Catalog()
+        r = cat.create(1, 1024, 1000, 0xAB)
+        assert cat.get(1) is r
+        assert cat.contains(1)
+        assert len(cat) == 1
+
+    def test_duplicate_create_rejected(self):
+        cat = Catalog()
+        cat.create(1, 1024, 1000, 0xAB)
+        with pytest.raises(LifecycleError):
+            cat.create(1, 2048, 2000, 0xCD)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(CheckpointNotFound):
+            Catalog().get(42)
+
+    def test_maybe_get(self):
+        cat = Catalog()
+        assert cat.maybe_get(1) is None
+        r = cat.create(1, 1024, 1000, 0)
+        assert cat.maybe_get(1) is r
+
+    def test_forget(self):
+        cat = Catalog()
+        cat.create(1, 1024, 1000, 0)
+        cat.forget(1)
+        assert not cat.contains(1)
+        cat.forget(1)  # idempotent
+
+    def test_all_records(self):
+        cat = Catalog()
+        cat.create(1, 1024, 1000, 0)
+        cat.create(2, 1024, 1000, 0)
+        assert {r.ckpt_id for r in cat.all_records()} == {1, 2}

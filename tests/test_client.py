@@ -1,0 +1,127 @@
+"""VELOC-like Client facade."""
+
+import pytest
+
+from repro.core.client import Client
+from repro.errors import CheckpointNotFound, HintError
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+from tests.conftest import make_buffer
+
+CKPT = 128 * MiB
+
+
+@pytest.fixture
+def client(context):
+    c = Client.create(context)
+    yield c
+    c.close()
+
+
+class TestRegions:
+    def test_checkpoint_without_regions_rejected(self, client):
+        with pytest.raises(HintError):
+            client.checkpoint("x", 0)
+
+    def test_restart_without_regions_rejected(self, client):
+        with pytest.raises(HintError):
+            client.restart(0)
+
+    def test_region_id_bounds(self, client, context):
+        with pytest.raises(HintError):
+            client.mem_protect(-1, make_buffer(context, CKPT))
+        with pytest.raises(HintError):
+            client.mem_protect(1024, make_buffer(context, CKPT))
+
+    def test_unprotect(self, client, context):
+        client.mem_protect(1, make_buffer(context, CKPT))
+        client.unprotect(1)
+        with pytest.raises(HintError):
+            client.checkpoint("x", 0)
+
+
+class TestSingleRegion:
+    def test_roundtrip(self, client, context):
+        buf = make_buffer(context, CKPT, seed=3)
+        expected = buf.checksum()
+        client.mem_protect(1, buf)
+        client.checkpoint("w", 0)
+        buf.fill_random(make_rng(99, "overwrite"))
+        client.restart(0)
+        assert buf.checksum() == expected
+
+    def test_recover_size(self, client, context):
+        client.mem_protect(1, make_buffer(context, CKPT))
+        client.checkpoint("w", 0)
+        assert client.recover_size(0, 1) == CKPT
+
+    def test_duplicate_version_rejected(self, client, context):
+        client.mem_protect(1, make_buffer(context, CKPT))
+        client.checkpoint("w", 0)
+        with pytest.raises(HintError):
+            client.checkpoint("w", 0)
+
+    def test_restart_unknown_version(self, client, context):
+        client.mem_protect(1, make_buffer(context, CKPT))
+        with pytest.raises(CheckpointNotFound):
+            client.restart(5)
+
+    def test_blocked_time_returned(self, client, context):
+        client.mem_protect(1, make_buffer(context, CKPT))
+        assert client.checkpoint("w", 0) > 0.0
+        assert client.restart(0) > 0.0
+
+
+class TestMultiRegion:
+    def test_two_regions_roundtrip(self, client, context):
+        b1 = make_buffer(context, CKPT, seed=1)
+        b2 = make_buffer(context, 64 * MiB, seed=2)
+        s1, s2 = b1.checksum(), b2.checksum()
+        client.mem_protect(1, b1)
+        client.mem_protect(2, b2)
+        client.checkpoint("w", 0)
+        b1.fill_random(make_rng(5, "x"))
+        b2.fill_random(make_rng(6, "y"))
+        client.restart(0)
+        assert b1.checksum() == s1 and b2.checksum() == s2
+
+    def test_regions_have_distinct_sizes(self, client, context):
+        client.mem_protect(1, make_buffer(context, CKPT))
+        client.mem_protect(2, make_buffer(context, 64 * MiB))
+        client.checkpoint("w", 0)
+        assert client.recover_size(0, 1) == CKPT
+        assert client.recover_size(0, 2) == 64 * MiB
+
+
+class TestHints:
+    def test_listing1_pattern(self, client, context):
+        """Hints enqueued before the forward pass (Listing 1)."""
+        buf = make_buffer(context, CKPT)
+        client.mem_protect(1, buf)
+        num = 6
+        for v in reversed(range(num)):
+            client.prefetch_enqueue(v)
+        sums = []
+        for v in range(num):
+            buf.fill_random(make_rng(v, "fw"))
+            sums.append(buf.checksum())
+            client.checkpoint("w", v)
+        client.prefetch_start()
+        for v in reversed(range(num)):
+            client.restart(v)
+            assert buf.checksum() == sums[v]
+
+    def test_hint_without_regions_rejected(self, client):
+        with pytest.raises(HintError):
+            client.prefetch_enqueue(0)
+
+    def test_stats_passthrough(self, client, context):
+        client.mem_protect(1, make_buffer(context, CKPT))
+        client.checkpoint("w", 0)
+        assert client.stats()["checkpoints"] == 1
+
+    def test_wait_for_flushes(self, client, context):
+        client.mem_protect(1, make_buffer(context, CKPT))
+        client.checkpoint("w", 0)
+        client.wait_for_flushes()
+        assert client.engine.ssd.object_count() == 1

@@ -1,0 +1,136 @@
+"""Configuration validation and scale-model arithmetic."""
+
+import pytest
+
+from repro.config import (
+    BENCH_SCALE,
+    CacheConfig,
+    HardwareSpec,
+    RuntimeConfig,
+    ScaleModel,
+    bench_config,
+)
+from repro.errors import ConfigError
+from repro.util.units import GiB, KiB, MiB
+
+
+class TestHardwareSpec:
+    def test_defaults_are_paper_values(self):
+        spec = HardwareSpec()
+        assert spec.gpus_per_node == 8
+        assert spec.gpus_per_pcie_link == 2
+        assert spec.d2d_bandwidth == pytest.approx(1024 * GiB)
+        assert spec.d2h_bandwidth == pytest.approx(25 * GiB)
+        assert spec.host_pin_bandwidth == pytest.approx(4 * GiB)
+
+    def test_pcie_links_per_node(self):
+        assert HardwareSpec().pcie_links_per_node == 4
+
+    def test_gpus_must_divide_links(self):
+        with pytest.raises(ConfigError):
+            HardwareSpec(gpus_per_node=6, gpus_per_pcie_link=4)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareSpec(d2h_bandwidth=-1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareSpec(transfer_latency=-1e-6)
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareSpec(gpus_per_node=0)
+
+    def test_uvm_params_validated(self):
+        with pytest.raises(ConfigError):
+            HardwareSpec(uvm_page_size=0)
+
+
+class TestScaleModel:
+    def test_align_rounds_up(self):
+        s = ScaleModel(alignment=64 * KiB)
+        assert s.align(1) == 64 * KiB
+        assert s.align(64 * KiB) == 64 * KiB
+        assert s.align(64 * KiB + 1) == 128 * KiB
+
+    def test_align_zero_gives_one_unit(self):
+        s = ScaleModel(alignment=64 * KiB)
+        assert s.align(0) == 64 * KiB
+
+    def test_align_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            ScaleModel().align(-1)
+
+    def test_payload_bytes(self):
+        s = ScaleModel(data_scale=1024, alignment=1024)
+        assert s.payload_bytes(2048) == 2
+
+    def test_payload_bytes_requires_alignment(self):
+        s = ScaleModel(data_scale=1024, alignment=1024)
+        with pytest.raises(ConfigError):
+            s.payload_bytes(1000)
+
+    def test_alignment_must_be_multiple_of_data_scale(self):
+        with pytest.raises(ConfigError):
+            ScaleModel(data_scale=1024, alignment=1000)
+
+    def test_data_scale_positive(self):
+        with pytest.raises(ConfigError):
+            ScaleModel(data_scale=0)
+
+    def test_time_scale_range(self):
+        with pytest.raises(ConfigError):
+            ScaleModel(time_scale=0)
+
+    def test_bench_scale_consistency(self):
+        # 128 MiB checkpoints map onto whole payload bytes.
+        assert BENCH_SCALE.payload_bytes(128 * MiB) * BENCH_SCALE.data_scale == 128 * MiB
+
+
+class TestCacheConfig:
+    def test_defaults_match_paper(self):
+        c = CacheConfig()
+        assert c.gpu_cache_size == 4 * GiB
+        assert c.host_cache_size == 32 * GiB
+
+    def test_of_parses_strings(self):
+        c = CacheConfig.of("4GB", "32GB")
+        assert c.gpu_cache_size == 4 * GiB
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(gpu_cache_size=0)
+
+
+class TestRuntimeConfig:
+    def test_total_processes(self):
+        cfg = RuntimeConfig(num_nodes=2)
+        assert cfg.total_processes == 16
+
+    def test_processes_per_node_override(self):
+        cfg = RuntimeConfig(processes_per_node=3)
+        assert cfg.effective_processes_per_node == 3
+        assert cfg.total_processes == 3
+
+    def test_processes_per_node_bounded(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(processes_per_node=9)
+
+    def test_nodes_positive(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(num_nodes=0)
+
+    def test_eviction_policy_validated(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(eviction_policy="random")
+
+    def test_with_returns_modified_copy(self):
+        cfg = RuntimeConfig()
+        other = cfg.with_(num_nodes=2)
+        assert other.num_nodes == 2 and cfg.num_nodes == 1
+
+    def test_bench_config(self):
+        cfg = bench_config(num_nodes=2)
+        assert cfg.scale is BENCH_SCALE
+        assert cfg.num_nodes == 2

@@ -1,0 +1,83 @@
+"""Additional coverage: UVM runtime throttle, harness labels, misc edges."""
+
+import pytest
+
+from repro.baselines.uvm_runtime import UvmEngine
+from repro.harness.approaches import APPROACHES
+from repro.harness.experiment import Experiment
+from repro.harness.figures import FigureResult
+from repro.metrics.timeline import sparkline
+from repro.util.units import MiB
+from repro.workloads.patterns import RestoreOrder
+from tests.conftest import make_buffer
+
+CKPT = 128 * MiB
+
+
+class TestUvmThrottle:
+    def test_prefetched_unconsumed_bounded_by_device_cache(self, context):
+        eng = UvmEngine(context)
+        try:
+            n = 10
+            for v in range(n):
+                eng.checkpoint(v, make_buffer(context, CKPT, seed=v))
+            eng.wait_for_flushes()
+            for v in range(n):
+                eng.prefetch_enqueue(v)
+            eng.prefetch_start()
+            eng.clock.sleep(2.0)  # let prefetches run up to the throttle
+            with eng.monitor:
+                assert eng._prefetched_unconsumed <= eng.uvm.device_capacity
+            # consume everything; the counter must drain back to ~zero
+            out = context.device.alloc_buffer(CKPT)
+            for v in range(n):
+                eng.restore(v, out)
+            eng.clock.sleep(0.5)
+            with eng.monitor:
+                assert eng._prefetched_unconsumed == 0
+        finally:
+            eng.close()
+
+    def test_unknown_recover_size(self, context):
+        from repro.errors import CheckpointNotFound
+
+        eng = UvmEngine(context)
+        try:
+            with pytest.raises(CheckpointNotFound):
+                eng.recover_size(99)
+        finally:
+            eng.close()
+
+
+class TestHarnessSurfaces:
+    def test_experiment_label_mentions_wait(self):
+        exp = Experiment(
+            approach=APPROACHES["uvm-single"],
+            order=RestoreOrder.IRREGULAR,
+            wait_for_flush=True,
+        )
+        assert "WAIT" in exp.label and "UVM" in exp.label
+        assert "irregular" in exp.label
+
+    def test_figure_result_defaults(self):
+        result = FigureResult(figure="x", columns=["a"], rows=[(1,)])
+        assert result.rendered == "" and result.extras == {}
+
+
+class TestSparklineEdges:
+    def test_single_point(self):
+        assert len(sparkline([(0, 3.0)])) == 1
+
+    def test_negative_values(self):
+        out = sparkline([(0, -5.0), (1, 0.0), (2, 5.0)])
+        assert out[0] == "▁" and out[-1] == "█"
+
+
+class TestLinkEstimateEdges:
+    def test_negative_estimate_rejected(self):
+        from repro.clock import VirtualClock
+        from repro.simgpu.bandwidth import Link
+
+        link = Link("t", bandwidth=1024, clock=VirtualClock(0.002))
+        with pytest.raises(ValueError):
+            link.estimate(-1)

@@ -1,0 +1,68 @@
+"""Simulated Device: arenas, buffers, streams, links."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.config import HardwareSpec, ScaleModel
+from repro.simgpu.device import Device
+from repro.util.units import GiB, KiB, MiB
+
+SCALE = ScaleModel(data_scale=512 * KiB, alignment=512 * KiB, time_scale=0.002)
+
+
+@pytest.fixture
+def device():
+    dev = Device(0, HardwareSpec(), SCALE, VirtualClock(time_scale=0.002))
+    yield dev
+    dev.close()
+
+
+def test_private_links_when_standalone(device):
+    assert device.d2d_link is not device.d2h_link
+    assert device.d2h_link.bandwidth == pytest.approx(25 * GiB)
+    assert device.d2d_link.bandwidth == pytest.approx(1024 * GiB)
+
+
+def test_alloc_arena_charges_time(device):
+    before = device.clock.now()
+    device.alloc_arena(4 * GiB, charge_cost=True)
+    elapsed = device.clock.now() - before
+    # 4 GiB at 1 TiB/s ≈ 3.9 ms of nominal allocation time.
+    assert elapsed >= 0.003
+
+
+def test_alloc_arena_free_when_uncharged(device):
+    before = device.clock.now()
+    device.alloc_arena(4 * GiB, charge_cost=False)
+    assert device.clock.now() - before < 0.5
+
+
+def test_alloc_buffer_aligns(device):
+    buf = device.alloc_buffer(100 * MiB)
+    assert buf.nominal_size % SCALE.alignment == 0
+    assert buf.device_id == 0
+
+
+def test_streams_tracked_and_closed(device):
+    s1 = device.create_stream("a")
+    s2 = device.create_stream("b")
+    done = []
+    s1.submit(lambda: done.append(1)).wait(timeout=5)
+    device.close()
+    assert done == [1]
+    # after close the streams reject new work
+    from repro.errors import TransferError
+
+    with pytest.raises(TransferError):
+        s2.submit(lambda: None)
+
+
+def test_shared_links_injected():
+    clock = VirtualClock(time_scale=0.002)
+    spec = HardwareSpec()
+    from repro.simgpu.bandwidth import Link
+
+    shared = Link("shared", spec.d2h_bandwidth, clock)
+    dev = Device(1, spec, SCALE, clock, d2h_link=shared)
+    assert dev.d2h_link is shared
+    dev.close()

@@ -1,0 +1,203 @@
+"""ScoreEngine end-to-end semantics (single process)."""
+
+import pytest
+
+from repro.core.engine import ScoreEngine
+from repro.core.lifecycle import CkptState
+from repro.errors import (
+    CheckpointNotFound,
+    EngineClosedError,
+    IntegrityError,
+    LifecycleError,
+)
+from repro.tiers.base import TierLevel
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+from tests.conftest import make_buffer
+
+CKPT = 128 * MiB  # 4 fit the tiny GPU cache, 16 the host cache
+
+
+class TestCheckpoint:
+    def test_checkpoint_lands_in_gpu_cache(self, engine, context):
+        buf = make_buffer(context, CKPT, seed=1)
+        blocked = engine.checkpoint(0, buf)
+        assert blocked > 0.0
+        record = engine.catalog.get(0)
+        inst = record.peek(TierLevel.GPU)
+        assert inst is not None and inst.has_copy
+
+    def test_duplicate_id_rejected(self, engine, context):
+        buf = make_buffer(context, CKPT)
+        engine.checkpoint(0, buf)
+        with pytest.raises(LifecycleError):
+            engine.checkpoint(0, buf)
+
+    def test_flush_cascade_reaches_ssd(self, engine, context):
+        engine.checkpoint(0, make_buffer(context, CKPT))
+        engine.wait_for_flushes()
+        assert engine.ssd.contains(engine.store_key(engine.catalog.get(0)))
+        record = engine.catalog.get(0)
+        assert record.durable_level == TierLevel.SSD
+        assert record.peek(TierLevel.GPU).state is CkptState.FLUSHED
+        assert record.peek(TierLevel.HOST).state is CkptState.FLUSHED
+
+    def test_history_exceeding_caches_spills(self, engine, context):
+        # 24 x 128 MiB = 3 GiB > 512 MiB GPU + 2 GiB host
+        for v in range(24):
+            engine.checkpoint(v, make_buffer(context, CKPT, seed=v))
+        engine.wait_for_flushes()
+        assert engine.ssd.object_count() == 24
+        assert engine.gpu_cache.evictions > 0
+        assert engine.host_cache.evictions > 0
+
+    def test_recover_size_returns_true_size(self, engine, context):
+        buf = make_buffer(context, CKPT)
+        engine.checkpoint(0, buf)
+        assert engine.recover_size(0) == CKPT
+
+
+class TestRestore:
+    def test_restore_verifies_payload(self, engine, context):
+        buf = make_buffer(context, CKPT, seed=7)
+        expected = buf.checksum()
+        engine.checkpoint(0, buf)
+        out = context.device.alloc_buffer(CKPT)
+        engine.restore(0, out)
+        assert out.checksum() == expected
+
+    def test_restore_unknown_raises(self, engine, context):
+        with pytest.raises(CheckpointNotFound):
+            engine.restore(42, make_buffer(context, CKPT))
+
+    def test_restore_twice_rejected(self, engine, context):
+        engine.checkpoint(0, make_buffer(context, CKPT))
+        out = context.device.alloc_buffer(CKPT)
+        engine.restore(0, out)
+        with pytest.raises(LifecycleError):
+            engine.restore(0, out)
+
+    def test_restore_from_ssd_after_eviction(self, engine, context):
+        sums = {}
+        for v in range(24):
+            buf = make_buffer(context, CKPT, seed=v)
+            sums[v] = buf.checksum()
+            engine.checkpoint(v, buf)
+        engine.wait_for_flushes()
+        out = context.device.alloc_buffer(CKPT)
+        engine.restore(0, out)  # long evicted from both caches
+        assert out.checksum() == sums[0]
+        restores = engine.recorder.restores()
+        assert restores[0].source_level in ("SSD", "HOST")
+
+    def test_restore_detects_corruption(self, engine, context):
+        engine.checkpoint(0, make_buffer(context, CKPT, seed=1))
+        engine.wait_for_flushes()
+        # Corrupt the SSD copy, then force the restore to read it.
+        record = engine.catalog.get(0)
+        engine.gpu_cache.evict(record)
+        engine.host_cache.evict(record)
+        payload, _ = engine.ssd.get(engine.store_key(record))
+        payload[0] ^= 0xFF
+        engine.ssd.put(engine.store_key(record), payload, record.nominal_size)
+        with pytest.raises(IntegrityError):
+            engine.restore(0, context.device.alloc_buffer(CKPT))
+
+    def test_restore_marks_all_instances_consumed(self, engine, context):
+        engine.checkpoint(0, make_buffer(context, CKPT))
+        engine.wait_for_flushes()
+        engine.restore(0, context.device.alloc_buffer(CKPT))
+        record = engine.catalog.get(0)
+        assert record.consumed
+        for inst in record.instances.values():
+            assert inst.state is CkptState.CONSUMED
+
+
+class TestHints:
+    def test_prefetch_stages_upcoming(self, engine, context):
+        for v in range(24):
+            engine.checkpoint(v, make_buffer(context, CKPT, seed=v))
+        engine.wait_for_flushes()
+        for v in range(24):
+            engine.prefetch_enqueue(v)
+        engine.prefetch_start()
+        out = context.device.alloc_buffer(CKPT)
+        for v in range(24):
+            # compute interval between restores: the prefetcher works in
+            # these gaps (demand-priority pauses it during restores).
+            engine.clock.sleep(0.3)
+            engine.restore(v, out)
+        assert engine.prefetcher.promotions > 0
+        # at least some restores should hit a prefetched GPU extent
+        sources = [e.source_level for e in engine.recorder.restores()]
+        assert "GPU" in sources
+
+    def test_duplicate_hint_rejected(self, engine):
+        engine.prefetch_enqueue(1)
+        with pytest.raises(Exception):
+            engine.prefetch_enqueue(1)
+
+    def test_deviation_from_hints_tolerated(self, engine, context):
+        for v in range(6):
+            engine.checkpoint(v, make_buffer(context, CKPT, seed=v))
+        engine.wait_for_flushes()
+        for v in range(6):
+            engine.prefetch_enqueue(v)
+        engine.prefetch_start()
+        out = context.device.alloc_buffer(CKPT)
+        # restore in a different order than hinted
+        for v in (5, 0, 3, 1, 4, 2):
+            engine.restore(v, out)
+
+    def test_prefetch_distance_recorded(self, engine, context):
+        for v in range(8):
+            engine.checkpoint(v, make_buffer(context, CKPT, seed=v))
+        engine.wait_for_flushes()
+        for v in range(8):
+            engine.prefetch_enqueue(v)
+        engine.prefetch_start()
+        out = context.device.alloc_buffer(CKPT)
+        for v in range(8):
+            engine.restore(v, out)
+        distances = [e.prefetch_distance for e in engine.recorder.restores()]
+        assert all(d is not None for d in distances)
+
+
+class TestDiscard:
+    def test_discard_consumed_cancels_flushes(self, context):
+        eng = ScoreEngine(context, discard_consumed=True)
+        try:
+            eng.checkpoint(0, make_buffer(context, CKPT))
+            out = context.device.alloc_buffer(CKPT)
+            eng.restore(0, out)  # consumed before flushes complete
+            record = eng.catalog.get(0)
+            assert record.discarded
+            assert record.cancel_flush.is_set()
+            eng.wait_for_flushes()
+        finally:
+            eng.close()
+
+
+class TestLifecycleManagement:
+    def test_close_idempotent(self, context):
+        eng = ScoreEngine(context)
+        eng.close()
+        eng.close()
+
+    def test_operations_after_close_rejected(self, context):
+        eng = ScoreEngine(context)
+        eng.close()
+        with pytest.raises(EngineClosedError):
+            eng.checkpoint(0, make_buffer(context, CKPT))
+        with pytest.raises(EngineClosedError):
+            eng.prefetch_enqueue(0)
+
+    def test_stats_shape(self, engine, context):
+        engine.checkpoint(0, make_buffer(context, CKPT))
+        stats = engine.stats()
+        for key in ("checkpoints", "gpu_occupancy", "promotions", "ssd_objects"):
+            assert key in stats
+
+    def test_context_manager(self, context):
+        with ScoreEngine(context) as eng:
+            eng.checkpoint(0, make_buffer(context, CKPT))

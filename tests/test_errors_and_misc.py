@@ -1,0 +1,64 @@
+"""Error hierarchy contracts and remaining small surfaces."""
+
+import pytest
+
+from repro import errors
+from repro.core.sync import Monitor
+from repro.clock import VirtualClock
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_reproerrors(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+                if obj.__module__ == "repro.errors":
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_capacity_is_allocation_error(self):
+        assert issubclass(errors.CapacityError, errors.AllocationError)
+        assert issubclass(errors.FragmentationError, errors.AllocationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.IntegrityError("x")
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.metrics as metrics
+        import repro.simgpu as simgpu
+        import repro.tiers as tiers
+        import repro.util as util
+        import repro.workloads as workloads
+        import repro.baselines as baselines
+        import repro.harness as harness
+
+        for mod in (core, metrics, simgpu, tiers, util, workloads, baselines, harness):
+            for name in getattr(mod, "__all__", []):
+                assert getattr(mod, name) is not None, f"{mod.__name__}.{name}"
+
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+class TestMonitorContract:
+    def test_notify_requires_held_monitor(self):
+        mon = Monitor(VirtualClock(time_scale=0.002))
+        with pytest.raises(RuntimeError):
+            mon.notify_all()  # condition not acquired
+
+    def test_wait_requires_held_monitor(self):
+        mon = Monitor(VirtualClock(time_scale=0.002))
+        with pytest.raises(RuntimeError):
+            mon.wait(virtual_timeout=0.001)

@@ -1,0 +1,72 @@
+"""Smoke tests for the figure harness at miniature scale.
+
+The full grids are exercised by ``benchmarks/``; here each figure function
+runs at the smallest sensible size so its plumbing (rows, rendering,
+extras) is covered by the ordinary test suite.
+"""
+
+import pytest
+
+from repro.harness import figures
+from repro.util.units import MiB
+
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+N = 24  # smallest size whose ratio-scaled GPU cache fits 2 x 128 MiB
+
+
+class TestFig4:
+    def test_rows_and_extras(self):
+        result = figures.fig4_size_distribution(num_ranks=4, num_snapshots=16)
+        assert len(result.rows) == 16
+        assert len(result.extras["per_rank_totals_gib"]) == 4
+        assert "Figure 4" in result.rendered
+
+
+class TestThroughputGrids:
+    def test_fig6_single_cell(self):
+        from repro.harness.approaches import APPROACHES
+        from repro.workloads.patterns import RestoreOrder
+
+        result = figures.fig6_nowait(
+            workload="uniform",
+            num_snapshots=N,
+            approaches=(APPROACHES["score-all"],),
+            orders=(RestoreOrder.REVERSE,),
+        )
+        assert len(result.rows) == 1
+        order, label, ckpt, restore = result.rows[0]
+        assert order == "reverse" and "Score" in label
+        assert ckpt.endswith("/s") and restore.endswith("/s")
+
+    def test_fig5_single_cell(self):
+        from repro.harness.approaches import APPROACHES
+        from repro.workloads.patterns import RestoreOrder
+
+        result = figures.fig5_wait(
+            workload="variable",
+            num_snapshots=N,
+            approaches=(APPROACHES["uvm-none"],),
+            orders=(RestoreOrder.SEQUENTIAL,),
+        )
+        assert len(result.rows) == 1
+        assert "WAIT" in result.rendered
+
+
+class TestSensitivity:
+    def test_fig8a_minimal(self):
+        result = figures.fig8a_compute_interval(intervals=(0.010,), num_snapshots=N)
+        assert len(result.rows) == 5  # the five fig-8 approaches
+        assert all(row[0] == "10ms" for row in result.rows)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert figures.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "ablation-eviction" in out
+
+    def test_run_fig4(self, capsys):
+        assert figures.main(["fig4"]) == 0
+        assert "Figure 4" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""GPUDirect storage mode (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.engine import ScoreEngine
+from repro.core.lifecycle import CkptState
+from repro.tiers.base import TierLevel
+from repro.util.units import MiB
+from tests.conftest import make_buffer
+
+CKPT = 128 * MiB
+
+
+@pytest.fixture
+def gds_engine(context):
+    eng = ScoreEngine(context, gpudirect=True)
+    yield eng
+    eng.close()
+
+
+def test_flush_bypasses_host_cache(gds_engine, context):
+    gds_engine.checkpoint(0, make_buffer(context, CKPT))
+    gds_engine.wait_for_flushes()
+    record = gds_engine.catalog.get(0)
+    assert record.durable_level is TierLevel.SSD
+    assert record.peek(TierLevel.GPU).state is CkptState.FLUSHED
+    assert record.peek(TierLevel.HOST) is None  # never staged through host
+    assert gds_engine.host_cache.table.used_bytes == 0
+
+
+def test_restore_reads_storage_directly(gds_engine, context):
+    sums = {}
+    for v in range(8):  # exceeds the 4-slot GPU cache
+        buf = make_buffer(context, CKPT, seed=v)
+        sums[v] = buf.checksum()
+        gds_engine.checkpoint(v, buf)
+    gds_engine.wait_for_flushes()
+    out = context.device.alloc_buffer(CKPT)
+    for v in range(8):
+        gds_engine.restore(v, out)
+        assert out.checksum() == sums[v]
+    assert gds_engine.host_cache.table.used_bytes == 0
+
+
+def test_prefetch_works_with_gpudirect(gds_engine, context):
+    for v in range(8):
+        gds_engine.checkpoint(v, make_buffer(context, CKPT, seed=v))
+    gds_engine.wait_for_flushes()
+    for v in range(8):
+        gds_engine.prefetch_enqueue(v)
+    gds_engine.prefetch_start()
+    out = context.device.alloc_buffer(CKPT)
+    for v in range(8):
+        gds_engine.clock.sleep(0.3)
+        gds_engine.restore(v, out)
+    sources = {e.source_level for e in gds_engine.recorder.restores()}
+    assert sources <= {"GPU", "SSD"}  # host tier never serves
+
+
+def test_gpudirect_history_roundtrip_reverse(gds_engine, context):
+    sums = {}
+    for v in range(12):
+        buf = make_buffer(context, CKPT, seed=v)
+        sums[v] = buf.checksum()
+        gds_engine.checkpoint(v, buf)
+    gds_engine.wait_for_flushes()
+    out = context.device.alloc_buffer(CKPT)
+    for v in reversed(range(12)):
+        gds_engine.restore(v, out)
+        assert out.checksum() == sums[v]

@@ -1,0 +1,123 @@
+"""Experiment harness: Table-1 approaches, config plumbing, tiny runs."""
+
+import pytest
+
+from repro.config import CacheConfig, bench_config
+from repro.errors import ConfigError
+from repro.harness.approaches import APPROACHES, TABLE1, make_engine_factory
+from repro.harness.experiment import (
+    Experiment,
+    run_experiment,
+    scaled_caches,
+)
+from repro.tiers.topology import Cluster
+from repro.util.units import GiB, MiB
+from repro.workloads.patterns import RestoreOrder
+from repro.workloads.shot import HintMode
+from tests.conftest import TEST_SCALE, tiny_config
+
+
+class TestTable1:
+    def test_seven_approaches(self):
+        assert len(TABLE1) == 7
+
+    def test_adios2_only_no_hints(self):
+        adios_rows = [a for a in TABLE1 if a.runtime == "adios2"]
+        assert len(adios_rows) == 1
+        assert adios_rows[0].hint_mode is HintMode.NONE
+
+    def test_score_and_uvm_have_all_hint_modes(self):
+        for runtime in ("score", "uvm"):
+            modes = {a.hint_mode for a in TABLE1 if a.runtime == runtime}
+            assert modes == set(HintMode)
+
+    def test_keys_unique(self):
+        assert len(APPROACHES) == len(TABLE1)
+
+    def test_factory_builds_each_runtime(self):
+        cfg = tiny_config()
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            for runtime in ("score", "uvm", "adios2"):
+                engine = make_engine_factory(runtime)(ctx)
+                engine.close()
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(ConfigError):
+            make_engine_factory("magnetic-tape")
+
+
+class TestScaledCaches:
+    def test_paper_ratios(self):
+        caches = scaled_caches(48 * GiB)
+        assert caches.gpu_cache_size == 4 * GiB
+        assert caches.host_cache_size == 32 * GiB
+
+    def test_scales_linearly(self):
+        caches = scaled_caches(12 * GiB)
+        assert caches.gpu_cache_size == 1 * GiB
+        assert caches.host_cache_size == 8 * GiB
+
+
+class TestExperiment:
+    def test_label(self):
+        exp = Experiment(approach=APPROACHES["score-all"])
+        assert "Score" in exp.label
+
+    def test_with_override(self):
+        exp = Experiment(approach=APPROACHES["score-all"])
+        assert exp.with_(num_snapshots=10).num_snapshots == 10
+
+    def test_tiny_run_end_to_end(self):
+        exp = Experiment(
+            approach=APPROACHES["score-all"],
+            workload="uniform",
+            order=RestoreOrder.REVERSE,
+            num_snapshots=6,
+            snapshot_size=128 * MiB,
+            processes_per_node=2,
+            config=tiny_config(processes_per_node=2),
+            cache=CacheConfig(gpu_cache_size=512 * MiB, host_cache_size=2 * GiB),
+            compute_interval=0.005,
+        )
+        result = run_experiment(exp)
+        assert len(result.shots) == 2
+        assert result.checkpoint_rate > 0
+        assert result.restore_rate > 0
+
+    def test_variable_workload_run(self):
+        exp = Experiment(
+            approach=APPROACHES["uvm-none"],
+            workload="variable",
+            order=RestoreOrder.IRREGULAR,
+            num_snapshots=6,
+            snapshot_size=128 * MiB,
+            processes_per_node=1,
+            config=tiny_config(),
+            cache=CacheConfig(gpu_cache_size=512 * MiB, host_cache_size=2 * GiB),
+            compute_interval=0.005,
+        )
+        result = run_experiment(exp)
+        assert result.restore_rate > 0
+
+    def test_unknown_workload_rejected(self):
+        exp = Experiment(
+            approach=APPROACHES["score-all"],
+            workload="spiral",
+            config=tiny_config(),
+        )
+        with pytest.raises(ConfigError):
+            run_experiment(exp)
+
+    def test_adios2_run(self):
+        exp = Experiment(
+            approach=APPROACHES["adios2-none"],
+            num_snapshots=4,
+            snapshot_size=128 * MiB,
+            processes_per_node=1,
+            config=tiny_config(),
+            cache=CacheConfig(gpu_cache_size=512 * MiB, host_cache_size=2 * GiB),
+            compute_interval=0.005,
+        )
+        result = run_experiment(exp)
+        assert result.checkpoint_rate > 0

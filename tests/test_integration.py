@@ -1,0 +1,163 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.core.client import Client
+from repro.core.engine import ScoreEngine
+from repro.tiers.topology import Cluster
+from repro.util.rng import make_rng
+from repro.util.units import GiB, MiB
+from repro.workloads.multiproc import run_multiprocess_shot
+from repro.workloads.patterns import RestoreOrder, restore_order
+from repro.workloads.rtm import variable_trace
+from repro.workloads.shot import HintMode, ShotSpec, run_shot
+from tests.conftest import make_buffer, tiny_config
+
+CKPT = 128 * MiB
+
+
+class TestDataIntegrityUnderPressure:
+    """Every byte of every checkpoint survives heavy eviction churn."""
+
+    @pytest.mark.parametrize("policy", ["score", "lru", "fifo"])
+    def test_eviction_policies_preserve_data(self, policy):
+        cfg = tiny_config(eviction_policy=policy)
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx) as engine:
+                sums = {}
+                for v in range(20):  # 2.5 GiB through 0.5+2 GiB caches
+                    buf = make_buffer(ctx, CKPT, seed=v)
+                    sums[v] = buf.checksum()
+                    engine.checkpoint(v, buf)
+                engine.wait_for_flushes()
+                out = ctx.device.alloc_buffer(CKPT)
+                for v in restore_order(RestoreOrder.IRREGULAR, 20, seed=2):
+                    engine.restore(v, out)
+                    assert out.checksum() == sums[v], f"corruption at version {v}"
+
+    def test_variable_sizes_with_fragmentation(self):
+        cfg = tiny_config()
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            trace = variable_trace(
+                cfg.scale, rank=0, seed=5, num_snapshots=16, total_bytes=16 * CKPT
+            )
+            with ScoreEngine(ctx) as engine:
+                sums = {}
+                for v, size in enumerate(trace.sizes):
+                    buf = ctx.device.alloc_buffer(size)
+                    buf.fill_random(make_rng(v, "frag"))
+                    sums[v] = buf.checksum()
+                    engine.checkpoint(v, buf)
+                engine.wait_for_flushes()
+                for v in restore_order(RestoreOrder.IRREGULAR, 16, seed=9):
+                    out = ctx.device.alloc_buffer(engine.scale.align(engine.recover_size(v)))
+                    engine.restore(v, out)
+                    assert out.checksum() == sums[v]
+
+
+class TestSplitCacheAblation:
+    def test_split_cache_runs_and_partitions(self):
+        cfg = tiny_config(shared_cache=False)
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx) as engine:
+                assert engine.gpu_cache.write_boundary is not None
+                sums = {}
+                for v in range(8):
+                    buf = make_buffer(ctx, CKPT, seed=v)
+                    sums[v] = buf.checksum()
+                    engine.checkpoint(v, buf)
+                engine.wait_for_flushes()
+                for v in range(8):
+                    engine.prefetch_enqueue(v)
+                engine.prefetch_start()
+                out = ctx.device.alloc_buffer(CKPT)
+                for v in range(8):
+                    engine.restore(v, out)
+                    assert out.checksum() == sums[v]
+
+
+class TestMultiNode:
+    def test_two_nodes_separate_ssds(self):
+        cfg = tiny_config(num_nodes=2, processes_per_node=1)
+        with Cluster(cfg) as cluster:
+            ctxs = cluster.process_contexts()
+            engines = [ScoreEngine(ctx) for ctx in ctxs]
+            try:
+                for engine, ctx in zip(engines, ctxs):
+                    engine.checkpoint(0, make_buffer(ctx, CKPT, seed=engine.process_id))
+                    engine.wait_for_flushes()
+                assert engines[0].ssd is not engines[1].ssd
+                assert engines[0].ssd.object_count() == 1
+                assert engines[1].ssd.object_count() == 1
+            finally:
+                for engine in engines:
+                    engine.close()
+
+    def test_multi_node_shot(self):
+        cfg = tiny_config(num_nodes=2, processes_per_node=2)
+        with Cluster(cfg) as cluster:
+            n = 6
+            specs = []
+            for rank in range(4):
+                trace = variable_trace(
+                    cfg.scale, rank=rank, seed=3, num_snapshots=n, total_bytes=n * CKPT
+                )
+                specs.append(
+                    ShotSpec(
+                        trace=trace,
+                        restore_order=restore_order(RestoreOrder.REVERSE, n),
+                        hint_mode=HintMode.SINGLE,
+                        compute_interval=0.005,
+                    )
+                )
+            results = run_multiprocess_shot(cluster, lambda ctx: ScoreEngine(ctx), specs)
+            assert len(results) == 4
+            assert {r.process_id for r in results} == {0, 1, 8, 9}
+
+
+class TestBinomialStyleInterleaving:
+    """Interleaved write/read with incremental hints (binomial adjoints)."""
+
+    def test_interleaved_hints_and_ops(self):
+        cfg = tiny_config()
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with Client.create(ctx) as client:
+                buf = ctx.device.alloc_buffer(CKPT)
+                client.mem_protect(1, buf)
+                client.prefetch_start()
+                version = 0
+                live = []
+                sums = {}
+                rng = make_rng(11, "binomial")
+                for _round in range(4):
+                    # small forward burst
+                    for _ in range(3):
+                        buf.fill_random(rng)
+                        sums[version] = buf.checksum()
+                        client.checkpoint("seg", version)
+                        live.append(version)
+                        version += 1
+                    # consume the burst in reverse, hinting one ahead
+                    for v in reversed(live):
+                        client.prefetch_enqueue(v)
+                    for v in reversed(live):
+                        client.restart(v)
+                        assert buf.checksum() == sums[v]
+                    live.clear()
+
+
+class TestPfsPersistence:
+    def test_full_cascade_to_pfs(self):
+        cfg = tiny_config()
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+                for v in range(4):
+                    engine.checkpoint(v, make_buffer(ctx, CKPT, seed=v))
+                engine.wait_for_flushes()
+                assert cluster.pfs.object_count() == 4

@@ -1,0 +1,178 @@
+"""Interval arithmetic (repro.util.intervals), incl. property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intervals import Interval, IntervalSet
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(3, 10).length == 7
+
+    def test_empty(self):
+        assert Interval(5, 5).is_empty()
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(10, 3)
+
+    def test_contains(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2) and iv.contains(4)
+        assert not iv.contains(5) and not iv.contains(1)
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+        assert not Interval(0, 5).overlaps(Interval(5, 9))  # half-open
+
+    def test_touches_adjacent(self):
+        assert Interval(0, 5).touches(Interval(5, 9))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert Interval(0, 2).intersection(Interval(5, 9)).is_empty()
+
+    def test_union_touching(self):
+        assert Interval(0, 5).union_touching(Interval(5, 9)) == Interval(0, 9)
+
+    def test_union_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 2).union_touching(Interval(5, 9))
+
+
+class TestIntervalSet:
+    def test_empty(self):
+        s = IntervalSet()
+        assert len(s) == 0 and not s and s.total_length() == 0
+
+    def test_add_single(self):
+        s = IntervalSet()
+        s.add(Interval(2, 5))
+        assert s.as_tuples() == [(2, 5)]
+
+    def test_add_coalesces_adjacent(self):
+        s = IntervalSet([Interval(0, 5)])
+        s.add(Interval(5, 9))
+        assert s.as_tuples() == [(0, 9)]
+
+    def test_add_coalesces_overlapping(self):
+        s = IntervalSet([Interval(0, 5), Interval(8, 12)])
+        s.add(Interval(4, 9))
+        assert s.as_tuples() == [(0, 12)]
+
+    def test_add_keeps_disjoint(self):
+        s = IntervalSet([Interval(0, 2)])
+        s.add(Interval(5, 7))
+        assert s.as_tuples() == [(0, 2), (5, 7)]
+
+    def test_add_empty_noop(self):
+        s = IntervalSet([Interval(0, 2)])
+        s.add(Interval(3, 3))
+        assert s.as_tuples() == [(0, 2)]
+
+    def test_remove_middle_splits(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.remove(Interval(3, 6))
+        assert s.as_tuples() == [(0, 3), (6, 10)]
+
+    def test_remove_across_intervals(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 10)])
+        s.remove(Interval(2, 8))
+        assert s.as_tuples() == [(0, 2), (8, 10)]
+
+    def test_remove_nothing_stored(self):
+        s = IntervalSet([Interval(0, 2)])
+        s.remove(Interval(5, 9))
+        assert s.as_tuples() == [(0, 2)]
+
+    def test_contains(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 10)])
+        assert s.contains(0) and s.contains(7)
+        assert not s.contains(4) and not s.contains(5)
+
+    def test_covers(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert s.covers(Interval(2, 8))
+        assert not s.covers(Interval(8, 12))
+        assert s.covers(Interval(5, 5))  # empty always covered
+
+    def test_overlapping(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 10), Interval(20, 30)])
+        assert s.overlapping(Interval(3, 7)) == [Interval(0, 4), Interval(6, 10)]
+        assert s.overlapping(Interval(11, 19)) == []
+
+    def test_first_fit(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 12)])
+        assert s.first_fit(4) == Interval(5, 9)
+        assert s.first_fit(2) == Interval(0, 2)
+        assert s.first_fit(100) is None
+
+    def test_first_fit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            IntervalSet().first_fit(0)
+
+    def test_copy_is_independent(self):
+        s = IntervalSet([Interval(0, 4)])
+        c = s.copy()
+        c.add(Interval(10, 12))
+        assert s.as_tuples() == [(0, 4)]
+
+    def test_equality(self):
+        assert IntervalSet([Interval(0, 4)]) == IntervalSet([Interval(0, 2), Interval(2, 4)])
+
+
+@st.composite
+def interval_ops(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]),
+                st.integers(0, 200),
+                st.integers(0, 60),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return [(op, start, start + length) for op, start, length in ops]
+
+
+class TestIntervalSetProperties:
+    @given(interval_ops())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_bitset(self, ops):
+        """The interval set behaves exactly like a set of integer points."""
+        s = IntervalSet()
+        naive = set()
+        for op, start, stop in ops:
+            if op == "add":
+                s.add(Interval(start, stop))
+                naive |= set(range(start, stop))
+            else:
+                s.remove(Interval(start, stop))
+                naive -= set(range(start, stop))
+        assert s.total_length() == len(naive)
+        # invariants: sorted, disjoint, coalesced
+        tuples = s.as_tuples()
+        for (a1, b1), (a2, b2) in zip(tuples, tuples[1:]):
+            assert b1 < a2, "intervals must stay disjoint and non-adjacent"
+        for a, b in tuples:
+            assert all(p in naive for p in range(a, b))
+
+    @given(interval_ops(), st.integers(0, 260))
+    @settings(max_examples=60, deadline=None)
+    def test_contains_matches_naive(self, ops, probe):
+        s = IntervalSet()
+        naive = set()
+        for op, start, stop in ops:
+            if op == "add":
+                s.add(Interval(start, stop))
+                naive |= set(range(start, stop))
+            else:
+                s.remove(Interval(start, stop))
+                naive -= set(range(start, stop))
+        assert s.contains(probe) == (probe in naive)

@@ -1,0 +1,129 @@
+"""Checkpoint life-cycle FSM (Fig. 1)."""
+
+import pytest
+
+from repro.core.lifecycle import (
+    COPY_STATES,
+    EVICTABLE_STATES,
+    PINNED_STATES,
+    CkptState,
+    Instance,
+    allowed_transitions,
+    validate_transition,
+)
+from repro.errors import LifecycleError
+from repro.tiers.base import TierLevel
+
+S = CkptState
+
+
+class TestTransitionTable:
+    @pytest.mark.parametrize(
+        "src,dst",
+        [
+            (S.INIT, S.WRITE_IN_PROGRESS),
+            (S.INIT, S.READ_IN_PROGRESS),
+            (S.WRITE_IN_PROGRESS, S.WRITE_COMPLETE),
+            (S.WRITE_COMPLETE, S.FLUSHED),
+            (S.WRITE_COMPLETE, S.READ_COMPLETE),
+            (S.FLUSHED, S.READ_COMPLETE),
+            (S.FLUSHED, S.CONSUMED),
+            (S.READ_IN_PROGRESS, S.READ_COMPLETE),
+            (S.READ_COMPLETE, S.CONSUMED),
+        ],
+    )
+    def test_legal_transitions(self, src, dst):
+        validate_transition(src, dst)
+
+    @pytest.mark.parametrize(
+        "src,dst",
+        [
+            (S.INIT, S.WRITE_COMPLETE),
+            (S.INIT, S.FLUSHED),
+            (S.INIT, S.CONSUMED),
+            (S.WRITE_IN_PROGRESS, S.FLUSHED),
+            (S.WRITE_IN_PROGRESS, S.READ_IN_PROGRESS),
+            (S.WRITE_COMPLETE, S.CONSUMED),
+            (S.WRITE_COMPLETE, S.WRITE_IN_PROGRESS),
+            (S.FLUSHED, S.WRITE_COMPLETE),
+            (S.READ_IN_PROGRESS, S.CONSUMED),
+            (S.READ_COMPLETE, S.FLUSHED),
+            (S.CONSUMED, S.INIT),
+            (S.CONSUMED, S.READ_COMPLETE),
+        ],
+    )
+    def test_illegal_transitions(self, src, dst):
+        with pytest.raises(LifecycleError):
+            validate_transition(src, dst)
+
+    def test_consumed_is_terminal(self):
+        assert allowed_transitions(S.CONSUMED) == frozenset()
+
+
+class TestStateSets:
+    def test_evictable_states(self):
+        assert EVICTABLE_STATES == {S.FLUSHED, S.CONSUMED}
+
+    def test_pinned_states(self):
+        assert PINNED_STATES == {S.READ_IN_PROGRESS, S.READ_COMPLETE}
+
+    def test_copy_states(self):
+        assert S.WRITE_IN_PROGRESS not in COPY_STATES
+        assert S.READ_IN_PROGRESS not in COPY_STATES
+        assert S.WRITE_COMPLETE in COPY_STATES
+        assert S.CONSUMED in COPY_STATES
+
+
+class TestInstance:
+    def test_born_in_init(self):
+        inst = Instance(TierLevel.GPU)
+        assert inst.state is S.INIT
+        assert not inst.has_copy and not inst.evictable and not inst.pinned
+
+    def test_transition_records_time(self):
+        inst = Instance(TierLevel.GPU)
+        inst.transition(S.WRITE_IN_PROGRESS, now=3.5)
+        assert inst.state_since == 3.5
+
+    def test_illegal_transition_raises(self):
+        inst = Instance(TierLevel.GPU)
+        with pytest.raises(LifecycleError):
+            inst.transition(S.CONSUMED)
+
+    def test_try_transition_success(self):
+        inst = Instance(TierLevel.GPU)
+        assert inst.try_transition(S.WRITE_IN_PROGRESS)
+        assert inst.state is S.WRITE_IN_PROGRESS
+
+    def test_try_transition_failure_keeps_state(self):
+        inst = Instance(TierLevel.GPU)
+        assert not inst.try_transition(S.FLUSHED)
+        assert inst.state is S.INIT
+
+    def test_full_write_path(self):
+        inst = Instance(TierLevel.GPU)
+        for state in (S.WRITE_IN_PROGRESS, S.WRITE_COMPLETE, S.FLUSHED):
+            inst.transition(state)
+        assert inst.evictable
+
+    def test_full_read_path(self):
+        inst = Instance(TierLevel.GPU)
+        for state in (S.READ_IN_PROGRESS, S.READ_COMPLETE):
+            inst.transition(state)
+        assert inst.pinned and inst.has_copy and not inst.evictable
+        inst.transition(S.CONSUMED)
+        assert inst.evictable
+
+    def test_crossover_write_to_read(self):
+        """A cached write-path instance serves a restore (condition (2))."""
+        inst = Instance(TierLevel.GPU)
+        inst.transition(S.WRITE_IN_PROGRESS)
+        inst.transition(S.WRITE_COMPLETE)
+        inst.transition(S.READ_COMPLETE)
+        inst.transition(S.CONSUMED)
+        assert inst.evictable
+
+    def test_flags_default_clear(self):
+        inst = Instance(TierLevel.HOST)
+        assert not inst.flush_pending
+        assert inst.read_pinned == 0

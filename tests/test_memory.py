@@ -1,0 +1,117 @@
+"""Arenas and application buffers."""
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleModel
+from repro.errors import AllocationError, ConfigError
+from repro.simgpu.memory import (
+    Arena,
+    DeviceBuffer,
+    HostBuffer,
+    checksum_payload,
+    make_payload,
+)
+from repro.util.rng import make_rng
+from repro.util.units import KiB, MiB
+
+SCALE = ScaleModel(data_scale=64 * KiB, alignment=64 * KiB)
+
+
+class TestArena:
+    def test_capacity_scaling(self):
+        a = Arena("t", 64 * MiB, SCALE)
+        assert a.payload_capacity == 1024
+
+    def test_write_read_roundtrip(self):
+        a = Arena("t", 64 * MiB, SCALE)
+        data = make_payload(1 * MiB, SCALE, make_rng(1, "x"))
+        a.write(2 * MiB, data)
+        out = a.read(2 * MiB, 1 * MiB)
+        assert np.array_equal(out[: data.size], data)
+
+    def test_distinct_offsets_do_not_clobber(self):
+        a = Arena("t", 64 * MiB, SCALE)
+        d1 = make_payload(1 * MiB, SCALE, make_rng(1, "a"))
+        d2 = make_payload(1 * MiB, SCALE, make_rng(1, "b"))
+        a.write(0, d1)
+        a.write(1 * MiB, d2)
+        assert np.array_equal(a.read(0, 1 * MiB)[: d1.size], d1)
+        assert np.array_equal(a.read(1 * MiB, 1 * MiB)[: d2.size], d2)
+
+    def test_out_of_bounds_rejected(self):
+        a = Arena("t", 1 * MiB, SCALE)
+        with pytest.raises(AllocationError):
+            a.read(1 * MiB, 64 * KiB)
+        with pytest.raises(AllocationError):
+            a.read(-1, 64 * KiB)
+
+    def test_unaligned_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Arena("t", 100, SCALE)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Arena("t", 0, SCALE)
+
+
+class TestBuffers:
+    def test_device_buffer_payload_size(self):
+        b = DeviceBuffer(128 * MiB, SCALE)
+        assert b.payload.size == 128 * MiB // (64 * KiB)
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceBuffer(100, SCALE)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceBuffer(0, SCALE)
+
+    def test_fill_random_changes_checksum(self):
+        b = DeviceBuffer(1 * MiB, SCALE)
+        empty = b.checksum()
+        b.fill_random(make_rng(1, "x"))
+        assert b.checksum() != empty
+
+    def test_fill_random_deterministic(self):
+        b1 = DeviceBuffer(1 * MiB, SCALE)
+        b2 = DeviceBuffer(1 * MiB, SCALE)
+        b1.fill_random(make_rng(9, "s"))
+        b2.fill_random(make_rng(9, "s"))
+        assert b1.checksum() == b2.checksum()
+
+    def test_fill_random_varies_between_calls(self):
+        b = DeviceBuffer(1 * MiB, SCALE)
+        rng = make_rng(3, "v")
+        b.fill_random(rng)
+        c1 = b.checksum()
+        b.fill_random(rng)
+        assert b.checksum() != c1
+
+    def test_copy_from(self):
+        b = DeviceBuffer(1 * MiB, SCALE)
+        data = make_payload(1 * MiB, SCALE, make_rng(4, "z"))
+        b.copy_from(data)
+        assert b.checksum() == checksum_payload(data)
+
+    def test_copy_from_short_payload_rejected(self):
+        b = DeviceBuffer(1 * MiB, SCALE)
+        with pytest.raises(AllocationError):
+            b.copy_from(np.zeros(3, dtype=np.uint8))
+
+    def test_host_buffer_pinned_flag(self):
+        assert HostBuffer(1 * MiB, SCALE).pinned
+        assert not HostBuffer(1 * MiB, SCALE, pinned=False).pinned
+
+
+class TestHelpers:
+    def test_make_payload_zero_filled(self):
+        p = make_payload(1 * MiB, SCALE)
+        assert p.sum() == 0
+
+    def test_checksum_payload_matches_buffer(self):
+        data = make_payload(1 * MiB, SCALE, make_rng(5, "c"))
+        b = DeviceBuffer(1 * MiB, SCALE)
+        b.copy_from(data)
+        assert checksum_payload(data) == b.checksum()

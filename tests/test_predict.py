@@ -1,0 +1,71 @@
+"""predict_evictable (state_ts estimation)."""
+
+import math
+
+from repro.core.catalog import CheckpointRecord
+from repro.core.lifecycle import CkptState
+from repro.core.predict import FORCE_EVICT_PENALTY, NEVER, instance_state_ts
+from repro.tiers.base import TierLevel
+
+
+def record_in(state, level=TierLevel.GPU, flush_pending=False):
+    r = CheckpointRecord(1, 1024, 1024, 0)
+    inst = r.instance(level)
+    path = {
+        CkptState.WRITE_IN_PROGRESS: [CkptState.WRITE_IN_PROGRESS],
+        CkptState.WRITE_COMPLETE: [CkptState.WRITE_IN_PROGRESS, CkptState.WRITE_COMPLETE],
+        CkptState.FLUSHED: [
+            CkptState.WRITE_IN_PROGRESS,
+            CkptState.WRITE_COMPLETE,
+            CkptState.FLUSHED,
+        ],
+        CkptState.READ_IN_PROGRESS: [CkptState.READ_IN_PROGRESS],
+        CkptState.READ_COMPLETE: [CkptState.READ_IN_PROGRESS, CkptState.READ_COMPLETE],
+        CkptState.CONSUMED: [
+            CkptState.READ_IN_PROGRESS,
+            CkptState.READ_COMPLETE,
+            CkptState.CONSUMED,
+        ],
+    }[state]
+    for s in path:
+        inst.transition(s)
+    inst.flush_pending = flush_pending
+    return r
+
+
+EST = lambda n: 2.5  # noqa: E731 - constant flush estimate
+
+
+def test_flushed_is_immediately_evictable():
+    assert instance_state_ts(record_in(CkptState.FLUSHED), TierLevel.GPU, EST) == 0.0
+
+
+def test_consumed_is_immediately_evictable():
+    assert instance_state_ts(record_in(CkptState.CONSUMED), TierLevel.GPU, EST) == 0.0
+
+
+def test_flush_pending_blocks_even_when_evictable():
+    r = record_in(CkptState.FLUSHED, flush_pending=True)
+    assert instance_state_ts(r, TierLevel.GPU, EST) == 2.5
+
+
+def test_write_states_use_flush_estimate():
+    for state in (CkptState.WRITE_IN_PROGRESS, CkptState.WRITE_COMPLETE):
+        assert instance_state_ts(record_in(state), TierLevel.GPU, EST) == 2.5
+
+
+def test_read_in_progress_never_evictable():
+    assert instance_state_ts(record_in(CkptState.READ_IN_PROGRESS), TierLevel.GPU, EST) is NEVER
+
+
+def test_read_complete_pinned_unless_forced():
+    r = record_in(CkptState.READ_COMPLETE)
+    assert instance_state_ts(r, TierLevel.GPU, EST) is NEVER
+    forced = instance_state_ts(r, TierLevel.GPU, EST, allow_pinned=True)
+    assert forced == FORCE_EVICT_PENALTY
+    assert math.isfinite(forced)
+
+
+def test_missing_instance_is_free():
+    r = CheckpointRecord(1, 1024, 1024, 0)
+    assert instance_state_ts(r, TierLevel.GPU, EST) == 0.0

@@ -1,0 +1,136 @@
+"""Restore-order hint queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.restore_queue import RestoreQueue
+from repro.errors import HintError
+
+
+class TestEnqueue:
+    def test_head_and_upcoming(self):
+        q = RestoreQueue()
+        for v in (3, 1, 2):
+            q.enqueue(v)
+        assert q.head() == 3
+        assert q.upcoming(2) == [3, 1]
+        assert q.upcoming(10) == [3, 1, 2]
+
+    def test_duplicate_hint_rejected(self):
+        q = RestoreQueue()
+        q.enqueue(1)
+        with pytest.raises(HintError):
+            q.enqueue(1)
+
+    def test_empty_head_is_none(self):
+        assert RestoreQueue().head() is None
+
+    def test_start_flag(self):
+        q = RestoreQueue()
+        assert not q.started
+        q.start()
+        assert q.started
+
+    def test_len_counts_unconsumed(self):
+        q = RestoreQueue()
+        for v in range(5):
+            q.enqueue(v)
+        assert len(q) == 5
+        q.consume(0)
+        q.consume(3)
+        assert len(q) == 3
+
+
+class TestDistance:
+    def test_distance_from_head(self):
+        q = RestoreQueue()
+        for v in (10, 20, 30):
+            q.enqueue(v)
+        assert q.distance(10) == 0
+        assert q.distance(20) == 1
+        assert q.distance(30) == 2
+
+    def test_unhinted_distance_is_none(self):
+        q = RestoreQueue()
+        q.enqueue(1)
+        assert q.distance(99) is None
+
+    def test_consumed_distance_is_none(self):
+        q = RestoreQueue()
+        q.enqueue(1)
+        q.consume(1)
+        assert q.distance(1) is None
+
+    def test_distance_skips_consumed_between(self):
+        q = RestoreQueue()
+        for v in (1, 2, 3, 4):
+            q.enqueue(v)
+        q.consume(2)  # out-of-order consumption (deviation)
+        assert q.distance(1) == 0
+        assert q.distance(3) == 1
+        assert q.distance(4) == 2
+
+    def test_is_hinted(self):
+        q = RestoreQueue()
+        q.enqueue(1)
+        assert q.is_hinted(1)
+        assert not q.is_hinted(2)
+        q.consume(1)
+        assert not q.is_hinted(1)
+
+
+class TestConsume:
+    def test_consume_advances_head(self):
+        q = RestoreQueue()
+        for v in (1, 2, 3):
+            q.enqueue(v)
+        q.consume(1)
+        assert q.head() == 2
+
+    def test_out_of_order_consumption(self):
+        q = RestoreQueue()
+        for v in (1, 2, 3):
+            q.enqueue(v)
+        q.consume(2)
+        assert q.head() == 1
+        q.consume(1)
+        assert q.head() == 3
+
+    def test_double_consume_rejected(self):
+        q = RestoreQueue()
+        q.enqueue(1)
+        q.consume(1)
+        with pytest.raises(HintError):
+            q.consume(1)
+
+    def test_unhinted_consume_tolerated(self):
+        q = RestoreQueue()
+        q.enqueue(1)
+        q.consume(99)  # deviation from hints: no error
+        assert q.head() == 1
+
+    def test_interleaved_enqueue_consume(self):
+        q = RestoreQueue()
+        q.enqueue(1)
+        q.consume(1)
+        q.enqueue(2)
+        assert q.head() == 2
+        assert q.distance(2) == 0
+
+
+class TestProperties:
+    @given(st.permutations(list(range(12))))
+    @settings(max_examples=50, deadline=None)
+    def test_distance_matches_naive(self, consume_order):
+        q = RestoreQueue()
+        for v in range(12):
+            q.enqueue(v)
+        remaining = list(range(12))
+        for v in consume_order:
+            # distance must equal the index among remaining hints
+            for other in remaining:
+                assert q.distance(other) == remaining.index(other)
+            q.consume(v)
+            remaining.remove(v)
+        assert q.head() is None

@@ -1,0 +1,113 @@
+"""Property test: the O(n) sliding window matches brute-force search.
+
+For random small fragment tables, Algorithm 1's two-pointer scan must find
+a window with exactly the optimal (p_score, -s_score) among all contiguous
+admissible windows large enough for the incoming checkpoint.
+"""
+
+from typing import List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alloctable import AllocTable
+from repro.core.catalog import CheckpointRecord
+from repro.core.scoring import FragmentCost, ScorePolicy
+
+
+def build_random_table(layout: List[Tuple[bool, int]], capacity: int) -> AllocTable:
+    table = AllocTable(capacity)
+    offset = 0
+    ckpt_id = 0
+    for is_ckpt, size in layout:
+        if offset + size > capacity:
+            break
+        if is_ckpt:
+            table.insert(CheckpointRecord(ckpt_id, size, size, 0), size, offset)
+            ckpt_id += 1
+        offset += size
+    return table
+
+
+def brute_force_best(fragments, size_new, cost_of, limit=None, min_offset=0):
+    """All-pairs window search; returns the optimal (p, -s) or None."""
+    n = len(fragments)
+    best: Optional[Tuple[float, float]] = None
+    for i in range(n):
+        total = 0
+        p = 0.0
+        s = 0.0
+        for j in range(i, n):
+            c = cost_of(fragments[j])
+            if c.barrier or fragments[j].offset < min_offset:
+                break
+            if limit is not None and fragments[j].end > limit:
+                break
+            total += fragments[j].size
+            p += c.p
+            s += c.s
+            if total >= size_new:
+                key = (p, -s)
+                if best is None or key < best:
+                    best = key
+                break  # extending further only worsens or equals
+    return best
+
+
+@st.composite
+def scenario(draw):
+    layout = draw(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 8)),
+            min_size=1,
+            max_size=14,
+        )
+    )
+    size_new = draw(st.integers(1, 20))
+    seed = draw(st.integers(0, 2**16))
+    return layout, size_new, seed
+
+
+@given(scenario())
+@settings(max_examples=200, deadline=None)
+def test_two_pointer_matches_brute_force(data):
+    layout, size_new, seed = data
+    capacity = 64
+    table = build_random_table(layout, capacity)
+    fragments = table.fragments()
+
+    def cost_of(frag) -> FragmentCost:
+        if frag.is_gap:
+            return FragmentCost(p=0.0, s=100.0, barrier=False)
+        cid = frag.record.ckpt_id
+        h = (cid * 2654435761 + seed) & 0xFFFF
+        return FragmentCost(
+            p=float(h % 5),
+            s=float((h >> 4) % 7),
+            barrier=(h >> 8) % 5 == 0,
+        )
+
+    window = ScorePolicy().select(fragments, size_new, cost_of)
+    expected = brute_force_best(fragments, size_new, cost_of)
+    if expected is None:
+        assert window is None
+        return
+    assert window is not None
+    assert window.size >= size_new
+    assert (window.p_score, -window.s_score) == expected
+
+
+@given(scenario(), st.integers(0, 64))
+@settings(max_examples=100, deadline=None)
+def test_two_pointer_respects_limit(data, limit):
+    layout, size_new, seed = data
+    table = build_random_table(layout, 64)
+    fragments = table.fragments()
+
+    def cost_of(frag) -> FragmentCost:
+        return FragmentCost(p=0.0, s=0.0, barrier=False)
+
+    window = ScorePolicy().select(fragments, size_new, cost_of, limit=limit)
+    if window is not None:
+        assert fragments[window.end - 1].end <= limit
+        assert window.size >= size_new

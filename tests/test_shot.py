@@ -1,0 +1,165 @@
+"""Shot driver and multi-process runner."""
+
+import pytest
+
+from repro.core.engine import ScoreEngine
+from repro.errors import ConfigError
+from repro.tiers.topology import Cluster
+from repro.workloads.multiproc import run_multiprocess_shot
+from repro.workloads.patterns import RestoreOrder, restore_order
+from repro.workloads.rtm import uniform_trace, variable_trace
+from repro.workloads.shot import HintMode, ShotSpec, run_shot
+from repro.util.units import MiB
+from tests.conftest import tiny_config
+
+N = 8
+SIZE = 128 * MiB
+
+
+def make_spec(config, hint_mode=HintMode.ALL, wait=False, order=None, n=N):
+    trace = uniform_trace(config.scale, num_snapshots=n, size=SIZE)
+    order = order or restore_order(RestoreOrder.REVERSE, n)
+    return ShotSpec(
+        trace=trace,
+        restore_order=order,
+        hint_mode=hint_mode,
+        compute_interval=0.01,
+        wait_for_flush=wait,
+    )
+
+
+class TestShotSpec:
+    def test_restore_order_must_be_permutation(self, config):
+        trace = uniform_trace(config.scale, num_snapshots=4, size=SIZE)
+        with pytest.raises(ConfigError):
+            ShotSpec(trace=trace, restore_order=[0, 1, 2])
+        with pytest.raises(ConfigError):
+            ShotSpec(trace=trace, restore_order=[0, 1, 2, 2])
+
+    def test_negative_interval_rejected(self, config):
+        trace = uniform_trace(config.scale, num_snapshots=2, size=SIZE)
+        with pytest.raises(ConfigError):
+            ShotSpec(trace=trace, restore_order=[0, 1], compute_interval=-1)
+
+    def test_string_hint_mode_coerced(self, config):
+        trace = uniform_trace(config.scale, num_snapshots=2, size=SIZE)
+        spec = ShotSpec(trace=trace, restore_order=[1, 0], hint_mode="single")
+        assert spec.hint_mode is HintMode.SINGLE
+
+
+class TestRunShot:
+    @pytest.mark.parametrize("hint_mode", list(HintMode))
+    def test_all_hint_modes_complete(self, context, hint_mode):
+        spec = make_spec(context.config, hint_mode=hint_mode)
+        engine = ScoreEngine(context)
+        try:
+            result = run_shot(engine, spec)
+        finally:
+            engine.close()
+        assert len(result.recorder.checkpoints()) == N
+        assert len(result.recorder.restores()) == N
+        assert result.error is None
+
+    def test_wait_variant_flushes_first(self, context):
+        spec = make_spec(context.config, wait=True)
+        engine = ScoreEngine(context)
+        try:
+            result = run_shot(engine, spec)
+        finally:
+            engine.close()
+        assert result.flush_wait_seconds >= 0.0
+        assert result.engine_stats["ssd_objects"] == N
+
+    def test_phases_reported(self, context):
+        engine = ScoreEngine(context)
+        try:
+            result = run_shot(engine, make_spec(context.config))
+        finally:
+            engine.close()
+        assert result.checkpoint_phase_seconds > 0
+        assert result.restore_phase_seconds > 0
+
+    def test_variable_trace_shot(self, context):
+        trace = variable_trace(
+            context.config.scale, rank=0, seed=1, num_snapshots=N, total_bytes=N * SIZE
+        )
+        spec = ShotSpec(
+            trace=trace,
+            restore_order=restore_order(RestoreOrder.IRREGULAR, N, seed=1),
+            hint_mode=HintMode.ALL,
+            compute_interval=0.01,
+        )
+        engine = ScoreEngine(context)
+        try:
+            result = run_shot(engine, spec)
+        finally:
+            engine.close()
+        assert len(result.recorder.restores()) == N
+
+    def test_iteration_hook_called(self, context):
+        calls = []
+        engine = ScoreEngine(context)
+        try:
+            run_shot(engine, make_spec(context.config), iteration_hook=lambda p, i: calls.append((p, i)))
+        finally:
+            engine.close()
+        assert calls.count(("checkpoint", 0)) == 1
+        assert sum(1 for p, _ in calls if p == "restore") == N
+
+
+class TestMultiprocess:
+    def test_parallel_two_processes(self):
+        cfg = tiny_config(processes_per_node=2)
+        with Cluster(cfg) as cluster:
+            specs = [make_spec(cfg) for _ in range(2)]
+            results = run_multiprocess_shot(cluster, lambda ctx: ScoreEngine(ctx), specs)
+        assert len(results) == 2
+        assert all(r.error is None for r in results)
+        assert results[0].process_id != results[1].process_id
+
+    def test_tightly_coupled_barrier(self):
+        cfg = tiny_config(processes_per_node=2)
+        with Cluster(cfg) as cluster:
+            specs = [make_spec(cfg) for _ in range(2)]
+            results = run_multiprocess_shot(
+                cluster, lambda ctx: ScoreEngine(ctx), specs, tightly_coupled=True
+            )
+        assert all(len(r.recorder.restores()) == N for r in results)
+
+    def test_spec_count_mismatch_rejected(self):
+        cfg = tiny_config(processes_per_node=2)
+        with Cluster(cfg) as cluster:
+            with pytest.raises(ConfigError):
+                run_multiprocess_shot(cluster, lambda ctx: ScoreEngine(ctx), [make_spec(cfg)])
+
+    def test_tight_coupling_needs_equal_lengths(self):
+        cfg = tiny_config(processes_per_node=2)
+        with Cluster(cfg) as cluster:
+            specs = [make_spec(cfg, n=4), make_spec(cfg, n=6)]
+            with pytest.raises(ConfigError):
+                run_multiprocess_shot(
+                    cluster, lambda ctx: ScoreEngine(ctx), specs, tightly_coupled=True
+                )
+
+    def test_worker_error_reraised(self):
+        cfg = tiny_config(processes_per_node=2)
+
+        class Boom(RuntimeError):
+            pass
+
+        def bad_factory(ctx):
+            engine = ScoreEngine(ctx)
+            original = engine.checkpoint
+
+            def failing(ckpt_id, buffer):
+                if ctx.process_id == 1 and ckpt_id == 2:
+                    raise Boom("injected")
+                return original(ckpt_id, buffer)
+
+            engine.checkpoint = failing
+            return engine
+
+        with Cluster(cfg) as cluster:
+            specs = [make_spec(cfg) for _ in range(2)]
+            with pytest.raises(Boom):
+                run_multiprocess_shot(cluster, bad_factory, specs)

@@ -1,0 +1,88 @@
+"""Statistics helpers and deterministic RNG derivation."""
+
+import pytest
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.stats import Summary, harmonic_mean, percentile, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([4.0])
+        assert s.count == 1 and s.mean == 4.0 and s.stddev == 0.0
+
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.stddev == pytest.approx(1.0)
+
+    def test_total(self):
+        assert summarize([1, 2, 3]).total == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        assert percentile([3, 1, 2], 0) == 1.0
+        assert percentile([3, 1, 2], 100) == 3.0
+
+    def test_single(self):
+        assert percentile([7], 63) == 7.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestHarmonicMean:
+    def test_equal_values(self):
+        assert harmonic_mean([4, 4, 4]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert harmonic_mean([1, 2]) == pytest.approx(4 / 3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+
+class TestRng:
+    def test_derive_is_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_differ(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_differs(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_path_not_concatenation(self):
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_make_rng_streams_independent(self):
+        a = make_rng(7, "x").integers(0, 1 << 30, size=8)
+        b = make_rng(7, "y").integers(0, 1 << 30, size=8)
+        assert list(a) != list(b)
+
+    def test_make_rng_reproducible(self):
+        a = make_rng(7, "x").integers(0, 1 << 30, size=8)
+        b = make_rng(7, "x").integers(0, 1 << 30, size=8)
+        assert list(a) == list(b)

@@ -1,0 +1,145 @@
+"""Trace import/export and timeline export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.recorder import OpEvent, OpKind, Recorder
+from repro.metrics.timeline import export_csv, export_json, sparkline
+from repro.util.units import MiB
+from repro.workloads.rtm import variable_trace
+from repro.workloads.trace_io import (
+    load_traces_csv,
+    load_traces_json,
+    save_traces_csv,
+    save_traces_json,
+)
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture
+def traces():
+    return [
+        variable_trace(TEST_SCALE, rank=r, seed=4, num_snapshots=12, total_bytes=12 * 128 * MiB)
+        for r in range(3)
+    ]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path, traces):
+        path = str(tmp_path / "t.csv")
+        save_traces_csv(path, traces)
+        loaded = load_traces_csv(path, TEST_SCALE)
+        assert [t.sizes for t in loaded] == [t.sizes for t in traces]
+        assert [t.rank for t in loaded] == [0, 1, 2]
+
+    def test_unit_suffixes_accepted(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("snapshot,rank,size\n0,0,128MB\n1,0,64MB\n")
+        loaded = load_traces_csv(str(path), TEST_SCALE)
+        assert loaded[0].sizes == (128 * MiB, 64 * MiB)
+
+    def test_gap_in_indices_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,0,128MB\n2,0,128MB\n")
+        with pytest.raises(ConfigError):
+            load_traces_csv(str(path), TEST_SCALE)
+
+    def test_mismatched_rank_lengths_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,0,128MB\n1,0,128MB\n0,1,128MB\n")
+        with pytest.raises(ConfigError):
+            load_traces_csv(str(path), TEST_SCALE)
+
+    def test_bad_column_count_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,0\n")
+        with pytest.raises(ConfigError):
+            load_traces_csv(str(path), TEST_SCALE)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("snapshot,rank,size\n")
+        with pytest.raises(ConfigError):
+            load_traces_csv(str(path), TEST_SCALE)
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self, tmp_path, traces):
+        path = str(tmp_path / "t.json")
+        save_traces_json(path, traces)
+        loaded = load_traces_json(path, TEST_SCALE)
+        assert [t.sizes for t in loaded] == [t.sizes for t in traces]
+
+    def test_bare_list_single_rank(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps([134217728, 67108864]))
+        loaded = load_traces_json(str(path), TEST_SCALE)
+        assert len(loaded) == 1 and loaded[0].rank == 0
+
+    def test_sizes_aligned_on_load(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"ranks": {"0": [1000]}}))
+        loaded = load_traces_json(str(path), TEST_SCALE)
+        assert loaded[0].sizes[0] % TEST_SCALE.alignment == 0
+
+    def test_bad_rank_key_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"ranks": {"zero": [1000]}}))
+        with pytest.raises(ConfigError):
+            load_traces_json(str(path), TEST_SCALE)
+
+    def test_empty_ranks_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"ranks": {}}))
+        with pytest.raises(ConfigError):
+            load_traces_json(str(path), TEST_SCALE)
+
+
+class TestTimelineExport:
+    def _recorder(self):
+        r = Recorder(process_id=2)
+        r.record(OpEvent(OpKind.CHECKPOINT, 0, 0.0, 0.1, 128 * MiB))
+        r.record(OpEvent(OpKind.RESTORE, 0, 1.0, 0.2, 128 * MiB, prefetch_distance=3))
+        return r
+
+    def test_csv_export(self, tmp_path):
+        path = str(tmp_path / "tl.csv")
+        assert export_csv(self._recorder(), path) == 2
+        lines = open(path).read().splitlines()
+        assert lines[0].startswith("kind,")
+        assert len(lines) == 3
+
+    def test_json_export(self, tmp_path):
+        path = str(tmp_path / "tl.json")
+        assert export_json(self._recorder(), path) == 2
+        payload = json.loads(open(path).read())
+        assert payload["process_id"] == 2
+        assert payload["events"][1]["prefetch_distance"] == 3
+
+    def test_events_sorted_by_start(self, tmp_path):
+        r = Recorder()
+        r.record(OpEvent(OpKind.RESTORE, 1, 5.0, 0.1, 1))
+        r.record(OpEvent(OpKind.RESTORE, 0, 1.0, 0.1, 1))
+        path = str(tmp_path / "tl.json")
+        export_json(r, path)
+        events = json.loads(open(path).read())["events"]
+        assert [e["ckpt_id"] for e in events] == [0, 1]
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        out = sparkline([(i, 5.0) for i in range(4)])
+        assert out == "▁▁▁▁"
+
+    def test_ramp_uses_full_range(self):
+        out = sparkline([(i, float(i)) for i in range(8)])
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_downsamples_to_width(self):
+        out = sparkline([(i, float(i)) for i in range(1000)], width=40)
+        assert len(out) == 40

@@ -1,0 +1,126 @@
+"""Unit parsing/formatting (repro.util.units)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    format_bandwidth,
+    format_size,
+    parse_bandwidth,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_integral_float(self):
+        assert parse_size(1024.0) == 1024
+
+    def test_mb_is_binary(self):
+        assert parse_size("128MB") == 128 * MiB
+
+    def test_gib_spelling(self):
+        assert parse_size("4 GiB") == 4 * GiB
+
+    def test_short_suffix(self):
+        assert parse_size("0.5g") == GiB // 2
+
+    def test_kb(self):
+        assert parse_size("64kb") == 64 * KiB
+
+    def test_tb(self):
+        assert parse_size("2TB") == 2 * TiB
+
+    def test_bare_bytes(self):
+        assert parse_size("17") == 17
+
+    def test_b_suffix(self):
+        assert parse_size("17b") == 17
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("1.0000001")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(1.5)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("twelve")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("4 parsecs")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(True)
+
+    def test_none_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(None)
+
+
+class TestFormatSize:
+    def test_mib(self):
+        assert format_size(128 * MiB) == "128MiB"
+
+    def test_gib(self):
+        assert format_size(4 * GiB) == "4GiB"
+
+    def test_fractional(self):
+        assert format_size(int(1.5 * GiB)) == "1.50GiB"
+
+    def test_small(self):
+        assert format_size(17) == "17B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            format_size(-1)
+
+    def test_roundtrip(self):
+        for value in (1, KiB, 3 * MiB, 7 * GiB, TiB):
+            assert parse_size(format_size(value)) == value
+
+
+class TestBandwidth:
+    def test_parse_gbps(self):
+        assert parse_bandwidth("25GB/s") == pytest.approx(25 * GiB)
+
+    def test_parse_number(self):
+        assert parse_bandwidth(1000) == 1000.0
+
+    def test_parse_without_per_second(self):
+        assert parse_bandwidth("4GiB") == pytest.approx(4 * GiB)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_bandwidth(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_bandwidth("-4GB/s")
+
+    def test_format(self):
+        assert format_bandwidth(25 * GiB) == "25GiB/s"
+
+    def test_format_fractional(self):
+        assert format_bandwidth(2.5 * GiB) == "2.50GiB/s"
+
+    def test_format_small(self):
+        assert format_bandwidth(100.0) == "100B/s"
+
+    def test_format_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            format_bandwidth(0)

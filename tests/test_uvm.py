@@ -1,0 +1,157 @@
+"""Page-granular UVM simulation."""
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.config import HardwareSpec, ScaleModel
+from repro.errors import UvmError
+from repro.simgpu.bandwidth import Link
+from repro.simgpu.uvm import UvmSpace
+from repro.util.rng import make_rng
+from repro.util.units import KiB, MiB
+
+SCALE = ScaleModel(data_scale=64 * KiB, alignment=64 * KiB, time_scale=0.002)
+
+
+@pytest.fixture
+def uvm():
+    clock = VirtualClock(time_scale=0.002)
+    spec = HardwareSpec()
+    space = UvmSpace(
+        device_id=0,
+        device_capacity=8 * MiB,  # 4 pages of 2 MiB
+        spec=spec,
+        scale=SCALE,
+        clock=clock,
+        d2h_link=Link("d2h", spec.d2h_bandwidth, clock),
+        h2d_link=Link("h2d", spec.h2d_bandwidth, clock),
+    )
+    yield space
+    space.close()
+
+
+def _payload(nominal, rng_label="p"):
+    return make_rng(1, rng_label).integers(0, 256, SCALE.payload_bytes(nominal), dtype=np.uint8)
+
+
+class TestAllocation:
+    def test_allocate_pages(self, uvm):
+        alloc = uvm.allocate("a", 4 * MiB)
+        assert alloc.num_pages == 2
+        assert alloc.device_pages == 0
+
+    def test_duplicate_name_rejected(self, uvm):
+        uvm.allocate("a", 2 * MiB)
+        with pytest.raises(UvmError):
+            uvm.allocate("a", 2 * MiB)
+
+    def test_double_free_rejected(self, uvm):
+        alloc = uvm.allocate("a", 2 * MiB)
+        uvm.free(alloc)
+        with pytest.raises(UvmError):
+            uvm.free(alloc)
+
+    def test_use_after_free_rejected(self, uvm):
+        alloc = uvm.allocate("a", 2 * MiB)
+        uvm.free(alloc)
+        with pytest.raises(UvmError):
+            uvm.write_from_device(alloc, _payload(2 * MiB))
+
+
+class TestResidency:
+    def test_write_makes_resident(self, uvm):
+        alloc = uvm.allocate("a", 4 * MiB)
+        uvm.write_from_device(alloc, _payload(4 * MiB))
+        assert alloc.device_pages == alloc.num_pages
+        assert uvm.device_resident_bytes == 4 * MiB
+
+    def test_read_roundtrip(self, uvm):
+        alloc = uvm.allocate("a", 4 * MiB)
+        data = _payload(4 * MiB)
+        uvm.write_from_device(alloc, data)
+        out, _ = uvm.read_to_device(alloc)
+        assert np.array_equal(out[: data.size], data)
+
+    def test_resident_read_is_free(self, uvm):
+        alloc = uvm.allocate("a", 4 * MiB)
+        uvm.write_from_device(alloc, _payload(4 * MiB))
+        _, seconds = uvm.read_to_device(alloc)
+        assert seconds == 0.0
+
+    def test_fault_after_migration_costs_time(self, uvm):
+        alloc = uvm.allocate("a", 4 * MiB)
+        uvm.write_from_device(alloc, _payload(4 * MiB))
+        uvm._migrate_to_host(alloc)
+        assert alloc.device_pages == 0
+        _, seconds = uvm.read_to_device(alloc)
+        assert seconds > 0.0
+        assert uvm.fault_count > 0
+
+    def test_capacity_eviction_lru(self, uvm):
+        a = uvm.allocate("a", 4 * MiB)
+        b = uvm.allocate("b", 4 * MiB)
+        c = uvm.allocate("c", 4 * MiB)
+        uvm.write_from_device(a, _payload(4 * MiB))
+        uvm.write_from_device(b, _payload(4 * MiB))
+        uvm.write_from_device(c, _payload(4 * MiB))  # evicts LRU = a
+        assert a.device_pages == 0
+        assert b.device_pages == b.num_pages
+        assert c.device_pages == c.num_pages
+        assert uvm.evicted_bytes == 4 * MiB
+
+    def test_eviction_prefers_host_advised(self, uvm):
+        a = uvm.allocate("a", 4 * MiB)
+        b = uvm.allocate("b", 4 * MiB)
+        uvm.write_from_device(a, _payload(4 * MiB))
+        uvm.write_from_device(b, _payload(4 * MiB))
+        uvm.synchronize()
+        uvm.advise_preferred_location(b, "host")
+        uvm.synchronize()  # background migrate-out of b
+        c = uvm.allocate("c", 4 * MiB)
+        uvm.write_from_device(c, _payload(4 * MiB))
+        # b was advised out already, so a should still be resident.
+        assert a.device_pages == a.num_pages
+
+    def test_oversized_allocation_rejected_on_touch(self, uvm):
+        alloc = uvm.allocate("big", 16 * MiB)  # 8 pages > 4-page device
+        with pytest.raises(UvmError):
+            uvm.write_from_device(alloc, _payload(16 * MiB))
+
+
+class TestAdviceAndPrefetch:
+    def test_bad_advice_rejected(self, uvm):
+        alloc = uvm.allocate("a", 2 * MiB)
+        with pytest.raises(UvmError):
+            uvm.advise_preferred_location(alloc, "moon")
+
+    def test_advise_host_migrates_out(self, uvm):
+        alloc = uvm.allocate("a", 4 * MiB)
+        uvm.write_from_device(alloc, _payload(4 * MiB))
+        uvm.advise_preferred_location(alloc, "host")
+        uvm.synchronize()
+        assert alloc.device_pages == 0
+
+    def test_prefetch_to_device(self, uvm):
+        alloc = uvm.allocate("a", 4 * MiB)
+        uvm.write_from_device(alloc, _payload(4 * MiB))
+        uvm._migrate_to_host(alloc)
+        uvm.prefetch_async(alloc, "device").wait(timeout=5)
+        assert alloc.device_pages == alloc.num_pages
+        assert uvm.prefetched_bytes == 4 * MiB
+        # Prefetched pages read for free (no fault).
+        _, seconds = uvm.read_to_device(alloc)
+        assert seconds == 0.0
+
+    def test_prefetch_bad_destination_rejected(self, uvm):
+        alloc = uvm.allocate("a", 2 * MiB)
+        with pytest.raises(UvmError):
+            uvm.prefetch_async(alloc, "moon")
+
+    def test_free_drops_without_migration(self, uvm):
+        alloc = uvm.allocate("a", 4 * MiB)
+        uvm.write_from_device(alloc, _payload(4 * MiB))
+        evicted_before = uvm.evicted_bytes
+        uvm.free(alloc)
+        assert uvm.evicted_bytes == evicted_before
+        assert uvm.device_resident_bytes == 0

@@ -1,0 +1,117 @@
+"""Workload generation: RTM traces, restore orders, shot driver."""
+
+import pytest
+
+from repro.config import ScaleModel
+from repro.errors import ConfigError
+from repro.util.units import GiB, KiB, MiB
+from repro.workloads.patterns import RestoreOrder, restore_order
+from repro.workloads.rtm import (
+    DEFAULT_TOTAL_PER_RANK,
+    RtmTrace,
+    snapshot_size_distribution,
+    uniform_trace,
+    variable_trace,
+)
+
+SCALE = ScaleModel(data_scale=512 * KiB, alignment=512 * KiB, time_scale=0.002)
+
+
+class TestUniformTrace:
+    def test_shape(self):
+        t = uniform_trace(SCALE, num_snapshots=10, size=128 * MiB)
+        assert len(t) == 10
+        assert all(s == 128 * MiB for s in t.sizes)
+        assert t.total_bytes == 10 * 128 * MiB
+
+    def test_paper_defaults(self):
+        t = uniform_trace(SCALE)
+        assert len(t) == 384
+        assert t.total_bytes == 48 * GiB
+
+    def test_sizes_aligned(self):
+        t = uniform_trace(SCALE, num_snapshots=3, size=100 * MiB + 5)
+        assert all(s % SCALE.alignment == 0 for s in t.sizes)
+
+    def test_zero_snapshots_rejected(self):
+        with pytest.raises(ConfigError):
+            uniform_trace(SCALE, num_snapshots=0)
+
+
+class TestVariableTrace:
+    def test_deterministic_in_seed_and_rank(self):
+        a = variable_trace(SCALE, rank=3, seed=7, num_snapshots=50)
+        b = variable_trace(SCALE, rank=3, seed=7, num_snapshots=50)
+        assert a.sizes == b.sizes
+
+    def test_ranks_differ(self):
+        a = variable_trace(SCALE, rank=0, seed=7, num_snapshots=50)
+        b = variable_trace(SCALE, rank=1, seed=7, num_snapshots=50)
+        assert a.sizes != b.sizes
+
+    def test_total_near_target(self):
+        t = variable_trace(SCALE, rank=0, seed=7)
+        # paper: per-shot totals spread 38–50 GB around 48 GB
+        assert 0.6 * DEFAULT_TOTAL_PER_RANK < t.total_bytes < 1.6 * DEFAULT_TOTAL_PER_RANK
+
+    def test_ramp_shape(self):
+        """Early snapshots are much smaller than the plateau (Fig. 4)."""
+        t = variable_trace(SCALE, rank=0, seed=7, num_snapshots=384)
+        early = sum(t.sizes[:16]) / 16
+        late = sum(t.sizes[-64:]) / 64
+        assert early < 0.5 * late
+
+    def test_sizes_aligned_and_positive(self):
+        t = variable_trace(SCALE, rank=0, seed=1, num_snapshots=100)
+        assert all(s > 0 and s % SCALE.alignment == 0 for s in t.sizes)
+
+
+class TestDistribution:
+    def test_fig4_columns(self):
+        traces = [variable_trace(SCALE, rank=r, seed=7, num_snapshots=20) for r in range(4)]
+        dist = snapshot_size_distribution(traces)
+        assert len(dist) == 20
+        for idx, mn, mx, avg in dist:
+            assert mn <= avg <= mx
+
+    def test_mismatched_lengths_rejected(self):
+        traces = [
+            variable_trace(SCALE, rank=0, seed=7, num_snapshots=10),
+            variable_trace(SCALE, rank=1, seed=7, num_snapshots=12),
+        ]
+        with pytest.raises(ConfigError):
+            snapshot_size_distribution(traces)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            snapshot_size_distribution([])
+
+
+class TestRestoreOrders:
+    def test_sequential(self):
+        assert restore_order(RestoreOrder.SEQUENTIAL, 5) == [0, 1, 2, 3, 4]
+
+    def test_reverse(self):
+        assert restore_order(RestoreOrder.REVERSE, 5) == [4, 3, 2, 1, 0]
+
+    def test_irregular_is_permutation(self):
+        order = restore_order(RestoreOrder.IRREGULAR, 50, seed=3)
+        assert sorted(order) == list(range(50))
+        assert order != list(range(50))
+
+    def test_irregular_deterministic(self):
+        a = restore_order(RestoreOrder.IRREGULAR, 50, seed=3, rank=1)
+        b = restore_order(RestoreOrder.IRREGULAR, 50, seed=3, rank=1)
+        assert a == b
+
+    def test_irregular_differs_by_rank(self):
+        a = restore_order(RestoreOrder.IRREGULAR, 50, seed=3, rank=0)
+        b = restore_order(RestoreOrder.IRREGULAR, 50, seed=3, rank=1)
+        assert a != b
+
+    def test_string_pattern_accepted(self):
+        assert restore_order("reverse", 3) == [2, 1, 0]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            restore_order(RestoreOrder.SEQUENTIAL, 0)
