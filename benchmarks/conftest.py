@@ -43,11 +43,28 @@ def run_once(benchmark, fn, *args, **kwargs):
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def _merged_metrics(result) -> dict:
+    """Fold every experiment's telemetry snapshot into one registry view."""
+    from repro.telemetry import MetricsRegistry
+
+    merged = MetricsRegistry()
+    found = False
+    for exp_result in result.extras.get("results", []):
+        metrics = getattr(exp_result, "metrics", None)
+        if metrics:
+            merged.merge(metrics)
+            found = True
+    return merged.snapshot() if found else {}
+
+
 def attach_rows(benchmark, result) -> None:
     """Store the figure rows in the benchmark report, print the table, and
     persist it under ``benchmarks/results/`` for EXPERIMENTS.md."""
     benchmark.extra_info["figure"] = result.figure
     benchmark.extra_info["rows"] = [[str(c) for c in row] for row in result.rows]
+    telemetry = _merged_metrics(result)
+    if telemetry:
+        benchmark.extra_info["telemetry"] = telemetry
     print()
     print(result.rendered)
     os.makedirs(RESULTS_DIR, exist_ok=True)

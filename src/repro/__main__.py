@@ -1,11 +1,23 @@
 """Command-line entry point.
 
 ``python -m repro <figure>`` regenerates one paper figure (see
-``python -m repro --list``); this is a thin alias for
-:mod:`repro.harness.figures`.
+``python -m repro --list``); ``python -m repro trace <workload>`` runs a
+traced workload and exports Chrome/Perfetto trace JSON plus a metrics
+summary (see :mod:`repro.telemetry.cli`).
 """
 
-from repro.harness.figures import main
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "trace":
+        from repro.telemetry.cli import main as trace_main
+
+        return trace_main(sys.argv[2:])
+    from repro.harness.figures import main as figures_main
+
+    return figures_main()
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

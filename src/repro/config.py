@@ -216,10 +216,21 @@ class RuntimeConfig:
     lazy_host_pinning: bool = True
     #: directory for the SSD tier's backing files (None → in-memory SSD).
     ssd_directory: Optional[str] = None
+    #: record fine-grained trace events (FSM transitions, eviction decisions
+    #: with Algorithm-1 scores, flush/prefetch spans) on the cluster's
+    #: telemetry bus.  Off by default: a disabled bus costs one attribute
+    #: check per instrumented call site.  Metrics counters are always live.
+    telemetry: bool = False
+    #: trace-bus ring capacity in events; overflow drops the oldest events.
+    telemetry_buffer: int = 1 << 17
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise ConfigError(f"num_nodes must be positive: {self.num_nodes}")
+        if self.telemetry_buffer <= 0:
+            raise ConfigError(
+                f"telemetry_buffer must be positive: {self.telemetry_buffer}"
+            )
         ppn = self.processes_per_node
         if ppn is not None and not (0 < ppn <= self.hardware.gpus_per_node):
             raise ConfigError(

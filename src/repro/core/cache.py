@@ -26,6 +26,7 @@ from repro.core.scoring import ScorePolicy, Window, make_cost_fn
 from repro.core.sync import Monitor
 from repro.errors import AllocationError, CapacityError
 from repro.simgpu.memory import Arena
+from repro.telemetry import Telemetry
 from repro.tiers.base import TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,6 +49,7 @@ class CacheBuffer:
         policy=None,
         usable_capacity: Optional[Callable[[], int]] = None,
         on_evict: Optional[Callable[["CheckpointRecord", TierLevel], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.name = name
         self.level = level
@@ -59,6 +61,13 @@ class CacheBuffer:
         self.policy = policy or ScorePolicy()
         self.usable_capacity = usable_capacity
         self.on_evict = on_evict
+        self.telemetry = telemetry or Telemetry.disabled()
+        registry = self.telemetry.registry
+        self._m_evictions = registry.counter(f"cache.{name}.evictions")
+        self._m_forced = registry.counter(f"cache.{name}.forced_evictions")
+        self._m_wait = registry.histogram(f"cache.{name}.eviction_wait_s")
+        self._m_occupancy = registry.gauge(f"cache.{name}.occupancy")
+        self._m_fragmentation = registry.gauge(f"cache.{name}.fragmentation")
         self.table = AllocTable(arena.nominal_capacity)
         #: Section 4.1.2 ablation: when set, write-path reservations are
         #: confined to ``[0, write_boundary)`` and prefetch-path ones to
@@ -161,6 +170,8 @@ class CacheBuffer:
                     if wait_started is not None:
                         waited = self.clock.now() - wait_started
                         self.eviction_wait_time += waited
+                        self._m_wait.observe(waited)
+                    self._observe_occupancy()
                     self.monitor.notify_all()
                     return waited
                 if not blocking:
@@ -195,6 +206,29 @@ class CacheBuffer:
             return None
         if not self._window_ready(window, allow_pinned):
             return None
+        if self.telemetry.bus.enabled:
+            members = [
+                {
+                    "ckpt": frag.record.ckpt_id,
+                    "bytes": frag.size,
+                    "state": frag.record.peek(self.level).state.value
+                    if frag.record.peek(self.level) is not None
+                    else None,
+                }
+                for frag in fragments[window.start : window.end]
+                if not frag.is_gap
+            ]
+            self.telemetry.bus.instant(
+                "evict-window",
+                self.name,
+                p_score=window.p_score,
+                s_score=window.s_score,
+                offset=window.offset,
+                bytes=window.size,
+                incoming_bytes=size,
+                forced=allow_pinned,
+                members=members,
+            )
         self._evict_window(window, allow_pinned)
         return self.table.find_gap(size, limit, min_offset)
 
@@ -239,8 +273,13 @@ class CacheBuffer:
         self.table.remove(record.ckpt_id)
         record.drop_instance(self.level)
         self.evictions += 1
+        self._m_evictions.inc()
         if forced:
             self.forced_evictions += 1
+            self._m_forced.inc()
+        self.telemetry.bus.instant(
+            "evict", self.name, ckpt=record.ckpt_id, bytes=record.nominal_size, forced=forced
+        )
         if self.on_evict is not None:
             self.on_evict(record, self.level)
 
@@ -249,6 +288,7 @@ class CacheBuffer:
         with self.monitor:
             if self.table.contains(record.ckpt_id):
                 self._evict_record(record, force=True)
+                self._observe_occupancy()
                 self.monitor.notify_all()
 
     # -- payload I/O -------------------------------------------------------------
@@ -262,10 +302,33 @@ class CacheBuffer:
             offset = self.offset_of(record)
         self.arena.write(offset, payload)
 
+    def _observe_occupancy(self) -> None:
+        """Monitor held: refresh the occupancy/fragmentation gauges."""
+        self._m_occupancy.set(self.table.used_bytes / self.table.capacity)
+        self._m_fragmentation.set(self.fragmentation())
+
     # -- stats ----------------------------------------------------------------------
     def occupancy(self) -> float:
         with self.monitor:
             return self.table.used_bytes / self.table.capacity
+
+    def fragmentation(self) -> float:
+        """Share of free space unusable as one contiguous gap (monitor held
+        by callers inside the runtime; safe to call unlocked for display).
+
+        ``0`` = all free bytes form one gap (or the cache is full);
+        approaching ``1`` = free space is shattered into small gaps.
+        """
+        free = 0
+        largest = 0
+        for frag in self.table.fragments():
+            if frag.is_gap:
+                free += frag.size
+                if frag.size > largest:
+                    largest = frag.size
+        if free == 0:
+            return 0.0
+        return 1.0 - largest / free
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CacheBuffer({self.name!r}, level={self.level.name})"

@@ -12,17 +12,29 @@ All mutation happens under the engine monitor.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
-from repro.core.lifecycle import Instance
+from repro.core.lifecycle import CkptState, Instance
 from repro.errors import CheckpointNotFound, LifecycleError
 from repro.tiers.base import TierLevel
+
+#: Catalog-level transition hook: ``(ckpt_id, instance, old, new, now)``.
+#: Installed by the engine when tracing is enabled; see
+#: :data:`repro.core.lifecycle.TransitionObserver` for the constraints.
+CatalogTransitionHook = Callable[[int, Instance, CkptState, CkptState, float], None]
 
 
 class CheckpointRecord:
     """Identity + state of one checkpoint across every tier."""
 
-    def __init__(self, ckpt_id: int, nominal_size: int, true_size: int, checksum: int) -> None:
+    def __init__(
+        self,
+        ckpt_id: int,
+        nominal_size: int,
+        true_size: int,
+        checksum: int,
+        on_transition: Optional[CatalogTransitionHook] = None,
+    ) -> None:
         self.ckpt_id = ckpt_id
         self.nominal_size = nominal_size
         self.true_size = true_size
@@ -40,13 +52,18 @@ class CheckpointRecord:
         self.cancel_flush = threading.Event()
         #: the prefetcher is currently moving this checkpoint between tiers.
         self.prefetch_inflight = False
+        self._on_transition = on_transition
 
     # -- instances ---------------------------------------------------------
     def instance(self, level: TierLevel) -> Instance:
         """Get-or-create the instance for a tier (created in INIT)."""
         inst = self.instances.get(level)
         if inst is None:
-            inst = Instance(level)
+            observer = None
+            if self._on_transition is not None:
+                hook, ckpt_id = self._on_transition, self.ckpt_id
+                observer = lambda i, old, new, now: hook(ckpt_id, i, old, new, now)  # noqa: E731
+            inst = Instance(level, observer=observer)
             self.instances[level] = inst
         return inst
 
@@ -89,8 +106,9 @@ class CheckpointRecord:
 class Catalog:
     """All checkpoints one engine knows about, keyed by checkpoint id."""
 
-    def __init__(self) -> None:
+    def __init__(self, on_transition: Optional[CatalogTransitionHook] = None) -> None:
         self._records: Dict[int, CheckpointRecord] = {}
+        self._on_transition = on_transition
 
     def create(
         self, ckpt_id: int, nominal_size: int, true_size: int, checksum: int
@@ -99,7 +117,9 @@ class Catalog:
             raise LifecycleError(
                 f"checkpoint {ckpt_id} already exists; checkpoints are immutable"
             )
-        record = CheckpointRecord(ckpt_id, nominal_size, true_size, checksum)
+        record = CheckpointRecord(
+            ckpt_id, nominal_size, true_size, checksum, on_transition=self._on_transition
+        )
         self._records[ckpt_id] = record
         return record
 

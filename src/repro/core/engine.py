@@ -36,10 +36,14 @@ from repro.errors import (
     ReproError,
     TransferError,
 )
+from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind, Recorder
 from repro.simgpu.memory import DeviceBuffer, checksum_payload
+from repro.telemetry import Telemetry
 from repro.tiers.base import TierLevel
 from repro.tiers.topology import ProcessContext
+
+log = get_logger(__name__)
 
 
 class ScoreEngine:
@@ -89,8 +93,21 @@ class ScoreEngine:
             self.partner_link = cluster.internode_link(self.node_id, self.partner_node_id)
 
         self.monitor = Monitor(self.clock)
-        self.catalog = Catalog()
-        self.queue = RestoreQueue()
+        self.telemetry: Telemetry = (
+            getattr(context, "telemetry", None) or Telemetry.disabled()
+        )
+        self._app_track = f"p{self.process_id}-app"
+        self._lifecycle_track = f"p{self.process_id}-lifecycle"
+        registry = self.telemetry.registry
+        self._m_ckpt_ops = registry.counter("engine.checkpoint.ops")
+        self._m_ckpt_bytes = registry.counter("engine.checkpoint.bytes")
+        self._m_ckpt_blocked = registry.histogram("engine.checkpoint.blocked_s")
+        self._m_restore_ops = registry.counter("engine.restore.ops")
+        self._m_restore_bytes = registry.counter("engine.restore.bytes")
+        self._m_restore_blocked = registry.histogram("engine.restore.blocked_s")
+        self._m_queue_depth = registry.gauge("prefetch.queue_depth")
+        self.catalog = Catalog(on_transition=self._fsm_hook())
+        self.queue = RestoreQueue(telemetry=self.telemetry)
         self.recorder = recorder or Recorder(process_id=self.process_id)
         #: restores currently promoting on demand; while non-zero the
         #: prefetcher backs off so demand never loses a freed cache slot to
@@ -110,6 +127,7 @@ class ScoreEngine:
             restore_queue=self.queue,
             flush_estimate=lambda n: self.device.d2h_link.estimate(n),
             policy=policy,
+            telemetry=self.telemetry,
         )
         self.host_cache = CacheBuffer(
             name=f"p{self.process_id}-host",
@@ -121,6 +139,7 @@ class ScoreEngine:
             flush_estimate=lambda n: self.ssd.write_link.estimate(n),
             policy=policy,
             usable_capacity=context.host_usable_capacity,
+            telemetry=self.telemetry,
         )
         if not self.config.shared_cache:
             # Section 4.1.2 ablation: statically split each cache into a
@@ -141,6 +160,25 @@ class ScoreEngine:
         from repro.baselines.naive import FifoPolicy, LruPolicy  # cycle-free
 
         return {"lru": LruPolicy(), "fifo": FifoPolicy()}[name]
+
+    def _fsm_hook(self):
+        """Catalog transition hook tracing every FSM edge (Fig. 1); ``None``
+        when the trace bus is disabled so instances carry no observer."""
+        if not self.telemetry.bus.enabled:
+            return None
+        bus = self.telemetry.bus
+        track = self._lifecycle_track
+
+        def hook(ckpt_id, inst, old, new, now):
+            bus.instant(
+                "fsm",
+                track,
+                ckpt=ckpt_id,
+                level=inst.level.name,
+                **{"from": old.value, "to": new.value},
+            )
+
+        return hook
 
     # -- helpers -----------------------------------------------------------------
     def store_key(self, record: CheckpointRecord):
@@ -170,21 +208,29 @@ class ScoreEngine:
         nominal = self.scale.align(buffer.nominal_size)
         checksum = buffer.checksum()
         started = self.clock.now()
-        with self.monitor:
-            record = self.catalog.create(ckpt_id, nominal, buffer.nominal_size, checksum)
-        waited = self.gpu_cache.reserve(record, CkptState.WRITE_IN_PROGRESS, blocking=True)
-        # Device-to-device copy of the protected region into the cache.
-        copied = self.device.d2d_link.transfer(nominal)
-        self.gpu_cache.write_payload(record, buffer.payload)
-        with self.monitor:
-            record.instance(TierLevel.GPU).transition(
-                CkptState.WRITE_COMPLETE, self.clock.now()
+        with self.telemetry.bus.span(
+            "checkpoint", self._app_track, ckpt=ckpt_id, bytes=nominal
+        ):
+            with self.monitor:
+                record = self.catalog.create(ckpt_id, nominal, buffer.nominal_size, checksum)
+            waited = self.gpu_cache.reserve(
+                record, CkptState.WRITE_IN_PROGRESS, blocking=True
             )
-            self.monitor.notify_all()
-        self.flusher.schedule(record)
+            # Device-to-device copy of the protected region into the cache.
+            copied = self.device.d2d_link.transfer(nominal)
+            self.gpu_cache.write_payload(record, buffer.payload)
+            with self.monitor:
+                record.instance(TierLevel.GPU).transition(
+                    CkptState.WRITE_COMPLETE, self.clock.now()
+                )
+                self.monitor.notify_all()
+            self.flusher.schedule(record)
         # Blocking time = eviction wait + cache copy (accounted, so the
         # figure stays exact under aggressive time scaling).
         blocked = (waited or 0.0) + copied
+        self._m_ckpt_ops.inc()
+        self._m_ckpt_bytes.inc(nominal)
+        self._m_ckpt_blocked.observe(blocked)
         self.recorder.record(
             OpEvent(
                 kind=OpKind.CHECKPOINT,
@@ -202,6 +248,7 @@ class ScoreEngine:
         self._require_open()
         with self.monitor:
             self.queue.enqueue(ckpt_id)
+            self._m_queue_depth.set(len(self.queue))
             self.monitor.notify_all()
 
     def prefetch_start(self) -> None:
@@ -226,28 +273,36 @@ class ScoreEngine:
         """
         self._require_open()
         started = self.clock.now()
-        with self.monitor:
-            record = self.catalog.get(ckpt_id)
-            if record.consumed:
-                raise LifecycleError(f"checkpoint {ckpt_id} was already consumed")
-            distance = self._sample_prefetch_distance(ckpt_id)
-            source = self._current_source_level(record)
-        # _await_gpu_copy pins the extent (crossover to READ_COMPLETE)
-        # before returning, so it cannot be evicted under the copy below.
-        waited = self._await_gpu_copy(record)
-        # Copy out to the application buffer (device-to-device).
-        payload = self.gpu_cache.read_payload(record)
-        copied = self.device.d2d_link.transfer(record.nominal_size)
-        buffer.copy_from(payload)
-        if self.verify_restores:
-            actual = checksum_payload(payload[: buffer.payload.size])
-            if actual != record.checksum:
-                raise IntegrityError(
-                    f"checkpoint {ckpt_id} payload corrupt: "
-                    f"crc {actual:#010x} != {record.checksum:#010x}"
-                )
-        self._consume(record)
+        with self.telemetry.bus.span(
+            "restore", self._app_track, ckpt=ckpt_id
+        ) as span:
+            with self.monitor:
+                record = self.catalog.get(ckpt_id)
+                if record.consumed:
+                    raise LifecycleError(f"checkpoint {ckpt_id} was already consumed")
+                distance = self._sample_prefetch_distance(ckpt_id)
+                source = self._current_source_level(record)
+            span.add(bytes=record.nominal_size, source=source, distance=distance)
+            # _await_gpu_copy pins the extent (crossover to READ_COMPLETE)
+            # before returning, so it cannot be evicted under the copy below.
+            waited = self._await_gpu_copy(record)
+            # Copy out to the application buffer (device-to-device).
+            payload = self.gpu_cache.read_payload(record)
+            copied = self.device.d2d_link.transfer(record.nominal_size)
+            buffer.copy_from(payload)
+            if self.verify_restores:
+                actual = checksum_payload(payload[: buffer.payload.size])
+                if actual != record.checksum:
+                    raise IntegrityError(
+                        f"checkpoint {ckpt_id} payload corrupt: "
+                        f"crc {actual:#010x} != {record.checksum:#010x}"
+                    )
+            self._consume(record)
         blocked = waited + copied
+        self._m_restore_ops.inc()
+        self._m_restore_bytes.inc(record.nominal_size)
+        self._m_restore_blocked.observe(blocked)
+        self.telemetry.registry.counter(f"restore.source.{source.lower()}").inc()
         self.recorder.record(
             OpEvent(
                 kind=OpKind.RESTORE,
@@ -292,6 +347,7 @@ class ScoreEngine:
             # Pause the prefetcher for the whole demand episode so it never
             # races the restore for freed cache slots or for this record.
             self.demand_active += 1
+        self.telemetry.bus.instant("gpu-miss", self._app_track, ckpt=record.ckpt_id)
         blocked = 0.0
         try:
             while True:
@@ -504,6 +560,7 @@ class ScoreEngine:
                     inst.try_transition(CkptState.READ_COMPLETE, now)
                 inst.try_transition(CkptState.CONSUMED, now)
             self.queue.consume(record.ckpt_id)
+            self._m_queue_depth.set(len(self.queue))
             if self.discard_consumed:
                 # Condition (5): pending flushes of a discarded checkpoint
                 # need not complete — cancel in-flight transfers and release

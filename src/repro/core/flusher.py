@@ -24,12 +24,15 @@ from typing import TYPE_CHECKING
 
 from repro.core.lifecycle import CkptState
 from repro.errors import AllocationError, ReproError, TransferError
+from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind
 from repro.tiers.base import TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.catalog import CheckpointRecord
     from repro.core.engine import ScoreEngine
+
+log = get_logger(__name__)
 
 
 class Flusher:
@@ -49,6 +52,38 @@ class Flusher:
         )
         self.abandoned = 0
         self.replicated = 0
+        self.telemetry = engine.telemetry
+        pid = engine.process_id
+        self._tracks = {
+            "d2h": f"p{pid}-flush-d2h",
+            "d2s": f"p{pid}-flush-d2h",  # GPUDirect rides the d2h stream
+            "h2f": f"p{pid}-flush-h2f",
+            "f2p": f"p{pid}-flush-f2p",
+            "repl": f"p{pid}-flush-repl",
+        }
+        registry = self.telemetry.registry
+        self._m_bytes = {
+            stage: registry.counter(f"flush.{stage}.bytes")
+            for stage in ("d2h", "d2s", "h2f", "f2p", "repl")
+        }
+        self._m_abandoned = registry.counter("flush.abandoned")
+        self._m_d2h_depth = registry.gauge("flush.d2h.depth")
+        self._m_h2f_depth = registry.gauge("flush.h2f.depth")
+
+    def _abandon(self, stage: str, record: "CheckpointRecord", reason: str) -> None:
+        """Count + trace + log one abandoned flush leg (monitor NOT required)."""
+        self.abandoned += 1
+        self._m_abandoned.inc()
+        self.telemetry.bus.instant(
+            "flush-abandoned", self._tracks[stage], ckpt=record.ckpt_id, reason=reason
+        )
+        log.debug(
+            "p%d: abandoning %s flush of checkpoint %d (%s)",
+            self.engine.process_id,
+            stage,
+            record.ckpt_id,
+            reason,
+        )
 
     def schedule(self, record: "CheckpointRecord") -> None:
         """Queue the D2H (or GPUDirect D2S) leg after the GPU write."""
@@ -62,6 +97,7 @@ class Flusher:
             self.d2h_stream.submit(
                 lambda: self._flush_d2h(record), label=f"d2h-{record.ckpt_id}"
             )
+        self._m_d2h_depth.set(self.d2h_stream.depth)
 
     def drain(self) -> None:
         """Wait for the whole cascade to settle (the paper's WAIT variant)."""
@@ -92,7 +128,7 @@ class Flusher:
             if record.discarded or gpu_inst is None:
                 if gpu_inst is not None:
                     gpu_inst.flush_pending = False
-                self.abandoned += 1
+                self._abandon("d2h", record, "discarded or already evicted")
                 engine.monitor.notify_all()
                 return
         # Snapshot the bytes, then release the instance for eviction.
@@ -100,23 +136,30 @@ class Flusher:
             payload = engine.gpu_cache.read_payload(record)
         except AllocationError:
             # Discarded and evicted between the check and the snapshot.
-            self.abandoned += 1
+            self._abandon("d2h", record, "evicted during payload snapshot")
             return
         with engine.monitor:
             gpu_inst.flush_pending = False
             engine.monitor.notify_all()
         # Claim host cache space (blocks for evictions as needed).
         engine.host_cache.reserve(record, CkptState.WRITE_IN_PROGRESS, blocking=True)
-        try:
-            engine.device.d2h_link.transfer(record.nominal_size, cancelled=record.cancel_flush)
-        except TransferError:
-            with engine.monitor:
-                # Abandon: release the half-written host extent.
-                engine.host_cache.table.remove(record.ckpt_id)
-                record.drop_instance(TierLevel.HOST)
-                self.abandoned += 1
-                engine.monitor.notify_all()
-            return
+        with self.telemetry.bus.span(
+            "d2h", self._tracks["d2h"], ckpt=record.ckpt_id, bytes=record.nominal_size
+        ) as span:
+            try:
+                engine.device.d2h_link.transfer(
+                    record.nominal_size, cancelled=record.cancel_flush
+                )
+            except TransferError:
+                span.add(abandoned=True)
+                with engine.monitor:
+                    # Abandon: release the half-written host extent.
+                    engine.host_cache.table.remove(record.ckpt_id)
+                    record.drop_instance(TierLevel.HOST)
+                    self._abandon("d2h", record, "cancelled mid-transfer")
+                    engine.monitor.notify_all()
+                return
+        self._m_bytes["d2h"].inc(record.nominal_size)
         engine.host_cache.write_payload(record, payload)
         with engine.monitor:
             host_inst = record.instance(TierLevel.HOST)
@@ -137,6 +180,7 @@ class Flusher:
             )
         )
         self.h2f_stream.submit(lambda: self._flush_h2f(record), label=f"h2f-{record.ckpt_id}")
+        self._m_h2f_depth.set(self.h2f_stream.depth)
 
     def _flush_d2s(self, record: "CheckpointRecord") -> None:
         """GPUDirect storage flush: GPU cache → SSD, no host staging."""
@@ -147,30 +191,37 @@ class Flusher:
             if record.discarded or gpu_inst is None:
                 if gpu_inst is not None:
                     gpu_inst.flush_pending = False
-                self.abandoned += 1
+                self._abandon("d2s", record, "discarded or already evicted")
                 engine.monitor.notify_all()
                 return
         try:
             payload = engine.gpu_cache.read_payload(record)
         except AllocationError:
-            self.abandoned += 1
+            self._abandon("d2s", record, "evicted during payload snapshot")
             return
         with engine.monitor:
             gpu_inst.flush_pending = False
             engine.monitor.notify_all()
-        try:
-            # The DMA crosses the same PCIe link, then commits to the drive.
-            engine.device.d2h_link.transfer(record.nominal_size, cancelled=record.cancel_flush)
-            engine.ssd.put(
-                engine.store_key(record),
-                payload,
-                record.nominal_size,
-                cancelled=record.cancel_flush,
-                meta=engine.recovery_meta(record),
-            )
-        except TransferError:
-            self.abandoned += 1
-            return
+        with self.telemetry.bus.span(
+            "d2s", self._tracks["d2s"], ckpt=record.ckpt_id, bytes=record.nominal_size
+        ) as span:
+            try:
+                # The DMA crosses the same PCIe link, then commits to the drive.
+                engine.device.d2h_link.transfer(
+                    record.nominal_size, cancelled=record.cancel_flush
+                )
+                engine.ssd.put(
+                    engine.store_key(record),
+                    payload,
+                    record.nominal_size,
+                    cancelled=record.cancel_flush,
+                    meta=engine.recovery_meta(record),
+                )
+            except TransferError:
+                span.add(abandoned=True)
+                self._abandon("d2s", record, "cancelled mid-transfer")
+                return
+        self._m_bytes["d2s"].inc(record.nominal_size)
         with engine.monitor:
             if record.durable_level is None or record.durable_level < TierLevel.SSD:
                 record.durable_level = TierLevel.SSD
@@ -198,28 +249,33 @@ class Flusher:
             if record.discarded or host_inst is None:
                 if host_inst is not None:
                     host_inst.flush_pending = False
-                self.abandoned += 1
+                self._abandon("h2f", record, "discarded or already evicted")
                 engine.monitor.notify_all()
                 return
         try:
             payload = engine.host_cache.read_payload(record)
         except AllocationError:
-            self.abandoned += 1
+            self._abandon("h2f", record, "evicted during payload snapshot")
             return
         with engine.monitor:
             host_inst.flush_pending = False
             engine.monitor.notify_all()
-        try:
-            engine.ssd.put(
-                engine.store_key(record),
-                payload,
-                record.nominal_size,
-                cancelled=record.cancel_flush,
-                meta=engine.recovery_meta(record),
-            )
-        except TransferError:
-            self.abandoned += 1
-            return
+        with self.telemetry.bus.span(
+            "h2f", self._tracks["h2f"], ckpt=record.ckpt_id, bytes=record.nominal_size
+        ) as span:
+            try:
+                engine.ssd.put(
+                    engine.store_key(record),
+                    payload,
+                    record.nominal_size,
+                    cancelled=record.cancel_flush,
+                    meta=engine.recovery_meta(record),
+                )
+            except TransferError:
+                span.add(abandoned=True)
+                self._abandon("h2f", record, "cancelled mid-transfer")
+                return
+        self._m_bytes["h2f"].inc(record.nominal_size)
         with engine.monitor:
             if record.durable_level is None or record.durable_level < TierLevel.SSD:
                 record.durable_level = TierLevel.SSD
@@ -239,45 +295,57 @@ class Flusher:
         engine = self.engine
         with engine.monitor:
             if record.discarded:
-                self.abandoned += 1
+                self._abandon("repl", record, "discarded before replication")
                 return
-        try:
-            payload, _ = engine.ssd.get(engine.store_key(record))
-            engine.partner_link.transfer(record.nominal_size, cancelled=record.cancel_flush)
-            engine.partner_ssd.put(
-                engine.store_key(record),
-                payload,
-                record.nominal_size,
-                cancelled=record.cancel_flush,
-                meta=engine.recovery_meta(record),
-            )
-        except (TransferError, ReproError):
-            self.abandoned += 1
-            return
+        with self.telemetry.bus.span(
+            "repl", self._tracks["repl"], ckpt=record.ckpt_id, bytes=record.nominal_size
+        ) as span:
+            try:
+                payload, _ = engine.ssd.get(engine.store_key(record))
+                engine.partner_link.transfer(
+                    record.nominal_size, cancelled=record.cancel_flush
+                )
+                engine.partner_ssd.put(
+                    engine.store_key(record),
+                    payload,
+                    record.nominal_size,
+                    cancelled=record.cancel_flush,
+                    meta=engine.recovery_meta(record),
+                )
+            except (TransferError, ReproError) as exc:
+                span.add(abandoned=True)
+                self._abandon("repl", record, f"{type(exc).__name__} during replication")
+                return
+        self._m_bytes["repl"].inc(record.nominal_size)
         self.replicated += 1
 
     def _flush_f2p(self, record: "CheckpointRecord") -> None:
         engine = self.engine
         with engine.monitor:
             if record.discarded:
-                self.abandoned += 1
+                self._abandon("f2p", record, "discarded before PFS flush")
                 return
         pfs = engine.pfs
         if pfs is None:
             return
         payload, _ = engine.ssd.get(engine.store_key(record))
-        try:
-            pfs.put(
-                engine.store_key(record),
-                payload,
-                record.nominal_size,
-                node_id=engine.node_id,
-                cancelled=record.cancel_flush,
-                meta=engine.recovery_meta(record),
-            )
-        except TransferError:
-            self.abandoned += 1
-            return
+        with self.telemetry.bus.span(
+            "f2p", self._tracks["f2p"], ckpt=record.ckpt_id, bytes=record.nominal_size
+        ) as span:
+            try:
+                pfs.put(
+                    engine.store_key(record),
+                    payload,
+                    record.nominal_size,
+                    node_id=engine.node_id,
+                    cancelled=record.cancel_flush,
+                    meta=engine.recovery_meta(record),
+                )
+            except TransferError:
+                span.add(abandoned=True)
+                self._abandon("f2p", record, "cancelled mid-transfer")
+                return
+        self._m_bytes["f2p"].inc(record.nominal_size)
         with engine.monitor:
             record.durable_level = TierLevel.PFS
             engine.monitor.notify_all()

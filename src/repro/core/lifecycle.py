@@ -16,9 +16,14 @@ checkpoint before it is consumed.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, FrozenSet
+from typing import Callable, Dict, FrozenSet, Optional
 
 from repro.errors import LifecycleError
+
+#: Transition observer: ``(instance, old_state, new_state, now)``.  Invoked
+#: with the engine monitor held, *after* the state changed — observers must
+#: be non-blocking (the telemetry bus appends one ring-buffer entry).
+TransitionObserver = Callable[["Instance", "CkptState", "CkptState", float], None]
 
 
 class CkptState(Enum):
@@ -79,9 +84,16 @@ class Instance:
     caller is responsible for notifying the monitor afterwards.
     """
 
-    __slots__ = ("level", "state", "state_since", "flush_pending", "read_pinned")
+    __slots__ = (
+        "level",
+        "state",
+        "state_since",
+        "flush_pending",
+        "read_pinned",
+        "observer",
+    )
 
-    def __init__(self, level) -> None:
+    def __init__(self, level, observer: Optional[TransitionObserver] = None) -> None:
         self.level = level
         self.state = CkptState.INIT
         self.state_since = 0.0
@@ -93,17 +105,26 @@ class Instance:
         #: number of in-flight promotions reading this extent as their
         #: source; a non-zero count blocks eviction like ``flush_pending``.
         self.read_pinned = 0
+        #: telemetry hook notified of every state change (None when the
+        #: trace bus is disabled, so the FSM pays nothing by default).
+        self.observer = observer
 
     def transition(self, new: CkptState, now: float = 0.0) -> None:
         validate_transition(self.state, new)
+        old = self.state
         self.state = new
         self.state_since = now
+        if self.observer is not None:
+            self.observer(self, old, new, now)
 
     def try_transition(self, new: CkptState, now: float = 0.0) -> bool:
         """Transition if legal; return whether it happened."""
         if new in _TRANSITIONS[self.state]:
+            old = self.state
             self.state = new
             self.state_since = now
+            if self.observer is not None:
+                self.observer(self, old, new, now)
             return True
         return False
 

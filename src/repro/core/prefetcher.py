@@ -20,12 +20,15 @@ import threading
 from typing import Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ReproError
+from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind
 from repro.tiers.base import TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.catalog import CheckpointRecord
     from repro.core.engine import ScoreEngine
+
+log = get_logger(__name__)
 
 #: (record, source level, destination level)
 Task = Tuple["CheckpointRecord", TierLevel, TierLevel]
@@ -38,6 +41,12 @@ class Prefetcher:
         self.engine = engine
         self.lookahead = lookahead
         self.promotions = 0
+        self.telemetry = engine.telemetry
+        self._track = f"p{engine.process_id}-prefetch"
+        registry = self.telemetry.registry
+        self._m_promotions = registry.counter("prefetch.promotions")
+        self._m_bytes = registry.counter("prefetch.bytes")
+        self._m_retries = registry.counter("prefetch.retries")
         self._running = True
         self._thread = threading.Thread(
             target=self._run, name=f"prefetcher-p{engine.process_id}", daemon=True
@@ -67,20 +76,40 @@ class Prefetcher:
             record, src, dst = task
             started = engine.clock.now()
             seconds: Optional[float] = None
-            try:
-                seconds = engine.promote_once(
-                    record, src, dst, blocking=False, allow_pinned=False
-                )
-            except ReproError:
-                # Raced with a concurrent state change (e.g. the extent
-                # appeared on the destination meanwhile); re-evaluate.
-                pass
-            finally:
-                with engine.monitor:
-                    record.prefetch_inflight = False
-                    engine.monitor.notify_all()
+            span = self.telemetry.bus.span(
+                "prefetch",
+                self._track,
+                ckpt=record.ckpt_id,
+                src=src.name,
+                dst=dst.name,
+                bytes=record.nominal_size,
+            )
+            with span:
+                try:
+                    seconds = engine.promote_once(
+                        record, src, dst, blocking=False, allow_pinned=False
+                    )
+                except ReproError as exc:
+                    # Raced with a concurrent state change (e.g. the extent
+                    # appeared on the destination meanwhile); re-evaluate.
+                    span.add(retried=True)
+                    self._m_retries.inc()
+                    log.debug(
+                        "p%d: prefetch of checkpoint %d (%s->%s) will retry: %s",
+                        engine.process_id,
+                        record.ckpt_id,
+                        src.name,
+                        dst.name,
+                        exc,
+                    )
+                finally:
+                    with engine.monitor:
+                        record.prefetch_inflight = False
+                        engine.monitor.notify_all()
             if seconds is not None:
                 self.promotions += 1
+                self._m_promotions.inc()
+                self._m_bytes.inc(record.nominal_size)
                 engine.recorder.record(
                     OpEvent(
                         kind=OpKind.PREFETCH,

@@ -20,21 +20,34 @@ All methods require the engine monitor to be held by the caller.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import HintError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
 
 
 class RestoreQueue:
     """Hint queue for one process."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional["Telemetry"] = None) -> None:
         self._order: List[int] = []  # all hints ever enqueued, in order
         self._position: Dict[int, int] = {}  # ckpt_id -> index in _order
         self._consumed: set = set()
         self._consumed_positions: List[int] = []  # sorted, for O(log n) counts
         self._head = 0  # index of the first unconsumed hint
         self.started = False
+        if telemetry is None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry.disabled()
+        registry = telemetry.registry
+        self._m_enqueued = registry.counter("hints.enqueued")
+        self._m_consumed = registry.counter("hints.consumed")
+        #: restores deviating from the hint order (served out of turn or
+        #: never hinted) — the paper's hint-deviation penalty cases.
+        self._m_deviations = registry.counter("hints.deviations")
 
     # -- application-facing ---------------------------------------------------
     def enqueue(self, ckpt_id: int) -> None:
@@ -42,6 +55,7 @@ class RestoreQueue:
             raise HintError(f"hint for checkpoint {ckpt_id} already enqueued")
         self._position[ckpt_id] = len(self._order)
         self._order.append(ckpt_id)
+        self._m_enqueued.inc()
 
     def start(self) -> None:
         self.started = True
@@ -96,10 +110,16 @@ class RestoreQueue:
         """Mark a restore as served; tolerates unhinted ids (deviation)."""
         if ckpt_id in self._consumed:
             raise HintError(f"checkpoint {ckpt_id} consumed twice")
+        self._m_consumed.inc()
         if ckpt_id in self._position:
+            self._advance_head()
+            if self._head < len(self._order) and self._order[self._head] != ckpt_id:
+                self._m_deviations.inc()  # hinted, but served out of turn
             self._consumed.add(ckpt_id)
             bisect.insort(self._consumed_positions, self._position[ckpt_id])
             self._advance_head()
+        else:
+            self._m_deviations.inc()  # never hinted
 
     def _advance_head(self) -> None:
         while self._head < len(self._order) and self._order[self._head] in self._consumed:

@@ -11,7 +11,7 @@ horizons all match the paper's shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import CacheConfig, RuntimeConfig, bench_config
 from repro.errors import ConfigError
@@ -81,6 +81,9 @@ class ExperimentResult:
     experiment: Experiment
     summary: ThroughputSummary
     shots: List[ShotResult] = field(default_factory=list)
+    #: telemetry registry snapshot taken at the end of the run (always
+    #: present — the metrics registry is live even when tracing is off).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def checkpoint_rate(self) -> float:
@@ -153,8 +156,9 @@ def run_experiment(exp: Experiment) -> ExperimentResult:
         shots = run_multiprocess_shot(
             cluster, factory, specs, tightly_coupled=exp.tightly_coupled
         )
+        metrics = cluster.telemetry.registry.snapshot()
     summary = throughput([s.recorder for s in shots])
-    return ExperimentResult(experiment=exp, summary=summary, shots=shots)
+    return ExperimentResult(experiment=exp, summary=summary, shots=shots, metrics=metrics)
 
 
 def run_matrix(experiments: Sequence[Experiment]) -> List[ExperimentResult]:

@@ -1,0 +1,71 @@
+"""Library logging for the ``repro`` package.
+
+Every module that wants to log obtains its logger through
+:func:`get_logger`, which guarantees the ``repro`` root logger carries a
+:class:`logging.NullHandler` — the stdlib-recommended setup for libraries:
+silent by default, but an application (or the ``python -m repro trace``
+CLI) can attach real handlers to the ``repro`` hierarchy and see every
+DEBUG message from the flush/prefetch/eviction machinery.
+
+Example::
+
+    from repro.log import get_logger
+    log = get_logger(__name__)          # e.g. "repro.core.flusher"
+    log.debug("abandoning flush of %d", ckpt_id)
+
+To surface the messages in a script or a test::
+
+    from repro.log import enable_console_logging
+    enable_console_logging(logging.DEBUG)
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Name of the package's root logger; all loggers are children of it.
+ROOT_LOGGER_NAME = "repro"
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = ROOT_LOGGER_NAME) -> logging.Logger:
+    """A logger inside the ``repro`` hierarchy.
+
+    ``name`` is typically ``__name__`` of the calling module (already
+    prefixed ``repro.``); bare names are nested under the root logger so
+    application-side configuration of ``"repro"`` always applies.
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(
+    level: int = logging.INFO, fmt: str = "%(asctime)s %(name)s %(levelname)s %(message)s"
+) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` hierarchy (idempotent).
+
+    Returns the handler so callers can detach it (``disable_console_logging``)
+    or tweak its formatter.
+    """
+    for handler in _root.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            handler.setLevel(level)
+            _root.setLevel(level)
+            return handler
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(fmt))
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    return handler
+
+
+def disable_console_logging(handler: logging.Handler) -> None:
+    """Detach a handler previously installed by :func:`enable_console_logging`."""
+    _root.removeHandler(handler)

@@ -12,9 +12,9 @@ Durations and timestamps are nominal seconds on the engine's virtual clock.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 
 class OpKind(Enum):
@@ -39,21 +39,43 @@ class OpEvent:
     source_level: Optional[str] = None
 
 
-@dataclass
 class Recorder:
-    """Thread-safe event sink for one process."""
+    """Thread-safe event sink for one process.
 
-    process_id: int = 0
-    events: List[OpEvent] = field(default_factory=list)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    Events are bucketed per kind on the way in and the blocked/byte sums
+    are maintained as running totals, so the query methods used on hot
+    paths (``counts``, ``total_blocked``, ``total_bytes``) are O(kinds)
+    dictionary reads instead of a lock-and-scan over every event, and
+    ``of_kind`` copies one bucket instead of filtering the full log.
+    """
+
+    def __init__(self, process_id: int = 0, events: Optional[List[OpEvent]] = None) -> None:
+        self.process_id = process_id
+        #: all events in arrival order (live list — callers such as the
+        #: timeline reconstruction iterate it after the run has settled).
+        self.events: List[OpEvent] = []
+        self._lock = threading.Lock()
+        self._by_kind: Dict[OpKind, List[OpEvent]] = {kind: [] for kind in OpKind}
+        self._blocked: Dict[OpKind, float] = {kind: 0.0 for kind in OpKind}
+        self._bytes: Dict[OpKind, int] = {kind: 0 for kind in OpKind}
+        if events:
+            for event in events:
+                self.record(event)
 
     def record(self, event: OpEvent) -> None:
         with self._lock:
-            self.events.append(event)
+            self._append(event)
+
+    def _append(self, event: OpEvent) -> None:
+        """Lock held: index one event."""
+        self.events.append(event)
+        self._by_kind[event.kind].append(event)
+        self._blocked[event.kind] += event.blocked
+        self._bytes[event.kind] += event.nominal_bytes
 
     def of_kind(self, kind: OpKind) -> List[OpEvent]:
         with self._lock:
-            return [e for e in self.events if e.kind is kind]
+            return list(self._by_kind[kind])
 
     def checkpoints(self) -> List[OpEvent]:
         return self.of_kind(OpKind.CHECKPOINT)
@@ -62,18 +84,53 @@ class Recorder:
         return self.of_kind(OpKind.RESTORE)
 
     def total_blocked(self, kind: OpKind) -> float:
-        return sum(e.blocked for e in self.of_kind(kind))
+        with self._lock:
+            return self._blocked[kind]
 
     def total_bytes(self, kind: OpKind) -> int:
-        return sum(e.nominal_bytes for e in self.of_kind(kind))
+        with self._lock:
+            return self._bytes[kind]
 
     def counts(self) -> Dict[str, int]:
         with self._lock:
-            out: Dict[str, int] = {}
-            for e in self.events:
-                out[e.kind.value] = out.get(e.kind.value, 0) + 1
-            return out
+            return {
+                kind.value: len(bucket)
+                for kind, bucket in self._by_kind.items()
+                if bucket
+            }
+
+    def snapshot(self) -> List[OpEvent]:
+        """One consistent copy of the event log (single lock acquisition).
+
+        Use this to hand the log to another thread or process boundary;
+        the copy is immutable-by-convention and safe to iterate while the
+        recorder keeps appending.
+        """
+        with self._lock:
+            return list(self.events)
+
+    def merge(self, other: Union["Recorder", Iterable[OpEvent]]) -> None:
+        """Fold another recorder's events into this one.
+
+        Used to combine per-process recorders after a multi-process run.
+        The combined log is re-sorted by ``started_at`` so timeline
+        consumers see one coherent virtual-clock ordering.
+        """
+        incoming = other.snapshot() if isinstance(other, Recorder) else list(other)
+        with self._lock:
+            for event in incoming:
+                self._append(event)
+            self.events.sort(key=lambda e: e.started_at)
+            for bucket in self._by_kind.values():
+                bucket.sort(key=lambda e: e.started_at)
 
     def clear(self) -> None:
         with self._lock:
             self.events.clear()
+            for kind in OpKind:
+                self._by_kind[kind].clear()
+                self._blocked[kind] = 0.0
+                self._bytes[kind] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Recorder(process_id={self.process_id}, events={len(self.events)})"

@@ -1,0 +1,161 @@
+"""``python -m repro trace <workload>`` — run a traced workload and export.
+
+Runs one shot (or a small multi-process grid) with the trace bus enabled and
+writes three artifacts under ``--out-dir``:
+
+* ``<workload>.trace.json`` — Chrome trace-event JSON.  Open it at
+  https://ui.perfetto.dev (or ``chrome://tracing``): one process group per
+  rank plus a "cluster" group for the shared SSD/PFS stores, one timeline
+  per component (app, lifecycle, flush stages, prefetcher, tiers).
+* ``<workload>.events.jsonl`` — the raw event log, one JSON object per line.
+* ``<workload>.summary.txt`` — the metrics-registry digest (also printed).
+
+Workloads: ``quickstart`` (16 × 128 MiB, one rank, reverse order),
+``uniform`` and ``variable`` (the paper's RTM traces, multi-rank).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import os
+from typing import List, Optional, Sequence
+
+from repro.config import CacheConfig, bench_config
+from repro.log import enable_console_logging
+from repro.telemetry.exporters import render_summary, write_chrome_trace, write_jsonl
+from repro.util.units import MiB
+from repro.workloads.patterns import RestoreOrder, restore_order
+from repro.workloads.rtm import uniform_trace, variable_trace
+from repro.workloads.shot import ShotSpec
+
+#: (snapshots, processes) defaults per workload — sized so a trace run
+#: finishes in seconds while still exercising eviction and prefetching.
+_DEFAULTS = {
+    "quickstart": (16, 1),
+    "uniform": (48, 2),
+    "variable": (48, 2),
+}
+
+
+def _build_specs(
+    workload: str, cfg, snapshots: int, processes: int, order: RestoreOrder, seed: int
+) -> List[ShotSpec]:
+    scale = cfg.scale
+    specs: List[ShotSpec] = []
+    for rank in range(processes):
+        if workload == "variable":
+            trace = variable_trace(scale, rank=rank, seed=seed, num_snapshots=snapshots)
+        else:
+            trace = uniform_trace(scale, num_snapshots=snapshots, size=128 * MiB, rank=rank)
+        specs.append(
+            ShotSpec(
+                trace=trace,
+                restore_order=restore_order(order, len(trace), seed=seed, rank=rank),
+                compute_interval=0.010,
+                seed=seed,
+            )
+        )
+    return specs
+
+
+def run_trace(
+    workload: str,
+    out_dir: str = "traces",
+    snapshots: Optional[int] = None,
+    processes: Optional[int] = None,
+    order: RestoreOrder = RestoreOrder.REVERSE,
+    seed: int = 7,
+) -> dict:
+    """Run ``workload`` with tracing on; return the written paths."""
+    from repro.harness.approaches import make_engine_factory
+    from repro.harness.experiment import scaled_caches
+    from repro.tiers.topology import Cluster
+    from repro.workloads.multiproc import run_multiprocess_shot
+
+    default_snapshots, default_processes = _DEFAULTS[workload]
+    snapshots = snapshots or default_snapshots
+    processes = processes or default_processes
+    cfg = bench_config(telemetry=True, processes_per_node=processes)
+    specs = _build_specs(workload, cfg, snapshots, processes, order, seed)
+    # Scale the caches to the actual working set (paper ratios), but never
+    # below twice the largest single snapshot — a short variable-size trace
+    # can have one snapshot bigger than the ratio-derived GPU cache.
+    total = max(spec.trace.total_bytes for spec in specs)
+    floor = 2 * cfg.scale.align(max(max(spec.trace.sizes) for spec in specs))
+    ratio = scaled_caches(total)
+    cfg = cfg.with_(
+        cache=CacheConfig(
+            gpu_cache_size=max(ratio.gpu_cache_size, floor),
+            host_cache_size=max(ratio.host_cache_size, floor),
+        )
+    )
+    factory = make_engine_factory("score")
+    with Cluster(cfg) as cluster:
+        run_multiprocess_shot(cluster, factory, specs)
+        telemetry = cluster.telemetry
+
+    os.makedirs(out_dir, exist_ok=True)
+    trace_path = os.path.join(out_dir, f"{workload}.trace.json")
+    jsonl_path = os.path.join(out_dir, f"{workload}.events.jsonl")
+    summary_path = os.path.join(out_dir, f"{workload}.summary.txt")
+    events = telemetry.bus.snapshot()
+    write_chrome_trace(trace_path, events, telemetry.registry)
+    write_jsonl(jsonl_path, events)
+    summary = render_summary(
+        telemetry.registry,
+        telemetry.bus,
+        title=f"telemetry summary: {workload} ({snapshots} snapshots, {processes} ranks)",
+    )
+    with open(summary_path, "w") as fh:
+        fh.write(summary + "\n")
+    return {
+        "trace": trace_path,
+        "jsonl": jsonl_path,
+        "summary": summary_path,
+        "events": len(events),
+        "rendered": summary,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="run a workload with the trace bus on and export the telemetry",
+    )
+    parser.add_argument("workload", choices=sorted(_DEFAULTS))
+    parser.add_argument("--out-dir", default="traces", help="output directory")
+    parser.add_argument("--snapshots", type=int, default=None, help="snapshots per rank")
+    parser.add_argument("--processes", type=int, default=None, help="ranks (one GPU each)")
+    parser.add_argument(
+        "--order",
+        choices=[o.value for o in RestoreOrder],
+        default=RestoreOrder.REVERSE.value,
+        help="restore order (default: reverse)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--verbose", action="store_true", help="DEBUG logging of the repro runtime"
+    )
+    args = parser.parse_args(argv)
+    if args.verbose:
+        enable_console_logging(logging.DEBUG)
+    out = run_trace(
+        args.workload,
+        out_dir=args.out_dir,
+        snapshots=args.snapshots,
+        processes=args.processes,
+        order=RestoreOrder(args.order),
+        seed=args.seed,
+    )
+    print(out["rendered"])
+    print()
+    print(f"wrote {out['events']} events:")
+    for key in ("trace", "jsonl", "summary"):
+        print(f"  {out[key]}")
+    print("open the .trace.json at https://ui.perfetto.dev")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

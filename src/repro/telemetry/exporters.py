@@ -1,0 +1,211 @@
+"""Trace and metrics exporters.
+
+Three renderings of one run's telemetry:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome trace-event
+  JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Every bus track becomes one named thread timeline;
+  per-process tracks (``p3-flush-d2h``) group under their rank's process,
+  cluster-shared tracks (``node0-ssd``, ``pfs``) under a synthetic
+  "cluster" process.  Timestamps are nominal **micro**seconds (the format's
+  unit), so durations read directly in paper time.
+* :func:`write_jsonl` — one JSON object per event, for ad-hoc scripting.
+* :func:`render_summary` — a human-readable text digest of the metrics
+  registry and bus occupancy.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+
+from repro.telemetry.bus import TraceBus, TraceEvent
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Synthetic pid for cluster-shared tracks (SSD/PFS stores, fabric links).
+CLUSTER_PID = 1_000_000
+
+_TRACK_RE = re.compile(r"^p(\d+)-(.+)$")
+
+
+def _events_of(source: Union[TraceBus, Iterable[TraceEvent]]) -> List[TraceEvent]:
+    if isinstance(source, TraceBus):
+        return source.snapshot()
+    return list(source)
+
+
+def _split_track(track: str) -> Tuple[int, str]:
+    """(pid, thread name) for a track, following the bus's naming convention."""
+    m = _TRACK_RE.match(track)
+    if m:
+        return int(m.group(1)), m.group(2)
+    return CLUSTER_PID, track
+
+
+def chrome_trace(
+    source: Union[TraceBus, Iterable[TraceEvent]],
+    registry: Optional[MetricsRegistry] = None,
+) -> dict:
+    """Render events (and optionally a metrics snapshot) to the Chrome
+    trace-event JSON object format."""
+    events = _events_of(source)
+    trace_events: List[dict] = []
+    named_pids: Dict[int, None] = {}
+    tids: Dict[str, int] = {}
+
+    for track in sorted({e.track for e in events}):
+        pid, thread = _split_track(track)
+        tids[track] = len(tids) + 1
+        if pid not in named_pids:
+            named_pids[pid] = None
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": "cluster" if pid == CLUSTER_PID else f"rank {pid}"},
+                }
+            )
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tids[track],
+                "args": {"name": thread},
+            }
+        )
+
+    # The bus appends spans at *exit*; re-sort by start time so overlapping
+    # operations on a shared track (e.g. two streams hitting the SSD) render
+    # in timeline order.
+    for event in sorted(events, key=lambda e: e.ts):
+        pid, _ = _split_track(event.track)
+        entry = {
+            "name": event.name,
+            "ph": event.phase,
+            "ts": event.ts * 1e6,  # nominal seconds -> microseconds
+            "pid": pid,
+            "tid": tids[event.track],
+            "args": event.args,
+        }
+        if event.phase == "X":
+            entry["dur"] = event.dur * 1e6
+        elif event.phase == "i":
+            entry["s"] = "t"  # thread-scoped instant
+        trace_events.append(entry)
+
+    out: dict = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if registry is not None:
+        out["otherData"] = {"metrics": registry.snapshot()}
+    return out
+
+
+def write_chrome_trace(
+    path: str,
+    source: Union[TraceBus, Iterable[TraceEvent]],
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Write :func:`chrome_trace` output to ``path`` (open in Perfetto)."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(source, registry), fh, default=_json_default)
+
+
+def write_jsonl(
+    path_or_file: Union[str, TextIO], source: Union[TraceBus, Iterable[TraceEvent]]
+) -> int:
+    """One JSON object per event; returns the number of lines written."""
+    events = _events_of(source)
+
+    def dump(fh: TextIO) -> None:
+        for event in events:
+            fh.write(
+                json.dumps(
+                    {
+                        "name": event.name,
+                        "track": event.track,
+                        "ts": event.ts,
+                        "phase": event.phase,
+                        "dur": event.dur,
+                        "args": event.args,
+                    },
+                    default=_json_default,
+                )
+            )
+            fh.write("\n")
+
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            dump(fh)
+    else:
+        dump(path_or_file)
+    return len(events)
+
+
+def _json_default(value):
+    """Fallback serialisation for enum/float('inf') args."""
+    if value == float("inf"):
+        return "inf"
+    return str(value)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_summary(
+    registry: MetricsRegistry,
+    bus: Optional[TraceBus] = None,
+    title: str = "telemetry summary",
+) -> str:
+    """A human-readable digest: one line per metric, histograms condensed."""
+    lines = [title, "=" * len(title)]
+    snapshot = registry.snapshot()
+    if not snapshot:
+        lines.append("(no metrics recorded)")
+    width = max((len(name) for name in snapshot), default=0)
+    for name, value in snapshot.items():
+        if isinstance(value, dict):  # histogram
+            rendered = (
+                f"count={value['count']} mean={_format_value(value['mean'])} "
+                f"min={_format_value(value['min'])} max={_format_value(value['max'])}"
+            )
+        else:
+            rendered = _format_value(value)
+        lines.append(f"{name:<{width}}  {rendered}")
+    if bus is not None:
+        lines.append("")
+        lines.append(
+            f"trace: {len(bus)} events retained, {bus.dropped} dropped, "
+            f"{len(bus.tracks())} tracks"
+        )
+    return "\n".join(lines)
+
+
+def events_by_track(
+    source: Union[TraceBus, Iterable[TraceEvent]]
+) -> Dict[str, List[TraceEvent]]:
+    """Group events per track, preserving emission order."""
+    out: Dict[str, List[TraceEvent]] = {}
+    for event in _events_of(source):
+        out.setdefault(event.track, []).append(event)
+    return out
+
+
+def filter_events(
+    source: Union[TraceBus, Iterable[TraceEvent]],
+    name: Optional[str] = None,
+    tracks: Optional[Sequence[str]] = None,
+) -> List[TraceEvent]:
+    """Events matching a name and/or a set of tracks."""
+    events = _events_of(source)
+    if name is not None:
+        events = [e for e in events if e.name == name]
+    if tracks is not None:
+        wanted = set(tracks)
+        events = [e for e in events if e.track in wanted]
+    return events

@@ -9,7 +9,7 @@ aggregate bandwidth — so both per-node and cluster-wide saturation occur.
 from __future__ import annotations
 
 import threading
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from repro.clock import VirtualClock
 from repro.config import HardwareSpec, ScaleModel
 from repro.errors import CheckpointNotFound
 from repro.simgpu.bandwidth import Link
+from repro.telemetry import Telemetry
 from repro.tiers.base import InMemoryIndex, ObjectStore, StoreKey, TierLevel
 
 
@@ -32,11 +33,18 @@ class PfsStore(ObjectStore):
         clock: VirtualClock,
         num_nodes: int = 1,
         aggregate_factor: float = 2.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         """``aggregate_factor``: the file system sustains this multiple of a
         single node's share before becoming the bottleneck."""
         self.scale = scale
         self._clock = clock
+        self.telemetry = telemetry or Telemetry.disabled()
+        registry = self.telemetry.registry
+        self._m_write_bytes = registry.counter("tier.pfs.write_bytes")
+        self._m_read_bytes = registry.counter("tier.pfs.read_bytes")
+        self._m_write_ops = registry.counter("tier.pfs.write_ops")
+        self._m_read_ops = registry.counter("tier.pfs.read_ops")
         aggregate_write = spec.pfs_write_bandwidth * max(1.0, aggregate_factor)
         aggregate_read = spec.pfs_read_bandwidth * max(1.0, aggregate_factor)
         self.global_write_link = Link(
@@ -76,8 +84,11 @@ class PfsStore(ObjectStore):
         cancelled = kw.get("cancelled")
         meta = kw.get("meta")
         node_link, _ = self.node_links(node_id)
-        seconds = node_link.transfer(nominal_size, cancelled=cancelled)
-        seconds += self.global_write_link.transfer(nominal_size, cancelled=cancelled)
+        with self.telemetry.bus.span("pfs-put", "pfs", key=key, bytes=nominal_size):
+            seconds = node_link.transfer(nominal_size, cancelled=cancelled)
+            seconds += self.global_write_link.transfer(nominal_size, cancelled=cancelled)
+        self._m_write_bytes.inc(nominal_size)
+        self._m_write_ops.inc()
         with self._blob_lock:
             self._blobs[key] = payload.copy()
         self._index.add(key, nominal_size, meta)
@@ -86,8 +97,11 @@ class PfsStore(ObjectStore):
     def get(self, key: StoreKey, node_id: int = 0):
         nominal_size = self._index.require(key)
         _, node_link = self.node_links(node_id)
-        seconds = node_link.transfer(nominal_size)
-        seconds += self.global_read_link.transfer(nominal_size)
+        with self.telemetry.bus.span("pfs-get", "pfs", key=key, bytes=nominal_size):
+            seconds = node_link.transfer(nominal_size)
+            seconds += self.global_read_link.transfer(nominal_size)
+        self._m_read_bytes.inc(nominal_size)
+        self._m_read_ops.inc()
         with self._blob_lock:
             payload = self._blobs.get(key)
         if payload is None:

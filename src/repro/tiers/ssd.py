@@ -27,6 +27,7 @@ from repro.clock import VirtualClock
 from repro.config import HardwareSpec, ScaleModel
 from repro.errors import CheckpointNotFound
 from repro.simgpu.bandwidth import Link
+from repro.telemetry import Telemetry
 from repro.tiers.base import InMemoryIndex, ObjectStore, StoreKey, TierLevel
 
 
@@ -42,9 +43,17 @@ class SsdStore(ObjectStore):
         scale: ScaleModel,
         clock: VirtualClock,
         directory: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.node_id = node_id
         self.scale = scale
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._track = f"node{node_id}-ssd"
+        registry = self.telemetry.registry
+        self._m_write_bytes = registry.counter("tier.ssd.write_bytes")
+        self._m_read_bytes = registry.counter("tier.ssd.read_bytes")
+        self._m_write_ops = registry.counter("tier.ssd.write_ops")
+        self._m_read_ops = registry.counter("tier.ssd.read_ops")
         # Whole-object transfers (no chunk interleaving): an NVMe queue
         # *streams* completions, so the first submitted write finishes after
         # its own duration instead of all concurrent writers completing in
@@ -97,7 +106,12 @@ class SsdStore(ObjectStore):
     def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
         cancelled = kw.get("cancelled")
         meta = kw.get("meta")
-        seconds = self.write_link.transfer(nominal_size, cancelled=cancelled)
+        with self.telemetry.bus.span(
+            "ssd-put", self._track, key=key, bytes=nominal_size
+        ):
+            seconds = self.write_link.transfer(nominal_size, cancelled=cancelled)
+        self._m_write_bytes.inc(nominal_size)
+        self._m_write_ops.inc()
         if self._directory is not None:
             with open(self._path(key), "wb") as fh:
                 fh.write(np.ascontiguousarray(payload).tobytes())
@@ -119,7 +133,12 @@ class SsdStore(ObjectStore):
 
     def get(self, key: StoreKey):
         nominal_size = self._index.require(key)
-        seconds = self.read_link.transfer(nominal_size)
+        with self.telemetry.bus.span(
+            "ssd-get", self._track, key=key, bytes=nominal_size
+        ):
+            seconds = self.read_link.transfer(nominal_size)
+        self._m_read_bytes.inc(nominal_size)
+        self._m_read_ops.inc()
         if self._directory is not None:
             path = self._path(key)
             try:

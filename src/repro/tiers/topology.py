@@ -25,6 +25,7 @@ from repro.errors import ConfigError
 from repro.simgpu.bandwidth import Link
 from repro.simgpu.device import Device
 from repro.simgpu.memory import Arena
+from repro.telemetry import Telemetry
 from repro.tiers.gpu import make_gpu_cache_arena
 from repro.tiers.host import make_host_cache_arena
 from repro.tiers.pfs import PfsStore
@@ -58,6 +59,10 @@ class ProcessContext:
     @property
     def pfs(self) -> Optional[PfsStore]:
         return self.node.cluster.pfs
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self.node.cluster.telemetry
 
     def gpu_cache_arena(self, nominal_capacity: Optional[int] = None) -> Arena:
         """This process's device cache arena (allocated once, then cached)."""
@@ -114,7 +119,14 @@ class Node:
         ssd_dir = None
         if self.config.ssd_directory is not None:
             ssd_dir = os.path.join(self.config.ssd_directory, f"node{node_id}")
-        self.ssd = SsdStore(node_id, spec, self.config.scale, self.clock, directory=ssd_dir)
+        self.ssd = SsdStore(
+            node_id,
+            spec,
+            self.config.scale,
+            self.clock,
+            directory=ssd_dir,
+            telemetry=cluster.telemetry,
+        )
         # Shared PCIe links: gpus_per_pcie_link GPUs share one per direction.
         self._d2h_links: List[Link] = []
         self._h2d_links: List[Link] = []
@@ -169,8 +181,19 @@ class Cluster:
     def __init__(self, config: RuntimeConfig, clock: Optional[VirtualClock] = None) -> None:
         self.config = config
         self.clock = clock or VirtualClock(config.scale.time_scale)
+        #: one telemetry bundle per simulation: every engine, cache, flush
+        #: stream and store of this cluster traces and counts into it.
+        self.telemetry = Telemetry(
+            clock=self.clock,
+            enabled=config.telemetry,
+            capacity=config.telemetry_buffer,
+        )
         self.pfs = PfsStore(
-            config.hardware, config.scale, self.clock, num_nodes=config.num_nodes
+            config.hardware,
+            config.scale,
+            self.clock,
+            num_nodes=config.num_nodes,
+            telemetry=self.telemetry,
         )
         self.nodes = [Node(node_id, self) for node_id in range(config.num_nodes)]
         self._closed = False

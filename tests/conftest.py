@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.clock import VirtualClock
-from repro.config import CacheConfig, HardwareSpec, RuntimeConfig, ScaleModel
+from repro.config import CacheConfig, RuntimeConfig, ScaleModel
 from repro.core.engine import ScoreEngine
 from repro.tiers.topology import Cluster
 from repro.util.rng import make_rng

@@ -10,7 +10,6 @@ from repro.errors import (
     IntegrityError,
     LifecycleError,
 )
-from repro.util.rng import make_rng
 from repro.util.units import MiB
 from tests.conftest import make_buffer
 

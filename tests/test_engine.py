@@ -11,7 +11,6 @@ from repro.errors import (
     LifecycleError,
 )
 from repro.tiers.base import TierLevel
-from repro.util.rng import make_rng
 from repro.util.units import MiB
 from tests.conftest import make_buffer
 

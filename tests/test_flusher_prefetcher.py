@@ -1,6 +1,5 @@
 """Flush cascade and prefetcher mechanics."""
 
-import pytest
 
 from repro.core.engine import ScoreEngine
 from repro.core.lifecycle import CkptState

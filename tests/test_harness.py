@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import CacheConfig, bench_config
+from repro.config import CacheConfig
 from repro.errors import ConfigError
 from repro.harness.approaches import APPROACHES, TABLE1, make_engine_factory
 from repro.harness.experiment import (
@@ -14,7 +14,7 @@ from repro.tiers.topology import Cluster
 from repro.util.units import GiB, MiB
 from repro.workloads.patterns import RestoreOrder
 from repro.workloads.shot import HintMode
-from tests.conftest import TEST_SCALE, tiny_config
+from tests.conftest import tiny_config
 
 
 class TestTable1:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import CacheConfig
 from repro.core.client import Client
 from repro.core.engine import ScoreEngine
 from repro.tiers.topology import Cluster
@@ -11,7 +10,7 @@ from repro.util.units import GiB, MiB
 from repro.workloads.multiproc import run_multiprocess_shot
 from repro.workloads.patterns import RestoreOrder, restore_order
 from repro.workloads.rtm import variable_trace
-from repro.workloads.shot import HintMode, ShotSpec, run_shot
+from repro.workloads.shot import HintMode, ShotSpec
 from tests.conftest import make_buffer, tiny_config
 
 CKPT = 128 * MiB

@@ -8,10 +8,8 @@ each verified against the runtime directly.
 (5) pending flushes of a discarded (consumed) checkpoint need not complete.
 """
 
-import pytest
 
 from repro.core.engine import ScoreEngine
-from repro.core.lifecycle import CkptState
 from repro.tiers.base import TierLevel
 from repro.util.units import MiB
 from tests.conftest import make_buffer

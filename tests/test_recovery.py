@@ -10,7 +10,6 @@ import pytest
 from repro.core.client import Client
 from repro.core.engine import ScoreEngine
 from repro.errors import IntegrityError
-from repro.tiers.base import TierLevel
 from repro.tiers.topology import Cluster
 from repro.util.rng import make_rng
 from repro.util.units import MiB

@@ -2,11 +2,10 @@
 
 import math
 
-import pytest
 
 from repro.core.alloctable import AllocTable, Fragment
 from repro.core.catalog import CheckpointRecord
-from repro.core.scoring import FragmentCost, ScorePolicy, Window, make_cost_fn
+from repro.core.scoring import FragmentCost, ScorePolicy, make_cost_fn
 
 
 def rec(ckpt_id, size=10):

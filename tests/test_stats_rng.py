@@ -3,7 +3,7 @@
 import pytest
 
 from repro.util.rng import derive_seed, make_rng
-from repro.util.stats import Summary, harmonic_mean, percentile, summarize
+from repro.util.stats import harmonic_mean, percentile, summarize
 
 
 class TestSummarize:
