@@ -4,18 +4,28 @@ The arena ``[0, capacity)`` is tiled by an ordered sequence of *fragments*,
 each either a checkpoint extent or a gap.  This is the table ``A`` of
 Algorithm 1: eviction slides windows over exactly this sequence.
 
+All per-operation metadata is maintained incrementally so the hot paths
+stay off the transfer critical path:
+
+* ``used_bytes`` / ``free_bytes`` are counters, not scans;
+* ``_index_at`` bisects a mirrored starts list instead of rebuilding it;
+* gaps are indexed twice — by offset (first-fit iteration skips checkpoint
+  fragments entirely) and by size (a sorted multiset, so ``largest_gap``
+  is O(1) and ``find_gap`` rejects impossible requests without scanning).
+
 Invariants (property-tested):
 
 * fragments are sorted by offset, non-overlapping, and tile the arena
   completely (``sum(sizes) == capacity``);
 * no two adjacent gaps (gaps coalesce on removal);
-* every checkpoint appears at most once.
+* every checkpoint appears at most once;
+* the starts mirror and both gap indexes agree with the fragment list.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import AllocationError, CapacityError
 
@@ -61,8 +71,15 @@ class AllocTable:
         if capacity <= 0:
             raise AllocationError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
-        self._fragments: List[Fragment] = [Fragment(0, capacity)]
+        gap = Fragment(0, capacity)
+        self._fragments: List[Fragment] = [gap]
         self._by_ckpt = {}
+        # Incremental metadata (kept in lockstep with _fragments):
+        self._starts: List[int] = [0]  # fragment offsets, for _index_at
+        self._used_bytes = 0
+        self._gap_starts: List[int] = [0]  # gap offsets, sorted
+        self._gap_by_start: Dict[int, Fragment] = {0: gap}
+        self._gap_sizes: List[int] = [capacity]  # gap sizes, sorted multiset
 
     # -- queries -----------------------------------------------------------
     def fragments(self) -> List[Fragment]:
@@ -83,20 +100,20 @@ class AllocTable:
 
     @property
     def used_bytes(self) -> int:
-        return sum(f.size for f in self._fragments if not f.is_gap)
+        return self._used_bytes
 
     @property
     def free_bytes(self) -> int:
-        return self.capacity - self.used_bytes
+        return self.capacity - self._used_bytes
 
     def largest_gap(self, limit: Optional[int] = None) -> int:
+        if limit is None:
+            return self._gap_sizes[-1] if self._gap_sizes else 0
         best = 0
-        for frag in self._fragments:
-            if frag.is_gap:
-                size = frag.size
-                if limit is not None:
-                    size = min(size, max(0, limit - frag.offset))
-                best = max(best, size)
+        hi = bisect.bisect_left(self._gap_starts, limit)
+        for start in self._gap_starts[:hi]:
+            frag = self._gap_by_start[start]
+            best = max(best, min(frag.size, limit - frag.offset))
         return best
 
     def checkpoint_count(self) -> int:
@@ -114,9 +131,20 @@ class AllocTable:
         """
         if size <= 0:
             raise AllocationError(f"size must be positive: {size}")
-        for frag in self._fragments:
-            if not frag.is_gap:
-                continue
+        # Necessary condition regardless of the placement constraints: some
+        # gap must be at least `size` bytes.  This turns the common
+        # full-cache retry into an O(1) rejection.
+        if not self._gap_sizes or self._gap_sizes[-1] < size:
+            return None
+        # First gap whose range can intersect [min_offset, ...): the one
+        # containing min_offset, or the first one after it.
+        lo = bisect.bisect_right(self._gap_starts, min_offset)
+        if lo > 0 and self._gap_by_start[self._gap_starts[lo - 1]].end > min_offset:
+            lo -= 1
+        for start in self._gap_starts[lo:]:
+            if limit is not None and start + size > limit:
+                break  # later gaps start even further right
+            frag = self._gap_by_start[start]
             place = max(frag.offset, min_offset)
             if frag.end - place < size:
                 continue
@@ -124,11 +152,23 @@ class AllocTable:
                 return place
         return None
 
+    # -- gap index maintenance ----------------------------------------------
+    def _gap_index_add(self, frag: Fragment) -> None:
+        bisect.insort(self._gap_starts, frag.offset)
+        self._gap_by_start[frag.offset] = frag
+        bisect.insort(self._gap_sizes, frag.size)
+
+    def _gap_index_discard(self, frag: Fragment) -> None:
+        idx = bisect.bisect_left(self._gap_starts, frag.offset)
+        del self._gap_starts[idx]
+        del self._gap_by_start[frag.offset]
+        idx = bisect.bisect_left(self._gap_sizes, frag.size)
+        del self._gap_sizes[idx]
+
     # -- mutation ------------------------------------------------------------
     def _index_at(self, offset: int) -> int:
         """Index of the fragment containing ``offset``."""
-        starts = [f.offset for f in self._fragments]
-        idx = bisect.bisect_right(starts, offset) - 1
+        idx = bisect.bisect_right(self._starts, offset) - 1
         if idx < 0 or offset >= self._fragments[idx].end:
             raise AllocationError(f"offset {offset} outside arena [0, {self.capacity})")
         return idx
@@ -159,6 +199,12 @@ class AllocTable:
         if offset + size < gap.end:
             pieces.append(Fragment(offset + size, gap.end - (offset + size)))
         self._fragments[idx : idx + 1] = pieces
+        self._starts[idx : idx + 1] = [p.offset for p in pieces]
+        self._gap_index_discard(gap)
+        for piece in pieces:
+            if piece.is_gap:
+                self._gap_index_add(piece)
+        self._used_bytes += size
         self._by_ckpt[record.ckpt_id] = frag
         return frag
 
@@ -174,11 +220,17 @@ class AllocTable:
         lo, hi = idx, idx + 1
         if lo > 0 and self._fragments[lo - 1].is_gap:
             start = self._fragments[lo - 1].offset
+            self._gap_index_discard(self._fragments[lo - 1])
             lo -= 1
         if hi < len(self._fragments) and self._fragments[hi].is_gap:
             end = self._fragments[hi].end
+            self._gap_index_discard(self._fragments[hi])
             hi += 1
-        self._fragments[lo:hi] = [Fragment(start, end - start)]
+        merged = Fragment(start, end - start)
+        self._fragments[lo:hi] = [merged]
+        self._starts[lo:hi] = [start]
+        self._gap_index_add(merged)
+        self._used_bytes -= size
         return size
 
     def touch(self, ckpt_id: int, now: float) -> None:
@@ -202,3 +254,18 @@ class AllocTable:
             raise AssertionError("duplicate checkpoint in table")
         if set(ids) != set(self._by_ckpt):
             raise AssertionError("index out of sync with fragment list")
+        if self._starts != [f.offset for f in frags]:
+            raise AssertionError("starts mirror out of sync with fragment list")
+        if self._used_bytes != sum(f.size for f in frags if not f.is_gap):
+            raise AssertionError(
+                f"used_bytes counter {self._used_bytes} != scanned total"
+            )
+        gaps = [f for f in frags if f.is_gap]
+        if self._gap_starts != [g.offset for g in gaps]:
+            raise AssertionError("gap-offset index out of sync")
+        if {o: g for o, g in zip(self._gap_starts, gaps)} != self._gap_by_start or any(
+            self._gap_by_start[g.offset] is not g for g in gaps
+        ):
+            raise AssertionError("gap-by-start index out of sync")
+        if self._gap_sizes != sorted(g.size for g in gaps):
+            raise AssertionError("gap-size multiset out of sync")

@@ -20,9 +20,16 @@ import numpy as np
 
 from repro.clock import VirtualClock
 from repro.core.alloctable import AllocTable, Fragment
-from repro.core.lifecycle import CkptState
+from repro.core.lifecycle import PINNED_STATES, CkptState, Instance
 from repro.core.predict import instance_state_ts
-from repro.core.scoring import ScorePolicy, Window, make_cost_fn
+from repro.core.scoring import (
+    FragmentCost,
+    ScorePolicy,
+    Window,
+    fragment_cost,
+    gap_cost,
+    make_cost_fn,
+)
 from repro.core.sync import Monitor
 from repro.errors import AllocationError, CapacityError
 from repro.simgpu.memory import Arena
@@ -36,6 +43,15 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class CacheBuffer:
     """A managed cache tier (GPU or host) for one process."""
+
+    #: Reservation re-evaluation timeout (nominal seconds).  Every state
+    #: change that can unblock a reservation notifies the monitor, so this
+    #: only guards against missed wakeups from other engines' resources.
+    MISSED_WAKEUP_GUARD = 1.0
+    #: Short re-evaluation interval used while a lazily-pinned host arena is
+    #: still ramping up: its usable capacity grows with the clock and
+    #: notifies nobody, so the reservation must keep polling briefly.
+    RAMP_POLL_INTERVAL = 0.05
 
     def __init__(
         self,
@@ -79,6 +95,21 @@ class CacheBuffer:
         self.evictions = 0
         self.forced_evictions = 0
         self.eviction_wait_time = 0.0
+        #: running total of bytes held by pinned instances, maintained by
+        #: per-instance trackers on every FSM transition (O(1) reads on the
+        #: prefetcher's budget checks instead of a table scan).
+        self._pinned_bytes = 0
+        #: FragmentCost memo reused across selection passes; entries are
+        #: keyed by instance identity + version so any state transition (or
+        #: flush-pending / read-pinned flip) invalidates exactly that entry,
+        #: with the hint-queue version tracked per entry for the distance
+        #: component.  One memo per eviction mode: ``allow_pinned`` changes
+        #: predicted state_ts, so plain and forced reservations must not
+        #: share entries.
+        #: ``cost_cache_enabled=False`` recomputes every cost (used by the
+        #: eviction-equivalence tests to prove caching changes no decision).
+        self.cost_cache_enabled = True
+        self._cost_caches = ({}, {})  # [allow_pinned]
 
     # -- helpers (monitor held) ---------------------------------------------
     def contains(self, record: "CheckpointRecord") -> bool:
@@ -89,33 +120,137 @@ class CacheBuffer:
 
     def pinned_bytes(self) -> int:
         """Bytes held by prefetched-but-unconsumed instances."""
-        total = 0
-        for frag in self.table.fragments():
-            if frag.is_gap:
-                continue
-            inst = frag.record.peek(self.level)
-            if inst is not None and inst.pinned:
-                total += frag.size
-        return total
+        with self.monitor:
+            return self._pinned_bytes
+
+    def scan_pinned_bytes(self) -> int:
+        """O(n) recount of :meth:`pinned_bytes` (validator cross-check)."""
+        with self.monitor:
+            total = 0
+            for frag in self.table.fragments():
+                if frag.is_gap:
+                    continue
+                inst = frag.record.peek(self.level)
+                if inst is not None and inst.pinned:
+                    total += frag.size
+            return total
+
+    def _make_tracker(self, record: "CheckpointRecord"):
+        """Per-instance transition hook maintaining the pinned-byte total."""
+        size = record.nominal_size
+
+        def tracker(inst: Instance, old: CkptState, new: CkptState, now: float) -> None:
+            pinned_now = new in PINNED_STATES
+            if (old in PINNED_STATES) != pinned_now:
+                self._pinned_bytes += size if pinned_now else -size
+
+        return tracker
+
+    def _forget_instance(self, record: "CheckpointRecord", inst: Instance) -> None:
+        """Undo an instance's cache-side bookkeeping before it is dropped."""
+        if inst.pinned:
+            self._pinned_bytes -= record.nominal_size
+        inst.tracker = None
+        for cache in self._cost_caches:
+            cache.pop(record.ckpt_id, None)
 
     def _limit(self) -> Optional[int]:
         return None if self.usable_capacity is None else self.usable_capacity()
 
+    def ramping(self) -> bool:
+        """True while a lazily-pinned arena's usable capacity still grows.
+
+        Capacity growth is clock-driven and notifies no monitor, so waiters
+        that depend on it must poll briefly instead of trusting wakeups.
+        """
+        usable = self._limit()
+        return usable is not None and usable < self.table.capacity
+
     def _cost_fn(self, allow_pinned: bool):
-        def state_ts(frag: Fragment) -> float:
-            return instance_state_ts(
-                frag.record, self.level, self.flush_estimate, allow_pinned=allow_pinned
-            )
-
-        def distance(frag: Fragment) -> Optional[int]:
-            return self.queue.distance(frag.record.ckpt_id)
-
         # s-contribution for unhinted checkpoints must dominate every real
         # distance; the queue can never hold more live hints than the table
         # has fragments plus the whole history, so table length + queue
         # length is a safe bound.
         no_hint = float(len(self.table) + len(self.queue) + 1)
-        return make_cost_fn(state_ts, distance, no_hint)
+        if not self.cost_cache_enabled:
+
+            def state_ts(frag: Fragment) -> float:
+                return instance_state_ts(
+                    frag.record, self.level, self.flush_estimate, allow_pinned=allow_pinned
+                )
+
+            def distance(frag: Fragment) -> Optional[int]:
+                return self.queue.distance(frag.record.ckpt_id)
+
+            return make_cost_fn(state_ts, distance, no_hint)
+        # Cached path.  An entry's predicted state_ts stays valid until its
+        # instance transitions (its version moves).  The hint-distance
+        # component is revalidated per entry at the finest grain that is
+        # still exact:
+        #
+        # * barrier entries (qkey == -1): the cost ignores distance
+        #   entirely, so they stay valid for the instance's lifetime;
+        # * hinted entries (qkey >= 0): existing distances only shift when
+        #   a hint is consumed, so they revalidate against the queue's
+        #   ``shift_epoch`` — enqueues and ``start()`` never flush them;
+        # * unhinted entries (qkey == -2): still unhinted iff the id was
+        #   never enqueued or is already consumed — an O(1) check that
+        #   replays :meth:`RestoreQueue.distance`'s None cases.
+        #
+        # The no-hint ceiling only feeds the s-score of unhinted members
+        # and is re-applied per call from the frozen state_ts.
+        # Link-backlog drift inside flush estimates is deliberately frozen
+        # between transitions.
+        gap = gap_cost(no_hint)
+        cache = self._cost_caches[allow_pinned]
+        level = self.level
+        flush_estimate = self.flush_estimate
+        queue = self.queue
+        queue_distance = queue.distance
+        epoch = queue.shift_epoch
+        # Intimate access to the queue's hint index: both dicts are only
+        # mutated under the engine monitor, which every caller of the cost
+        # function already holds.
+        hint_position = queue._position
+        hint_consumed = queue._consumed
+
+        def cost_of(frag: Fragment):
+            record = frag.record
+            if record is None:
+                return gap
+            # record.peek(level) inlined: this runs once per fragment per
+            # selection pass and the method-call overhead is measurable.
+            inst = record.instances.get(level)
+            version = -1 if inst is None else inst.version
+            ckpt_id = record.ckpt_id
+            entry = cache.get(ckpt_id)
+            if entry is not None and entry[0] is inst and entry[1] == version:
+                ts = entry[2]
+                qkey = entry[3]
+                if qkey == -1 or qkey == epoch:  # barrier / hinted-and-fresh
+                    return entry[4]
+                if qkey == -2 and (
+                    ckpt_id not in hint_position or ckpt_id in hint_consumed
+                ):
+                    # Still unhinted: s tracks the live no-hint ceiling; p
+                    # is the frozen state_ts.
+                    return FragmentCost(p=ts, s=no_hint, barrier=False)
+                distance = queue_distance(ckpt_id)
+            else:
+                ts = instance_state_ts(
+                    record, level, flush_estimate, allow_pinned=allow_pinned, inst=inst
+                )
+                distance = queue_distance(ckpt_id)
+            cost = fragment_cost(ts, distance, no_hint)
+            if cost.barrier:
+                cache[ckpt_id] = (inst, version, ts, -1, cost)
+            elif distance is not None:
+                cache[ckpt_id] = (inst, version, ts, epoch, cost)
+            else:
+                cache[ckpt_id] = (inst, version, ts, -2, None)
+            return cost
+
+        return cost_of
 
     # -- reservation -----------------------------------------------------------
     def reserve(
@@ -155,7 +290,8 @@ class CacheBuffer:
                     raise AllocationError(
                         f"checkpoint {record.ckpt_id} already cached in {self.name!r}"
                     )
-                limit = self._limit()
+                usable = self._limit()
+                limit = usable
                 if region_limit is not None:
                     limit = region_limit if limit is None else min(limit, region_limit)
                 offset = self.table.find_gap(size, limit, min_offset)
@@ -164,6 +300,7 @@ class CacheBuffer:
                 if offset is not None:
                     now = self.clock.now()
                     inst = record.instance(self.level)
+                    inst.tracker = self._make_tracker(record)
                     inst.transition(initial_state, now)
                     self.table.insert(record, size, offset, now)
                     waited = 0.0
@@ -178,9 +315,18 @@ class CacheBuffer:
                     return None
                 if wait_started is None:
                     wait_started = self.clock.now()
-                # Re-evaluate after any state change; the timeout guards
-                # against missed wakeups from other engines' resources.
-                self.monitor.wait(virtual_timeout=0.05)
+                # Notification-driven re-evaluation: every transition,
+                # flush-pending/read-pinned flip, hint change and eviction
+                # notifies the monitor, so the timeout is only a coarse
+                # missed-wakeup guard — except while a lazily-pinned arena
+                # is still ramping up (its capacity grows with the clock
+                # and notifies nobody), where a short poll remains.
+                ramping = usable is not None and usable < self.table.capacity  # == ramping()
+                self.monitor.wait(
+                    virtual_timeout=self.RAMP_POLL_INTERVAL
+                    if ramping
+                    else self.MISSED_WAKEUP_GUARD
+                )
 
     def _region_for(self, initial_state: CkptState):
         """Placement region for a reservation kind (split-cache ablation)."""
@@ -271,6 +417,7 @@ class CacheBuffer:
                 "would destroy its only copy"
             )
         self.table.remove(record.ckpt_id)
+        self._forget_instance(record, inst)
         record.drop_instance(self.level)
         self.evictions += 1
         self._m_evictions.inc()
@@ -291,11 +438,33 @@ class CacheBuffer:
                 self._observe_occupancy()
                 self.monitor.notify_all()
 
+    def release(self, record: "CheckpointRecord") -> None:
+        """Drop a record's extent and instance without eviction accounting.
+
+        The single teardown path for failed or abandoned reservations
+        (vanished promotion sources, cancelled flush legs): it keeps the
+        pinned-byte total and the cost cache consistent with the table,
+        which direct ``table.remove`` + ``drop_instance`` calls would not.
+        Tolerates partially-created state; notifies waiters.
+        """
+        with self.monitor:
+            if self.table.contains(record.ckpt_id):
+                self.table.remove(record.ckpt_id)
+            inst = record.peek(self.level)
+            if inst is not None:
+                self._forget_instance(record, inst)
+                record.drop_instance(self.level)
+            self._observe_occupancy()
+            self.monitor.notify_all()
+
     # -- payload I/O -------------------------------------------------------------
-    def read_payload(self, record: "CheckpointRecord") -> np.ndarray:
+    def read_payload(self, record: "CheckpointRecord", copy: bool = True) -> np.ndarray:
+        """The record's payload bytes.  With ``copy=False`` returns a
+        read-only view into the arena — only valid while the extent cannot
+        be reclaimed (a pinned instance, or ``read_pinned`` held)."""
         with self.monitor:
             offset = self.offset_of(record)
-        return self.arena.read(offset, record.nominal_size)
+        return self.arena.read(offset, record.nominal_size, copy=copy)
 
     def write_payload(self, record: "CheckpointRecord", payload: np.ndarray) -> None:
         with self.monitor:
@@ -313,22 +482,18 @@ class CacheBuffer:
             return self.table.used_bytes / self.table.capacity
 
     def fragmentation(self) -> float:
-        """Share of free space unusable as one contiguous gap (monitor held
-        by callers inside the runtime; safe to call unlocked for display).
+        """Share of free space unusable as one contiguous gap.
 
         ``0`` = all free bytes form one gap (or the cache is full);
         approaching ``1`` = free space is shattered into small gaps.
+        Takes the monitor (re-entrant), so it is safe to call from any
+        thread; the table's gap index makes it O(1).
         """
-        free = 0
-        largest = 0
-        for frag in self.table.fragments():
-            if frag.is_gap:
-                free += frag.size
-                if frag.size > largest:
-                    largest = frag.size
-        if free == 0:
-            return 0.0
-        return 1.0 - largest / free
+        with self.monitor:
+            free = self.table.free_bytes
+            if free == 0:
+                return 0.0
+            return 1.0 - self.table.largest_gap() / free
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CacheBuffer({self.name!r}, level={self.level.name})"

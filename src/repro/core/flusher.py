@@ -152,12 +152,9 @@ class Flusher:
                 )
             except TransferError:
                 span.add(abandoned=True)
-                with engine.monitor:
-                    # Abandon: release the half-written host extent.
-                    engine.host_cache.table.remove(record.ckpt_id)
-                    record.drop_instance(TierLevel.HOST)
-                    self._abandon("d2h", record, "cancelled mid-transfer")
-                    engine.monitor.notify_all()
+                # Abandon: release the half-written host extent.
+                engine.host_cache.release(record)
+                self._abandon("d2h", record, "cancelled mid-transfer")
                 return
         self._m_bytes["d2h"].inc(record.nominal_size)
         engine.host_cache.write_payload(record, payload)
@@ -216,6 +213,7 @@ class Flusher:
                     record.nominal_size,
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
+                    copy=False,  # the snapshot is this flush's private copy
                 )
             except TransferError:
                 span.add(abandoned=True)
@@ -270,6 +268,7 @@ class Flusher:
                     record.nominal_size,
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
+                    copy=False,  # the snapshot is this flush's private copy
                 )
             except TransferError:
                 span.add(abandoned=True)

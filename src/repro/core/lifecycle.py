@@ -88,32 +88,65 @@ class Instance:
         "level",
         "state",
         "state_since",
-        "flush_pending",
-        "read_pinned",
+        "_flush_pending",
+        "_read_pinned",
+        "version",
         "observer",
+        "tracker",
     )
 
     def __init__(self, level, observer: Optional[TransitionObserver] = None) -> None:
         self.level = level
         self.state = CkptState.INIT
         self.state_since = 0.0
-        #: an in-flight flush still needs to snapshot this tier's bytes;
-        #: until cleared the instance must not be reclaimed even if its
-        #: state is evictable (set on schedule, cleared once the flusher
-        #: has copied the payload out of the arena).
-        self.flush_pending = False
-        #: number of in-flight promotions reading this extent as their
-        #: source; a non-zero count blocks eviction like ``flush_pending``.
-        self.read_pinned = 0
+        self._flush_pending = False
+        self._read_pinned = 0
+        #: bumped on every eviction-relevant change (state transitions,
+        #: ``flush_pending`` / ``read_pinned`` flips); lets the cache reuse
+        #: Algorithm-1 fragment costs across reservation retries and
+        #: invalidate them exactly on state transitions.
+        self.version = 0
         #: telemetry hook notified of every state change (None when the
         #: trace bus is disabled, so the FSM pays nothing by default).
         self.observer = observer
+        #: owning-cache hook notified of every state change, used for O(1)
+        #: pinned-byte accounting; same constraints as ``observer``.
+        self.tracker = None
+
+    @property
+    def flush_pending(self) -> bool:
+        """An in-flight flush still needs to snapshot this tier's bytes;
+        until cleared the instance must not be reclaimed even if its state
+        is evictable (set on schedule, cleared once the flusher has copied
+        the payload out of the arena)."""
+        return self._flush_pending
+
+    @flush_pending.setter
+    def flush_pending(self, value: bool) -> None:
+        if value != self._flush_pending:
+            self._flush_pending = value
+            self.version += 1
+
+    @property
+    def read_pinned(self) -> int:
+        """Number of in-flight promotions reading this extent as their
+        source; a non-zero count blocks eviction like ``flush_pending``."""
+        return self._read_pinned
+
+    @read_pinned.setter
+    def read_pinned(self, value: int) -> None:
+        if value != self._read_pinned:
+            self._read_pinned = value
+            self.version += 1
 
     def transition(self, new: CkptState, now: float = 0.0) -> None:
         validate_transition(self.state, new)
         old = self.state
         self.state = new
         self.state_since = now
+        self.version += 1
+        if self.tracker is not None:
+            self.tracker(self, old, new, now)
         if self.observer is not None:
             self.observer(self, old, new, now)
 
@@ -123,6 +156,9 @@ class Instance:
             old = self.state
             self.state = new
             self.state_since = now
+            self.version += 1
+            if self.tracker is not None:
+                self.tracker(self, old, new, now)
             if self.observer is not None:
                 self.observer(self, old, new, now)
             return True

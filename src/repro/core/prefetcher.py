@@ -69,7 +69,12 @@ class Prefetcher:
                     task = self._pick_task()
                     if task is not None:
                         break
-                    engine.monitor.wait(virtual_timeout=0.05)
+                    # Hints, transitions, consumption and evictions all
+                    # notify the monitor; only a ramping lazily-pinned host
+                    # arena changes silently and warrants a short poll.
+                    engine.monitor.wait(
+                        virtual_timeout=0.05 if engine.host_cache.ramping() else 1.0
+                    )
                 if not self._running:
                     return
                 task[0].prefetch_inflight = True

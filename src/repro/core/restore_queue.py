@@ -38,6 +38,16 @@ class RestoreQueue:
         self._consumed_positions: List[int] = []  # sorted, for O(log n) counts
         self._head = 0  # index of the first unconsumed hint
         self.started = False
+        #: bumped whenever the queue changes at all (enqueue/consume/start).
+        self.version = 0
+        #: bumped only when *existing* hint distances can shift — i.e. on
+        #: :meth:`consume` (the head advances / consumed-between counts
+        #: change).  Enqueues append past every existing entry and never
+        #: move the head, so they leave existing distances untouched.  The
+        #: cache's FragmentCost memo revalidates hinted entries against
+        #: this epoch instead of :attr:`version`, so a burst of hint
+        #: enqueues does not force a full distance recomputation.
+        self.shift_epoch = 0
         if telemetry is None:
             from repro.telemetry import Telemetry
 
@@ -55,10 +65,12 @@ class RestoreQueue:
             raise HintError(f"hint for checkpoint {ckpt_id} already enqueued")
         self._position[ckpt_id] = len(self._order)
         self._order.append(ckpt_id)
+        self.version += 1
         self._m_enqueued.inc()
 
     def start(self) -> None:
         self.started = True
+        self.version += 1
 
     # -- queries ----------------------------------------------------------------
     def __len__(self) -> int:
@@ -110,6 +122,8 @@ class RestoreQueue:
         """Mark a restore as served; tolerates unhinted ids (deviation)."""
         if ckpt_id in self._consumed:
             raise HintError(f"checkpoint {ckpt_id} consumed twice")
+        self.version += 1
+        self.shift_epoch += 1
         self._m_consumed.inc()
         if ckpt_id in self._position:
             self._advance_head()

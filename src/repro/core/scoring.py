@@ -22,15 +22,20 @@ restarts beyond it.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, NamedTuple, Optional, Sequence
 
 from repro.core.alloctable import Fragment
 
 
-@dataclass(frozen=True)
-class FragmentCost:
-    """Scoring contributions of one fragment."""
+class FragmentCost(NamedTuple):
+    """Scoring contributions of one fragment.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is constructed per
+    fragment per selection pass, and tuple construction is several times
+    cheaper than ``object.__setattr__``-based frozen-dataclass init.
+    """
 
     p: float  # estimated nominal seconds until evictable
     s: float  # prefetch-distance contribution (higher = safer to evict)
@@ -73,16 +78,14 @@ class ScorePolicy:
         caller waits for state changes and retries).
         """
         n = len(fragments)
-        costs: List[Optional[FragmentCost]] = [None] * n
         best: Optional[Window] = None
 
-        def cost(idx: int) -> FragmentCost:
-            c = costs[idx]
-            if c is None:
-                c = cost_of(fragments[idx])
-                costs[idx] = c
-            return c
-
+        # Each fragment is costed exactly once, when the right pointer
+        # admits it; the window's member costs ride in ``pending`` so the
+        # slide step pops the stored contribution instead of re-deriving it.
+        # The float additions/subtractions happen in the same order as a
+        # naive re-costing implementation, so scores are bit-identical.
+        pending: deque = deque()
         i = 0
         j = 0
         p_sum = 0.0
@@ -91,17 +94,23 @@ class ScorePolicy:
         while i < n:
             barrier_at = None
             while window < size_new and j < n:
-                cj = cost(j)
+                frag = fragments[j]
+                # Index the (p, s, barrier) tuple instead of using the
+                # named fields, and inline frag.end as offset + size: both
+                # run per fragment admission and the attribute/property
+                # dispatch is measurable at millions of admissions.
+                cj = cost_of(frag)
                 if (
-                    cj.barrier
-                    or (limit is not None and fragments[j].end > limit)
-                    or fragments[j].offset < min_offset
+                    cj[2]  # barrier
+                    or (limit is not None and frag.offset + frag.size > limit)
+                    or frag.offset < min_offset
                 ):
                     barrier_at = j
                     break
-                p_sum += cj.p
-                s_sum += cj.s
-                window += fragments[j].size
+                p_sum += cj[0]  # p
+                s_sum += cj[1]  # s
+                window += frag.size
+                pending.append(cj)
                 j += 1
             if window >= size_new:
                 if (
@@ -118,9 +127,9 @@ class ScorePolicy:
                         s_score=s_sum,
                     )
                 # slide: drop the leftmost fragment
-                ci = cost(i)
-                p_sum -= ci.p
-                s_sum -= ci.s
+                ci = pending.popleft()
+                p_sum -= ci[0]  # p
+                s_sum -= ci[1]  # s
                 window -= fragments[i].size
                 i += 1
             elif barrier_at is not None:
@@ -129,9 +138,33 @@ class ScorePolicy:
                 p_sum = 0.0
                 s_sum = 0.0
                 window = 0
+                pending.clear()
             else:
                 break  # right pointer exhausted
         return best
+
+
+def gap_cost(no_hint_score: float) -> FragmentCost:
+    """Cost of a gap member: zero blocking time, the highest s-contribution
+    (strictly above every real checkpoint's)."""
+    return FragmentCost(p=0.0, s=no_hint_score + 1.0, barrier=False)
+
+
+def fragment_cost(
+    state_ts: float, prefetch_distance: Optional[int], no_hint_score: float
+) -> FragmentCost:
+    """Cost of a checkpoint member from its predicted ``state_ts`` and hint
+    distance.  ``math.inf`` marks an instance that can never become
+    evictable by waiting — a window barrier.
+
+    The single construction point for Algorithm 1's member costs: both the
+    plain cost function below and the cache's version-keyed cost cache go
+    through here, so caching can never alter how a fragment is scored.
+    """
+    if math.isinf(state_ts):
+        return FragmentCost(p=state_ts, s=0.0, barrier=True)
+    s = float(prefetch_distance) if prefetch_distance is not None else no_hint_score
+    return FragmentCost(p=state_ts, s=s, barrier=False)
 
 
 def make_cost_fn(
@@ -148,15 +181,11 @@ def make_cost_fn(
     * ``no_hint_score`` — s-contribution for unhinted checkpoints; gaps use
       ``no_hint_score + 1`` (strictly the most eviction-friendly members).
     """
+    gap = gap_cost(no_hint_score)
 
     def cost_of(frag: Fragment) -> FragmentCost:
         if frag.is_gap:
-            return FragmentCost(p=0.0, s=no_hint_score + 1.0, barrier=False)
-        ts = state_ts(frag)
-        if math.isinf(ts):
-            return FragmentCost(p=ts, s=0.0, barrier=True)
-        dist = prefetch_distance(frag)
-        s = float(dist) if dist is not None else no_hint_score
-        return FragmentCost(p=ts, s=s, barrier=False)
+            return gap
+        return fragment_cost(state_ts(frag), prefetch_distance(frag), no_hint_score)
 
     return cost_of

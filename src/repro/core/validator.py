@@ -46,6 +46,13 @@ def _check_tables(engine: "ScoreEngine") -> None:
             cache.table.check_invariants()
         except AssertionError as exc:
             raise InvariantViolation(f"{cache.name}: {exc}")
+        counted = cache.pinned_bytes()
+        scanned = cache.scan_pinned_bytes()
+        if counted != scanned:
+            raise InvariantViolation(
+                f"{cache.name}: pinned-bytes counter {counted} != "
+                f"table scan {scanned}"
+            )
 
 
 def _check_instances(engine: "ScoreEngine") -> None:

@@ -20,11 +20,17 @@ The link also keeps running totals (``busy_time``, ``bytes_moved``,
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional
 
-from repro.clock import VirtualClock
+from repro.clock import SPIN_THRESHOLD, VirtualClock
 from repro.errors import ConfigError, TransferError
 from repro.util.units import MiB
+
+#: Contended transfers fold this many chunks of stats into one lock
+#: acquisition; the batch is always flushed when the transfer finishes (or
+#: is cancelled), so ``pending_bytes`` drifts by at most one batch.
+STATS_BATCH_CHUNKS = 8
 
 
 class Link:
@@ -55,6 +61,7 @@ class Link:
         self._bytes_moved = 0
         self._pending_bytes = 0
         self._transfers = 0
+        self._active = 0  # transfers currently inside transfer()
 
     # -- observability ----------------------------------------------------
     @property
@@ -109,11 +116,18 @@ class Link:
         with self._stats_lock:
             self._pending_bytes += nbytes
             self._transfers += 1
+            self._active += 1
         remaining = nbytes
         accounted = 0.0
+        moved_unflushed = 0
+        busy_unflushed = 0.0
+        batch = STATS_BATCH_CHUNKS * self.chunk_size
         try:
             if self.latency:
-                self._clock.sleep(self.latency)
+                if self._sleep_span(self.latency, cancelled):
+                    raise TransferError(
+                        f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
+                    )
                 accounted += self.latency
             per_byte = 1.0 / self.bandwidth
             while remaining > 0:
@@ -121,22 +135,65 @@ class Link:
                     raise TransferError(
                         f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
                     )
-                chunk = min(remaining, self.chunk_size)
+                # Adaptive coalescing: when this is the only transfer in
+                # flight, interleaving chunks through the mutex buys nothing
+                # — move the whole remainder in one span.  Under contention
+                # the per-chunk interleave (and its halved-throughput
+                # semantics) is preserved.
+                with self._stats_lock:
+                    alone = self._active == 1
+                span = remaining if alone else min(remaining, self.chunk_size)
                 queued_at = self._clock.now()
                 with self._mutex:
                     accounted += self._clock.now() - queued_at  # contention
-                    self._clock.sleep(chunk * per_byte)
-                accounted += chunk * per_byte
-                with self._stats_lock:
-                    self._busy_time += chunk * per_byte
-                    self._bytes_moved += chunk
-                    self._pending_bytes -= chunk
-                remaining -= chunk
+                    if self._sleep_span(span * per_byte, cancelled):
+                        raise TransferError(
+                            f"transfer of {nbytes} bytes on link {self.name!r} "
+                            "cancelled"
+                        )
+                accounted += span * per_byte
+                busy_unflushed += span * per_byte
+                moved_unflushed += span
+                remaining -= span
+                if moved_unflushed >= batch:
+                    with self._stats_lock:
+                        self._busy_time += busy_unflushed
+                        self._bytes_moved += moved_unflushed
+                        self._pending_bytes -= moved_unflushed
+                    moved_unflushed = 0
+                    busy_unflushed = 0.0
         finally:
-            if remaining > 0:  # cancelled mid-flight: release unmoved bytes
-                with self._stats_lock:
-                    self._pending_bytes -= remaining
+            with self._stats_lock:
+                self._active -= 1
+                self._busy_time += busy_unflushed
+                self._bytes_moved += moved_unflushed
+                # release both moved-but-unflushed and (if cancelled) unmoved
+                self._pending_bytes -= moved_unflushed + remaining
         return accounted
+
+    def _sleep_span(
+        self, virtual_seconds: float, cancelled: Optional[threading.Event]
+    ) -> bool:
+        """Sleep a virtual span, waking early if ``cancelled`` fires.
+
+        Returns ``True`` when the span was cut short by cancellation.
+        Coalesced spans can be long, so a cancellation must not have to wait
+        for the whole span — ``Event.wait`` gives the wake-up, with the same
+        short spin tail as :meth:`VirtualClock.sleep` for timing precision.
+        """
+        if cancelled is None:
+            self._clock.sleep(virtual_seconds)
+            return False
+        deadline = time.monotonic() + self._clock.to_real(virtual_seconds)
+        while True:
+            remaining_real = deadline - time.monotonic()
+            if remaining_real <= 0:
+                return cancelled.is_set()
+            if remaining_real > SPIN_THRESHOLD:
+                if cancelled.wait(remaining_real - SPIN_THRESHOLD):
+                    return True
+            elif cancelled.is_set():
+                return True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Link({self.name!r}, {self.bandwidth:.3g} B/s)"

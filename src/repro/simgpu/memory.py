@@ -59,17 +59,37 @@ class Arena:
         return slice(start, start + length)
 
     def write(self, nominal_offset: int, data: np.ndarray) -> None:
-        """Copy ``data`` (payload bytes) into the arena at a nominal offset."""
-        sl = self._slice(nominal_offset, int(data.size) * self.scale.data_scale)
-        with self._lock:
-            self._payload[sl.start : sl.start + data.size] = data
+        """Copy ``data`` (payload bytes) into the arena at a nominal offset.
 
-    def read(self, nominal_offset: int, nominal_size: int) -> np.ndarray:
-        """Copy payload bytes for a nominal range out of the arena."""
+        The extent is the *aligned* slice; when ``data`` is shorter than the
+        alignment rounding, the tail is zeroed so no stale bytes from a
+        previous occupant of the extent survive (they would corrupt
+        checksums of whole-extent reads).
+        """
+        size = int(data.size)
+        sl = self._slice(nominal_offset, size * self.scale.data_scale)
+        with self._lock:
+            self._payload[sl.start : sl.start + size] = data
+            if sl.start + size < sl.stop:
+                self._payload[sl.start + size : sl.stop] = 0
+
+    def read(
+        self, nominal_offset: int, nominal_size: int, copy: bool = True
+    ) -> np.ndarray:
+        """Payload bytes for a nominal range.
+
+        ``copy=True`` returns an owned copy; ``copy=False`` a read-only view
+        into the arena (zero-copy) — the caller must guarantee the extent is
+        not reclaimed or overwritten while the view is in use.
+        """
         nominal_size = self.scale.align(nominal_size)
         sl = self._slice(nominal_offset, nominal_size)
         with self._lock:
-            return self._payload[sl].copy()
+            if copy:
+                return self._payload[sl].copy()
+            view = self._payload[sl]
+            view.flags.writeable = False
+            return view
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Arena({self.name!r}, {self.nominal_capacity}B nominal)"
@@ -115,7 +135,7 @@ class _AppBuffer:
 
     def checksum(self) -> int:
         """CRC32 of the payload (used for end-to-end restore verification)."""
-        return zlib.crc32(self.payload.tobytes())
+        return zlib.crc32(self.payload)  # buffer protocol: no tobytes() copy
 
     def copy_from(self, data: np.ndarray) -> None:
         if data.size < self.payload.size:
@@ -151,8 +171,13 @@ class HostBuffer(_AppBuffer):
 
 
 def checksum_payload(data: np.ndarray) -> int:
-    """CRC32 of raw payload bytes."""
-    return zlib.crc32(np.ascontiguousarray(data).tobytes())
+    """CRC32 of raw payload bytes.
+
+    Feeds the array's buffer straight into ``zlib.crc32`` — for the usual
+    contiguous case this checksums in place instead of materializing a
+    ``tobytes()`` copy of the whole payload.
+    """
+    return zlib.crc32(np.ascontiguousarray(data))
 
 
 def make_payload(

@@ -80,17 +80,22 @@ class PfsStore(ObjectStore):
             return self._node_write_links[node_id], self._node_read_links[node_id]
 
     def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
+        """``copy=False`` transfers ownership of ``payload`` to the store
+        (the caller must not mutate it afterwards) instead of copying it."""
         node_id = kw.get("node_id", 0)
         cancelled = kw.get("cancelled")
         meta = kw.get("meta")
+        copy = kw.get("copy", True)
         node_link, _ = self.node_links(node_id)
         with self.telemetry.bus.span("pfs-put", "pfs", key=key, bytes=nominal_size):
             seconds = node_link.transfer(nominal_size, cancelled=cancelled)
             seconds += self.global_write_link.transfer(nominal_size, cancelled=cancelled)
         self._m_write_bytes.inc(nominal_size)
         self._m_write_ops.inc()
+        blob = payload.copy() if copy else payload
+        blob.flags.writeable = False  # get() hands out views of this blob
         with self._blob_lock:
-            self._blobs[key] = payload.copy()
+            self._blobs[key] = blob
         self._index.add(key, nominal_size, meta)
         return seconds
 
@@ -106,7 +111,9 @@ class PfsStore(ObjectStore):
             payload = self._blobs.get(key)
         if payload is None:
             raise CheckpointNotFound(f"checkpoint {key} missing from PFS store")
-        return payload.copy(), seconds
+        # Zero-copy: a read-only view (blobs are immutable once stored, and
+        # a view keeps its base alive even across a concurrent delete()).
+        return payload[:], seconds
 
     def delete(self, key: StoreKey) -> None:
         if self._index.remove(key):

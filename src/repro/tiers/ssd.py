@@ -104,8 +104,11 @@ class SsdStore(ObjectStore):
 
     # -- ObjectStore --------------------------------------------------------
     def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
+        """``copy=False`` transfers ownership of ``payload`` to the store
+        (the caller must not mutate it afterwards) instead of copying it."""
         cancelled = kw.get("cancelled")
         meta = kw.get("meta")
+        copy = kw.get("copy", True)
         with self.telemetry.bus.span(
             "ssd-put", self._track, key=key, bytes=nominal_size
         ):
@@ -126,8 +129,10 @@ class SsdStore(ObjectStore):
                     fh,
                 )
         else:
+            blob = payload.copy() if copy else payload
+            blob.flags.writeable = False  # get() hands out views of this blob
             with self._blob_lock:
-                self._blobs[key] = payload.copy()
+                self._blobs[key] = blob
         self._index.add(key, nominal_size, meta)
         return seconds
 
@@ -143,14 +148,17 @@ class SsdStore(ObjectStore):
             path = self._path(key)
             try:
                 with open(path, "rb") as fh:
-                    return np.frombuffer(fh.read(), dtype=np.uint8).copy(), seconds
+                    # frombuffer over bytes is already zero-copy + read-only.
+                    return np.frombuffer(fh.read(), dtype=np.uint8), seconds
             except FileNotFoundError:
                 raise CheckpointNotFound(f"checkpoint {key} missing from {path}")
         with self._blob_lock:
             payload = self._blobs.get(key)
         if payload is None:
             raise CheckpointNotFound(f"checkpoint {key} missing from SSD store")
-        return payload.copy(), seconds
+        # Zero-copy: a read-only view (blobs are immutable once stored, and
+        # a view keeps its base alive even across a concurrent delete()).
+        return payload[:], seconds
 
     def delete(self, key: StoreKey) -> None:
         if not self._index.remove(key):

@@ -162,6 +162,7 @@ class TestUvmEngine:
         uvm.wait_for_flushes()
         # entry 0 should have been dropped to SSD; corrupt it there
         payload, _ = uvm.ssd.get((uvm.process_id, 0))
+        payload = payload.copy()  # get() returns a read-only view
         payload[0] ^= 0xFF
         uvm.ssd.put((uvm.process_id, 0), payload, 128 * MiB)
         entry = uvm._checkpoints[0]

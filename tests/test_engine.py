@@ -97,6 +97,7 @@ class TestRestore:
         engine.gpu_cache.evict(record)
         engine.host_cache.evict(record)
         payload, _ = engine.ssd.get(engine.store_key(record))
+        payload = payload.copy()  # get() returns a read-only view
         payload[0] ^= 0xFF
         engine.ssd.put(engine.store_key(record), payload, record.nominal_size)
         with pytest.raises(IntegrityError):

@@ -1,0 +1,136 @@
+"""Eviction decisions are identical with and without the cost cache.
+
+The version-keyed :class:`FragmentCost` cache inside ``CacheBuffer`` is a
+pure memoization: PR-correctness requires that enabling it changes *no*
+eviction decision.  This test runs the same deterministic, single-threaded
+reservation/transition script twice — once with ``cost_cache_enabled`` and
+once without — with telemetry enabled, and asserts that the ``evict-window``
+decision streams (scores, offsets, member sets) are byte-identical, and that
+the final arena layouts match.
+
+Event timestamps are excluded from the comparison: the virtual clock tracks
+real wall time, which is not deterministic across runs, while the decision
+content is.
+"""
+
+import json
+
+from repro.clock import VirtualClock
+from repro.config import ScaleModel
+from repro.core.cache import CacheBuffer
+from repro.core.catalog import CheckpointRecord
+from repro.core.lifecycle import CkptState
+from repro.core.restore_queue import RestoreQueue
+from repro.core.sync import Monitor
+from repro.simgpu.memory import Arena
+from repro.telemetry import Telemetry
+from repro.tiers.base import TierLevel
+from repro.util.units import KiB, MiB
+
+SCALE = ScaleModel(data_scale=64 * KiB, alignment=64 * KiB, time_scale=0.002)
+SLOT = 1 * MiB
+
+
+def _make_cache(cost_cache_enabled: bool, capacity_slots: int = 6):
+    clock = VirtualClock(time_scale=0.002)
+    telemetry = Telemetry(clock, enabled=True)
+    cache = CacheBuffer(
+        name="equiv",
+        level=TierLevel.GPU,
+        arena=Arena("equiv", capacity_slots * SLOT, SCALE),
+        monitor=Monitor(clock),
+        clock=clock,
+        restore_queue=RestoreQueue(),
+        flush_estimate=lambda n: 0.25 * n / MiB,  # deterministic, size-varying
+        telemetry=telemetry,
+    )
+    cache.cost_cache_enabled = cost_cache_enabled
+    return cache, telemetry
+
+
+def _flush(record, level=TierLevel.GPU):
+    inst = record.instance(level)
+    if inst.state is CkptState.WRITE_IN_PROGRESS:
+        inst.transition(CkptState.WRITE_COMPLETE)
+    inst.transition(CkptState.FLUSHED)
+    record.durable_level = TierLevel.SSD
+
+
+def _run_scenario(cost_cache_enabled: bool, split: bool = False):
+    """One scripted cache life with plenty of decision-relevant variety:
+    flushed / writing / pinned members, flush-pending flips, hints arriving
+    mid-life, forced evictions, and multi-slot incoming checkpoints."""
+    cache, telemetry = _make_cache(cost_cache_enabled)
+    if split:
+        cache.write_boundary = 3 * SLOT  # exercise limit/min_offset regions
+    records = {}
+
+    def rec(ckpt_id, slots=1):
+        r = CheckpointRecord(ckpt_id, slots * SLOT, slots * SLOT, 0)
+        records[ckpt_id] = r
+        return r
+
+    # Fill the cache with writes in assorted life-cycle positions.
+    for i in range(6 if not split else 3):
+        assert cache.reserve(rec(i), CkptState.WRITE_IN_PROGRESS, blocking=False) is not None
+    _flush(records[0])
+    _flush(records[1])
+    records[1].instance(TierLevel.GPU).flush_pending = True
+    _flush(records[2])
+    if not split:
+        _flush(records[3])
+        inst4 = records[4].instance(TierLevel.GPU)
+        inst4.transition(CkptState.WRITE_COMPLETE)
+        inst4.transition(CkptState.READ_COMPLETE)  # crossover: pinned
+        records[4].durable_level = TierLevel.SSD
+        # id 5 stays WRITE_IN_PROGRESS (a barrier-ish, non-evictable member).
+
+    # Hints arrive: some cached ids, some future ones.
+    for hint in (3, 2, 9, 4, 0):
+        cache.queue.enqueue(hint)
+    cache.queue.start()
+
+    # A two-slot write must find (or make) a contiguous two-slot window.
+    cache.reserve(rec(6, slots=2), CkptState.WRITE_IN_PROGRESS, blocking=False)
+    # Flush-pending flip changes the predicted state_ts of id 1.
+    records[1].instance(TierLevel.GPU).flush_pending = False
+    cache.reserve(rec(7), CkptState.WRITE_IN_PROGRESS, blocking=False)
+    # Forced (demand) reservation may evict the pinned READ_COMPLETE extent.
+    cache.reserve(rec(8), CkptState.READ_IN_PROGRESS, blocking=False, allow_pinned=True)
+    # Consumption makes everything left evictable; one more multi-slot write.
+    for r in records.values():
+        inst = r.peek(TierLevel.GPU)
+        if inst is not None:
+            r.consumed = True
+            if inst.state is CkptState.WRITE_COMPLETE:
+                inst.try_transition(CkptState.READ_COMPLETE)
+            inst.try_transition(CkptState.CONSUMED)
+    cache.queue.consume(4)
+    cache.reserve(rec(10, slots=2), CkptState.WRITE_IN_PROGRESS, blocking=False)
+
+    decisions = [
+        {"name": ev.name, "args": ev.args}
+        for ev in telemetry.bus.snapshot()
+        if ev.name == "evict-window"
+    ]
+    layout = [
+        (frag.offset, frag.size, None if frag.is_gap else frag.record.ckpt_id)
+        for frag in cache.table.fragments()
+    ]
+    cache.table.check_invariants()
+    return decisions, layout
+
+
+def test_cost_cache_changes_no_eviction_decision():
+    cached, layout_cached = _run_scenario(cost_cache_enabled=True)
+    plain, layout_plain = _run_scenario(cost_cache_enabled=False)
+    assert len(cached) > 0  # the scenario must actually exercise eviction
+    assert json.dumps(cached, sort_keys=True) == json.dumps(plain, sort_keys=True)
+    assert layout_cached == layout_plain
+
+
+def test_cost_cache_equivalence_with_split_regions():
+    cached, layout_cached = _run_scenario(cost_cache_enabled=True, split=True)
+    plain, layout_plain = _run_scenario(cost_cache_enabled=False, split=True)
+    assert json.dumps(cached, sort_keys=True) == json.dumps(plain, sort_keys=True)
+    assert layout_cached == layout_plain

@@ -46,6 +46,27 @@ class TestArena:
         with pytest.raises(AllocationError):
             a.read(-1, 64 * KiB)
 
+    def test_write_zeroes_alignment_tail(self):
+        # 64 payload bytes per aligned extent: short writes leave a tail.
+        scale = ScaleModel(data_scale=1 * KiB, alignment=64 * KiB)
+        a = Arena("t", 1 * MiB, scale)
+        a.write(0, np.full(64, 0xAB, dtype=np.uint8))  # previous occupant
+        a.write(0, np.full(5, 0x11, dtype=np.uint8))  # shorter new occupant
+        out = a.read(0, 64 * KiB)
+        assert np.array_equal(out[:5], np.full(5, 0x11, dtype=np.uint8))
+        assert not out[5:].any()  # stale bytes must not survive the rewrite
+
+    def test_read_view_is_zero_copy_and_read_only(self):
+        a = Arena("t", 64 * MiB, SCALE)
+        data = make_payload(1 * MiB, SCALE, make_rng(2, "v"))
+        a.write(0, data)
+        view = a.read(0, 1 * MiB, copy=False)
+        assert view.base is not None  # a view into the arena, not a copy
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 1
+        assert np.array_equal(view[: data.size], data)
+
     def test_unaligned_capacity_rejected(self):
         with pytest.raises(ConfigError):
             Arena("t", 100, SCALE)

@@ -79,6 +79,7 @@ class TestEngineRecovery:
         # Corrupt the durable payload; recovery metadata keeps the original
         # checksum, so the restore must fail loudly.
         payload, _ = context.ssd.get((context.process_id, 0))
+        payload = payload.copy()  # get() returns a read-only view
         payload[0] ^= 0xFF
         meta = context.ssd.meta((context.process_id, 0))
         context.ssd.put((context.process_id, 0), payload, 128 * MiB, meta=meta)

@@ -54,6 +54,23 @@ def brute_force_best(fragments, size_new, cost_of, limit=None, min_offset=0):
     return best
 
 
+def hashed_cost(seed):
+    """Deterministic pseudo-random per-checkpoint costs, including barriers."""
+
+    def cost_of(frag) -> FragmentCost:
+        if frag.is_gap:
+            return FragmentCost(p=0.0, s=100.0, barrier=False)
+        cid = frag.record.ckpt_id
+        h = (cid * 2654435761 + seed) & 0xFFFF
+        return FragmentCost(
+            p=float(h % 5),
+            s=float((h >> 4) % 7),
+            barrier=(h >> 8) % 5 == 0,
+        )
+
+    return cost_of
+
+
 @st.composite
 def scenario(draw):
     layout = draw(
@@ -75,17 +92,7 @@ def test_two_pointer_matches_brute_force(data):
     capacity = 64
     table = build_random_table(layout, capacity)
     fragments = table.fragments()
-
-    def cost_of(frag) -> FragmentCost:
-        if frag.is_gap:
-            return FragmentCost(p=0.0, s=100.0, barrier=False)
-        cid = frag.record.ckpt_id
-        h = (cid * 2654435761 + seed) & 0xFFFF
-        return FragmentCost(
-            p=float(h % 5),
-            s=float((h >> 4) % 7),
-            barrier=(h >> 8) % 5 == 0,
-        )
+    cost_of = hashed_cost(seed)
 
     window = ScorePolicy().select(fragments, size_new, cost_of)
     expected = brute_force_best(fragments, size_new, cost_of)
@@ -111,3 +118,28 @@ def test_two_pointer_respects_limit(data, limit):
     if window is not None:
         assert fragments[window.end - 1].end <= limit
         assert window.size >= size_new
+
+
+@given(scenario(), st.integers(0, 64), st.integers(0, 64))
+@settings(max_examples=200, deadline=None)
+def test_two_pointer_matches_brute_force_in_region(data, limit, min_offset):
+    """Full oracle with barriers AND both region restrictions combined."""
+    layout, size_new, seed = data
+    table = build_random_table(layout, 64)
+    fragments = table.fragments()
+    cost_of = hashed_cost(seed)
+
+    window = ScorePolicy().select(
+        fragments, size_new, cost_of, limit=limit, min_offset=min_offset
+    )
+    expected = brute_force_best(
+        fragments, size_new, cost_of, limit=limit, min_offset=min_offset
+    )
+    if expected is None:
+        assert window is None
+        return
+    assert window is not None
+    assert window.size >= size_new
+    assert window.offset >= min_offset
+    assert fragments[window.end - 1].end <= limit
+    assert (window.p_score, -window.s_score) == expected
