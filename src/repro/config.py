@@ -190,12 +190,100 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class SchedConfig:
+    """Knobs of the QoS transfer scheduler (:mod:`repro.sched`).
+
+    With ``enabled=False`` (the default) every shared link keeps its
+    unarbitrated FIFO chunk interleave — bit-for-bit the pre-scheduler
+    behaviour, and the baseline mode of ``benchmarks/bench_contention.py``.
+    """
+
+    #: master switch: attach a :class:`~repro.sched.LinkScheduler` to every
+    #: shared tier link (PCIe, SSD, PFS, inter-node fabric).
+    enabled: bool = False
+    #: largest span one grant moves before the link is re-arbitrated.
+    #: Bounds how long a newly-arrived demand read waits behind an already
+    #: in-flight lower-class transfer (``quantum_bytes / bandwidth``).
+    quantum_bytes: int = 64 * MiB
+    #: WFQ weight for engines without an explicit entry in
+    #: ``engine_weights`` (service within a class is proportional to weight).
+    default_weight: float = 1.0
+    #: optional per-engine WFQ weight overrides: ((engine_id, weight), ...).
+    engine_weights: tuple = ()
+    #: per-engine token-bucket refill, bytes per nominal second, applied to
+    #: background classes (prefetch + flush) on every scheduled link.
+    #: ``None`` = unlimited.
+    engine_rate_limit: Optional[float] = None
+    #: token-bucket capacity (burst allowance) when rate limiting is on.
+    burst_bytes: int = 64 * MiB
+    #: bounded-queue limit for SPECULATIVE_PREFETCH requests per link;
+    #: arrivals beyond it are shed with :class:`~repro.errors.AdmissionError`
+    #: (the prefetcher backs off and retries).
+    max_speculative_queue: int = 4
+    #: bounded-queue limit for CASCADE_FLUSH requests per link; arrivals
+    #: beyond it *block* in admission until the backlog drains (flushes
+    #: must eventually happen — shedding them would lose durability).
+    max_flush_queue: int = 16
+    #: engine-level admission control: when the D2H flush backlog reaches
+    #: this many pending flushes, ``checkpoint()`` applies ``admission``.
+    max_flush_backlog: int = 32
+    #: overload behaviour of ``checkpoint()``: "block" waits for the flush
+    #: backlog to drop below ``max_flush_backlog``, "shed" raises
+    #: :class:`~repro.errors.BackpressureError`, "off" never intervenes.
+    admission: str = "block"
+    #: hints at restore-queue distance ≤ this prefetch as HINTED_PREFETCH;
+    #: farther hints are SPECULATIVE_PREFETCH (preemptible, sheddable).
+    hint_near_distance: int = 4
+    #: nominal seconds per hint-queue position used to derive prefetch
+    #: deadlines (deadline = now + distance * hint_spacing_s); EDF within
+    #: the prefetch classes paces far-future prefetches behind near ones.
+    hint_spacing_s: float = 0.010
+    #: cancel in-flight speculative prefetches on a link the moment a
+    #: demand read arrives there (the freed slot and bandwidth go to the
+    #: demand read; the prefetcher re-issues later).
+    preempt_speculative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.quantum_bytes <= 0:
+            raise ConfigError(f"quantum_bytes must be positive: {self.quantum_bytes}")
+        if self.default_weight <= 0:
+            raise ConfigError(f"default_weight must be positive: {self.default_weight}")
+        for entry in self.engine_weights:
+            if len(entry) != 2 or entry[1] <= 0:
+                raise ConfigError(f"bad engine_weights entry: {entry!r}")
+        if self.engine_rate_limit is not None and self.engine_rate_limit <= 0:
+            raise ConfigError(
+                f"engine_rate_limit must be positive or None: {self.engine_rate_limit}"
+            )
+        if self.burst_bytes <= 0:
+            raise ConfigError(f"burst_bytes must be positive: {self.burst_bytes}")
+        if self.max_speculative_queue < 0 or self.max_flush_queue < 1:
+            raise ConfigError("scheduler queue bounds out of range")
+        if self.max_flush_backlog < 1:
+            raise ConfigError(f"max_flush_backlog must be >= 1: {self.max_flush_backlog}")
+        if self.admission not in ("block", "shed", "off"):
+            raise ConfigError(f"unknown admission policy: {self.admission!r}")
+        if self.hint_near_distance < 0:
+            raise ConfigError(f"hint_near_distance must be >= 0: {self.hint_near_distance}")
+        if self.hint_spacing_s < 0:
+            raise ConfigError(f"hint_spacing_s must be >= 0: {self.hint_spacing_s}")
+
+    def weight_of(self, engine_id: int) -> float:
+        for eid, weight in self.engine_weights:
+            if eid == engine_id:
+                return float(weight)
+        return self.default_weight
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """Everything one simulation run needs."""
 
     hardware: HardwareSpec = field(default_factory=HardwareSpec)
     scale: ScaleModel = field(default_factory=ScaleModel)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: QoS transfer scheduling on shared tier links (:mod:`repro.sched`).
+    sched: SchedConfig = field(default_factory=SchedConfig)
     num_nodes: int = 1
     processes_per_node: Optional[int] = None  # default: one per GPU
     seed: int = 20230616  # HPDC'23 opening day

@@ -30,7 +30,9 @@ from repro.core.restore_queue import RestoreQueue
 from repro.core.scoring import ScorePolicy
 from repro.core.sync import Monitor
 from repro.errors import (
+    BackpressureError,
     EngineClosedError,
+    FlushTimeoutError,
     IntegrityError,
     LifecycleError,
     ReproError,
@@ -38,6 +40,7 @@ from repro.errors import (
 )
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind, Recorder
+from repro.sched.request import TransferClass, TransferRequest
 from repro.simgpu.memory import DeviceBuffer, checksum_payload
 from repro.telemetry import Telemetry
 from repro.tiers.base import TierLevel
@@ -85,6 +88,10 @@ class ScoreEngine:
         #: resilience strategy).  No-op on single-node clusters.
         self.partner_replication = partner_replication
         cluster = context.node.cluster
+        #: shared-link QoS arbitration (no-op fleet unless
+        #: ``config.sched.enabled``); transfers are tagged with a
+        #: :class:`TransferRequest` via :meth:`_sched_request`.
+        self.sched = cluster.sched
         self.partner_node_id = None
         self.partner_ssd = None
         if partner_replication and len(cluster.nodes) > 1:
@@ -102,6 +109,8 @@ class ScoreEngine:
         self._m_ckpt_ops = registry.counter("engine.checkpoint.ops")
         self._m_ckpt_bytes = registry.counter("engine.checkpoint.bytes")
         self._m_ckpt_blocked = registry.histogram("engine.checkpoint.blocked_s")
+        self._m_ckpt_shed = registry.counter("engine.checkpoint.shed")
+        self._m_ckpt_backpressure = registry.histogram("engine.checkpoint.backpressure_s")
         self._m_restore_ops = registry.counter("engine.restore.ops")
         self._m_restore_bytes = registry.counter("engine.restore.bytes")
         self._m_restore_blocked = registry.histogram("engine.restore.blocked_s")
@@ -192,9 +201,45 @@ class ScoreEngine:
             return self.pfs
         return self.ssd
 
+    def durable_read_source(self, record: CheckpointRecord):
+        """The fastest ``(level, store)`` holding a durable copy.
+
+        The PFS flush leg is a *copy* — the node-SSD object stays behind —
+        but it advances ``durable_level`` to PFS for resilience accounting.
+        Reads must not follow that promotion: a restore that pays the PFS
+        links while the local drive still holds the bytes wastes an order
+        of magnitude of bandwidth.
+        """
+        if record.durable_store is not None:
+            return record.durable_level, record.durable_store
+        if record.durable_level is TierLevel.PFS and not self.ssd.contains(
+            self.store_key(record)
+        ):
+            return TierLevel.PFS, self.pfs
+        return TierLevel.SSD, self.ssd
+
     def _require_open(self) -> None:
         if self._closed:
             raise EngineClosedError(f"engine p{self.process_id} is closed")
+
+    def _sched_request(
+        self,
+        tclass: TransferClass,
+        deadline: Optional[float] = None,
+        cancel_event=None,
+    ) -> Optional[TransferRequest]:
+        """A QoS-tagged transfer request, or ``None`` when scheduling is off
+        (untagged transfers always take the legacy FIFO path)."""
+        if not self.sched.enabled:
+            return None
+        if cancel_event is not None:
+            return TransferRequest(
+                tclass,
+                engine_id=self.process_id,
+                deadline=deadline,
+                cancel_event=cancel_event,
+            )
+        return TransferRequest(tclass, engine_id=self.process_id, deadline=deadline)
 
     # -- write path ------------------------------------------------------------------
     def checkpoint(self, ckpt_id: int, buffer: DeviceBuffer) -> float:
@@ -203,6 +248,11 @@ class ScoreEngine:
         Blocks until the data sits in the GPU cache (the checkpoint is then
         safe against application overwrites); returns the nominal seconds
         the caller was blocked.
+
+        Under flush-backlog overload, ``SchedConfig`` admission control
+        applies first: ``"block"`` waits here until the backlog drains below
+        ``max_flush_backlog``, ``"shed"`` raises
+        :class:`~repro.errors.BackpressureError` without writing anything.
         """
         self._require_open()
         nominal = self.scale.align(buffer.nominal_size)
@@ -211,6 +261,7 @@ class ScoreEngine:
         with self.telemetry.bus.span(
             "checkpoint", self._app_track, ckpt=ckpt_id, bytes=nominal
         ):
+            backpressured = self._flush_backpressure(ckpt_id)
             with self.monitor:
                 record = self.catalog.create(ckpt_id, nominal, buffer.nominal_size, checksum)
             waited = self.gpu_cache.reserve(
@@ -225,9 +276,10 @@ class ScoreEngine:
                 )
                 self.monitor.notify_all()
             self.flusher.schedule(record)
-        # Blocking time = eviction wait + cache copy (accounted, so the
-        # figure stays exact under aggressive time scaling).
-        blocked = (waited or 0.0) + copied
+        # Blocking time = admission wait + eviction wait + cache copy
+        # (accounted, so the figure stays exact under aggressive time
+        # scaling).
+        blocked = backpressured + (waited or 0.0) + copied
         self._m_ckpt_ops.inc()
         self._m_ckpt_bytes.inc(nominal)
         self._m_ckpt_blocked.observe(blocked)
@@ -241,6 +293,35 @@ class ScoreEngine:
             )
         )
         return blocked
+
+    def _flush_backpressure(self, ckpt_id: int) -> float:
+        """Engine-level admission control for the write path.
+
+        Bounds how far ``checkpoint()`` may run ahead of the flush cascade:
+        when the D2H flush stream holds ``max_flush_backlog`` or more
+        pending flushes, either block (returning the nominal seconds spent
+        waiting) or shed with :class:`BackpressureError` per
+        ``SchedConfig.admission``.  A no-op when scheduling is disabled.
+        """
+        scfg = self.config.sched
+        if not self.sched.enabled or scfg.admission == "off":
+            return 0.0
+        stream = self.flusher.d2h_stream
+        if stream.depth < scfg.max_flush_backlog:
+            return 0.0
+        if scfg.admission == "shed":
+            self._m_ckpt_shed.inc()
+            self.telemetry.bus.instant(
+                "checkpoint-shed", self._app_track, ckpt=ckpt_id, depth=stream.depth
+            )
+            raise BackpressureError(
+                f"checkpoint {ckpt_id} shed: flush backlog {stream.depth} >= "
+                f"{scfg.max_flush_backlog} (admission policy 'shed')"
+            )
+        with Stopwatch(self.clock) as sw:
+            stream.wait_depth_below(scfg.max_flush_backlog)
+        self._m_ckpt_backpressure.observe(sw.elapsed)
+        return sw.elapsed
 
     # -- hints ---------------------------------------------------------------------------
     def prefetch_enqueue(self, ckpt_id: int) -> None:
@@ -379,7 +460,14 @@ class ScoreEngine:
                 seconds: Optional[float] = None
                 try:
                     seconds = self.promote_once(
-                        record, src, dst, blocking=True, allow_pinned=True
+                        record,
+                        src,
+                        dst,
+                        blocking=True,
+                        allow_pinned=True,
+                        # Highest class: jumps every queue and preempts
+                        # in-flight speculative prefetches on the way.
+                        request=self._sched_request(TransferClass.DEMAND_READ),
                     )
                 except ReproError:
                     # The source moved while we promoted; re-resolve.
@@ -416,10 +504,11 @@ class ScoreEngine:
         if host_inst is not None:
             return None  # host extent in flight (being written or promoted)
         if record.durable_level is not None:
+            src, _ = self.durable_read_source(record)
             if self.gpudirect:
                 # GPUDirect reads pull straight from storage into HBM.
-                return (record.durable_level, TierLevel.GPU)
-            return (record.durable_level, TierLevel.HOST)
+                return (src, TierLevel.GPU)
+            return (src, TierLevel.HOST)
         return None  # only copy is mid-flush; the flusher will land it
 
     def promote_once(
@@ -429,11 +518,15 @@ class ScoreEngine:
         dst: TierLevel,
         blocking: bool,
         allow_pinned: bool,
+        request: Optional[TransferRequest] = None,
     ) -> Optional[float]:
         """Move ``record`` one level toward the GPU.  Monitor NOT held.
 
         Returns the accounted nominal seconds, or ``None`` when a
-        non-blocking reservation could not claim space.
+        non-blocking reservation could not claim space.  ``request`` tags
+        the underlying link transfers for QoS arbitration; a preempted or
+        shed transfer releases its reservation and raises
+        (:class:`TransferError` / :class:`~repro.errors.AdmissionError`).
         """
         if dst == TierLevel.GPU and src in (TierLevel.SSD, TierLevel.PFS):
             # GPUDirect storage read: SSD/PFS → HBM over PCIe DMA.
@@ -446,18 +539,22 @@ class ScoreEngine:
             if waited is None:
                 return None
             try:
-                store = self.durable_store_of(record)
+                src, store = self.durable_read_source(record)
                 if src == TierLevel.PFS:
                     payload, read_seconds = store.get(
-                        self.store_key(record), node_id=self.node_id
+                        self.store_key(record), node_id=self.node_id, request=request
                     )
                 else:
-                    payload, read_seconds = store.get(self.store_key(record))
+                    payload, read_seconds = store.get(
+                        self.store_key(record), request=request
+                    )
+                seconds = waited + read_seconds
+                seconds += self.device.h2d_link.transfer(
+                    record.nominal_size, request=request
+                )
             except Exception:
                 self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
                 raise
-            seconds = waited + read_seconds
-            seconds += self.device.h2d_link.transfer(record.nominal_size)
             self.gpu_cache.write_payload(record, payload)
             with self.monitor:
                 record.instance(TierLevel.GPU).transition(
@@ -498,7 +595,15 @@ class ScoreEngine:
                 with self.monitor:
                     host_inst.read_pinned -= 1
                     self.monitor.notify_all()
-            seconds = waited + self.device.h2d_link.transfer(record.nominal_size)
+            try:
+                seconds = waited + self.device.h2d_link.transfer(
+                    record.nominal_size, request=request
+                )
+            except TransferError:
+                # Preempted (or cancelled) mid-promotion: the reserved —
+                # and eagerly written — GPU extent is released for reuse.
+                self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
+                raise
             with self.monitor:
                 record.instance(TierLevel.GPU).transition(
                     CkptState.READ_COMPLETE, self.clock.now()
@@ -511,11 +616,13 @@ class ScoreEngine:
         if waited is None:
             return None
         try:
-            store = self.durable_store_of(record)
+            src, store = self.durable_read_source(record)
             if src == TierLevel.PFS:
-                payload, read_seconds = store.get(self.store_key(record), node_id=self.node_id)
+                payload, read_seconds = store.get(
+                    self.store_key(record), node_id=self.node_id, request=request
+                )
             else:
-                payload, read_seconds = store.get(self.store_key(record))
+                payload, read_seconds = store.get(self.store_key(record), request=request)
         except Exception:
             self._release_reservation(self.host_cache, record, TierLevel.HOST)
             raise
@@ -536,7 +643,7 @@ class ScoreEngine:
         if fastest is not None:
             return fastest.name
         if record.durable_level is not None:
-            return record.durable_level.name
+            return self.durable_read_source(record)[0].name
         return "IN_FLIGHT"
 
     def _sample_prefetch_distance(self, ckpt_id: int) -> int:
@@ -627,14 +734,53 @@ class ScoreEngine:
         return recovered
 
     # -- maintenance ------------------------------------------------------------------------
-    def wait_for_flushes(self) -> float:
+    def wait_for_flushes(self, timeout: Optional[float] = None) -> float:
         """Block until every pending flush reached its final tier; returns
         the nominal seconds spent waiting (the paper's ~70 s/rank gap
-        between the checkpoint and restore phases in the WAIT variant)."""
+        between the checkpoint and restore phases in the WAIT variant).
+
+        ``timeout`` (nominal seconds) bounds the wait: on expiry a
+        :class:`FlushTimeoutError` is raised whose message carries the
+        flush-stream depths, the shared-link byte backlog and — when QoS
+        scheduling is on — the per-link arbiter queue snapshots, instead of
+        the historical behaviour of hanging with no indication of which
+        stage stalled.
+        """
         self._require_open()
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"negative timeout: {timeout}")
         with Stopwatch(self.clock) as sw:
-            self.flusher.drain()
+            drained = self.flusher.drain(
+                timeout=None if timeout is None else self.clock.to_real(timeout)
+            )
+        if not drained:
+            raise FlushTimeoutError(self._flush_stall_diagnostics(timeout))
         return sw.elapsed
+
+    def _flush_stall_diagnostics(self, timeout: float) -> str:
+        """One-line stall report for :class:`FlushTimeoutError`."""
+        flusher = self.flusher
+        depths = [
+            f"d2h={flusher.d2h_stream.depth}",
+            f"h2f={flusher.h2f_stream.depth}",
+        ]
+        if flusher.f2p_stream is not None:
+            depths.append(f"f2p={flusher.f2p_stream.depth}")
+        if flusher.repl_stream is not None:
+            depths.append(f"repl={flusher.repl_stream.depth}")
+        links = [self.device.d2h_link, self.ssd.write_link, self.ssd.read_link]
+        pending = ", ".join(
+            f"{link.name}={link.pending_bytes}B" for link in links if link.pending_bytes
+        )
+        message = (
+            f"p{self.process_id}: flushes still pending after {timeout:g}s "
+            f"(nominal); stream depths [{', '.join(depths)}]; "
+            f"in-flight link bytes [{pending or 'none'}]"
+        )
+        if self.sched.enabled:
+            stalled = [s for s in self.sched.snapshot() if s["depth"]]
+            message += f"; scheduler queues {stalled or 'all empty'}"
+        return message
 
     def stats(self) -> dict:
         """Counters for diagnostics and the benchmark harness."""

@@ -20,12 +20,14 @@ Problem condition (5): flushes of discarded checkpoints are abandoned —
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import time
+from typing import Optional, TYPE_CHECKING
 
 from repro.core.lifecycle import CkptState
 from repro.errors import AllocationError, ReproError, TransferError
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind
+from repro.sched.request import TransferClass
 from repro.tiers.base import TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -99,17 +101,43 @@ class Flusher:
             )
         self._m_d2h_depth.set(self.d2h_stream.depth)
 
-    def drain(self) -> None:
-        """Wait for the whole cascade to settle (the paper's WAIT variant)."""
+    def _request(self, record: "CheckpointRecord"):
+        """QoS tag for one flush leg (None when scheduling is off).
+
+        The record's ``cancel_flush`` event doubles as the request's
+        cancellation channel, so abandonment (condition (5)) interrupts a
+        leg whether it is mid-transfer or still queued in an arbiter.
+        """
+        return self.engine._sched_request(
+            TransferClass.CASCADE_FLUSH, cancel_event=record.cancel_flush
+        )
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the whole cascade to settle (the paper's WAIT variant).
+
+        ``timeout`` is in wall-clock seconds (callers convert nominal time
+        via ``clock.to_real``); returns ``False`` when any stream still has
+        work in flight at the deadline, ``True`` once everything drained.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         for _ in range(2):
             # Two passes: a d2h item may have enqueued h2f (and onward)
             # work after the first downstream sync.
-            self.d2h_stream.synchronize()
-            self.h2f_stream.synchronize()
-            if self.repl_stream is not None:
-                self.repl_stream.synchronize()
-            if self.f2p_stream is not None:
-                self.f2p_stream.synchronize()
+            for stream in (
+                self.d2h_stream,
+                self.h2f_stream,
+                self.repl_stream,
+                self.f2p_stream,
+            ):
+                if stream is None:
+                    continue
+                if deadline is None:
+                    stream.synchronize()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not stream.synchronize(timeout=remaining):
+                    return False
+        return True
 
     def close(self) -> None:
         self.d2h_stream.close(drain=True)
@@ -148,7 +176,9 @@ class Flusher:
         ) as span:
             try:
                 engine.device.d2h_link.transfer(
-                    record.nominal_size, cancelled=record.cancel_flush
+                    record.nominal_size,
+                    cancelled=record.cancel_flush,
+                    request=self._request(record),
                 )
             except TransferError:
                 span.add(abandoned=True)
@@ -205,7 +235,9 @@ class Flusher:
             try:
                 # The DMA crosses the same PCIe link, then commits to the drive.
                 engine.device.d2h_link.transfer(
-                    record.nominal_size, cancelled=record.cancel_flush
+                    record.nominal_size,
+                    cancelled=record.cancel_flush,
+                    request=self._request(record),
                 )
                 engine.ssd.put(
                     engine.store_key(record),
@@ -214,6 +246,7 @@ class Flusher:
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
                     copy=False,  # the snapshot is this flush's private copy
+                    request=self._request(record),
                 )
             except TransferError:
                 span.add(abandoned=True)
@@ -269,6 +302,7 @@ class Flusher:
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
                     copy=False,  # the snapshot is this flush's private copy
+                    request=self._request(record),
                 )
             except TransferError:
                 span.add(abandoned=True)
@@ -300,9 +334,13 @@ class Flusher:
             "repl", self._tracks["repl"], ckpt=record.ckpt_id, bytes=record.nominal_size
         ) as span:
             try:
-                payload, _ = engine.ssd.get(engine.store_key(record))
+                payload, _ = engine.ssd.get(
+                    engine.store_key(record), request=self._request(record)
+                )
                 engine.partner_link.transfer(
-                    record.nominal_size, cancelled=record.cancel_flush
+                    record.nominal_size,
+                    cancelled=record.cancel_flush,
+                    request=self._request(record),
                 )
                 engine.partner_ssd.put(
                     engine.store_key(record),
@@ -310,6 +348,7 @@ class Flusher:
                     record.nominal_size,
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
+                    request=self._request(record),
                 )
             except (TransferError, ReproError) as exc:
                 span.add(abandoned=True)
@@ -327,11 +366,15 @@ class Flusher:
         pfs = engine.pfs
         if pfs is None:
             return
-        payload, _ = engine.ssd.get(engine.store_key(record))
         with self.telemetry.bus.span(
             "f2p", self._tracks["f2p"], ckpt=record.ckpt_id, bytes=record.nominal_size
         ) as span:
             try:
+                # This SSD read-back shares the read link with demand
+                # restores — the QoS tag keeps it behind them.
+                payload, _ = engine.ssd.get(
+                    engine.store_key(record), request=self._request(record)
+                )
                 pfs.put(
                     engine.store_key(record),
                     payload,
@@ -339,6 +382,7 @@ class Flusher:
                     node_id=engine.node_id,
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
+                    request=self._request(record),
                 )
             except TransferError:
                 span.add(abandoned=True)

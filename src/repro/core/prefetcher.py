@@ -19,9 +19,10 @@ from __future__ import annotations
 import threading
 from typing import Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import ReproError
+from repro.errors import AdmissionError, ReproError
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind
+from repro.sched.request import TransferClass
 from repro.tiers.base import TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,8 +31,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 log = get_logger(__name__)
 
-#: (record, source level, destination level)
-Task = Tuple["CheckpointRecord", TierLevel, TierLevel]
+#: (record, source level, destination level, restore-queue distance)
+Task = Tuple["CheckpointRecord", TierLevel, TierLevel, int]
 
 
 class Prefetcher:
@@ -47,6 +48,7 @@ class Prefetcher:
         self._m_promotions = registry.counter("prefetch.promotions")
         self._m_bytes = registry.counter("prefetch.bytes")
         self._m_retries = registry.counter("prefetch.retries")
+        self._m_sheds = registry.counter("prefetch.sheds")
         self._running = True
         self._thread = threading.Thread(
             target=self._run, name=f"prefetcher-p{engine.process_id}", daemon=True
@@ -78,9 +80,11 @@ class Prefetcher:
                 if not self._running:
                     return
                 task[0].prefetch_inflight = True
-            record, src, dst = task
+            record, src, dst, distance = task
+            request = self._classify(distance)
             started = engine.clock.now()
             seconds: Optional[float] = None
+            shed = False
             span = self.telemetry.bus.span(
                 "prefetch",
                 self._track,
@@ -92,8 +96,15 @@ class Prefetcher:
             with span:
                 try:
                     seconds = engine.promote_once(
-                        record, src, dst, blocking=False, allow_pinned=False
+                        record, src, dst, blocking=False, allow_pinned=False,
+                        request=request,
                     )
+                except AdmissionError:
+                    # The link's speculative queue is full — back off below
+                    # instead of hammering admission in a tight loop.
+                    span.add(shed=True)
+                    self._m_sheds.inc()
+                    shed = True
                 except ReproError as exc:
                     # Raced with a concurrent state change (e.g. the extent
                     # appeared on the destination meanwhile); re-evaluate.
@@ -111,6 +122,8 @@ class Prefetcher:
                     with engine.monitor:
                         record.prefetch_inflight = False
                         engine.monitor.notify_all()
+            if shed:
+                engine.clock.sleep(engine.config.sched.hint_spacing_s)
             if seconds is not None:
                 self.promotions += 1
                 self._m_promotions.inc()
@@ -126,6 +139,22 @@ class Prefetcher:
                     )
                 )
 
+    def _classify(self, distance: int):
+        """QoS tag for a prefetch at ``distance`` hints from the restore
+        head: near hints are HINTED_PREFETCH (never preempted), far ones
+        SPECULATIVE_PREFETCH (sheddable + preemptible); the deadline paces
+        both so near-future restores win ties.  None when scheduling is off.
+        """
+        engine = self.engine
+        scfg = engine.config.sched
+        tclass = (
+            TransferClass.HINTED_PREFETCH
+            if distance <= scfg.hint_near_distance
+            else TransferClass.SPECULATIVE_PREFETCH
+        )
+        deadline = engine.clock.now() + distance * scfg.hint_spacing_s
+        return engine._sched_request(tclass, deadline=deadline)
+
     # -- task selection (monitor held) ------------------------------------------
     def _pick_task(self) -> Optional[Task]:
         engine = self.engine
@@ -135,7 +164,7 @@ class Prefetcher:
             return None  # demand promotions own the freed slots right now
         gpu_budget = int(engine.prefetch_budget_fraction * engine.gpu_cache.table.capacity)
         host_budget = int(engine.prefetch_budget_fraction * engine.host_cache.table.capacity)
-        for ckpt_id in engine.queue.upcoming(self.lookahead):
+        for distance, ckpt_id in enumerate(engine.queue.upcoming(self.lookahead)):
             record = engine.catalog.maybe_get(ckpt_id)
             if record is None or record.consumed or record.prefetch_inflight:
                 continue
@@ -152,5 +181,5 @@ class Prefetcher:
             else:
                 if engine.host_cache.pinned_bytes() + record.nominal_size > host_budget:
                     return None
-            return (record, src, dst)
+            return (record, src, dst, distance)
         return None

@@ -61,8 +61,13 @@ class RestoreQueue:
 
     # -- application-facing ---------------------------------------------------
     def enqueue(self, ckpt_id: int) -> None:
-        if ckpt_id in self._position:
-            raise HintError(f"hint for checkpoint {ckpt_id} already enqueued")
+        # A consumed-but-never-hinted version must also reject late hints:
+        # the restore already happened, so the hint could never be consumed
+        # and would pin the queue head forever.
+        if ckpt_id in self._position or ckpt_id in self._consumed:
+            raise HintError(
+                f"hint for checkpoint {ckpt_id} already enqueued or consumed"
+            )
         self._position[ckpt_id] = len(self._order)
         self._order.append(ckpt_id)
         self.version += 1
@@ -134,6 +139,7 @@ class RestoreQueue:
             self._advance_head()
         else:
             self._m_deviations.inc()  # never hinted
+            self._consumed.add(ckpt_id)  # rejects a late hint for this version
 
     def _advance_head(self) -> None:
         while self._head < len(self._order) and self._order[self._head] in self._consumed:

@@ -52,5 +52,20 @@ class TransferError(ReproError):
     """An asynchronous transfer failed or was cancelled unexpectedly."""
 
 
+class AdmissionError(TransferError):
+    """A shared-link scheduler shed the transfer at admission (its bounded
+    queue is full); the caller should back off and retry later."""
+
+
+class BackpressureError(ReproError):
+    """``checkpoint()`` shed the operation under flush-backlog overload
+    (``SchedConfig.admission == "shed"``); retry after flushes drain."""
+
+
+class FlushTimeoutError(TransferError):
+    """``wait_for_flushes`` exceeded its timeout; the message carries the
+    queue depths and in-flight transfer state needed to diagnose the stall."""
+
+
 class UvmError(ReproError):
     """Unified-virtual-memory simulation misuse (bad advice, OOB access)."""

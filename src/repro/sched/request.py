@@ -1,0 +1,82 @@
+"""Transfer classification: the priority lattice and per-transfer requests.
+
+Every byte that crosses a shared tier link belongs to one of five classes
+(Section 4.3.2's demand-first rule, generalised into a full lattice):
+
+======================  ====================================================
+Class                   Traffic
+======================  ====================================================
+``DEMAND_READ``         a blocked ``restore`` promoting its checkpoint
+``FOREGROUND_WRITE``    the copy a blocked ``checkpoint`` waits on
+``HINTED_PREFETCH``     prefetch of a near-head hint (distance ≤ near)
+``CASCADE_FLUSH``       asynchronous flush legs (D2H, H2F, F2P, replication)
+``SPECULATIVE_PREFETCH``prefetch of a far-future hint; preemptible
+======================  ====================================================
+
+Lower enum value = higher priority.  A :class:`TransferRequest` tags one
+transfer with its class, the issuing engine (the WFQ flow), an optional
+deadline (derived from the hint's restore-queue distance) and a cancellation
+event the scheduler fires to preempt speculative prefetches.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+
+class TransferClass(IntEnum):
+    """Priority classes for shared-link arbitration (lower = more urgent)."""
+
+    DEMAND_READ = 0
+    FOREGROUND_WRITE = 1
+    HINTED_PREFETCH = 2
+    CASCADE_FLUSH = 3
+    SPECULATIVE_PREFETCH = 4
+
+
+#: Classes the scheduler may cancel mid-flight when a demand read arrives.
+PREEMPTIBLE_CLASSES = frozenset({TransferClass.SPECULATIVE_PREFETCH})
+
+#: Classes subject to per-engine token-bucket rate limits.  Foreground
+#: traffic (a blocked application thread) is never throttled.
+THROTTLED_CLASSES = frozenset(
+    {
+        TransferClass.HINTED_PREFETCH,
+        TransferClass.CASCADE_FLUSH,
+        TransferClass.SPECULATIVE_PREFETCH,
+    }
+)
+
+
+@dataclass
+class TransferRequest:
+    """One transfer's scheduling identity, shared across its link hops.
+
+    ``deadline`` is an absolute nominal timestamp (``clock.now()`` units) by
+    which the bytes should have landed — prefetch requests derive it from
+    their restore-queue distance; ``None`` means "no deadline" and sorts
+    last within the class.  ``cancel_event`` doubles as the preemption
+    channel: the scheduler sets it to abort a speculative prefetch, and
+    callers with their own cancellation semantics (flush abandonment) pass
+    the event they already own.
+    """
+
+    tclass: TransferClass
+    engine_id: int = 0
+    deadline: Optional[float] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def preemptible(self) -> bool:
+        return self.tclass in PREEMPTIBLE_CLASSES
+
+    @property
+    def throttled(self) -> bool:
+        return self.tclass in THROTTLED_CLASSES
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tail = "" if self.deadline is None else f", deadline={self.deadline:.3f}"
+        return f"TransferRequest({self.tclass.name}, engine {self.engine_id}{tail})"

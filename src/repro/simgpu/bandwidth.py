@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.clock import SPIN_THRESHOLD, VirtualClock
 from repro.errors import ConfigError, TransferError
 from repro.util.units import MiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.request import TransferRequest
+    from repro.sched.scheduler import LinkScheduler
 
 #: Contended transfers fold this many chunks of stats into one lock
 #: acquisition; the batch is always flushed when the transfer finishes (or
@@ -55,6 +59,11 @@ class Link:
         self.latency = float(latency)
         self.chunk_size = int(chunk_size)
         self._clock = clock
+        #: optional QoS arbiter (:class:`repro.sched.LinkScheduler`); when
+        #: attached, transfers carrying a :class:`TransferRequest` are served
+        #: in priority/WFQ order in bounded quanta instead of the FIFO chunk
+        #: interleave.  Attached by :class:`repro.sched.SchedContext`.
+        self.scheduler: Optional["LinkScheduler"] = None
         self._mutex = threading.Lock()
         self._stats_lock = threading.Lock()
         self._busy_time = 0.0
@@ -95,7 +104,12 @@ class Link:
         return self.latency + (nbytes + backlog) / self.bandwidth
 
     # -- the transfer itself ----------------------------------------------
-    def transfer(self, nbytes: int, cancelled: Optional[threading.Event] = None) -> float:
+    def transfer(
+        self,
+        nbytes: int,
+        cancelled: Optional[threading.Event] = None,
+        request: Optional["TransferRequest"] = None,
+    ) -> float:
         """Move ``nbytes`` nominal bytes across the link, blocking the
         caller for the (contended) transfer duration.
 
@@ -110,9 +124,26 @@ class Link:
         If ``cancelled`` is set while chunks remain, raises
         :class:`TransferError` — the flusher uses this to abandon flushes of
         consumed checkpoints (condition (5) of the problem formulation).
+        Cancellation is honoured *before any progress is made* (including
+        the latency span and zero-byte transfers), so an already-cancelled
+        transfer aborts immediately.
+
+        When a :class:`repro.sched.LinkScheduler` is attached and the caller
+        tags the transfer with a ``request``, arbitration replaces the FIFO
+        chunk interleave (see :meth:`_transfer_scheduled`); ``request``'s
+        cancellation event then also cancels this transfer (preemption).
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
+        if request is not None and cancelled is None:
+            cancelled = request.cancel_event
+        if cancelled is not None and cancelled.is_set():
+            # Zero-progress abort: no pending-byte accounting to undo.
+            raise TransferError(
+                f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
+            )
+        if self.scheduler is not None and request is not None:
+            return self._transfer_scheduled(nbytes, cancelled, request)
         with self._stats_lock:
             self._pending_bytes += nbytes
             self._transfers += 1
@@ -168,6 +199,83 @@ class Link:
                 self._busy_time += busy_unflushed
                 self._bytes_moved += moved_unflushed
                 # release both moved-but-unflushed and (if cancelled) unmoved
+                self._pending_bytes -= moved_unflushed + remaining
+        return accounted
+
+    def _transfer_scheduled(
+        self,
+        nbytes: int,
+        cancelled: Optional[threading.Event],
+        request: "TransferRequest",
+    ) -> float:
+        """Arbitrated transfer: the scheduler grants the link in quanta.
+
+        Each quantum (at most ``scheduler.quantum`` bytes) is acquired from
+        the arbiter, slept, and released — so priority classes, WFQ shares
+        and token buckets are enforced between quanta, and a preemption
+        (the request's cancellation event) interrupts even mid-quantum via
+        :meth:`_sleep_span`.  Admission control runs in ``open`` before any
+        bytes are announced as pending.  Stats accounting matches the FIFO
+        path: grant waits count as contention in the accounted duration.
+        """
+        sched = self.scheduler
+        assert sched is not None
+        # Admission first: a shed transfer must not perturb pending_bytes
+        # (the Score runtime's flush/prefetch estimator reads it).
+        entry = sched.open(request, nbytes)
+        with self._stats_lock:
+            self._pending_bytes += nbytes
+            self._transfers += 1
+            self._active += 1
+        remaining = nbytes
+        accounted = 0.0
+        moved_unflushed = 0
+        busy_unflushed = 0.0
+        batch = STATS_BATCH_CHUNKS * self.chunk_size
+        try:
+            if self.latency:
+                if self._sleep_span(self.latency, cancelled):
+                    raise TransferError(
+                        f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
+                    )
+                accounted += self.latency
+            per_byte = 1.0 / self.bandwidth
+            while remaining > 0:
+                if cancelled is not None and cancelled.is_set():
+                    raise TransferError(
+                        f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
+                    )
+                span = min(remaining, sched.quantum)
+                queued_at = self._clock.now()
+                sched.acquire(entry)  # raises TransferError when cancelled
+                served = 0
+                try:
+                    accounted += self._clock.now() - queued_at  # arbitration wait
+                    if self._sleep_span(span * per_byte, cancelled):
+                        raise TransferError(
+                            f"transfer of {nbytes} bytes on link {self.name!r} "
+                            "cancelled"
+                        )
+                    served = span
+                finally:
+                    sched.release(entry, served)
+                accounted += span * per_byte
+                busy_unflushed += span * per_byte
+                moved_unflushed += span
+                remaining -= span
+                if moved_unflushed >= batch:
+                    with self._stats_lock:
+                        self._busy_time += busy_unflushed
+                        self._bytes_moved += moved_unflushed
+                        self._pending_bytes -= moved_unflushed
+                    moved_unflushed = 0
+                    busy_unflushed = 0.0
+        finally:
+            sched.finish(entry)
+            with self._stats_lock:
+                self._active -= 1
+                self._busy_time += busy_unflushed
+                self._bytes_moved += moved_unflushed
                 self._pending_bytes -= moved_unflushed + remaining
         return accounted
 

@@ -84,10 +84,25 @@ class Stream:
             self._wakeup.notify()
         return event
 
-    def synchronize(self) -> None:
-        """Block until every submitted work item has completed."""
+    def synchronize(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted work item has completed.
+
+        ``timeout`` is in wall-clock seconds; returns ``False`` when work is
+        still in flight at the deadline (``True`` otherwise, including the
+        no-timeout case, which waits indefinitely).
+        """
         with self._lock:
-            self._idle.wait_for(lambda: self._in_flight == 0)
+            return self._idle.wait_for(lambda: self._in_flight == 0, timeout)
+
+    def wait_depth_below(self, depth: int, timeout: Optional[float] = None) -> bool:
+        """Block until fewer than ``depth`` items are in flight.
+
+        Backpressure primitive: ``checkpoint()`` admission control parks on
+        this when the flush backlog hits ``SchedConfig.max_flush_backlog``.
+        ``timeout`` is in wall-clock seconds; returns ``False`` on expiry.
+        """
+        with self._lock:
+            return self._idle.wait_for(lambda: self._in_flight < depth, timeout)
 
     @property
     def depth(self) -> int:
@@ -131,8 +146,9 @@ class Stream:
             event._finish(error)
             with self._lock:
                 self._in_flight -= 1
-                if self._in_flight == 0:
-                    self._idle.notify_all()
+                # Every completion wakes depth waiters (wait_depth_below),
+                # not just the transition to idle.
+                self._idle.notify_all()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Stream({self.name!r}, depth={self.depth})"

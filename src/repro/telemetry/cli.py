@@ -9,6 +9,8 @@ writes three artifacts under ``--out-dir``:
   per component (app, lifecycle, flush stages, prefetcher, tiers).
 * ``<workload>.events.jsonl`` — the raw event log, one JSON object per line.
 * ``<workload>.summary.txt`` — the metrics-registry digest (also printed).
+* ``<workload>.sched.txt`` — with ``--sched``, the per-link queue-depth and
+  preemption timelines of the QoS transfer scheduler (also printed).
 
 Workloads: ``quickstart`` (16 × 128 MiB, one rank, reverse order),
 ``uniform`` and ``variable`` (the paper's RTM traces, multi-rank).
@@ -21,7 +23,7 @@ import logging
 import os
 from typing import List, Optional, Sequence
 
-from repro.config import CacheConfig, bench_config
+from repro.config import CacheConfig, SchedConfig, bench_config
 from repro.log import enable_console_logging
 from repro.telemetry.exporters import render_summary, write_chrome_trace, write_jsonl
 from repro.util.units import MiB
@@ -66,6 +68,7 @@ def run_trace(
     processes: Optional[int] = None,
     order: RestoreOrder = RestoreOrder.REVERSE,
     seed: int = 7,
+    sched: bool = False,
 ) -> dict:
     """Run ``workload`` with tracing on; return the written paths."""
     from repro.harness.approaches import make_engine_factory
@@ -77,6 +80,8 @@ def run_trace(
     snapshots = snapshots or default_snapshots
     processes = processes or default_processes
     cfg = bench_config(telemetry=True, processes_per_node=processes)
+    if sched:
+        cfg = cfg.with_(sched=SchedConfig(enabled=True))
     specs = _build_specs(workload, cfg, snapshots, processes, order, seed)
     # Scale the caches to the actual working set (paper ratios), but never
     # below twice the largest single snapshot — a short variable-size trace
@@ -109,13 +114,23 @@ def run_trace(
     )
     with open(summary_path, "w") as fh:
         fh.write(summary + "\n")
-    return {
+    out = {
         "trace": trace_path,
         "jsonl": jsonl_path,
         "summary": summary_path,
         "events": len(events),
         "rendered": summary,
     }
+    if sched:
+        from repro.sched import render_sched_timeline, sched_events
+
+        timeline = render_sched_timeline(sched_events(events))
+        sched_path = os.path.join(out_dir, f"{workload}.sched.txt")
+        with open(sched_path, "w") as fh:
+            fh.write(timeline + "\n")
+        out["sched"] = sched_path
+        out["sched_rendered"] = timeline
+    return out
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -135,6 +150,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--sched",
+        action="store_true",
+        help="enable QoS transfer scheduling and dump per-link "
+        "queue-depth/preemption timelines",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="DEBUG logging of the repro runtime"
     )
     args = parser.parse_args(argv)
@@ -147,12 +168,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         processes=args.processes,
         order=RestoreOrder(args.order),
         seed=args.seed,
+        sched=args.sched,
     )
     print(out["rendered"])
+    if "sched_rendered" in out:
+        print()
+        print(out["sched_rendered"])
     print()
     print(f"wrote {out['events']} events:")
-    for key in ("trace", "jsonl", "summary"):
-        print(f"  {out[key]}")
+    for key in ("trace", "jsonl", "summary", "sched"):
+        if key in out:
+            print(f"  {out[key]}")
     print("open the .trace.json at https://ui.perfetto.dev")
     return 0
 

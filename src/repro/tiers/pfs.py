@@ -9,7 +9,7 @@ aggregate bandwidth — so both per-node and cluster-wide saturation occur.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -19,6 +19,9 @@ from repro.errors import CheckpointNotFound
 from repro.simgpu.bandwidth import Link
 from repro.telemetry import Telemetry
 from repro.tiers.base import InMemoryIndex, ObjectStore, StoreKey, TierLevel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.scheduler import SchedContext
 
 
 class PfsStore(ObjectStore):
@@ -34,6 +37,7 @@ class PfsStore(ObjectStore):
         num_nodes: int = 1,
         aggregate_factor: float = 2.0,
         telemetry: Optional[Telemetry] = None,
+        sched: Optional["SchedContext"] = None,
     ) -> None:
         """``aggregate_factor``: the file system sustains this multiple of a
         single node's share before becoming the bottleneck."""
@@ -53,6 +57,10 @@ class PfsStore(ObjectStore):
         self.global_read_link = Link(
             "pfs-read", aggregate_read, clock, latency=0.0, chunk_size=1 << 62
         )
+        self._sched = sched
+        if sched is not None:
+            sched.attach(self.global_write_link)
+            sched.attach(self.global_read_link)
         self._node_write_links: Dict[int, Link] = {}
         self._node_read_links: Dict[int, Link] = {}
         self._link_lock = threading.Lock()
@@ -77,6 +85,9 @@ class PfsStore(ObjectStore):
                     self._clock,
                     latency=self._spec.pfs_latency,
                 )
+                if self._sched is not None:
+                    self._sched.attach(self._node_write_links[node_id])
+                    self._sched.attach(self._node_read_links[node_id])
             return self._node_write_links[node_id], self._node_read_links[node_id]
 
     def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
@@ -86,10 +97,15 @@ class PfsStore(ObjectStore):
         cancelled = kw.get("cancelled")
         meta = kw.get("meta")
         copy = kw.get("copy", True)
+        request = kw.get("request")
         node_link, _ = self.node_links(node_id)
         with self.telemetry.bus.span("pfs-put", "pfs", key=key, bytes=nominal_size):
-            seconds = node_link.transfer(nominal_size, cancelled=cancelled)
-            seconds += self.global_write_link.transfer(nominal_size, cancelled=cancelled)
+            seconds = node_link.transfer(
+                nominal_size, cancelled=cancelled, request=request
+            )
+            seconds += self.global_write_link.transfer(
+                nominal_size, cancelled=cancelled, request=request
+            )
         self._m_write_bytes.inc(nominal_size)
         self._m_write_ops.inc()
         blob = payload.copy() if copy else payload
@@ -99,12 +115,12 @@ class PfsStore(ObjectStore):
         self._index.add(key, nominal_size, meta)
         return seconds
 
-    def get(self, key: StoreKey, node_id: int = 0):
+    def get(self, key: StoreKey, node_id: int = 0, request=None):
         nominal_size = self._index.require(key)
         _, node_link = self.node_links(node_id)
         with self.telemetry.bus.span("pfs-get", "pfs", key=key, bytes=nominal_size):
-            seconds = node_link.transfer(nominal_size)
-            seconds += self.global_read_link.transfer(nominal_size)
+            seconds = node_link.transfer(nominal_size, request=request)
+            seconds += self.global_read_link.transfer(nominal_size, request=request)
         self._m_read_bytes.inc(nominal_size)
         self._m_read_ops.inc()
         with self._blob_lock:

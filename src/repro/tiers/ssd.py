@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.errors import CheckpointNotFound
 from repro.simgpu.bandwidth import Link
 from repro.telemetry import Telemetry
 from repro.tiers.base import InMemoryIndex, ObjectStore, StoreKey, TierLevel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.scheduler import SchedContext
 
 
 class SsdStore(ObjectStore):
@@ -44,6 +47,7 @@ class SsdStore(ObjectStore):
         clock: VirtualClock,
         directory: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
+        sched: Optional["SchedContext"] = None,
     ) -> None:
         self.node_id = node_id
         self.scale = scale
@@ -72,6 +76,9 @@ class SsdStore(ObjectStore):
             latency=spec.ssd_latency,
             chunk_size=1 << 62,
         )
+        if sched is not None:
+            sched.attach(self.write_link)
+            sched.attach(self.read_link)
         self._index = InMemoryIndex()
         self._directory = directory
         self._blobs: Dict[StoreKey, np.ndarray] = {}
@@ -109,10 +116,13 @@ class SsdStore(ObjectStore):
         cancelled = kw.get("cancelled")
         meta = kw.get("meta")
         copy = kw.get("copy", True)
+        request = kw.get("request")
         with self.telemetry.bus.span(
             "ssd-put", self._track, key=key, bytes=nominal_size
         ):
-            seconds = self.write_link.transfer(nominal_size, cancelled=cancelled)
+            seconds = self.write_link.transfer(
+                nominal_size, cancelled=cancelled, request=request
+            )
         self._m_write_bytes.inc(nominal_size)
         self._m_write_ops.inc()
         if self._directory is not None:
@@ -136,12 +146,12 @@ class SsdStore(ObjectStore):
         self._index.add(key, nominal_size, meta)
         return seconds
 
-    def get(self, key: StoreKey):
+    def get(self, key: StoreKey, request=None):
         nominal_size = self._index.require(key)
         with self.telemetry.bus.span(
             "ssd-get", self._track, key=key, bytes=nominal_size
         ):
-            seconds = self.read_link.transfer(nominal_size)
+            seconds = self.read_link.transfer(nominal_size, request=request)
         self._m_read_bytes.inc(nominal_size)
         self._m_read_ops.inc()
         if self._directory is not None:

@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.clock import VirtualClock
 from repro.config import RuntimeConfig
 from repro.errors import ConfigError
+from repro.sched.scheduler import SchedContext
 from repro.simgpu.bandwidth import Link
 from repro.simgpu.device import Device
 from repro.simgpu.memory import Arena
@@ -126,6 +127,7 @@ class Node:
             self.clock,
             directory=ssd_dir,
             telemetry=cluster.telemetry,
+            sched=cluster.sched,
         )
         # Shared PCIe links: gpus_per_pcie_link GPUs share one per direction.
         self._d2h_links: List[Link] = []
@@ -147,6 +149,8 @@ class Node:
                     latency=spec.transfer_latency,
                 )
             )
+            cluster.sched.attach(self._d2h_links[-1])
+            cluster.sched.attach(self._h2d_links[-1])
         self.devices: List[Device] = []
         for gi in range(spec.gpus_per_node):
             link_idx = gi // spec.gpus_per_pcie_link
@@ -188,12 +192,17 @@ class Cluster:
             enabled=config.telemetry,
             capacity=config.telemetry_buffer,
         )
+        #: QoS transfer scheduling across the shared links (no-op arbiter
+        #: fleet unless ``config.sched.enabled``); every Link this cluster
+        #: creates — PCIe pairs, SSD, PFS, fabric — is offered to it.
+        self.sched = SchedContext(config.sched, self.clock, self.telemetry)
         self.pfs = PfsStore(
             config.hardware,
             config.scale,
             self.clock,
             num_nodes=config.num_nodes,
             telemetry=self.telemetry,
+            sched=self.sched,
         )
         self.nodes = [Node(node_id, self) for node_id in range(config.num_nodes)]
         self._closed = False
@@ -214,6 +223,7 @@ class Cluster:
                     self.clock,
                     latency=self.config.hardware.transfer_latency,
                 )
+                self.sched.attach(link)
                 self._internode_links[key] = link
             return link
 

@@ -93,6 +93,40 @@ def test_cancellation_raises_and_releases_pending(clock):
     assert link.pending_bytes == 0
 
 
+def test_zero_progress_cancellation_before_any_accounting(clock):
+    """An already-cancelled transfer aborts before *any* progress: no
+    latency is paid, no pending bytes are announced, no transfer counted —
+    even for zero-byte transfers (regression: the old check lived inside
+    the chunk loop, so it only fired once chunks remained)."""
+    link = Link("t", bandwidth=100 * MiB, clock=clock, latency=0.5)
+    cancelled = threading.Event()
+    cancelled.set()
+    before = clock.now()
+    with pytest.raises(TransferError):
+        link.transfer(0, cancelled=cancelled)
+    with pytest.raises(TransferError):
+        link.transfer(10 * MiB, cancelled=cancelled)
+    assert link.pending_bytes == 0
+    assert link.transfer_count == 0  # never admitted
+    assert link.bytes_moved == 0
+    # The 0.5 s submission latency was never slept.
+    assert clock.now() - before < 0.25
+
+
+def test_request_cancel_event_aborts_with_zero_progress(clock):
+    """A request's cancellation event doubles as the ``cancelled`` channel
+    and honours the same zero-progress abort."""
+    from repro.sched.request import TransferClass, TransferRequest
+
+    link = Link("t", bandwidth=100 * MiB, clock=clock, latency=0.5)
+    request = TransferRequest(TransferClass.SPECULATIVE_PREFETCH)
+    request.cancel_event.set()
+    with pytest.raises(TransferError):
+        link.transfer(10 * MiB, request=request)
+    assert link.transfer_count == 0
+    assert link.pending_bytes == 0
+
+
 def test_mid_transfer_cancellation():
     clock = VirtualClock(time_scale=0.01)
     link = Link("t", bandwidth=10 * MiB, clock=clock, chunk_size=1 * MiB)

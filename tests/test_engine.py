@@ -89,6 +89,42 @@ class TestRestore:
         restores = engine.recorder.restores()
         assert restores[0].source_level in ("SSD", "HOST")
 
+    def test_restore_prefers_ssd_copy_over_pfs(self, context):
+        # The PFS flush leg copies the object deeper but leaves the SSD
+        # copy in place; reads must keep coming off the fast local drive
+        # even though durable_level advanced to PFS.
+        with ScoreEngine(context, flush_to_pfs=True) as engine:
+            sums = {}
+            for v in range(24):
+                buf = make_buffer(context, CKPT, seed=v)
+                sums[v] = buf.checksum()
+                engine.checkpoint(v, buf)
+            engine.wait_for_flushes()
+            record = engine.catalog.get(0)
+            assert record.durable_level == TierLevel.PFS
+            assert engine.durable_read_source(record) == (TierLevel.SSD, engine.ssd)
+            pfs_reads = engine.telemetry.registry.counter("tier.pfs.read_ops")
+            before = pfs_reads.value
+            out = context.device.alloc_buffer(CKPT)
+            engine.restore(0, out)  # long evicted from both caches
+            assert out.checksum() == sums[0]
+            assert pfs_reads.value == before  # served by the SSD, not the PFS
+            assert engine.recorder.restores()[0].source_level == "SSD"
+
+    def test_restore_falls_back_to_pfs_when_ssd_copy_gone(self, context):
+        with ScoreEngine(context, flush_to_pfs=True) as engine:
+            buf = make_buffer(context, CKPT, seed=3)
+            engine.checkpoint(0, buf)
+            engine.wait_for_flushes()
+            record = engine.catalog.get(0)
+            engine.gpu_cache.evict(record)
+            engine.host_cache.evict(record)
+            engine.ssd.delete(engine.store_key(record))  # simulate drive loss
+            assert engine.durable_read_source(record) == (TierLevel.PFS, engine.pfs)
+            out = context.device.alloc_buffer(CKPT)
+            engine.restore(0, out)
+            assert out.checksum() == buf.checksum()
+
     def test_restore_detects_corruption(self, engine, context):
         engine.checkpoint(0, make_buffer(context, CKPT, seed=1))
         engine.wait_for_flushes()

@@ -134,3 +134,40 @@ def test_cost_cache_equivalence_with_split_regions():
     plain, layout_plain = _run_scenario(cost_cache_enabled=False, split=True)
     assert json.dumps(cached, sort_keys=True) == json.dumps(plain, sort_keys=True)
     assert layout_cached == layout_plain
+
+
+def test_scheduled_link_estimates_match_fifo_link():
+    """Eviction scoring reads ``Link.estimate``/``pending_bytes``; attaching a
+    QoS scheduler must not change those figures for an identical transfer
+    sequence, so scheduling cannot perturb eviction decisions."""
+    from repro.config import SchedConfig
+    from repro.sched import LinkScheduler, TransferClass, TransferRequest
+    from repro.simgpu.bandwidth import Link
+
+    def run(with_sched: bool):
+        clock = VirtualClock(time_scale=0.002)
+        link = Link("equiv", bandwidth=100 * MiB, clock=clock, latency=0.01)
+        if with_sched:
+            link.scheduler = LinkScheduler(link, SchedConfig(enabled=True), clock)
+        observed = []
+        for i, nbytes in enumerate((10 * MiB, 50 * MiB, 1 * MiB, 128 * MiB)):
+            request = (
+                TransferRequest(
+                    TransferClass(i % len(TransferClass)), engine_id=i % 2
+                )
+                if with_sched
+                else None
+            )
+            link.transfer(nbytes, request=request)
+            observed.append(
+                (
+                    link.pending_bytes,
+                    link.bytes_moved,
+                    link.transfer_count,
+                    round(link.estimate(64 * MiB), 9),
+                    round(link.estimate(64 * MiB, include_pending=False), 9),
+                )
+            )
+        return observed
+
+    assert run(with_sched=True) == run(with_sched=False)

@@ -119,6 +119,75 @@ class TestConsume:
         assert q.distance(2) == 0
 
 
+class TestEdgeCases:
+    """Hint-protocol corners: late hints, duplicate versions, hintless
+    demand reads."""
+
+    def test_enqueue_after_start(self):
+        # Prefetch_start is a gate, not a freeze: hints keep arriving after
+        # it and append past every existing entry.
+        q = RestoreQueue()
+        q.enqueue(1)
+        q.start()
+        q.enqueue(2)
+        q.enqueue(3)
+        assert q.started
+        assert q.upcoming(10) == [1, 2, 3]
+        assert q.distance(3) == 2
+
+    def test_enqueue_after_start_on_empty_queue(self):
+        q = RestoreQueue()
+        q.start()
+        assert q.head() is None
+        q.enqueue(7)
+        assert q.head() == 7
+        assert q.distance(7) == 0
+
+    def test_rehint_of_consumed_version_rejected(self):
+        # Hints cannot be revoked or repeated — a version stays hinted
+        # forever, even once consumed.
+        q = RestoreQueue()
+        q.enqueue(1)
+        q.consume(1)
+        with pytest.raises(HintError):
+            q.enqueue(1)
+
+    def test_failed_duplicate_hint_leaves_queue_intact(self):
+        q = RestoreQueue()
+        for v in (1, 2):
+            q.enqueue(v)
+        version = q.version
+        with pytest.raises(HintError):
+            q.enqueue(1)
+        assert q.version == version  # the failed enqueue changed nothing
+        assert q.upcoming(10) == [1, 2]
+        assert len(q) == 2
+
+    def test_empty_hint_demand_reads_count_as_deviations(self):
+        # Restores with no hints at all are pure demand reads: tolerated,
+        # counted as deviations, and the queue stays empty and usable.
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.disabled()
+        q = RestoreQueue(telemetry=telemetry)
+        deviations = telemetry.registry.counter("hints.deviations")
+        q.consume(5)
+        q.consume(6)
+        assert deviations.value == 2
+        assert q.head() is None
+        assert len(q) == 0
+        q.enqueue(7)  # queue still works after hintless consumption
+        assert q.head() == 7
+
+    def test_consumed_before_hinted_demand_read(self):
+        # A demand read of a version hinted *later* still rejects the late
+        # hint (consumption is permanent per version).
+        q = RestoreQueue()
+        q.consume(5)
+        with pytest.raises(HintError):
+            q.enqueue(5)
+
+
 class TestProperties:
     @given(st.permutations(list(range(12))))
     @settings(max_examples=50, deadline=None)
