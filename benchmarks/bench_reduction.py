@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Data-reduction benchmark: tier traffic with and without the reduce pipeline.
+
+Two engines flush RTM shots all the way to the parallel file system, with a
+``similarity`` knob controlling how byte-correlated adjacent snapshots are
+(RTM wavefields move slowly, so production traces sit near the high end).
+The same workload runs twice — ``ReduceConfig.enabled=False`` (every tier
+moves full logical bytes, today's behaviour) and ``enabled=True`` (chunked,
+deduplicated, modeled-compressed physical bytes below the reduction site) —
+and the figure of merit is the reduction in bytes written to the shared
+PFS and SSD, plus the dedup hit rate and encode overhead that bought it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_reduction.py \
+        --json BENCH_pr4.json [--quick] [--similarity 0.9] \
+        [--min-pfs-reduction 25]
+
+With ``--min-pfs-reduction`` the run fails (exit 1) when reduction saves
+less than that percentage of PFS write bytes — the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import CacheConfig, ReduceConfig, RuntimeConfig, ScaleModel
+from repro.harness.approaches import make_engine_factory
+from repro.tiers.topology import Cluster
+from repro.util.units import GiB, KiB, MiB
+from repro.workloads.multiproc import run_multiprocess_shot
+from repro.workloads.patterns import RestoreOrder, restore_order
+from repro.workloads.rtm import variable_trace
+from repro.workloads.shot import HintMode, ShotSpec
+
+#: One nominal second lasts 10 ms: the figures of merit here are *byte*
+#: counters, which wall-clock jitter cannot pollute, so the clock can run
+#: much hotter than the latency benchmarks.
+BENCH_SCALE = ScaleModel(data_scale=512 * KiB, time_scale=0.01, alignment=512 * KiB)
+
+COMPUTE_INTERVAL = 0.05  # nominal seconds between operations
+SEED = 11
+
+
+def build_config(reduce_enabled: bool) -> RuntimeConfig:
+    return RuntimeConfig(
+        scale=BENCH_SCALE,
+        # Small caches force the history down the cascade: the interesting
+        # traffic is on the SSD/PFS write links, not in the caches.
+        cache=CacheConfig(gpu_cache_size=512 * MiB, host_cache_size=1 * GiB),
+        processes_per_node=2,
+        charge_allocation_cost=False,
+        reduce=ReduceConfig(enabled=reduce_enabled),
+    )
+
+
+def build_specs(cfg: RuntimeConfig, snapshots: int, similarity: float):
+    specs = []
+    for rank in range(cfg.processes_per_node):
+        trace = variable_trace(
+            cfg.scale, rank=rank, seed=SEED, num_snapshots=snapshots,
+            total_bytes=snapshots * 128 * MiB,
+        )
+        specs.append(
+            ShotSpec(
+                trace=trace,
+                restore_order=restore_order(
+                    RestoreOrder.REVERSE, len(trace), seed=SEED, rank=rank
+                ),
+                hint_mode=HintMode.ALL,
+                compute_interval=COMPUTE_INTERVAL,
+                wait_for_flush=True,
+                similarity=similarity,
+                seed=SEED,
+            )
+        )
+    return specs
+
+
+def run_mode(reduce_enabled: bool, snapshots: int, similarity: float) -> dict:
+    cfg = build_config(reduce_enabled)
+    started = time.perf_counter()
+    with Cluster(cfg) as cluster:
+        specs = build_specs(cfg, snapshots, similarity)
+        factory = make_engine_factory("score", flush_to_pfs=True)
+        results = run_multiprocess_shot(cluster, factory, specs)
+        registry = cluster.telemetry.registry
+        logical_total = sum(spec.trace.total_bytes for spec in specs)
+        out = {
+            "reduce": reduce_enabled,
+            "wall_s": round(time.perf_counter() - started, 3),
+            "logical_bytes": logical_total,
+            "pfs_write_bytes": int(registry.counter("tier.pfs.write_bytes").value),
+            "ssd_write_bytes": int(registry.counter("tier.ssd.write_bytes").value),
+            "d2h_bytes": int(registry.counter("flush.d2h.bytes").value),
+        }
+        if reduce_enabled:
+            stats = [r.engine_stats["reduction"] for r in results]
+            new = sum(s["new_chunks"] for s in stats)
+            dup = sum(s["dup_chunks"] for s in stats)
+            delta = sum(s["delta_chunks"] for s in stats)
+            out["reduction"] = {
+                "encodes": sum(s["encodes"] for s in stats),
+                "rebases": sum(s["rebases"] for s in stats),
+                "physical_bytes": int(sum(s["physical_bytes"] for s in stats)),
+                "new_chunks": int(new),
+                "dup_chunks": int(dup),
+                "delta_chunks": int(delta),
+                "dedup_hit_rate_pct": round(100.0 * dup / max(1, new + dup + delta), 1),
+            }
+        return out
+
+
+def saved_pct(off_bytes: int, on_bytes: int) -> float:
+    if off_bytes <= 0:
+        return 0.0
+    return round(100.0 * (off_bytes - on_bytes) / off_bytes, 1)
+
+
+def run(quick: bool, similarity: float, label: str) -> dict:
+    snapshots = 24 if quick else 96
+    modes = {}
+    for key, enabled in (("off", False), ("on", True)):
+        modes[key] = run_mode(enabled, snapshots, similarity)
+        print(
+            f"  reduce={key}: PFS {modes[key]['pfs_write_bytes'] / MiB:.0f} MiB, "
+            f"SSD {modes[key]['ssd_write_bytes'] / MiB:.0f} MiB "
+            f"({modes[key]['wall_s']:.2f}s wall)",
+            file=sys.stderr,
+        )
+    return {
+        "label": label,
+        "quick": quick,
+        "engines": 2,
+        "snapshots": snapshots,
+        "similarity": similarity,
+        "off": modes["off"],
+        "on": modes["on"],
+        "pfs_reduction_pct": saved_pct(
+            modes["off"]["pfs_write_bytes"], modes["on"]["pfs_write_bytes"]
+        ),
+        "ssd_reduction_pct": saved_pct(
+            modes["off"]["ssd_write_bytes"], modes["on"]["ssd_write_bytes"]
+        ),
+        "d2h_reduction_pct": saved_pct(
+            modes["off"]["d2h_bytes"], modes["on"]["d2h_bytes"]
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced workload (CI smoke)")
+    parser.add_argument(
+        "--similarity",
+        type=float,
+        default=0.9,
+        help="snapshot-to-snapshot payload similarity (default: 0.9)",
+    )
+    parser.add_argument("--label", default="after", help="label stored in the result JSON")
+    parser.add_argument("--json", default=None, help="write the result JSON here")
+    parser.add_argument(
+        "--min-pfs-reduction",
+        type=float,
+        default=None,
+        help="fail unless reduction saves at least this percent of PFS write bytes",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(args.quick, args.similarity, args.label)
+    print(json.dumps(result, indent=2))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+
+    if args.min_pfs_reduction is not None:
+        saved = result["pfs_reduction_pct"]
+        verdict = "OK" if saved >= args.min_pfs_reduction else "SHORTFALL"
+        print(
+            f"{verdict}: reduction saved {saved:.1f}% of PFS write bytes "
+            f"(gate {args.min_pfs_reduction:.1f}%)",
+            file=sys.stderr,
+        )
+        if verdict != "OK":
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

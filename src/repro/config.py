@@ -276,6 +276,87 @@ class SchedConfig:
 
 
 @dataclass(frozen=True)
+class ReduceConfig:
+    """Knobs of the data-reduction pipeline (:mod:`repro.reduce`).
+
+    With ``enabled=False`` (the default) no reducer is constructed and every
+    checkpoint travels the tier hierarchy at its full logical size —
+    bit-for-bit the pre-reduction behaviour (same discipline as
+    :class:`SchedConfig`).  When enabled, checkpoints are chunked, deduped
+    against a per-tier content-addressed chunk store, delta-encoded against
+    the previous checkpoint of the same variable, and run through a
+    *modeled* compression codec; the reduced **physical** size is what
+    occupies cache arenas and travels the tier links, while restores
+    reconstruct the full logical payload before ``READ_COMPLETE``.
+    """
+
+    #: master switch: attach a :class:`~repro.reduce.Reducer` to every engine.
+    enabled: bool = False
+    #: where the reduction boundary sits: ``"gpu"`` encodes on the device at
+    #: checkpoint time (every tier, including the GPU cache, holds the
+    #: physical form and every link moves physical bytes); ``"host"`` keeps
+    #: the GPU cache logical and encodes on the host during the D2H flush
+    #: (host/SSD/PFS hold physical bytes — the codec runs off the
+    #: application's critical path, but PCIe still moves logical bytes).
+    site: str = "gpu"
+    #: chunking strategy: ``"fixed"`` (fixed-size boundaries) or ``"cdc"``
+    #: (content-defined boundaries via a gear rolling hash, so insertions
+    #: do not shift every downstream chunk identity).
+    chunking: str = "fixed"
+    #: nominal bytes per chunk (fixed) / target average chunk (cdc).
+    chunk_size: int = 8 * MiB
+    #: cdc minimum/maximum chunk bounds (nominal bytes).
+    min_chunk_size: int = 2 * MiB
+    max_chunk_size: int = 32 * MiB
+    #: delta-encode chunks against the previous checkpoint of the same
+    #: variable when the byte diff is small enough to pay off.
+    delta: bool = True
+    #: a chunk is delta-encoded only when its diff is below this fraction
+    #: of the chunk size (otherwise the full chunk is cheaper to store).
+    delta_threshold: float = 0.6
+    #: longest allowed chain of delta-encoded checkpoints; the next encode
+    #: past the bound *rebases* (stores a self-contained version) so
+    #: restore latency stays predictable.
+    max_delta_chain: int = 4
+    #: modeled decode-time penalty per chain level: reconstructing a
+    #: depth-``d`` checkpoint is charged ``1 + d * chain_penalty`` times
+    #: the flat decode cost.
+    chain_penalty: float = 0.25
+    #: modeled compression codec: ``"none"``, ``"lz"`` (fast, modest
+    #: ratio) or ``"zstd"`` (slower, denser); see :mod:`repro.reduce.codec`.
+    codec: str = "lz"
+    #: nominal metadata bytes charged per chunk reference in the recipe.
+    recipe_overhead: int = 48
+
+    def __post_init__(self) -> None:
+        if self.site not in ("gpu", "host"):
+            raise ConfigError(f"unknown reduction site: {self.site!r}")
+        if self.chunking not in ("fixed", "cdc"):
+            raise ConfigError(f"unknown chunking strategy: {self.chunking!r}")
+        if self.chunk_size <= 0:
+            raise ConfigError(f"chunk_size must be positive: {self.chunk_size}")
+        if not (0 < self.min_chunk_size <= self.chunk_size <= self.max_chunk_size):
+            raise ConfigError(
+                "chunk bounds must satisfy 0 < min <= avg <= max: "
+                f"{self.min_chunk_size} / {self.chunk_size} / {self.max_chunk_size}"
+            )
+        if not (0.0 < self.delta_threshold <= 1.0):
+            raise ConfigError(f"delta_threshold out of (0, 1]: {self.delta_threshold}")
+        if self.max_delta_chain < 0:
+            raise ConfigError(f"max_delta_chain must be >= 0: {self.max_delta_chain}")
+        if self.chain_penalty < 0:
+            raise ConfigError(f"chain_penalty must be >= 0: {self.chain_penalty}")
+        if self.recipe_overhead < 0:
+            raise ConfigError(f"recipe_overhead must be >= 0: {self.recipe_overhead}")
+        from repro.reduce.codec import known_codecs  # cycle-free (lazy)
+
+        if self.codec not in known_codecs():
+            raise ConfigError(
+                f"unknown codec {self.codec!r}; known: {sorted(known_codecs())}"
+            )
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """Everything one simulation run needs."""
 
@@ -284,6 +365,8 @@ class RuntimeConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     #: QoS transfer scheduling on shared tier links (:mod:`repro.sched`).
     sched: SchedConfig = field(default_factory=SchedConfig)
+    #: data reduction between the engines and the tier links (:mod:`repro.reduce`).
+    reduce: ReduceConfig = field(default_factory=ReduceConfig)
     num_nodes: int = 1
     processes_per_node: Optional[int] = None  # default: one per GPU
     seed: int = 20230616  # HPDC'23 opening day

@@ -137,7 +137,7 @@ class CacheBuffer:
 
     def _make_tracker(self, record: "CheckpointRecord"):
         """Per-instance transition hook maintaining the pinned-byte total."""
-        size = record.nominal_size
+        size = record.stored_size(self.level)
 
         def tracker(inst: Instance, old: CkptState, new: CkptState, now: float) -> None:
             pinned_now = new in PINNED_STATES
@@ -149,7 +149,7 @@ class CacheBuffer:
     def _forget_instance(self, record: "CheckpointRecord", inst: Instance) -> None:
         """Undo an instance's cache-side bookkeeping before it is dropped."""
         if inst.pinned:
-            self._pinned_bytes -= record.nominal_size
+            self._pinned_bytes -= record.stored_size(self.level)
         inst.tracker = None
         for cache in self._cost_caches:
             cache.pop(record.ckpt_id, None)
@@ -270,8 +270,13 @@ class CacheBuffer:
         ``allow_pinned=True`` (demand restores deviating from the hints)
         prefetched-but-unconsumed instances may be force-evicted, provided a
         copy survives on a slower tier.
+
+        Space is claimed at the record's *stored* size for this tier: the
+        physical (reduced) size at or below the reduction site, the logical
+        size otherwise — identical to ``nominal_size`` when reduction is
+        off.
         """
-        size = record.nominal_size
+        size = record.stored_size(self.level)
         if size > self.table.capacity:
             raise CapacityError(
                 f"checkpoint {record.ckpt_id} ({size}B) exceeds cache "
@@ -425,7 +430,11 @@ class CacheBuffer:
             self.forced_evictions += 1
             self._m_forced.inc()
         self.telemetry.bus.instant(
-            "evict", self.name, ckpt=record.ckpt_id, bytes=record.nominal_size, forced=forced
+            "evict",
+            self.name,
+            ckpt=record.ckpt_id,
+            bytes=record.stored_size(self.level),
+            forced=forced,
         )
         if self.on_evict is not None:
             self.on_evict(record, self.level)
@@ -454,6 +463,8 @@ class CacheBuffer:
             if inst is not None:
                 self._forget_instance(record, inst)
                 record.drop_instance(self.level)
+            if self.on_evict is not None:
+                self.on_evict(record, self.level)
             self._observe_occupancy()
             self.monitor.notify_all()
 
@@ -464,7 +475,7 @@ class CacheBuffer:
         be reclaimed (a pinned instance, or ``read_pinned`` held)."""
         with self.monitor:
             offset = self.offset_of(record)
-        return self.arena.read(offset, record.nominal_size, copy=copy)
+        return self.arena.read(offset, record.stored_size(self.level), copy=copy)
 
     def write_payload(self, record: "CheckpointRecord", payload: np.ndarray) -> None:
         with self.monitor:

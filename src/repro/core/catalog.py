@@ -39,6 +39,14 @@ class CheckpointRecord:
         self.nominal_size = nominal_size
         self.true_size = true_size
         self.checksum = checksum
+        #: nominal bytes this checkpoint occupies in reduced (physical) form.
+        #: Equals ``nominal_size`` until a :class:`~repro.reduce.Reducer`
+        #: encodes the record; always aligned.
+        self.physical_size = nominal_size
+        #: the reducer's :class:`~repro.reduce.pipeline.ReducedImage` (chunk
+        #: recipe + delta lineage), or None when reduction is off / the
+        #: record was never encoded.
+        self.reduction = None
         self.instances: Dict[TierLevel, Instance] = {}
         #: slowest tier confirmed to hold a durable copy (SSD/PFS), if any.
         self.durable_level: Optional[TierLevel] = None
@@ -53,6 +61,31 @@ class CheckpointRecord:
         #: the prefetcher is currently moving this checkpoint between tiers.
         self.prefetch_inflight = False
         self._on_transition = on_transition
+
+    # -- sizes -------------------------------------------------------------
+    def stored_size(self, level: TierLevel) -> int:
+        """Nominal bytes this checkpoint occupies on ``level``.
+
+        Tiers at or below the reduction boundary hold the encoded physical
+        form; tiers above it (faster than the reduction site) hold the full
+        logical payload.  Without a reduction this is ``nominal_size``
+        everywhere, so every pre-reduction call site keeps its exact
+        arithmetic.
+        """
+        reduction = self.reduction
+        if reduction is None or level < reduction.site_level:
+            return self.nominal_size
+        return self.physical_size
+
+    def wire_size(self, src: TierLevel, dst: TierLevel) -> int:
+        """Nominal bytes a transfer between two tiers moves on the link.
+
+        A link carries whatever representation its faster endpoint holds:
+        the D2H flush of a host-site reduction moves logical bytes (the
+        encode happens after landing), while every link at or below the
+        boundary moves the physical form.
+        """
+        return self.stored_size(min(src, dst))
 
     # -- instances ---------------------------------------------------------
     def instance(self, level: TierLevel) -> Instance:

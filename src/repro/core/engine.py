@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind, Recorder
+from repro.reduce.pipeline import Reducer
 from repro.sched.request import TransferClass, TransferRequest
 from repro.simgpu.memory import DeviceBuffer, checksum_payload
 from repro.telemetry import Telemetry
@@ -124,6 +125,20 @@ class ScoreEngine:
         self.demand_active = 0
         self._closed = False
 
+        #: data-reduction pipeline (None unless ``config.reduce.enabled``);
+        #: when present, physical (reduced) sizes flow into every placement,
+        #: scoring and transfer decision at or below the reduction site.
+        self.reducer: Optional[Reducer] = None
+        if self.config.reduce.enabled:
+            self.reducer = Reducer(
+                self.config.reduce,
+                self.scale,
+                self.clock,
+                telemetry=self.telemetry,
+                process_id=self.process_id,
+                gpudirect=gpudirect,
+            )
+        on_evict = self._reduce_detach if self.reducer is not None else None
         policy = eviction_policy or self._default_policy()
         gpu_arena = context.gpu_cache_arena()
         host_arena = context.host_cache_arena()
@@ -136,6 +151,7 @@ class ScoreEngine:
             restore_queue=self.queue,
             flush_estimate=lambda n: self.device.d2h_link.estimate(n),
             policy=policy,
+            on_evict=on_evict,
             telemetry=self.telemetry,
         )
         self.host_cache = CacheBuffer(
@@ -148,6 +164,7 @@ class ScoreEngine:
             flush_estimate=lambda n: self.ssd.write_link.estimate(n),
             policy=policy,
             usable_capacity=context.host_usable_capacity,
+            on_evict=on_evict,
             telemetry=self.telemetry,
         )
         if not self.config.shared_cache:
@@ -222,6 +239,15 @@ class ScoreEngine:
         if self._closed:
             raise EngineClosedError(f"engine p{self.process_id} is closed")
 
+    def _reduce_detach(self, record: CheckpointRecord, level: TierLevel) -> None:
+        """Cache eviction hook: release the extent's chunk references."""
+        self.reducer.detach(record, level)
+
+    def _reduced_at(self, record: CheckpointRecord, level: TierLevel) -> bool:
+        """Whether ``level``'s copy of ``record`` is the physical form."""
+        reduction = record.reduction
+        return reduction is not None and level >= reduction.site_level
+
     def _sched_request(
         self,
         tclass: TransferClass,
@@ -264,22 +290,34 @@ class ScoreEngine:
             backpressured = self._flush_backpressure(ckpt_id)
             with self.monitor:
                 record = self.catalog.create(ckpt_id, nominal, buffer.nominal_size, checksum)
+            encoded = 0.0
+            if self.reducer is not None and self.reducer.site == "gpu":
+                # Device-side reduction happens before placement, so the
+                # GPU cache (and everything below) holds the physical form.
+                encoded = self.reducer.encode(record, buffer.payload)
             waited = self.gpu_cache.reserve(
                 record, CkptState.WRITE_IN_PROGRESS, blocking=True
             )
             # Device-to-device copy of the protected region into the cache.
-            copied = self.device.d2d_link.transfer(nominal)
-            self.gpu_cache.write_payload(record, buffer.payload)
+            copied = self.device.d2d_link.transfer(record.stored_size(TierLevel.GPU))
+            if self._reduced_at(record, TierLevel.GPU):
+                # The extent models the physical footprint; the logical
+                # bytes live in the reduction image's chunks.
+                self.gpu_cache.write_payload(record, self.reducer.physical_payload(record))
+            else:
+                self.gpu_cache.write_payload(record, buffer.payload)
             with self.monitor:
                 record.instance(TierLevel.GPU).transition(
                     CkptState.WRITE_COMPLETE, self.clock.now()
                 )
+                if self._reduced_at(record, TierLevel.GPU):
+                    self.reducer.attach(record, TierLevel.GPU)
                 self.monitor.notify_all()
             self.flusher.schedule(record)
-        # Blocking time = admission wait + eviction wait + cache copy
-        # (accounted, so the figure stays exact under aggressive time
+        # Blocking time = admission wait + encode + eviction wait + cache
+        # copy (accounted, so the figure stays exact under aggressive time
         # scaling).
-        blocked = backpressured + (waited or 0.0) + copied
+        blocked = backpressured + encoded + (waited or 0.0) + copied
         self._m_ckpt_ops.inc()
         self._m_ckpt_bytes.inc(nominal)
         self._m_ckpt_blocked.observe(blocked)
@@ -367,11 +405,19 @@ class ScoreEngine:
             # _await_gpu_copy pins the extent (crossover to READ_COMPLETE)
             # before returning, so it cannot be evicted under the copy below.
             waited = self._await_gpu_copy(record)
-            # Copy out to the application buffer (device-to-device).  The
-            # GPU instance is READ_COMPLETE (pinned) until ``_consume``
-            # below, so a zero-copy view of the extent is safe: this thread
-            # is the only one that could force-evict pinned extents.
-            payload = self.gpu_cache.read_payload(record, copy=False)
+            decoded = 0.0
+            if self._reduced_at(record, TierLevel.GPU):
+                # The GPU extent holds the physical form: reassemble the
+                # logical payload (chunk concat + modeled delta apply and
+                # decode charge) before handing bytes to the application.
+                payload, decoded = self.reducer.reconstruct(record, TierLevel.GPU)
+            else:
+                # Copy out to the application buffer (device-to-device).
+                # The GPU instance is READ_COMPLETE (pinned) until
+                # ``_consume`` below, so a zero-copy view of the extent is
+                # safe: this thread is the only one that could force-evict
+                # pinned extents.
+                payload = self.gpu_cache.read_payload(record, copy=False)
             copied = self.device.d2d_link.transfer(record.nominal_size)
             buffer.copy_from(payload)
             if self.verify_restores:
@@ -382,7 +428,7 @@ class ScoreEngine:
                         f"crc {actual:#010x} != {record.checksum:#010x}"
                     )
             self._consume(record)
-        blocked = waited + copied
+        blocked = waited + decoded + copied
         self._m_restore_ops.inc()
         self._m_restore_bytes.inc(record.nominal_size)
         self._m_restore_blocked.observe(blocked)
@@ -550,7 +596,7 @@ class ScoreEngine:
                     )
                 seconds = waited + read_seconds
                 seconds += self.device.h2d_link.transfer(
-                    record.nominal_size, request=request
+                    record.wire_size(src, TierLevel.GPU), request=request
                 )
             except Exception:
                 self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
@@ -560,6 +606,8 @@ class ScoreEngine:
                 record.instance(TierLevel.GPU).transition(
                     CkptState.READ_COMPLETE, self.clock.now()
                 )
+                if self._reduced_at(record, TierLevel.GPU):
+                    self.reducer.attach(record, TierLevel.GPU)
                 self.monitor.notify_all()
             return seconds
         if dst == TierLevel.GPU:
@@ -584,20 +632,30 @@ class ScoreEngine:
                         "before promotion"
                     )
                 host_inst.read_pinned += 1
+            decoded = 0.0
             try:
-                # Zero-copy: move the bytes host-arena → GPU-arena through a
-                # read-only view while the host extent is pinned.  The GPU
-                # extent is still READ_IN_PROGRESS, so the early landing is
-                # unobservable; the simulated transfer below charges the time.
-                payload = self.host_cache.read_payload(record, copy=False)
+                if self._reduced_at(record, TierLevel.HOST) and not self._reduced_at(
+                    record, TierLevel.GPU
+                ):
+                    # Host-site reduction: decode on the host before the
+                    # PCIe crossing, so the GPU cache holds logical bytes
+                    # and the wire below moves them at logical size.
+                    payload, decoded = self.reducer.reconstruct(record, TierLevel.HOST)
+                else:
+                    # Zero-copy: move the bytes host-arena → GPU-arena
+                    # through a read-only view while the host extent is
+                    # pinned.  The GPU extent is still READ_IN_PROGRESS, so
+                    # the early landing is unobservable; the simulated
+                    # transfer below charges the time.
+                    payload = self.host_cache.read_payload(record, copy=False)
                 self.gpu_cache.write_payload(record, payload)
             finally:
                 with self.monitor:
                     host_inst.read_pinned -= 1
                     self.monitor.notify_all()
             try:
-                seconds = waited + self.device.h2d_link.transfer(
-                    record.nominal_size, request=request
+                seconds = waited + decoded + self.device.h2d_link.transfer(
+                    record.wire_size(TierLevel.HOST, TierLevel.GPU), request=request
                 )
             except TransferError:
                 # Preempted (or cancelled) mid-promotion: the reserved —
@@ -608,6 +666,8 @@ class ScoreEngine:
                 record.instance(TierLevel.GPU).transition(
                     CkptState.READ_COMPLETE, self.clock.now()
                 )
+                if self._reduced_at(record, TierLevel.GPU):
+                    self.reducer.attach(record, TierLevel.GPU)
                 self.monitor.notify_all()
             return seconds
         waited = self.host_cache.reserve(
@@ -631,6 +691,8 @@ class ScoreEngine:
             record.instance(TierLevel.HOST).transition(
                 CkptState.READ_COMPLETE, self.clock.now()
             )
+            if self._reduced_at(record, TierLevel.HOST):
+                self.reducer.attach(record, TierLevel.HOST)
             self.monitor.notify_all()
         return waited + read_seconds
 
@@ -685,10 +747,16 @@ class ScoreEngine:
     # -- restart recovery --------------------------------------------------------------------
     def recovery_meta(self, record: CheckpointRecord) -> dict:
         """Metadata persisted next to durable copies for restart recovery."""
-        return {
+        meta = {
             "true_size": record.true_size,
             "checksum": record.checksum,
         }
+        if record.reduction is not None:
+            # The blob is the physical form; reassembly needs the chunk
+            # recipe, which lives only in this incarnation's reducer.
+            meta["reduced"] = True
+            meta["logical_size"] = record.nominal_size
+        return meta
 
     def recover_history(self) -> int:
         """Rebuild the catalog from the durable tiers after a restart.
@@ -713,6 +781,19 @@ class ScoreEngine:
             for level, store in sources:
                 for key in store.keys_for_process(self.process_id):
                     ckpt_id = key[1]
+                    if store.meta(key).get("reduced"):
+                        # Reduced blobs are placeholders whose chunk recipe
+                        # died with the previous incarnation's reducer; they
+                        # cannot be reassembled across a restart (documented
+                        # limitation — a durable recipe store is future work).
+                        log.warning(
+                            "p%d: skipping reduced checkpoint %d on %s during "
+                            "recovery (chunk recipe not durable)",
+                            self.process_id,
+                            ckpt_id,
+                            level.name,
+                        )
+                        continue
                     if self.catalog.contains(ckpt_id):
                         existing = self.catalog.get(ckpt_id)
                         if existing.durable_level is None or existing.durable_level < level:
@@ -785,7 +866,7 @@ class ScoreEngine:
     def stats(self) -> dict:
         """Counters for diagnostics and the benchmark harness."""
         with self.monitor:
-            return {
+            stats = {
                 "process_id": self.process_id,
                 "checkpoints": len(self.catalog),
                 "gpu_occupancy": self.gpu_cache.table.used_bytes / self.gpu_cache.table.capacity,
@@ -799,6 +880,9 @@ class ScoreEngine:
                 "abandoned_flushes": self.flusher.abandoned,
                 "ssd_objects": self.ssd.object_count(),
             }
+            if self.reducer is not None:
+                stats["reduction"] = self.reducer.stats()
+            return stats
 
     def close(self) -> None:
         """Stop background threads; idempotent."""

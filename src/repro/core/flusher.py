@@ -169,14 +169,24 @@ class Flusher:
         with engine.monitor:
             gpu_inst.flush_pending = False
             engine.monitor.notify_all()
+        if (
+            engine.reducer is not None
+            and engine.reducer.site == "host"
+            and record.reduction is None
+        ):
+            # Host-site reduction: encode off the application's critical
+            # path, on this flush thread, before the host placement — the
+            # host cache and everything below hold the physical form.
+            engine.reducer.encode(record, payload)
+        wire = record.wire_size(TierLevel.GPU, TierLevel.HOST)
         # Claim host cache space (blocks for evictions as needed).
         engine.host_cache.reserve(record, CkptState.WRITE_IN_PROGRESS, blocking=True)
         with self.telemetry.bus.span(
-            "d2h", self._tracks["d2h"], ckpt=record.ckpt_id, bytes=record.nominal_size
+            "d2h", self._tracks["d2h"], ckpt=record.ckpt_id, bytes=wire
         ) as span:
             try:
                 engine.device.d2h_link.transfer(
-                    record.nominal_size,
+                    wire,
                     cancelled=record.cancel_flush,
                     request=self._request(record),
                 )
@@ -186,12 +196,19 @@ class Flusher:
                 engine.host_cache.release(record)
                 self._abandon("d2h", record, "cancelled mid-transfer")
                 return
-        self._m_bytes["d2h"].inc(record.nominal_size)
-        engine.host_cache.write_payload(record, payload)
+        self._m_bytes["d2h"].inc(wire)
+        if engine._reduced_at(record, TierLevel.HOST):
+            engine.host_cache.write_payload(
+                record, engine.reducer.physical_payload(record)
+            )
+        else:
+            engine.host_cache.write_payload(record, payload)
         with engine.monitor:
             host_inst = record.instance(TierLevel.HOST)
             host_inst.transition(CkptState.WRITE_COMPLETE, engine.clock.now())
             host_inst.flush_pending = True
+            if engine._reduced_at(record, TierLevel.HOST):
+                engine.reducer.attach(record, TierLevel.HOST)
             gpu_now = record.peek(TierLevel.GPU)
             if gpu_now is not None:
                 gpu_now.try_transition(CkptState.FLUSHED, engine.clock.now())
@@ -229,20 +246,21 @@ class Flusher:
         with engine.monitor:
             gpu_inst.flush_pending = False
             engine.monitor.notify_all()
+        wire = record.wire_size(TierLevel.GPU, TierLevel.SSD)
         with self.telemetry.bus.span(
-            "d2s", self._tracks["d2s"], ckpt=record.ckpt_id, bytes=record.nominal_size
+            "d2s", self._tracks["d2s"], ckpt=record.ckpt_id, bytes=wire
         ) as span:
             try:
                 # The DMA crosses the same PCIe link, then commits to the drive.
                 engine.device.d2h_link.transfer(
-                    record.nominal_size,
+                    wire,
                     cancelled=record.cancel_flush,
                     request=self._request(record),
                 )
                 engine.ssd.put(
                     engine.store_key(record),
                     payload,
-                    record.nominal_size,
+                    record.stored_size(TierLevel.SSD),
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
                     copy=False,  # the snapshot is this flush's private copy
@@ -252,10 +270,12 @@ class Flusher:
                 span.add(abandoned=True)
                 self._abandon("d2s", record, "cancelled mid-transfer")
                 return
-        self._m_bytes["d2s"].inc(record.nominal_size)
+        self._m_bytes["d2s"].inc(wire)
         with engine.monitor:
             if record.durable_level is None or record.durable_level < TierLevel.SSD:
                 record.durable_level = TierLevel.SSD
+            if engine._reduced_at(record, TierLevel.SSD):
+                engine.reducer.attach(record, TierLevel.SSD)
             gpu_now = record.peek(TierLevel.GPU)
             if gpu_now is not None:
                 gpu_now.try_transition(CkptState.FLUSHED, engine.clock.now())
@@ -291,14 +311,15 @@ class Flusher:
         with engine.monitor:
             host_inst.flush_pending = False
             engine.monitor.notify_all()
+        wire = record.wire_size(TierLevel.HOST, TierLevel.SSD)
         with self.telemetry.bus.span(
-            "h2f", self._tracks["h2f"], ckpt=record.ckpt_id, bytes=record.nominal_size
+            "h2f", self._tracks["h2f"], ckpt=record.ckpt_id, bytes=wire
         ) as span:
             try:
                 engine.ssd.put(
                     engine.store_key(record),
                     payload,
-                    record.nominal_size,
+                    record.stored_size(TierLevel.SSD),
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
                     copy=False,  # the snapshot is this flush's private copy
@@ -308,10 +329,12 @@ class Flusher:
                 span.add(abandoned=True)
                 self._abandon("h2f", record, "cancelled mid-transfer")
                 return
-        self._m_bytes["h2f"].inc(record.nominal_size)
+        self._m_bytes["h2f"].inc(wire)
         with engine.monitor:
             if record.durable_level is None or record.durable_level < TierLevel.SSD:
                 record.durable_level = TierLevel.SSD
+            if engine._reduced_at(record, TierLevel.SSD):
+                engine.reducer.attach(record, TierLevel.SSD)
             host_now = record.peek(TierLevel.HOST)
             if host_now is not None:
                 host_now.try_transition(CkptState.FLUSHED, engine.clock.now())
@@ -330,22 +353,26 @@ class Flusher:
             if record.discarded:
                 self._abandon("repl", record, "discarded before replication")
                 return
+        # Partner replicas are verbatim SSD blobs and stay outside the chunk
+        # accounting: the home node owns the recipe, the partner only keeps a
+        # byte-copy for node-failure recovery.
+        stored = record.stored_size(TierLevel.SSD)
         with self.telemetry.bus.span(
-            "repl", self._tracks["repl"], ckpt=record.ckpt_id, bytes=record.nominal_size
+            "repl", self._tracks["repl"], ckpt=record.ckpt_id, bytes=stored
         ) as span:
             try:
                 payload, _ = engine.ssd.get(
                     engine.store_key(record), request=self._request(record)
                 )
                 engine.partner_link.transfer(
-                    record.nominal_size,
+                    stored,
                     cancelled=record.cancel_flush,
                     request=self._request(record),
                 )
                 engine.partner_ssd.put(
                     engine.store_key(record),
                     payload,
-                    record.nominal_size,
+                    stored,
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
                     request=self._request(record),
@@ -354,7 +381,7 @@ class Flusher:
                 span.add(abandoned=True)
                 self._abandon("repl", record, f"{type(exc).__name__} during replication")
                 return
-        self._m_bytes["repl"].inc(record.nominal_size)
+        self._m_bytes["repl"].inc(stored)
         self.replicated += 1
 
     def _flush_f2p(self, record: "CheckpointRecord") -> None:
@@ -366,8 +393,9 @@ class Flusher:
         pfs = engine.pfs
         if pfs is None:
             return
+        wire = record.wire_size(TierLevel.SSD, TierLevel.PFS)
         with self.telemetry.bus.span(
-            "f2p", self._tracks["f2p"], ckpt=record.ckpt_id, bytes=record.nominal_size
+            "f2p", self._tracks["f2p"], ckpt=record.ckpt_id, bytes=wire
         ) as span:
             try:
                 # This SSD read-back shares the read link with demand
@@ -378,7 +406,7 @@ class Flusher:
                 pfs.put(
                     engine.store_key(record),
                     payload,
-                    record.nominal_size,
+                    record.stored_size(TierLevel.PFS),
                     node_id=engine.node_id,
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
@@ -388,7 +416,9 @@ class Flusher:
                 span.add(abandoned=True)
                 self._abandon("f2p", record, "cancelled mid-transfer")
                 return
-        self._m_bytes["f2p"].inc(record.nominal_size)
+        self._m_bytes["f2p"].inc(wire)
         with engine.monitor:
             record.durable_level = TierLevel.PFS
+            if engine._reduced_at(record, TierLevel.PFS):
+                engine.reducer.attach(record, TierLevel.PFS)
             engine.monitor.notify_all()

@@ -51,10 +51,12 @@ def instance_state_ts(
     if inst.evictable:
         # Evictable, unless an in-flight flush still needs the bytes
         # (the snapshot in the flusher clears this promptly).
-        return flush_estimate(record.nominal_size) if inst.flush_pending else 0.0
+        return flush_estimate(record.stored_size(level)) if inst.flush_pending else 0.0
     if inst.state == CkptState.READ_IN_PROGRESS:
         return NEVER  # transfer in flight; the extent is incomplete
     if inst.state == CkptState.READ_COMPLETE:
         return FORCE_EVICT_PENALTY if allow_pinned else NEVER
     # WRITE_IN_PROGRESS / WRITE_COMPLETE: evictable once flushed downward.
-    return flush_estimate(record.nominal_size)
+    # The stored size at this tier is exactly what the downward flush will
+    # move on the wire (reduced physical bytes below the reduction site).
+    return flush_estimate(record.stored_size(level))

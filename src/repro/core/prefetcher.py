@@ -176,10 +176,18 @@ class Prefetcher:
                 continue  # still being written somewhere; revisit later
             src, dst = step
             if dst == TierLevel.GPU:
-                if engine.gpu_cache.pinned_bytes() + record.nominal_size > gpu_budget:
+                # Budgets count what the destination actually stores —
+                # physical bytes at or below the reduction site.
+                if (
+                    engine.gpu_cache.pinned_bytes() + record.stored_size(TierLevel.GPU)
+                    > gpu_budget
+                ):
                     return None  # budget full: wait for consumption
             else:
-                if engine.host_cache.pinned_bytes() + record.nominal_size > host_budget:
+                if (
+                    engine.host_cache.pinned_bytes() + record.stored_size(TierLevel.HOST)
+                    > host_budget
+                ):
                     return None
             return (record, src, dst, distance)
         return None

@@ -9,7 +9,10 @@ consistency properties the design relies on:
 * instance states are plausible for where the data is (a ``FLUSHED`` GPU
   extent implies a copy below; a ``READ_COMPLETE`` extent holds a copy);
 * no unconsumed checkpoint exists whose *only* copy is mid-flight;
-* the restore queue's unconsumed hints reference known or future ids.
+* the restore queue's unconsumed hints reference known or future ids;
+* with reduction enabled: per-tier chunk refcounts match the live images
+  attached to each tier exactly, the engine-wide registry holds no orphaned
+  chunks, and no delta chain exceeds the configured depth bound.
 
 Raises :class:`InvariantViolation` with a description on failure.  Cheap
 enough to call from tests after every scenario.
@@ -38,6 +41,8 @@ def validate_engine(engine: "ScoreEngine") -> None:
         _check_tables(engine)
         _check_instances(engine)
         _check_copies(engine)
+        if engine.reducer is not None:
+            _check_reduction(engine)
 
 
 def _check_tables(engine: "ScoreEngine") -> None:
@@ -72,10 +77,11 @@ def _check_instances(engine: "ScoreEngine") -> None:
                     f"{cache.name}: checkpoint {record.ckpt_id} cached "
                     "without an instance"
                 )
-            if frag.size != record.nominal_size:
+            expected = record.stored_size(cache.level)
+            if frag.size != expected:
                 raise InvariantViolation(
                     f"{cache.name}: checkpoint {record.ckpt_id} fragment "
-                    f"size {frag.size} != nominal {record.nominal_size}"
+                    f"size {frag.size} != stored size {expected}"
                 )
     # Reverse direction: an instance implies a fragment (or, for stores,
     # a durable copy).
@@ -116,3 +122,78 @@ def _check_copies(engine: "ScoreEngine") -> None:
                 f"checkpoint {record.ckpt_id} marked durable on "
                 f"{record.durable_level.name} but absent from its store"
             )
+
+
+def _check_reduction(engine: "ScoreEngine") -> None:
+    """Reduce invariants: attachments mirror residency, refcounts match the
+    live images exactly, no orphans, chain depths within the bound."""
+    reducer = engine.reducer
+    assert reducer is not None
+    caches = {TierLevel.GPU: engine.gpu_cache, TierLevel.HOST: engine.host_cache}
+    expected: dict = {level: {} for level in TierLevel}
+    for record in engine.catalog.all_records():
+        image = record.reduction
+        if image is None:
+            continue
+        if image.depth > engine.config.reduce.max_delta_chain:
+            raise InvariantViolation(
+                f"checkpoint {record.ckpt_id}: delta-chain depth {image.depth} "
+                f"exceeds bound {engine.config.reduce.max_delta_chain}"
+            )
+        for level, cache in caches.items():
+            if not reducer.covers(level):
+                continue
+            inst = record.peek(level)
+            if inst is not None and inst.has_copy and level not in image.attached:
+                raise InvariantViolation(
+                    f"checkpoint {record.ckpt_id}: reduced copy on "
+                    f"{level.name} but the tier is not attached to its image"
+                )
+            if level in image.attached and not cache.table.contains(record.ckpt_id):
+                raise InvariantViolation(
+                    f"checkpoint {record.ckpt_id}: image attached to "
+                    f"{level.name} without a cache fragment"
+                )
+        key = engine.store_key(record)
+        in_ssd = engine.ssd.contains(key)
+        if in_ssd != (TierLevel.SSD in image.attached):
+            raise InvariantViolation(
+                f"checkpoint {record.ckpt_id}: SSD blob presence ({in_ssd}) "
+                "disagrees with its image's SSD attachment"
+            )
+        if engine.pfs is not None:
+            in_pfs = engine.pfs.contains(key)
+            if in_pfs != (TierLevel.PFS in image.attached):
+                raise InvariantViolation(
+                    f"checkpoint {record.ckpt_id}: PFS blob presence "
+                    f"({in_pfs}) disagrees with its image's PFS attachment"
+                )
+        for level in image.attached:
+            per_tier = expected[level]
+            for chunk in image.chunks:
+                per_tier[chunk.digest] = per_tier.get(chunk.digest, 0) + 1
+    for level in TierLevel:
+        store = reducer.stores[level]
+        try:
+            store.check()
+        except ReproError as exc:
+            raise InvariantViolation(f"chunk store {level.name}: {exc}")
+        if store.refs != expected[level]:
+            raise InvariantViolation(
+                f"chunk store {level.name}: refcounts diverge from the live "
+                f"images ({len(store.refs)} digests held, "
+                f"{len(expected[level])} expected)"
+            )
+    combined: dict = {}
+    for per_tier in expected.values():
+        for digest, count in per_tier.items():
+            combined[digest] = combined.get(digest, 0) + count
+    if reducer.registry.total_refs != combined:
+        raise InvariantViolation(
+            "chunk registry refcounts diverge from the per-tier stores"
+        )
+    orphans = reducer.registry.orphans()
+    if orphans:
+        raise InvariantViolation(
+            f"chunk registry holds {len(orphans)} orphaned chunk(s)"
+        )

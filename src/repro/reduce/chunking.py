@@ -1,0 +1,91 @@
+"""Chunk boundary selection: fixed-size and content-defined (gear hash).
+
+Chunkers operate on *payload* bytes (the scaled backing store) but report
+spans in both payload and nominal units, so the accounting upstream stays
+in the paper's nominal sizes.  Content-defined chunking uses a gear rolling
+hash (FastCDC's core idea): boundaries follow the content, so an insertion
+shifts at most one chunk's identity instead of every downstream chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.config import ReduceConfig, ScaleModel
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """One chunk's location within a payload."""
+
+    offset: int  # payload bytes
+    length: int  # payload bytes
+    nominal_size: int  # length expressed in nominal bytes
+
+
+def _payload_units(nominal: int, scale: ScaleModel) -> int:
+    """A nominal span in payload bytes, floored at one byte."""
+    return max(1, nominal // scale.data_scale)
+
+
+def fixed_spans(payload_len: int, cfg: ReduceConfig, scale: ScaleModel) -> List[ChunkSpan]:
+    """Fixed-size boundaries every ``cfg.chunk_size`` nominal bytes."""
+    step = _payload_units(cfg.chunk_size, scale)
+    spans = []
+    for offset in range(0, payload_len, step):
+        length = min(step, payload_len - offset)
+        spans.append(ChunkSpan(offset, length, length * scale.data_scale))
+    return spans
+
+
+#: 256-entry gear table, fixed seed: chunk identities must be stable across
+#: runs and processes.
+_GEAR = np.random.default_rng(0x5EED_CDC).integers(
+    0, 1 << 62, size=256, dtype=np.int64
+)
+
+
+def cdc_spans(
+    payload: np.ndarray, cfg: ReduceConfig, scale: ScaleModel
+) -> List[ChunkSpan]:
+    """Content-defined boundaries via a gear rolling hash.
+
+    A boundary is declared when the rolling hash's low bits vanish
+    (probability ~1/avg), never before ``min_chunk_size`` and always by
+    ``max_chunk_size`` (all in nominal units, translated to payload bytes).
+    """
+    n = int(payload.size)
+    min_len = _payload_units(cfg.min_chunk_size, scale)
+    avg_len = _payload_units(cfg.chunk_size, scale)
+    max_len = _payload_units(cfg.max_chunk_size, scale)
+    # Mask with ~log2(avg) low bits set → expected chunk length ≈ avg.
+    mask = (1 << max(1, int(avg_len).bit_length() - 1)) - 1
+    gear = _GEAR
+    spans: List[ChunkSpan] = []
+    start = 0
+    h = np.int64(0)
+    i = start
+    while i < n:
+        h = np.int64((int(h) << 1) & ((1 << 62) - 1)) + gear[int(payload[i])]
+        i += 1
+        length = i - start
+        if (length >= min_len and (int(h) & mask) == 0) or length >= max_len:
+            spans.append(ChunkSpan(start, length, length * scale.data_scale))
+            start = i
+            h = np.int64(0)
+    if start < n:
+        length = n - start
+        spans.append(ChunkSpan(start, length, length * scale.data_scale))
+    return spans
+
+
+def chunk_payload(
+    payload: np.ndarray, cfg: ReduceConfig, scale: ScaleModel
+) -> List[ChunkSpan]:
+    """Spans covering ``payload`` completely, per the configured strategy."""
+    if cfg.chunking == "cdc":
+        return cdc_spans(payload, cfg, scale)
+    return fixed_spans(int(payload.size), cfg, scale)

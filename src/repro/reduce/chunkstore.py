@@ -1,0 +1,110 @@
+"""Content-addressed chunk accounting: per-tier stores + a global registry.
+
+The reducer keeps each checkpoint's chunk *bytes* inside its
+:class:`~repro.reduce.pipeline.ReducedImage` (reconstruction never depends
+on another record staying alive); these structures track *where* chunks
+live and how often they are shared, which is what dedup accounting, the
+eviction-coupled release path, and the validator's refcount invariants
+need.  All mutation happens under the reducer's lock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.errors import ReproError
+from repro.tiers.base import TierLevel
+
+
+class ChunkAccountingError(ReproError):
+    """A chunk refcount went negative or a release missed its put."""
+
+
+class ChunkStore:
+    """Refcounted chunk residency for one tier."""
+
+    def __init__(self, level: TierLevel) -> None:
+        self.level = level
+        #: chunk hash → number of live references from attached images.
+        self.refs: Dict[bytes, int] = {}
+        #: chunk hash → nominal size (for held-bytes accounting).
+        self.sizes: Dict[bytes, int] = {}
+        #: nominal bytes of unique chunks resident on this tier.
+        self.held_bytes = 0
+
+    def add(self, digest: bytes, nominal_size: int) -> bool:
+        """Add one reference; returns True when the chunk is new here."""
+        count = self.refs.get(digest, 0)
+        self.refs[digest] = count + 1
+        if count == 0:
+            self.sizes[digest] = nominal_size
+            self.held_bytes += nominal_size
+            return True
+        return False
+
+    def release(self, digest: bytes) -> bool:
+        """Drop one reference; returns True when the chunk left the tier."""
+        count = self.refs.get(digest, 0)
+        if count <= 0:
+            raise ChunkAccountingError(
+                f"release of unreferenced chunk {digest.hex()} on {self.level.name}"
+            )
+        if count == 1:
+            del self.refs[digest]
+            self.held_bytes -= self.sizes.pop(digest)
+            return True
+        self.refs[digest] = count - 1
+        return False
+
+    def contains(self, digest: bytes) -> bool:
+        return digest in self.refs
+
+    def check(self) -> None:
+        """Internal consistency: held_bytes matches the unique-chunk sizes."""
+        if self.held_bytes != sum(self.sizes.values()):
+            raise ChunkAccountingError(
+                f"{self.level.name}: held_bytes {self.held_bytes} != "
+                f"sum of chunk sizes {sum(self.sizes.values())}"
+            )
+        if set(self.refs) != set(self.sizes) or any(
+            c <= 0 for c in self.refs.values()
+        ):
+            raise ChunkAccountingError(
+                f"{self.level.name}: refs/sizes maps out of sync"
+            )
+
+
+class ChunkRegistry:
+    """Engine-wide chunk liveness: total references across every tier.
+
+    Dedup decisions consult this at encode time — a chunk is a duplicate
+    when any live image anywhere still references it (the new image then
+    contributes ~no new physical bytes for it).  An entry with zero total
+    references is an *orphan* and must not exist (validator invariant).
+    """
+
+    def __init__(self) -> None:
+        self.total_refs: Dict[bytes, int] = {}
+        self.sizes: Dict[bytes, int] = {}
+
+    def add(self, digest: bytes, nominal_size: int) -> None:
+        self.total_refs[digest] = self.total_refs.get(digest, 0) + 1
+        self.sizes.setdefault(digest, nominal_size)
+
+    def release(self, digest: bytes) -> None:
+        count = self.total_refs.get(digest, 0)
+        if count <= 0:
+            raise ChunkAccountingError(
+                f"registry release of unreferenced chunk {digest.hex()}"
+            )
+        if count == 1:
+            del self.total_refs[digest]
+            del self.sizes[digest]
+        else:
+            self.total_refs[digest] = count - 1
+
+    def is_live(self, digest: bytes) -> bool:
+        return self.total_refs.get(digest, 0) > 0
+
+    def orphans(self) -> Iterable[bytes]:
+        return [d for d, c in self.total_refs.items() if c <= 0]

@@ -1,0 +1,85 @@
+"""Modeled compression codecs.
+
+No real compressor runs: payload bytes at bench scale are a few hundred
+bytes of pseudo-random data and would not compress anyway.  Instead each
+codec contributes a *ratio* (compressed/original, applied to the bytes that
+survive dedup and delta encoding) and encode/decode throughputs charged on
+the virtual clock, with separate GPU-side and host-side rates — GPU
+compressors (nvCOMP-class) run an order of magnitude faster than single
+host cores, which is what makes the ``site="gpu"`` variant viable on the
+checkpoint critical path.
+
+Ratios and throughputs are calibrated to published LZ4 / Zstd numbers on
+HPC floating-point checkpoints (cf. the VELOC lineage's use of both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util.units import GiB
+
+
+@dataclass(frozen=True)
+class CodecModel:
+    """One codec's modeled ratio and nominal-bytes-per-second throughputs."""
+
+    name: str
+    #: compressed/original size ratio applied to non-deduplicated bytes.
+    ratio: float
+    gpu_encode_bandwidth: float
+    gpu_decode_bandwidth: float
+    host_encode_bandwidth: float
+    host_decode_bandwidth: float
+
+    def encode_bandwidth(self, site: str) -> float:
+        return self.gpu_encode_bandwidth if site == "gpu" else self.host_encode_bandwidth
+
+    def decode_bandwidth(self, site: str) -> float:
+        return self.gpu_decode_bandwidth if site == "gpu" else self.host_decode_bandwidth
+
+
+_CODECS = {
+    # "none" still pays a memcpy-speed pass (chunk hashing + recipe build).
+    "none": CodecModel(
+        name="none",
+        ratio=1.0,
+        gpu_encode_bandwidth=400.0 * GiB,
+        gpu_decode_bandwidth=400.0 * GiB,
+        host_encode_bandwidth=12.0 * GiB,
+        host_decode_bandwidth=12.0 * GiB,
+    ),
+    # LZ4-class: fast, modest ratio.
+    "lz": CodecModel(
+        name="lz",
+        ratio=0.62,
+        gpu_encode_bandwidth=60.0 * GiB,
+        gpu_decode_bandwidth=90.0 * GiB,
+        host_encode_bandwidth=0.75 * GiB,
+        host_decode_bandwidth=3.0 * GiB,
+    ),
+    # Zstd-class: denser, slower (especially host-side encode).
+    "zstd": CodecModel(
+        name="zstd",
+        ratio=0.45,
+        gpu_encode_bandwidth=25.0 * GiB,
+        gpu_decode_bandwidth=50.0 * GiB,
+        host_encode_bandwidth=0.35 * GiB,
+        host_decode_bandwidth=1.2 * GiB,
+    ),
+}
+
+
+def known_codecs():
+    """Names accepted by :class:`~repro.config.ReduceConfig.codec`."""
+    return frozenset(_CODECS)
+
+
+def get_codec(name: str) -> CodecModel:
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown codec {name!r}; expected one of {sorted(_CODECS)}"
+        ) from None

@@ -1,0 +1,73 @@
+"""Text report of reduction activity from the telemetry bus.
+
+``python -m repro trace <workload> --reduce`` uses this to turn the
+``reduce-encode`` trace events (one per checkpoint, per rank) into a
+per-checkpoint logical-vs-physical table with dedup hit rates and delta
+chain depths, readable without Perfetto.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.telemetry.bus import TraceEvent
+from repro.util.units import format_size
+
+
+def reduce_events(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """The reducers' encode events, in bus order."""
+    return [ev for ev in events if ev.name == "reduce-encode"]
+
+
+def render_reduce_report(events: Iterable[TraceEvent], per_ckpt_limit: int = 24) -> str:
+    """Per-rank reduction tables + totals as fixed-width text.
+
+    One block per rank: up to ``per_ckpt_limit`` per-checkpoint rows
+    (checkpoint id, logical and physical nominal bytes, reduction ratio,
+    new/dup/delta chunk counts, delta-chain depth), then the rank's totals
+    and dedup hit rate.
+    """
+    per_track: Dict[str, List[TraceEvent]] = {}
+    for ev in reduce_events(events):
+        per_track.setdefault(ev.track, []).append(ev)
+    if not per_track:
+        return "no reduction events recorded (is ReduceConfig.enabled on?)"
+    lines: List[str] = ["data-reduction report"]
+    grand_logical = grand_physical = 0
+    for track in sorted(per_track):
+        evs = per_track[track]
+        lines.append(f"  {track} ({len(evs)} checkpoints)")
+        lines.append(
+            "    ckpt   logical    physical   ratio  new  dup  delta  depth"
+        )
+        for ev in evs[:per_ckpt_limit]:
+            a = ev.args
+            ratio = a["physical"] / a["logical"]
+            lines.append(
+                f"    {a['ckpt']:>4} {format_size(a['logical']):>9} "
+                f"{format_size(a['physical']):>10}  {ratio:5.2f} "
+                f"{a['new']:>4} {a['dup']:>4} {a['delta']:>6}  {a['depth']:>4}"
+                + ("  R" if a.get("rebased") else "")
+            )
+        if len(evs) > per_ckpt_limit:
+            lines.append(f"    ... {len(evs) - per_ckpt_limit} more")
+        logical = sum(ev.args["logical"] for ev in evs)
+        physical = sum(ev.args["physical"] for ev in evs)
+        chunks = sum(ev.args["new"] + ev.args["dup"] + ev.args["delta"] for ev in evs)
+        dups = sum(ev.args["dup"] for ev in evs)
+        max_depth = max(ev.args["depth"] for ev in evs)
+        grand_logical += logical
+        grand_physical += physical
+        lines.append(
+            f"    total {format_size(logical)} -> {format_size(physical)} "
+            f"({1.0 - physical / logical:.1%} saved), "
+            f"dedup hit rate {dups / max(1, chunks):.1%}, "
+            f"max chain depth {max_depth}"
+        )
+    if len(per_track) > 1:
+        lines.append(
+            f"  all ranks: {format_size(grand_logical)} -> "
+            f"{format_size(grand_physical)} "
+            f"({1.0 - grand_physical / max(1, grand_logical):.1%} saved)"
+        )
+    return "\n".join(lines)

@@ -11,6 +11,9 @@ writes three artifacts under ``--out-dir``:
 * ``<workload>.summary.txt`` — the metrics-registry digest (also printed).
 * ``<workload>.sched.txt`` — with ``--sched``, the per-link queue-depth and
   preemption timelines of the QoS transfer scheduler (also printed).
+* ``<workload>.reduce.txt`` — with ``--reduce``, the per-checkpoint logical
+  vs physical bytes, dedup hit rate and delta-chain depths of the data
+  reduction pipeline (also printed).
 
 Workloads: ``quickstart`` (16 × 128 MiB, one rank, reverse order),
 ``uniform`` and ``variable`` (the paper's RTM traces, multi-rank).
@@ -23,7 +26,7 @@ import logging
 import os
 from typing import List, Optional, Sequence
 
-from repro.config import CacheConfig, SchedConfig, bench_config
+from repro.config import CacheConfig, ReduceConfig, SchedConfig, bench_config
 from repro.log import enable_console_logging
 from repro.telemetry.exporters import render_summary, write_chrome_trace, write_jsonl
 from repro.util.units import MiB
@@ -41,7 +44,13 @@ _DEFAULTS = {
 
 
 def _build_specs(
-    workload: str, cfg, snapshots: int, processes: int, order: RestoreOrder, seed: int
+    workload: str,
+    cfg,
+    snapshots: int,
+    processes: int,
+    order: RestoreOrder,
+    seed: int,
+    similarity: float = 0.0,
 ) -> List[ShotSpec]:
     scale = cfg.scale
     specs: List[ShotSpec] = []
@@ -55,6 +64,7 @@ def _build_specs(
                 trace=trace,
                 restore_order=restore_order(order, len(trace), seed=seed, rank=rank),
                 compute_interval=0.010,
+                similarity=similarity,
                 seed=seed,
             )
         )
@@ -69,6 +79,8 @@ def run_trace(
     order: RestoreOrder = RestoreOrder.REVERSE,
     seed: int = 7,
     sched: bool = False,
+    reduce: bool = False,
+    similarity: float = 0.9,
 ) -> dict:
     """Run ``workload`` with tracing on; return the written paths."""
     from repro.harness.approaches import make_engine_factory
@@ -82,7 +94,17 @@ def run_trace(
     cfg = bench_config(telemetry=True, processes_per_node=processes)
     if sched:
         cfg = cfg.with_(sched=SchedConfig(enabled=True))
-    specs = _build_specs(workload, cfg, snapshots, processes, order, seed)
+    if reduce:
+        cfg = cfg.with_(reduce=ReduceConfig(enabled=True))
+    specs = _build_specs(
+        workload,
+        cfg,
+        snapshots,
+        processes,
+        order,
+        seed,
+        similarity=similarity if reduce else 0.0,
+    )
     # Scale the caches to the actual working set (paper ratios), but never
     # below twice the largest single snapshot — a short variable-size trace
     # can have one snapshot bigger than the ratio-derived GPU cache.
@@ -130,6 +152,15 @@ def run_trace(
             fh.write(timeline + "\n")
         out["sched"] = sched_path
         out["sched_rendered"] = timeline
+    if reduce:
+        from repro.reduce import reduce_events, render_reduce_report
+
+        report = render_reduce_report(reduce_events(events))
+        reduce_path = os.path.join(out_dir, f"{workload}.reduce.txt")
+        with open(reduce_path, "w") as fh:
+            fh.write(report + "\n")
+        out["reduce"] = reduce_path
+        out["reduce_rendered"] = report
     return out
 
 
@@ -156,6 +187,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "queue-depth/preemption timelines",
     )
     parser.add_argument(
+        "--reduce",
+        action="store_true",
+        help="enable the data-reduction pipeline and dump per-checkpoint "
+        "logical/physical bytes, dedup hit rate and delta-chain depths",
+    )
+    parser.add_argument(
+        "--similarity",
+        type=float,
+        default=0.9,
+        help="snapshot-to-snapshot payload similarity used with --reduce "
+        "(default: 0.9)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="DEBUG logging of the repro runtime"
     )
     args = parser.parse_args(argv)
@@ -169,14 +213,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         order=RestoreOrder(args.order),
         seed=args.seed,
         sched=args.sched,
+        reduce=args.reduce,
+        similarity=args.similarity,
     )
     print(out["rendered"])
     if "sched_rendered" in out:
         print()
         print(out["sched_rendered"])
+    if "reduce_rendered" in out:
+        print()
+        print(out["reduce_rendered"])
     print()
     print(f"wrote {out['events']} events:")
-    for key in ("trace", "jsonl", "summary", "sched"):
+    for key in ("trace", "jsonl", "summary", "sched", "reduce"):
         if key in out:
             print(f"  {out[key]}")
     print("open the .trace.json at https://ui.perfetto.dev")

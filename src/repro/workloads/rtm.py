@@ -103,6 +103,35 @@ def variable_trace(
     return RtmTrace(rank=rank, sizes=sizes)
 
 
+def correlated_fill(
+    payload: np.ndarray,
+    prev: np.ndarray,
+    similarity: float,
+    rng: np.random.Generator,
+    block_bytes: int,
+) -> None:
+    """Rewrite ``payload`` so it correlates with the previous snapshot.
+
+    Adjacent RTM wavefield snapshots differ only where the wavefront moved;
+    the reduction benchmarks model that by keeping each ``block_bytes``
+    block of the overlapping prefix identical to ``prev`` with probability
+    ``similarity`` (the rest stays freshly random).  Deterministic in the
+    ``rng`` stream; a block size matching the reduction chunk size makes
+    ``similarity`` approximate the expected dedup hit rate.
+    """
+    if not 0.0 <= similarity <= 1.0:
+        raise ConfigError(f"similarity must be within [0, 1]: {similarity}")
+    if block_bytes <= 0:
+        raise ConfigError(f"block_bytes must be positive: {block_bytes}")
+    n = min(int(payload.size), int(prev.size))
+    if n == 0 or similarity <= 0.0:
+        return
+    nblocks = -(-n // block_bytes)
+    keep = rng.random(nblocks) < similarity
+    mask = np.repeat(keep, block_bytes)[:n]
+    payload[:n][mask] = prev[:n][mask]
+
+
 def snapshot_size_distribution(
     traces: Sequence[RtmTrace],
 ) -> List[Tuple[int, int, int, float]]:

@@ -24,11 +24,14 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.metrics.recorder import Recorder
 from repro.simgpu.memory import DeviceBuffer
 from repro.util.rng import make_rng
-from repro.workloads.rtm import RtmTrace
+from repro.util.units import MiB
+from repro.workloads.rtm import RtmTrace, correlated_fill
 
 
 class HintMode(Enum):
@@ -51,6 +54,10 @@ class ShotSpec:
     wait_for_flush: bool = False
     #: fill payloads with seeded random bytes (restores checksum-verify).
     randomize_payloads: bool = True
+    #: fraction of each snapshot kept byte-identical to its predecessor
+    #: (models temporal wavefield similarity; drives the dedup hit rate of
+    #: the reduction pipeline).  0 keeps payloads fully independent.
+    similarity: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -60,6 +67,8 @@ class ShotSpec:
             )
         if self.compute_interval < 0:
             raise ConfigError(f"negative compute interval: {self.compute_interval}")
+        if not 0.0 <= self.similarity <= 1.0:
+            raise ConfigError(f"similarity must be within [0, 1]: {self.similarity}")
         if isinstance(self.hint_mode, str):
             object.__setattr__(self, "hint_mode", HintMode(self.hint_mode))
 
@@ -91,6 +100,10 @@ def run_shot(
     scale = engine.scale
     rng = make_rng(spec.seed, "shot-payloads", spec.trace.rank)
     n = len(spec.trace)
+    # Correlation block matches the default reduction chunk (8 MiB nominal),
+    # so ``similarity`` approximates the chunk-level dedup hit rate.
+    corr_block = max(1, (8 * MiB) // scale.data_scale)
+    prev_payload: Optional[np.ndarray] = None
 
     if spec.hint_mode is HintMode.ALL:
         for version in spec.restore_order:
@@ -106,6 +119,12 @@ def run_shot(
         buffer = DeviceBuffer(scale.align(size), scale, getattr(engine.device, "device_id", 0))
         if spec.randomize_payloads:
             buffer.fill_random(rng)
+            if spec.similarity > 0.0:
+                if prev_payload is not None:
+                    correlated_fill(
+                        buffer.payload, prev_payload, spec.similarity, rng, corr_block
+                    )
+                prev_payload = buffer.payload.copy()
         engine.checkpoint(version, buffer)
     checkpoint_phase = clock.now() - ckpt_started
 

@@ -1,0 +1,165 @@
+"""End-to-end reduction: enabled-mode correctness across the tier cascade."""
+
+import pytest
+
+from repro.config import ReduceConfig
+from repro.core.engine import ScoreEngine
+from repro.core.validator import validate_engine
+from repro.tiers.topology import Cluster
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+from repro.workloads.patterns import RestoreOrder, restore_order
+from repro.workloads.rtm import uniform_trace
+from repro.workloads.shot import HintMode, ShotSpec, run_shot
+from tests.conftest import make_buffer, tiny_config
+
+CKPT = 128 * MiB
+
+
+@pytest.mark.parametrize("site", ["gpu", "host"])
+def test_restores_byte_identical_under_churn(site):
+    """2.5 GiB through 0.5+2 GiB caches: reduced checkpoints survive
+    eviction to SSD/PFS and restore byte-for-byte (CRC verified by the
+    engine) with the validator's refcount invariants holding throughout."""
+    cfg = tiny_config(reduce=ReduceConfig(enabled=True, site=site))
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+            sums = {}
+            for v in range(20):
+                buf = make_buffer(ctx, CKPT, seed=v)
+                sums[v] = buf.checksum()
+                engine.checkpoint(v, buf)
+            engine.wait_for_flushes(timeout=600.0)
+            validate_engine(engine)
+            out = ctx.device.alloc_buffer(CKPT)
+            for v in restore_order(RestoreOrder.IRREGULAR, 20, seed=2):
+                engine.restore(v, out)
+                assert out.checksum() == sums[v], f"{site}: corruption at {v}"
+            validate_engine(engine)
+            stats = engine.stats()["reduction"]
+            assert stats["encodes"] == 20
+            assert stats["physical_bytes"] < stats["logical_bytes"]
+
+
+def test_similar_payloads_dedup_and_shrink_tier_traffic():
+    cfg = tiny_config(reduce=ReduceConfig(enabled=True), telemetry=True)
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        trace = uniform_trace(cfg.scale, num_snapshots=24)
+        spec = ShotSpec(
+            trace=trace,
+            restore_order=restore_order(RestoreOrder.REVERSE, 24),
+            hint_mode=HintMode.ALL,
+            wait_for_flush=True,
+            similarity=0.9,
+            seed=5,
+        )
+        with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+            result = run_shot(engine, spec)
+            validate_engine(engine)
+            stats = result.engine_stats["reduction"]
+            chunks = (
+                stats["new_chunks"] + stats["dup_chunks"] + stats["delta_chunks"]
+            )
+            assert stats["dup_chunks"] / chunks > 0.5  # similarity drives dedup
+            registry = cluster.telemetry.registry
+            logical = trace.total_bytes
+            assert registry.counter("tier.ssd.write_bytes").value < logical
+            assert registry.counter("tier.pfs.write_bytes").value < logical
+
+
+def test_gpudirect_forces_gpu_site():
+    """GPUDirect has no host staging, so a host-site config must fall back
+    to device-side encoding and still restore correctly."""
+    cfg = tiny_config(reduce=ReduceConfig(enabled=True, site="host"))
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        with ScoreEngine(ctx, gpudirect=True, flush_to_pfs=True) as engine:
+            assert engine.reducer.site == "gpu"
+            sums = {}
+            for v in range(8):
+                buf = make_buffer(ctx, CKPT, seed=100 + v)
+                sums[v] = buf.checksum()
+                engine.checkpoint(v, buf)
+            engine.wait_for_flushes(timeout=600.0)
+            validate_engine(engine)
+            out = ctx.device.alloc_buffer(CKPT)
+            for v in reversed(range(8)):
+                engine.restore(v, out)
+                assert out.checksum() == sums[v]
+
+
+def test_recovery_skips_reduced_blobs():
+    """Reduced SSD/PFS blobs are placeholders whose recipe dies with the
+    reducer; a fresh engine must skip them instead of restoring zeros."""
+    cfg = tiny_config(reduce=ReduceConfig(enabled=True))
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        engine = ScoreEngine(ctx)
+        for v in range(4):
+            engine.checkpoint(v, make_buffer(ctx, CKPT, seed=v))
+        engine.wait_for_flushes(timeout=600.0)
+        engine.close()
+        reborn = ScoreEngine(ctx)
+        try:
+            assert reborn.recover_history() == 0
+        finally:
+            reborn.close()
+
+
+def test_unreduced_history_still_recovers():
+    cfg = tiny_config()
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        engine = ScoreEngine(ctx)
+        sums = {}
+        for v in range(4):
+            buf = make_buffer(ctx, CKPT, seed=v)
+            sums[v] = buf.checksum()
+            engine.checkpoint(v, buf)
+        engine.wait_for_flushes(timeout=600.0)
+        engine.close()
+        reborn = ScoreEngine(ctx)
+        try:
+            assert reborn.recover_history() == 4
+            out = ctx.device.alloc_buffer(CKPT)
+            for v in range(4):
+                reborn.restore(v, out)
+                assert out.checksum() == sums[v]
+        finally:
+            reborn.close()
+
+
+def test_trace_cli_reduce_flag(tmp_path):
+    from repro.telemetry.cli import run_trace
+
+    out = run_trace(
+        "quickstart", out_dir=str(tmp_path), snapshots=8, processes=1, reduce=True
+    )
+    assert "reduce" in out
+    report = out["reduce_rendered"]
+    assert "dedup hit rate" in report
+    with open(out["reduce"]) as fh:
+        assert fh.read().strip() == report.strip()
+
+
+def test_prefetch_budget_counts_physical_bytes():
+    """With reduction on, the prefetch budget admits more (smaller)
+    checkpoints than the logical sizes would allow — exercised simply by
+    hinted restores completing under tight caches."""
+    cfg = tiny_config(reduce=ReduceConfig(enabled=True))
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        trace = uniform_trace(cfg.scale, num_snapshots=16)
+        spec = ShotSpec(
+            trace=trace,
+            restore_order=restore_order(RestoreOrder.REVERSE, 16),
+            hint_mode=HintMode.ALL,
+            wait_for_flush=True,
+            similarity=0.8,
+            seed=9,
+        )
+        with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+            run_shot(engine, spec)
+            validate_engine(engine)

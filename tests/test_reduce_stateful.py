@@ -1,0 +1,111 @@
+"""Model-based (hypothesis stateful) test of the chunk store + registry.
+
+A random interleaving of puts (including shared digests), releases and
+full-image evictions is replayed against a reference refcount model; after
+every rule the store's internal accounting, the registry's liveness view
+and the model must agree — refcounts never corrupt, arena byte accounting
+never leaks, releases without a matching put always raise.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.reduce import ChunkAccountingError, ChunkRegistry, ChunkStore
+from repro.tiers.base import TierLevel
+from repro.util.units import KiB
+
+#: Small digest pool so puts collide often (sharing is the interesting case).
+DIGESTS = [bytes([i]) * 16 for i in range(8)]
+SIZE_OF = {d: (i + 1) * 64 * KiB for i, d in enumerate(DIGESTS)}
+
+
+class ChunkStoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.stores = {
+            level: ChunkStore(level) for level in (TierLevel.HOST, TierLevel.SSD)
+        }
+        self.registry = ChunkRegistry()
+        #: model: (level, digest) -> live reference count
+        self.model = {}
+
+    def _count(self, level, digest) -> int:
+        return self.model.get((level, digest), 0)
+
+    @rule(
+        level=st.sampled_from([TierLevel.HOST, TierLevel.SSD]),
+        idx=st.integers(0, len(DIGESTS) - 1),
+    )
+    def put(self, level, idx):
+        digest = DIGESTS[idx]
+        was_new = self.stores[level].add(digest, SIZE_OF[digest])
+        self.registry.add(digest, SIZE_OF[digest])
+        assert was_new == (self._count(level, digest) == 0)
+        self.model[(level, digest)] = self._count(level, digest) + 1
+
+    @precondition(lambda self: any(self.model.values()))
+    @rule(data=st.data())
+    def release(self, data):
+        level, digest = data.draw(
+            st.sampled_from(sorted(k for k, v in self.model.items() if v > 0))
+        )
+        gone = self.stores[level].release(digest)
+        self.registry.release(digest)
+        assert gone == (self._count(level, digest) == 1)
+        self.model[(level, digest)] -= 1
+
+    @precondition(lambda self: any(self.model.values()))
+    @rule(data=st.data())
+    def evict_all_refs(self, data):
+        """Release every reference a tier holds on one digest (image churn)."""
+        level, digest = data.draw(
+            st.sampled_from(sorted(k for k, v in self.model.items() if v > 0))
+        )
+        for _ in range(self.model[(level, digest)]):
+            self.stores[level].release(digest)
+            self.registry.release(digest)
+        self.model[(level, digest)] = 0
+        assert not self.stores[level].contains(digest)
+
+    @rule(
+        level=st.sampled_from([TierLevel.HOST, TierLevel.SSD]),
+        idx=st.integers(0, len(DIGESTS) - 1),
+    )
+    def release_without_put_raises(self, level, idx):
+        digest = DIGESTS[idx]
+        if self._count(level, digest) == 0:
+            with pytest.raises(ChunkAccountingError):
+                self.stores[level].release(digest)
+
+    # -- invariants ---------------------------------------------------------
+    @invariant()
+    def stores_match_model(self):
+        for level, store in self.stores.items():
+            expected = {
+                d: c for (lv, d), c in self.model.items() if lv == level and c > 0
+            }
+            assert store.refs == expected
+
+    @invariant()
+    def held_bytes_never_leak(self):
+        for level, store in self.stores.items():
+            live = {d for (lv, d), c in self.model.items() if lv == level and c > 0}
+            assert store.held_bytes == sum(SIZE_OF[d] for d in live)
+            store.check()
+
+    @invariant()
+    def registry_agrees_and_has_no_orphans(self):
+        totals = {}
+        for (_, digest), count in self.model.items():
+            if count:
+                totals[digest] = totals.get(digest, 0) + count
+        assert self.registry.total_refs == totals
+        assert not list(self.registry.orphans())
+
+
+TestChunkStoreMachine = ChunkStoreMachine.TestCase
+TestChunkStoreMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
