@@ -356,6 +356,165 @@ class ReduceConfig:
             )
 
 
+#: flush-stage names a :class:`FaultConfig` crash point may name, each
+#: optionally prefixed ``before-`` / ``after-`` (bare name == ``before-``).
+CRASH_STAGES = ("d2h", "d2s", "h2f", "f2p", "repl")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic, seeded fault injection (:mod:`repro.faults`).
+
+    With ``enabled=False`` (the default) nothing is attached anywhere and
+    the runtime is bit-identical to a build without the subsystem (same
+    discipline as :class:`SchedConfig` / :class:`ReduceConfig`).  When
+    enabled, a :class:`~repro.faults.FaultPlan` derived from ``seed`` makes
+    every injection decision reproducibly: the same config + seed yields
+    the same faults at the same virtual times regardless of thread
+    interleaving.
+    """
+
+    #: master switch: attach a fault injector to every Link and tier store.
+    enabled: bool = False
+    #: root seed of the plan; every decision derives from it via
+    #: :func:`repro.util.rng.derive_seed` (independent of RuntimeConfig.seed
+    #: so workload payloads stay identical across fault sweeps).
+    seed: int = 93
+    #: probability that any one Link.transfer() call fails in flight with a
+    #: :class:`~repro.errors.TransientTransferError` after moving a drawn
+    #: fraction of its bytes (charged on the virtual clock).
+    transfer_fault_rate: float = 0.0
+    #: restrict transfer faults to links whose name contains one of these
+    #: substrings (e.g. ``("ssd", "pfs")``); empty = all links.
+    fault_links: tuple = ()
+    #: the failing transfer moves a fraction of its bytes drawn uniformly
+    #: from [min_fault_fraction, max_fault_fraction] before the error.
+    min_fault_fraction: float = 0.05
+    max_fault_fraction: float = 0.95
+    #: tier outage / degradation windows: ``(tier, start_s, end_s, factor)``
+    #: tuples on the virtual clock.  ``tier`` is ``"ssd"`` or ``"pfs"``;
+    #: ``factor == 0.0`` is a hard outage (ops raise
+    #: :class:`~repro.errors.TierOfflineError`), ``0 < factor < 1`` is a
+    #: brownout (ops succeed at ``factor`` of nominal throughput).
+    tier_outages: tuple = ()
+    #: probability that a blob put at a durable tier lands corrupted
+    #: (one byte flipped at rest); decided per (key, attempt) so a re-put
+    #: after detection draws independently.
+    corruption_rate: float = 0.0
+    #: kill the engine at a flush-stage boundary: ``"before-h2f"``,
+    #: ``"after-d2h"``, … (see :data:`CRASH_STAGES`); None = never.
+    crash_point: Optional[str] = None
+    #: fire the crash point only for this checkpoint id (None = first hit).
+    crash_ckpt: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.transfer_fault_rate <= 1.0):
+            raise ConfigError(
+                f"transfer_fault_rate out of [0, 1]: {self.transfer_fault_rate}"
+            )
+        if not (0.0 <= self.corruption_rate <= 1.0):
+            raise ConfigError(f"corruption_rate out of [0, 1]: {self.corruption_rate}")
+        if not (0.0 < self.min_fault_fraction <= self.max_fault_fraction < 1.0):
+            raise ConfigError(
+                "fault fractions must satisfy 0 < min <= max < 1: "
+                f"{self.min_fault_fraction} / {self.max_fault_fraction}"
+            )
+        for entry in self.tier_outages:
+            if len(entry) != 4:
+                raise ConfigError(f"bad tier_outages entry: {entry!r}")
+            tier, start, end, factor = entry
+            if tier not in ("ssd", "pfs"):
+                raise ConfigError(f"unknown outage tier: {tier!r}")
+            if not (0.0 <= start < end):
+                raise ConfigError(f"bad outage window [{start}, {end})")
+            if not (0.0 <= factor < 1.0):
+                raise ConfigError(f"outage factor out of [0, 1): {factor}")
+        if self.crash_point is not None:
+            stage = self.crash_point
+            for prefix in ("before-", "after-"):
+                if stage.startswith(prefix):
+                    stage = stage[len(prefix):]
+                    break
+            if stage not in CRASH_STAGES:
+                raise ConfigError(
+                    f"unknown crash_point {self.crash_point!r}; stages: {CRASH_STAGES}"
+                )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Self-healing behaviour of the runtime (:mod:`repro.faults`).
+
+    With ``enabled=False`` (the default) failures behave exactly as before
+    this subsystem existed: a failed flush leg abandons the flush, a CRC
+    mismatch on restore raises :class:`~repro.errors.IntegrityError`, and
+    ``recover_history()`` scans the stores directly.  When enabled:
+    transient transfer errors are retried with exponential backoff +
+    deterministic jitter under per-class budgets, per-tier circuit breakers
+    blacklist degraded tiers and reroute the flush cascade around them
+    (with catch-up backfill on recovery), durable puts are CRC re-verified
+    and re-flushed from an upper-tier copy on corruption, and a
+    crash-consistent manifest journal makes ``recover_history()``
+    independent of store scans.
+    """
+
+    #: master switch for every recovery mechanism below.
+    enabled: bool = False
+    #: retry budget per transfer leg for TransientTransferErrors.
+    max_retries: int = 4
+    #: backoff before retry k (0-based) is
+    #: ``min(backoff_base_s * backoff_factor**k, backoff_max_s)`` nominal
+    #: seconds, plus up to ``jitter`` of itself (deterministic draw).
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+    #: per-transfer-class retry-budget overrides, e.g.
+    #: ``(("DEMAND_READ", 6), ("SPECULATIVE_PREFETCH", 1))``; classes
+    #: mirror :class:`repro.sched.TransferClass` names.
+    retry_classes: tuple = ()
+    #: consecutive failures that trip a tier's circuit breaker open.
+    breaker_threshold: int = 3
+    #: nominal seconds an open breaker waits before admitting one
+    #: half-open probe.
+    breaker_reset_s: float = 5.0
+    #: when the SSD breaker is open, flush host copies directly to the PFS
+    #: (GPU→host→PFS) instead of abandoning durability.
+    reroute: bool = True
+    #: when a rerouted tier recovers, backfill the skipped SSD copies from
+    #: the PFS/host so reads regain the fast path.
+    backfill: bool = True
+    #: CRC-verify durable blobs right after the flush write and re-flush
+    #: from the in-hand payload on mismatch.
+    reverify: bool = True
+    #: append every durable commit to the manifest journal and replay it in
+    #: ``recover_history()`` (store scans remain the fallback).
+    journal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(f"backoff_factor must be >= 1: {self.backoff_factor}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ConfigError(f"jitter out of [0, 1]: {self.jitter}")
+        for entry in self.retry_classes:
+            if len(entry) != 2 or entry[1] < 0:
+                raise ConfigError(f"bad retry_classes entry: {entry!r}")
+        if self.breaker_threshold < 1:
+            raise ConfigError(f"breaker_threshold must be >= 1: {self.breaker_threshold}")
+        if self.breaker_reset_s < 0:
+            raise ConfigError(f"breaker_reset_s must be >= 0: {self.breaker_reset_s}")
+
+    def retries_for(self, class_name: str) -> int:
+        for name, budget in self.retry_classes:
+            if name == class_name:
+                return int(budget)
+        return self.max_retries
+
+
 @dataclass(frozen=True)
 class RuntimeConfig:
     """Everything one simulation run needs."""
@@ -367,6 +526,13 @@ class RuntimeConfig:
     sched: SchedConfig = field(default_factory=SchedConfig)
     #: data reduction between the engines and the tier links (:mod:`repro.reduce`).
     reduce: ReduceConfig = field(default_factory=ReduceConfig)
+    #: deterministic fault injection (:mod:`repro.faults`).
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    #: self-healing transfer/tier recovery (:mod:`repro.faults`).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: default ``wait_for_flushes`` timeout in nominal seconds (None = no
+    #: timeout unless the call site passes one).
+    flush_wait_timeout: Optional[float] = None
     num_nodes: int = 1
     processes_per_node: Optional[int] = None  # default: one per GPU
     seed: int = 20230616  # HPDC'23 opening day
@@ -409,6 +575,10 @@ class RuntimeConfig:
             )
         if self.eviction_policy not in ("score", "lru", "fifo"):
             raise ConfigError(f"unknown eviction_policy: {self.eviction_policy!r}")
+        if self.flush_wait_timeout is not None and self.flush_wait_timeout <= 0:
+            raise ConfigError(
+                f"flush_wait_timeout must be positive or None: {self.flush_wait_timeout}"
+            )
 
     @property
     def effective_processes_per_node(self) -> int:

@@ -17,6 +17,7 @@ implements the blocking semantics of the problem formulation (Section 2):
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.clock import Stopwatch
@@ -33,11 +34,14 @@ from repro.errors import (
     BackpressureError,
     EngineClosedError,
     FlushTimeoutError,
+    InjectedCrash,
     IntegrityError,
     LifecycleError,
     ReproError,
     TransferError,
+    TransientTransferError,
 )
+from repro.faults.retry import RetryPolicy
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind, Recorder
 from repro.reduce.pipeline import Reducer
@@ -93,6 +97,25 @@ class ScoreEngine:
         #: ``config.sched.enabled``); transfers are tagged with a
         #: :class:`TransferRequest` via :meth:`_sched_request`.
         self.sched = cluster.sched
+        #: fault injection + self-healing: the cluster-wide fault domain,
+        #: per-tier circuit breakers, the crash-consistent manifest journal
+        #: and the chunk-recipe sidecar.  ``resilient`` gates every handling
+        #: path; with it off the engine is bit-identical to the historical
+        #: runtime (``tests/test_faults_equivalence.py``).
+        self.faults = cluster.faults
+        self.health = cluster.health
+        self.journal = cluster.journal
+        self.recipes = cluster.recipes
+        self.resilient = self.config.resilience.enabled
+        self.retry_policy = (
+            RetryPolicy(self.config.resilience, self.config.faults.seed)
+            if self.resilient
+            else None
+        )
+        #: set once an injected crash point fires; flush streams drop their
+        #: remaining work and public entry points raise
+        #: :class:`~repro.errors.InjectedCrash` until re-incarnation.
+        self.crashed = threading.Event()
         self.partner_node_id = None
         self.partner_ssd = None
         if partner_replication and len(cluster.nodes) > 1:
@@ -137,6 +160,10 @@ class ScoreEngine:
                 telemetry=self.telemetry,
                 process_id=self.process_id,
                 gpudirect=gpudirect,
+                # Durable recipe sidecar: with resilience on, encoded chunk
+                # recipes survive a crash so recover_history() can rebuild
+                # reduced checkpoints.
+                recipes=cluster.recipes if self.resilient else None,
             )
         on_evict = self._reduce_detach if self.reducer is not None else None
         policy = eviction_policy or self._default_policy()
@@ -229,15 +256,70 @@ class ScoreEngine:
         """
         if record.durable_store is not None:
             return record.durable_level, record.durable_store
-        if record.durable_level is TierLevel.PFS and not self.ssd.contains(
-            self.store_key(record)
-        ):
+        key = self.store_key(record)
+        if self.resilient and self.pfs is not None and self.pfs.contains(key):
+            # Self-healing read routing: skip the local SSD while it is
+            # missing the blob, inside a hard-outage window, or blacklisted
+            # by its circuit breaker (``healthy`` never consumes the
+            # write-side half-open probe).
+            if (
+                not self.ssd.contains(key)
+                or self.faults.hard_outage("ssd")
+                or not self.health.healthy(self.ssd._track)
+            ):
+                return TierLevel.PFS, self.pfs
+        if record.durable_level is TierLevel.PFS and not self.ssd.contains(key):
             return TierLevel.PFS, self.pfs
         return TierLevel.SSD, self.ssd
 
     def _require_open(self) -> None:
         if self._closed:
             raise EngineClosedError(f"engine p{self.process_id} is closed")
+        if self.crashed.is_set():
+            raise InjectedCrash(
+                f"engine p{self.process_id} hit an injected crash point; "
+                "re-incarnate and recover_history() to continue"
+            )
+
+    def _maybe_crash(self, point: str, record: CheckpointRecord) -> None:
+        """Trip an armed process-crash point (flush-stage granularity).
+
+        Fires at most once per fault plan; the raised
+        :class:`~repro.errors.InjectedCrash` unwinds the flush stage before
+        its commit (``before-*``) or after it (``after-*``), modeling a
+        process killed between flush stages.
+        """
+        if self.faults.enabled and self.faults.crash_point(point, record.ckpt_id):
+            self.crashed.set()
+            with self.monitor:
+                self.monitor.notify_all()
+            raise InjectedCrash(
+                f"p{self.process_id}: injected crash at {point} "
+                f"(checkpoint {record.ckpt_id})"
+            )
+
+    def _journal_commit(self, record: CheckpointRecord, level: TierLevel, store_id: str) -> None:
+        """Append a durable-commit entry after a blob landed on ``store_id``.
+
+        Written *after* the blob is durable: a crash in between leaves at
+        worst an unjournaled blob the recovery scan still finds.
+        """
+        if not (self.resilient and self.config.resilience.journal):
+            return
+        self.journal.commit(
+            self.process_id,
+            record.ckpt_id,
+            store=store_id,
+            level=level.name,
+            nominal_size=record.stored_size(level),
+            meta=self.recovery_meta(record),
+        )
+
+    def _journal_retract(self, record: CheckpointRecord, store_id: str) -> None:
+        """Append a retract entry after deleting ``store_id``'s blob."""
+        if not (self.resilient and self.config.resilience.journal):
+            return
+        self.journal.retract(self.process_id, record.ckpt_id, store=store_id)
 
     def _reduce_detach(self, record: CheckpointRecord, level: TierLevel) -> None:
         """Cache eviction hook: release the extent's chunk references."""
@@ -290,30 +372,34 @@ class ScoreEngine:
             backpressured = self._flush_backpressure(ckpt_id)
             with self.monitor:
                 record = self.catalog.create(ckpt_id, nominal, buffer.nominal_size, checksum)
-            encoded = 0.0
-            if self.reducer is not None and self.reducer.site == "gpu":
-                # Device-side reduction happens before placement, so the
-                # GPU cache (and everything below) holds the physical form.
-                encoded = self.reducer.encode(record, buffer.payload)
-            waited = self.gpu_cache.reserve(
-                record, CkptState.WRITE_IN_PROGRESS, blocking=True
-            )
-            # Device-to-device copy of the protected region into the cache.
-            copied = self.device.d2d_link.transfer(record.stored_size(TierLevel.GPU))
-            if self._reduced_at(record, TierLevel.GPU):
-                # The extent models the physical footprint; the logical
-                # bytes live in the reduction image's chunks.
-                self.gpu_cache.write_payload(record, self.reducer.physical_payload(record))
-            else:
-                self.gpu_cache.write_payload(record, buffer.payload)
-            with self.monitor:
-                record.instance(TierLevel.GPU).transition(
-                    CkptState.WRITE_COMPLETE, self.clock.now()
+            try:
+                encoded = 0.0
+                if self.reducer is not None and self.reducer.site == "gpu":
+                    # Device-side reduction happens before placement, so the
+                    # GPU cache (and everything below) holds the physical form.
+                    encoded = self.reducer.encode(record, buffer.payload)
+                waited = self.gpu_cache.reserve(
+                    record, CkptState.WRITE_IN_PROGRESS, blocking=True
                 )
+                # Device-to-device copy of the protected region into the cache.
+                copied = self.device.d2d_link.transfer(record.stored_size(TierLevel.GPU))
                 if self._reduced_at(record, TierLevel.GPU):
-                    self.reducer.attach(record, TierLevel.GPU)
-                self.monitor.notify_all()
-            self.flusher.schedule(record)
+                    # The extent models the physical footprint; the logical
+                    # bytes live in the reduction image's chunks.
+                    self.gpu_cache.write_payload(record, self.reducer.physical_payload(record))
+                else:
+                    self.gpu_cache.write_payload(record, buffer.payload)
+                with self.monitor:
+                    record.instance(TierLevel.GPU).transition(
+                        CkptState.WRITE_COMPLETE, self.clock.now()
+                    )
+                    if self._reduced_at(record, TierLevel.GPU):
+                        self.reducer.attach(record, TierLevel.GPU)
+                    self.monitor.notify_all()
+                self.flusher.schedule(record)
+            except Exception:
+                self._rollback_checkpoint(record)
+                raise
         # Blocking time = admission wait + encode + eviction wait + cache
         # copy (accounted, so the figure stays exact under aggressive time
         # scaling).
@@ -331,6 +417,30 @@ class ScoreEngine:
             )
         )
         return blocked
+
+    def _rollback_checkpoint(self, record: CheckpointRecord) -> None:
+        """Undo a partially-completed ``checkpoint()``.
+
+        Exception safety for the write path: releases the GPU cache slot
+        (which detaches any chunk references through the eviction hook),
+        rewinds the reducer's delta chain head and recipe, and forgets the
+        catalog record — so a failed write leaves no orphaned
+        WRITE_IN_PROGRESS extent and no dangling chunk refcounts.
+        """
+        try:
+            self.gpu_cache.release(record)
+        except Exception:  # pragma: no cover - teardown must not mask the cause
+            log.exception(
+                "p%d: checkpoint rollback: GPU slot release failed", self.process_id
+            )
+        if self.reducer is not None:
+            self.reducer.abort(record)
+        with self.monitor:
+            self.catalog.forget(record.ckpt_id)
+            self.monitor.notify_all()
+        self.telemetry.bus.instant(
+            "checkpoint-rollback", self._app_track, ckpt=record.ckpt_id
+        )
 
     def _flush_backpressure(self, ckpt_id: int) -> float:
         """Engine-level admission control for the write path.
@@ -402,31 +512,51 @@ class ScoreEngine:
                 distance = self._sample_prefetch_distance(ckpt_id)
                 source = self._current_source_level(record)
             span.add(bytes=record.nominal_size, source=source, distance=distance)
-            # _await_gpu_copy pins the extent (crossover to READ_COMPLETE)
-            # before returning, so it cannot be evicted under the copy below.
-            waited = self._await_gpu_copy(record)
+            waited = 0.0
             decoded = 0.0
-            if self._reduced_at(record, TierLevel.GPU):
-                # The GPU extent holds the physical form: reassemble the
-                # logical payload (chunk concat + modeled delta apply and
-                # decode charge) before handing bytes to the application.
-                payload, decoded = self.reducer.reconstruct(record, TierLevel.GPU)
-            else:
-                # Copy out to the application buffer (device-to-device).
-                # The GPU instance is READ_COMPLETE (pinned) until
-                # ``_consume`` below, so a zero-copy view of the extent is
-                # safe: this thread is the only one that could force-evict
-                # pinned extents.
-                payload = self.gpu_cache.read_payload(record, copy=False)
-            copied = self.device.d2d_link.transfer(record.nominal_size)
-            buffer.copy_from(payload)
-            if self.verify_restores:
-                actual = checksum_payload(payload[: buffer.payload.size])
-                if actual != record.checksum:
-                    raise IntegrityError(
-                        f"checkpoint {ckpt_id} payload corrupt: "
-                        f"crc {actual:#010x} != {record.checksum:#010x}"
+            copied = 0.0
+            repairs = 0
+            while True:
+                # _await_gpu_copy pins the extent (crossover to READ_COMPLETE)
+                # before returning, so it cannot be evicted under the copy
+                # below.
+                waited += self._await_gpu_copy(record)
+                if self._reduced_at(record, TierLevel.GPU):
+                    # The GPU extent holds the physical form: reassemble the
+                    # logical payload (chunk concat + modeled delta apply and
+                    # decode charge) before handing bytes to the application.
+                    payload, step_decoded = self.reducer.reconstruct(
+                        record, TierLevel.GPU
                     )
+                    decoded += step_decoded
+                else:
+                    # Copy out to the application buffer (device-to-device).
+                    # The GPU instance is READ_COMPLETE (pinned) until
+                    # ``_consume`` below, so a zero-copy view of the extent is
+                    # safe: this thread is the only one that could force-evict
+                    # pinned extents.
+                    payload = self.gpu_cache.read_payload(record, copy=False)
+                copied += self.device.d2d_link.transfer(record.nominal_size)
+                buffer.copy_from(payload)
+                if self.verify_restores:
+                    actual = checksum_payload(payload[: buffer.payload.size])
+                    if actual != record.checksum:
+                        # Self-healing: CRC-scrub the at-rest copies, drop
+                        # the corrupt ones, and re-stage from a surviving
+                        # pristine copy before giving up.
+                        if (
+                            self.resilient
+                            and repairs < 2
+                            and self._repair_corruption(record)
+                        ):
+                            repairs += 1
+                            span.add(repaired=repairs)
+                            continue
+                        raise IntegrityError(
+                            f"checkpoint {ckpt_id} payload corrupt: "
+                            f"crc {actual:#010x} != {record.checksum:#010x}"
+                        )
+                break
             self._consume(record)
         blocked = waited + decoded + copied
         self._m_restore_ops.inc()
@@ -445,6 +575,92 @@ class ScoreEngine:
             )
         )
         return blocked
+
+    def _repair_corruption(self, record: CheckpointRecord) -> bool:
+        """Recover from an at-rest corrupt durable copy found at restore.
+
+        CRC-scrubs every durable copy (local SSD, partner SSD, PFS) against
+        the pristine checksum stamped at put() time, deletes the copies
+        whose bytes diverged (journaling the retract), drops the cache
+        copies hydrated from them, recomputes the durable placement from
+        what survived, and re-flushes the repaired tier from an upper-tier
+        pristine copy.  Returns ``False`` when nothing is provably corrupt
+        at rest or no pristine copy remains — the caller then raises
+        :class:`IntegrityError` as before.
+        """
+        key = self.store_key(record)
+        stores = []
+        if self.ssd.contains(key):
+            stores.append((TierLevel.SSD, self.ssd, self.ssd._track))
+        if self.partner_ssd is not None and self.partner_ssd.contains(key):
+            stores.append((TierLevel.SSD, self.partner_ssd, self.partner_ssd._track))
+        if self.pfs is not None and self.pfs.contains(key):
+            stores.append((TierLevel.PFS, self.pfs, "pfs"))
+        bad = [entry for entry in stores if not entry[1].verify(key)]
+        if not bad or len(bad) == len(stores):
+            return False
+        for level, store, track in bad:
+            store.delete(key)
+            if store in (self.ssd, self.pfs):
+                # Partner replicas stay outside the chunk accounting.
+                if self._reduced_at(record, level):
+                    self.reducer.detach(record, level)
+            self._journal_retract(record, track)
+            self.telemetry.registry.counter("resilience.corruption_repairs").inc()
+            self.telemetry.bus.instant(
+                "restore-corrupt", self._app_track, ckpt=record.ckpt_id, tier=track
+            )
+            log.warning(
+                "p%d: dropped corrupt at-rest copy of checkpoint %d on %s",
+                self.process_id, record.ckpt_id, track,
+            )
+        # The cache copies were hydrated from a corrupt blob: drop them so
+        # the re-promotion below re-reads a pristine durable copy.
+        self.gpu_cache.release(record)
+        self.host_cache.release(record)
+        has_ssd = self.ssd.contains(key)
+        has_pfs = self.pfs is not None and self.pfs.contains(key)
+        partner_has = self.partner_ssd is not None and self.partner_ssd.contains(key)
+        with self.monitor:
+            if has_pfs:
+                record.durable_level = TierLevel.PFS
+            elif has_ssd or partner_has:
+                record.durable_level = TierLevel.SSD
+            else:
+                record.durable_level = None
+            record.durable_store = (
+                self.partner_ssd if (partner_has and not has_ssd and not has_pfs) else None
+            )
+            self.monitor.notify_all()
+        if has_pfs and not has_ssd:
+            # Re-flush the repaired SSD tier from the pristine PFS copy so
+            # the node-local fast path heals too (best effort: the PFS copy
+            # alone already satisfies durability).
+            try:
+                payload, _ = self.pfs.get(
+                    key,
+                    node_id=self.node_id,
+                    request=self._sched_request(TransferClass.DEMAND_READ),
+                )
+                self.ssd.put(
+                    key,
+                    payload,
+                    record.stored_size(TierLevel.SSD),
+                    meta=self.recovery_meta(record),
+                    request=self._sched_request(TransferClass.CASCADE_FLUSH),
+                )
+                with self.monitor:
+                    if self._reduced_at(record, TierLevel.SSD):
+                        self.reducer.attach(record, TierLevel.SSD)
+                    self.monitor.notify_all()
+                self._journal_commit(record, TierLevel.SSD, self.ssd._track)
+            except (TransferError, ReproError):
+                log.warning(
+                    "p%d: SSD re-flush of repaired checkpoint %d failed; "
+                    "reads stay on the PFS",
+                    self.process_id, record.ckpt_id,
+                )
+        return record.durable_level is not None
 
     def _await_gpu_copy(self, record: CheckpointRecord) -> float:
         """Block until the GPU cache holds a full copy of ``record``;
@@ -515,6 +731,14 @@ class ScoreEngine:
                         # in-flight speculative prefetches on the way.
                         request=self._sched_request(TransferClass.DEMAND_READ),
                     )
+                except TransientTransferError:
+                    # Injected transient fault (link fault, tier outage):
+                    # back off on the virtual clock before re-resolving so a
+                    # dark tier doesn't busy-spin the demand loop.
+                    delay = 0.05
+                    if self.retry_policy is not None:
+                        delay = self.retry_policy.backoff(0, "demand", record.ckpt_id)
+                    self.clock.sleep(delay)
                 except ReproError:
                     # The source moved while we promoted; re-resolve.
                     pass
@@ -753,7 +977,9 @@ class ScoreEngine:
         }
         if record.reduction is not None:
             # The blob is the physical form; reassembly needs the chunk
-            # recipe, which lives only in this incarnation's reducer.
+            # recipe (persisted in the durable RecipeStore sidecar when
+            # resilience is on, otherwise only in this incarnation's
+            # reducer).
             meta["reduced"] = True
             meta["logical_size"] = record.nominal_size
         return meta
@@ -761,58 +987,104 @@ class ScoreEngine:
     def recover_history(self) -> int:
         """Rebuild the catalog from the durable tiers after a restart.
 
-        Scans the node-local SSD (and the PFS, when present) for this
-        process's checkpoints, recreating catalog records with their
-        recovery metadata so they can be hinted and restored exactly like
-        checkpoints written in this incarnation.  Returns the number of
-        checkpoints recovered.  Already-known ids are skipped, so calling
+        With resilience on, the crash-consistent manifest journal is
+        replayed first (commit entries are validated against the stores, so
+        a journal entry whose blob vanished is ignored); the store scan then
+        fills in anything the journal missed — the node-local SSD, partner
+        SSDs holding replicas, and the PFS.  Reduced checkpoints are
+        rebuilt from the durable chunk-recipe sidecar and re-attached at
+        every durable tier; without a recipe (or without resilience) they
+        are skipped with a warning, as before.  Returns the number of
+        checkpoints recovered; already-known ids are skipped, so calling
         this on a warm engine is a no-op.
         """
         self._require_open()
         recovered = 0
-        sources = [(TierLevel.SSD, self.ssd)]
+        sources = [(TierLevel.SSD, self.ssd, self.ssd._track)]
         for node in self.context.node.cluster.nodes:
             if node.ssd is not self.ssd:
                 # Partner replicas on other nodes' SSDs are recoverable too.
-                sources.append((TierLevel.SSD, node.ssd))
+                sources.append((TierLevel.SSD, node.ssd, node.ssd._track))
         if self.pfs is not None:
-            sources.append((TierLevel.PFS, self.pfs))
+            sources.append((TierLevel.PFS, self.pfs, "pfs"))
+        store_map = {track: (level, store) for level, store, track in sources}
         with self.monitor:
-            for level, store in sources:
-                for key in store.keys_for_process(self.process_id):
-                    ckpt_id = key[1]
-                    if store.meta(key).get("reduced"):
-                        # Reduced blobs are placeholders whose chunk recipe
-                        # died with the previous incarnation's reducer; they
-                        # cannot be reassembled across a restart (documented
-                        # limitation — a durable recipe store is future work).
-                        log.warning(
-                            "p%d: skipping reduced checkpoint %d on %s during "
-                            "recovery (chunk recipe not durable)",
-                            self.process_id,
-                            ckpt_id,
-                            level.name,
-                        )
-                        continue
-                    if self.catalog.contains(ckpt_id):
-                        existing = self.catalog.get(ckpt_id)
-                        if existing.durable_level is None or existing.durable_level < level:
-                            pass  # keep the fastest durable level
-                        continue
-                    meta = store.meta(key)
-                    nominal = store.size_of(key)
-                    record = self.catalog.create(
-                        ckpt_id,
-                        nominal,
-                        int(meta.get("true_size", nominal)),
-                        int(meta.get("checksum", 0)),
-                    )
-                    record.durable_level = level
-                    if store is not self.ssd and level is TierLevel.SSD:
-                        record.durable_store = store  # a partner node's SSD
-                    recovered += 1
+            if self.resilient and self.config.resilience.journal:
+                for ckpt_id, locations in sorted(
+                    self.journal.entries_for(self.process_id).items()
+                ):
+                    for store_id in sorted(locations):
+                        resolved = store_map.get(store_id)
+                        if resolved is None:
+                            continue
+                        level, store = resolved
+                        entry = locations[store_id]
+                        if self._adopt_durable(
+                            ckpt_id, level, store, entry.get("meta") or {}
+                        ):
+                            recovered += 1
+            for level, store, _track in sources:
+                for key in sorted(store.keys_for_process(self.process_id)):
+                    if self._adopt_durable(
+                        key[1], level, store, store.meta(key) or {}
+                    ):
+                        recovered += 1
             self.monitor.notify_all()
         return recovered
+
+    def _adopt_durable(self, ckpt_id: int, level: TierLevel, store, meta: dict) -> bool:
+        """Monitor held: adopt one durable blob into the catalog.
+
+        Returns ``True`` when a new record was created; an already-adopted
+        checkpoint only gets its reduced image re-attached at this level
+        (blobs and chunk references must agree — the validator checks it).
+        """
+        key = (self.process_id, ckpt_id)
+        if not store.contains(key):
+            return False  # journal entry whose blob is gone: not trusted
+        reduced = bool(meta.get("reduced"))
+        home = store in (self.ssd, self.pfs)
+        record = self.catalog.maybe_get(ckpt_id)
+        if record is not None:
+            if reduced and record.reduction is not None and home:
+                self.reducer.attach(record, level)
+            return False
+        nominal = store.size_of(key)
+        if reduced:
+            image = (
+                self.recipes.load(self.process_id, ckpt_id)
+                if (self.resilient and self.reducer is not None)
+                else None
+            )
+            if image is None:
+                log.warning(
+                    "p%d: skipping reduced checkpoint %d on %s during "
+                    "recovery (no durable chunk recipe)",
+                    self.process_id, ckpt_id, level.name,
+                )
+                return False
+            logical = int(meta.get("logical_size", image.logical_size))
+            record = self.catalog.create(
+                ckpt_id,
+                logical,
+                int(meta.get("true_size", logical)),
+                int(meta.get("checksum", 0)),
+            )
+            record.physical_size = image.physical_size
+            record.reduction = image
+            if home:
+                self.reducer.attach(record, level)
+        else:
+            record = self.catalog.create(
+                ckpt_id,
+                nominal,
+                int(meta.get("true_size", nominal)),
+                int(meta.get("checksum", 0)),
+            )
+        record.durable_level = level
+        if store is not self.ssd and level is TierLevel.SSD:
+            record.durable_store = store  # a partner node's SSD
+        return True
 
     # -- maintenance ------------------------------------------------------------------------
     def wait_for_flushes(self, timeout: Optional[float] = None) -> float:
@@ -822,12 +1094,16 @@ class ScoreEngine:
 
         ``timeout`` (nominal seconds) bounds the wait: on expiry a
         :class:`FlushTimeoutError` is raised whose message carries the
-        flush-stream depths, the shared-link byte backlog and — when QoS
-        scheduling is on — the per-link arbiter queue snapshots, instead of
-        the historical behaviour of hanging with no indication of which
-        stage stalled.
+        flush-stream depths, the shared-link byte backlog, retry/breaker
+        state and — when QoS scheduling is on — the per-link arbiter queue
+        snapshots, instead of the historical behaviour of hanging with no
+        indication of which stage stalled.  When ``timeout`` is omitted the
+        ``RuntimeConfig.flush_wait_timeout`` default applies (``None`` →
+        wait forever).
         """
         self._require_open()
+        if timeout is None:
+            timeout = self.config.flush_wait_timeout
         if timeout is not None and timeout < 0:
             raise ValueError(f"negative timeout: {timeout}")
         with Stopwatch(self.clock) as sw:
@@ -861,6 +1137,14 @@ class ScoreEngine:
         if self.sched.enabled:
             stalled = [s for s in self.sched.snapshot() if s["depth"]]
             message += f"; scheduler queues {stalled or 'all empty'}"
+        if self.resilient:
+            message += (
+                f"; retries={flusher.retries} rerouted={flusher.rerouted} "
+                f"backfill_pending={flusher.backfill_depth}"
+                f"; breakers {self.health.snapshot() or 'all closed'}"
+            )
+        if self.faults.enabled:
+            message += f"; injected {self.faults.snapshot()}"
         return message
 
     def stats(self) -> dict:
@@ -882,6 +1166,15 @@ class ScoreEngine:
             }
             if self.reducer is not None:
                 stats["reduction"] = self.reducer.stats()
+            if self.resilient:
+                stats["resilience"] = {
+                    "flush_retries": self.flusher.retries,
+                    "rerouted": self.flusher.rerouted,
+                    "reflushed": self.flusher.reflushed,
+                    "backfilled": self.flusher.backfilled,
+                    "backfill_pending": self.flusher.backfill_depth,
+                    "breakers": self.health.snapshot(),
+                }
             return stats
 
     def close(self) -> None:

@@ -20,11 +20,18 @@ Problem condition (5): flushes of discarded checkpoints are abandoned —
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.lifecycle import CkptState
-from repro.errors import AllocationError, ReproError, TransferError
+from repro.errors import (
+    AllocationError,
+    ReproError,
+    TransferError,
+    TransientTransferError,
+)
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind
 from repro.sched.request import TransferClass
@@ -54,6 +61,15 @@ class Flusher:
         )
         self.abandoned = 0
         self.replicated = 0
+        #: self-healing tallies (resilience; all zero when it is off).
+        self.retries = 0
+        self.rerouted = 0
+        self.reflushed = 0
+        self.backfilled = 0
+        #: records rerouted to the PFS while the SSD was dark, awaiting a
+        #: catch-up copy back onto the node-local tier once it returns.
+        self._backfill: deque = deque()
+        self._backfill_lock = threading.Lock()
         self.telemetry = engine.telemetry
         pid = engine.process_id
         self._tracks = {
@@ -71,6 +87,19 @@ class Flusher:
         self._m_abandoned = registry.counter("flush.abandoned")
         self._m_d2h_depth = registry.gauge("flush.d2h.depth")
         self._m_h2f_depth = registry.gauge("flush.h2f.depth")
+        self._m_retries = registry.counter("resilience.flush_retries")
+        self._m_reroutes = registry.counter("resilience.reroutes")
+        self._m_reflush = registry.counter("resilience.reflushes")
+        self._m_backfills = registry.counter("resilience.backfills")
+
+    @property
+    def backfill_depth(self) -> int:
+        """Records durable only on the PFS, awaiting SSD catch-up copies."""
+        with self._backfill_lock:
+            return len(self._backfill)
+
+    def _track_for(self, stage: str) -> str:
+        return self._tracks.get(stage.split("-", 1)[0], self._tracks["h2f"])
 
     def _abandon(self, stage: str, record: "CheckpointRecord", reason: str) -> None:
         """Count + trace + log one abandoned flush leg (monitor NOT required)."""
@@ -122,7 +151,9 @@ class Flusher:
         deadline = None if timeout is None else time.monotonic() + timeout
         for _ in range(2):
             # Two passes: a d2h item may have enqueued h2f (and onward)
-            # work after the first downstream sync.
+            # work after the first downstream sync.  Each pass also gives
+            # rerouted records a chance to backfill onto a healed SSD.
+            self._drain_backfill()
             for stream in (
                 self.d2h_stream,
                 self.h2f_stream,
@@ -147,9 +178,257 @@ class Flusher:
         if self.f2p_stream is not None:
             self.f2p_stream.close(drain=True)
 
+    # -- self-healing machinery ----------------------------------------------
+    def _retrying(self, stage: str, record: "CheckpointRecord", fn, breaker=None):
+        """Run one flush leg, retrying injected transient faults.
+
+        A plain call when resilience is off — the
+        :class:`TransientTransferError` then propagates into the stage's
+        historical ``TransferError`` handling, so disabled behavior is
+        unchanged.  Each attempt feeds the endpoint's circuit breaker when
+        ``breaker`` names one; exponential backoff with deterministic jitter
+        is charged on the virtual clock.
+        """
+        engine = self.engine
+        policy = engine.retry_policy
+        attempt = 0
+        while True:
+            try:
+                result = fn()
+            except TransientTransferError:
+                if breaker is not None:
+                    engine.health.failure(breaker)
+                if (
+                    policy is None
+                    or attempt >= policy.budget("CASCADE_FLUSH")
+                    or record.cancel_flush.is_set()
+                    or engine.crashed.is_set()
+                ):
+                    raise
+                delay = policy.backoff(attempt, stage, record.ckpt_id)
+                self.retries += 1
+                self._m_retries.inc()
+                self.telemetry.bus.instant(
+                    "flush-retry",
+                    self._track_for(stage),
+                    ckpt=record.ckpt_id,
+                    stage=stage,
+                    attempt=attempt,
+                    delay=delay,
+                )
+                engine.clock.sleep(delay)
+                attempt += 1
+                continue
+            if breaker is not None:
+                engine.health.success(breaker)
+            return result
+
+    def _reverify(self, stage: str, record: "CheckpointRecord", store, breaker, reput) -> bool:
+        """Post-flush CRC re-verification with bounded re-flush.
+
+        Scrubs the just-written blob against the pristine CRC stamped at
+        put() time; a mismatch (injected at-rest corruption) deletes the
+        blob and re-puts it from the in-hand pristine payload, twice at
+        most.  Returns ``True`` once the stored copy verifies.
+        """
+        engine = self.engine
+        key = engine.store_key(record)
+        for attempt in range(2):
+            if store.verify(key):
+                return True
+            self.reflushed += 1
+            self._m_reflush.inc()
+            self.telemetry.bus.instant(
+                "flush-reverify",
+                self._track_for(stage),
+                ckpt=record.ckpt_id,
+                stage=stage,
+                tier=getattr(store, "_track", "pfs"),
+                attempt=attempt,
+            )
+            log.warning(
+                "p%d: %s flush of checkpoint %d failed CRC verification; "
+                "re-flushing",
+                engine.process_id, stage, record.ckpt_id,
+            )
+            store.delete(key)
+            try:
+                self._retrying(stage, record, reput, breaker=breaker)
+            except TransferError:
+                return False
+        return store.verify(key)
+
+    def _durable_ssd_put(self, stage: str, record: "CheckpointRecord", payload):
+        """Land ``payload`` durably: the local SSD, or the PFS when the SSD
+        is dark (circuit breaker open, outage window) and rerouting is on.
+
+        Returns ``"ssd"`` or ``"pfs"`` naming where the blob landed —
+        durability, chunk attachment and the journal entry are already
+        committed for ``"pfs"`` (handled by the reroute) — or ``None``
+        after abandoning the leg.
+        """
+        engine = self.engine
+        key = engine.store_key(record)
+        breaker = engine.ssd._track
+        rcfg = engine.config.resilience
+
+        def put(copy: bool) -> None:
+            engine.ssd.put(
+                key,
+                payload,
+                record.stored_size(TierLevel.SSD),
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+                copy=copy,
+                request=self._request(record),
+            )
+
+        if engine.resilient and not engine.health.allow(breaker):
+            # Blacklisted: don't feed the dark tier another doomed write.
+            if rcfg.reroute and engine.pfs is not None:
+                return "pfs" if self._reroute_to_pfs(stage, record, payload) else None
+            self._abandon(stage, record, "ssd circuit breaker open")
+            return None
+        try:
+            # First attempt hands ownership of the snapshot to the store
+            # (copy=False, the historical zero-copy path); re-puts copy.
+            self._retrying(stage, record, lambda: put(False), breaker=breaker)
+        except TransientTransferError as exc:
+            if engine.resilient and rcfg.reroute and engine.pfs is not None:
+                return "pfs" if self._reroute_to_pfs(stage, record, payload) else None
+            self._abandon(stage, record, f"{type(exc).__name__} mid-transfer")
+            return None
+        except TransferError:
+            self._abandon(stage, record, "cancelled mid-transfer")
+            return None
+        if engine.resilient and rcfg.reverify:
+            if not self._reverify(stage, record, engine.ssd, breaker, lambda: put(True)):
+                engine.ssd.delete(key)
+                engine._journal_retract(record, breaker)
+                if rcfg.reroute and engine.pfs is not None:
+                    return "pfs" if self._reroute_to_pfs(stage, record, payload) else None
+                self._abandon(stage, record, "persistent corruption on SSD put")
+                return None
+        return "ssd"
+
+    def _reroute_to_pfs(self, stage: str, record: "CheckpointRecord", payload) -> bool:
+        """Reroute a durable put around a dark SSD, straight to the PFS.
+
+        On success the record is durable at PFS (journaled, chunks
+        attached) and queued for backfill — a catch-up copy onto the SSD
+        once it returns.  Returns ``False`` after abandoning.
+        """
+        engine = self.engine
+        pfs = engine.pfs
+        key = engine.store_key(record)
+        rcfg = engine.config.resilience
+        self.rerouted += 1
+        self._m_reroutes.inc()
+        self.telemetry.bus.instant(
+            "flush-reroute", self._track_for(stage), ckpt=record.ckpt_id, stage=stage
+        )
+        log.info(
+            "p%d: rerouting %s flush of checkpoint %d around the dark SSD "
+            "to the PFS",
+            engine.process_id, stage, record.ckpt_id,
+        )
+
+        def put() -> None:
+            pfs.put(
+                key,
+                payload,
+                record.stored_size(TierLevel.PFS),
+                node_id=engine.node_id,
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+                request=self._request(record),
+            )
+
+        reroute_stage = f"{stage}-reroute"
+        try:
+            self._retrying(reroute_stage, record, put, breaker="pfs")
+        except TransferError as exc:
+            self._abandon(stage, record, f"PFS reroute failed ({type(exc).__name__})")
+            return False
+        if rcfg.reverify and not self._reverify(
+            reroute_stage, record, pfs, "pfs", put
+        ):
+            pfs.delete(key)
+            engine._journal_retract(record, "pfs")
+            self._abandon(stage, record, "persistent corruption on PFS reroute")
+            return False
+        with engine.monitor:
+            if record.durable_level is None or record.durable_level < TierLevel.PFS:
+                record.durable_level = TierLevel.PFS
+            if engine._reduced_at(record, TierLevel.PFS):
+                engine.reducer.attach(record, TierLevel.PFS)
+            engine.monitor.notify_all()
+        engine._journal_commit(record, TierLevel.PFS, "pfs")
+        if rcfg.backfill:
+            with self._backfill_lock:
+                self._backfill.append(record)
+        return True
+
+    def _drain_backfill(self) -> None:
+        """Catch-up copies for rerouted records once the SSD returns.
+
+        Pops queued records and copies their PFS blobs back onto the local
+        SSD, breaker-gated; a failure (tier still dark) re-queues the record
+        and stops until the next drain opportunity.
+        """
+        engine = self.engine
+        if not engine.resilient:
+            return
+        breaker = engine.ssd._track
+        while True:
+            with self._backfill_lock:
+                if not self._backfill:
+                    return
+                record = self._backfill.popleft()
+            key = engine.store_key(record)
+            if record.discarded or engine.crashed.is_set():
+                continue
+            if engine.ssd.contains(key):
+                continue  # already healed by another path
+            if engine.faults.hard_outage("ssd") or not engine.health.allow(breaker):
+                with self._backfill_lock:
+                    self._backfill.appendleft(record)
+                return
+            try:
+                payload, _ = engine.pfs.get(
+                    key, node_id=engine.node_id, request=self._request(record)
+                )
+                engine.ssd.put(
+                    key,
+                    payload,
+                    record.stored_size(TierLevel.SSD),
+                    cancelled=record.cancel_flush,
+                    meta=engine.recovery_meta(record),
+                    request=self._request(record),
+                )
+            except (TransferError, ReproError):
+                engine.health.failure(breaker)
+                with self._backfill_lock:
+                    self._backfill.appendleft(record)
+                return
+            engine.health.success(breaker)
+            with engine.monitor:
+                if engine._reduced_at(record, TierLevel.SSD):
+                    engine.reducer.attach(record, TierLevel.SSD)
+                engine.monitor.notify_all()
+            engine._journal_commit(record, TierLevel.SSD, breaker)
+            self.backfilled += 1
+            self._m_backfills.inc()
+            self.telemetry.bus.instant(
+                "flush-backfill", self._track_for("h2f"), ckpt=record.ckpt_id
+            )
+
     # -- stages --------------------------------------------------------------
     def _flush_d2h(self, record: "CheckpointRecord") -> None:
         engine = self.engine
+        if engine.crashed.is_set():
+            return  # the incarnation is dead; drop queued work
+        engine._maybe_crash("before-d2h", record)
         started = engine.clock.now()
         with engine.monitor:
             gpu_inst = record.peek(TierLevel.GPU)
@@ -185,10 +464,14 @@ class Flusher:
             "d2h", self._tracks["d2h"], ckpt=record.ckpt_id, bytes=wire
         ) as span:
             try:
-                engine.device.d2h_link.transfer(
-                    wire,
-                    cancelled=record.cancel_flush,
-                    request=self._request(record),
+                self._retrying(
+                    "d2h",
+                    record,
+                    lambda: engine.device.d2h_link.transfer(
+                        wire,
+                        cancelled=record.cancel_flush,
+                        request=self._request(record),
+                    ),
                 )
             except TransferError:
                 span.add(abandoned=True)
@@ -223,12 +506,16 @@ class Flusher:
                 source_level=TierLevel.GPU.name,
             )
         )
+        engine._maybe_crash("after-d2h", record)
         self.h2f_stream.submit(lambda: self._flush_h2f(record), label=f"h2f-{record.ckpt_id}")
         self._m_h2f_depth.set(self.h2f_stream.depth)
 
     def _flush_d2s(self, record: "CheckpointRecord") -> None:
         """GPUDirect storage flush: GPU cache → SSD, no host staging."""
         engine = self.engine
+        if engine.crashed.is_set():
+            return
+        engine._maybe_crash("before-d2s", record)
         started = engine.clock.now()
         with engine.monitor:
             gpu_inst = record.peek(TierLevel.GPU)
@@ -252,34 +539,38 @@ class Flusher:
         ) as span:
             try:
                 # The DMA crosses the same PCIe link, then commits to the drive.
-                engine.device.d2h_link.transfer(
-                    wire,
-                    cancelled=record.cancel_flush,
-                    request=self._request(record),
-                )
-                engine.ssd.put(
-                    engine.store_key(record),
-                    payload,
-                    record.stored_size(TierLevel.SSD),
-                    cancelled=record.cancel_flush,
-                    meta=engine.recovery_meta(record),
-                    copy=False,  # the snapshot is this flush's private copy
-                    request=self._request(record),
+                self._retrying(
+                    "d2s",
+                    record,
+                    lambda: engine.device.d2h_link.transfer(
+                        wire,
+                        cancelled=record.cancel_flush,
+                        request=self._request(record),
+                    ),
                 )
             except TransferError:
                 span.add(abandoned=True)
                 self._abandon("d2s", record, "cancelled mid-transfer")
                 return
+            outcome = self._durable_ssd_put("d2s", record, payload)
+            if outcome is None:
+                span.add(abandoned=True)
+                return
+            if outcome == "pfs":
+                span.add(rerouted=True)
         self._m_bytes["d2s"].inc(wire)
         with engine.monitor:
-            if record.durable_level is None or record.durable_level < TierLevel.SSD:
-                record.durable_level = TierLevel.SSD
-            if engine._reduced_at(record, TierLevel.SSD):
-                engine.reducer.attach(record, TierLevel.SSD)
+            if outcome == "ssd":
+                if record.durable_level is None or record.durable_level < TierLevel.SSD:
+                    record.durable_level = TierLevel.SSD
+                if engine._reduced_at(record, TierLevel.SSD):
+                    engine.reducer.attach(record, TierLevel.SSD)
             gpu_now = record.peek(TierLevel.GPU)
             if gpu_now is not None:
                 gpu_now.try_transition(CkptState.FLUSHED, engine.clock.now())
             engine.monitor.notify_all()
+        if outcome == "ssd":
+            engine._journal_commit(record, TierLevel.SSD, engine.ssd._track)
         engine.recorder.record(
             OpEvent(
                 kind=OpKind.FLUSH,
@@ -290,11 +581,19 @@ class Flusher:
                 source_level=TierLevel.GPU.name,
             )
         )
-        if self.f2p_stream is not None:
-            self.f2p_stream.submit(lambda: self._flush_f2p(record), label=f"f2p-{record.ckpt_id}")
+        engine._maybe_crash("after-d2s", record)
+        if outcome == "ssd":
+            self._drain_backfill()
+            if self.f2p_stream is not None:
+                self.f2p_stream.submit(
+                    lambda: self._flush_f2p(record), label=f"f2p-{record.ckpt_id}"
+                )
 
     def _flush_h2f(self, record: "CheckpointRecord") -> None:
         engine = self.engine
+        if engine.crashed.is_set():
+            return
+        engine._maybe_crash("before-h2f", record)
         with engine.monitor:
             host_inst = record.peek(TierLevel.HOST)
             if record.discarded or host_inst is None:
@@ -315,40 +614,43 @@ class Flusher:
         with self.telemetry.bus.span(
             "h2f", self._tracks["h2f"], ckpt=record.ckpt_id, bytes=wire
         ) as span:
-            try:
-                engine.ssd.put(
-                    engine.store_key(record),
-                    payload,
-                    record.stored_size(TierLevel.SSD),
-                    cancelled=record.cancel_flush,
-                    meta=engine.recovery_meta(record),
-                    copy=False,  # the snapshot is this flush's private copy
-                    request=self._request(record),
-                )
-            except TransferError:
+            outcome = self._durable_ssd_put("h2f", record, payload)
+            if outcome is None:
                 span.add(abandoned=True)
-                self._abandon("h2f", record, "cancelled mid-transfer")
                 return
+            if outcome == "pfs":
+                span.add(rerouted=True)
         self._m_bytes["h2f"].inc(wire)
         with engine.monitor:
-            if record.durable_level is None or record.durable_level < TierLevel.SSD:
-                record.durable_level = TierLevel.SSD
-            if engine._reduced_at(record, TierLevel.SSD):
-                engine.reducer.attach(record, TierLevel.SSD)
+            if outcome == "ssd":
+                if record.durable_level is None or record.durable_level < TierLevel.SSD:
+                    record.durable_level = TierLevel.SSD
+                if engine._reduced_at(record, TierLevel.SSD):
+                    engine.reducer.attach(record, TierLevel.SSD)
             host_now = record.peek(TierLevel.HOST)
             if host_now is not None:
                 host_now.try_transition(CkptState.FLUSHED, engine.clock.now())
             engine.monitor.notify_all()
-        if self.repl_stream is not None:
-            self.repl_stream.submit(
-                lambda: self._replicate(record), label=f"repl-{record.ckpt_id}"
-            )
-        if self.f2p_stream is not None:
-            self.f2p_stream.submit(lambda: self._flush_f2p(record), label=f"f2p-{record.ckpt_id}")
+        if outcome == "ssd":
+            engine._journal_commit(record, TierLevel.SSD, engine.ssd._track)
+        engine._maybe_crash("after-h2f", record)
+        if outcome == "ssd":
+            self._drain_backfill()
+            if self.repl_stream is not None:
+                self.repl_stream.submit(
+                    lambda: self._replicate(record), label=f"repl-{record.ckpt_id}"
+                )
+            if self.f2p_stream is not None:
+                self.f2p_stream.submit(
+                    lambda: self._flush_f2p(record), label=f"f2p-{record.ckpt_id}"
+                )
 
     def _replicate(self, record: "CheckpointRecord") -> None:
         """Copy the durable checkpoint to the partner node's SSD."""
         engine = self.engine
+        if engine.crashed.is_set():
+            return
+        engine._maybe_crash("before-repl", record)
         with engine.monitor:
             if record.discarded:
                 self._abandon("repl", record, "discarded before replication")
@@ -357,35 +659,44 @@ class Flusher:
         # accounting: the home node owns the recipe, the partner only keeps a
         # byte-copy for node-failure recovery.
         stored = record.stored_size(TierLevel.SSD)
+
+        def copy_to_partner() -> None:
+            payload, _ = engine.ssd.get(
+                engine.store_key(record), request=self._request(record)
+            )
+            engine.partner_link.transfer(
+                stored,
+                cancelled=record.cancel_flush,
+                request=self._request(record),
+            )
+            engine.partner_ssd.put(
+                engine.store_key(record),
+                payload,
+                stored,
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+                request=self._request(record),
+            )
+
         with self.telemetry.bus.span(
             "repl", self._tracks["repl"], ckpt=record.ckpt_id, bytes=stored
         ) as span:
             try:
-                payload, _ = engine.ssd.get(
-                    engine.store_key(record), request=self._request(record)
-                )
-                engine.partner_link.transfer(
-                    stored,
-                    cancelled=record.cancel_flush,
-                    request=self._request(record),
-                )
-                engine.partner_ssd.put(
-                    engine.store_key(record),
-                    payload,
-                    stored,
-                    cancelled=record.cancel_flush,
-                    meta=engine.recovery_meta(record),
-                    request=self._request(record),
-                )
+                self._retrying("repl", record, copy_to_partner)
             except (TransferError, ReproError) as exc:
                 span.add(abandoned=True)
                 self._abandon("repl", record, f"{type(exc).__name__} during replication")
                 return
         self._m_bytes["repl"].inc(stored)
         self.replicated += 1
+        engine._journal_commit(record, TierLevel.SSD, engine.partner_ssd._track)
+        engine._maybe_crash("after-repl", record)
 
     def _flush_f2p(self, record: "CheckpointRecord") -> None:
         engine = self.engine
+        if engine.crashed.is_set():
+            return
+        engine._maybe_crash("before-f2p", record)
         with engine.monitor:
             if record.discarded:
                 self._abandon("f2p", record, "discarded before PFS flush")
@@ -393,32 +704,61 @@ class Flusher:
         pfs = engine.pfs
         if pfs is None:
             return
+        if engine.resilient and not engine.health.allow("pfs"):
+            # The SSD copy is already durable; skip the dark PFS rather
+            # than feed its breaker another doomed upgrade write.
+            self._abandon("f2p", record, "pfs circuit breaker open")
+            return
+        key = engine.store_key(record)
+        stored = record.stored_size(TierLevel.PFS)
         wire = record.wire_size(TierLevel.SSD, TierLevel.PFS)
         with self.telemetry.bus.span(
             "f2p", self._tracks["f2p"], ckpt=record.ckpt_id, bytes=wire
         ) as span:
             try:
                 # This SSD read-back shares the read link with demand
-                # restores — the QoS tag keeps it behind them.
-                payload, _ = engine.ssd.get(
-                    engine.store_key(record), request=self._request(record)
-                )
-                pfs.put(
-                    engine.store_key(record),
-                    payload,
-                    record.stored_size(TierLevel.PFS),
-                    node_id=engine.node_id,
-                    cancelled=record.cancel_flush,
-                    meta=engine.recovery_meta(record),
-                    request=self._request(record),
+                # restores — the QoS tag keeps it behind them.  Retried
+                # separately from the PFS write so an SSD failure never
+                # counts against the PFS breaker.
+                payload, _ = self._retrying(
+                    "f2p",
+                    record,
+                    lambda: engine.ssd.get(key, request=self._request(record)),
                 )
             except TransferError:
                 span.add(abandoned=True)
                 self._abandon("f2p", record, "cancelled mid-transfer")
                 return
+
+            def put() -> None:
+                pfs.put(
+                    key,
+                    payload,
+                    stored,
+                    node_id=engine.node_id,
+                    cancelled=record.cancel_flush,
+                    meta=engine.recovery_meta(record),
+                    request=self._request(record),
+                )
+
+            try:
+                self._retrying("f2p", record, put, breaker="pfs")
+            except TransferError:
+                span.add(abandoned=True)
+                self._abandon("f2p", record, "cancelled mid-transfer")
+                return
+            if engine.resilient and engine.config.resilience.reverify:
+                if not self._reverify("f2p", record, pfs, "pfs", put):
+                    pfs.delete(key)
+                    engine._journal_retract(record, "pfs")
+                    span.add(abandoned=True)
+                    self._abandon("f2p", record, "persistent corruption on PFS put")
+                    return
         self._m_bytes["f2p"].inc(wire)
         with engine.monitor:
             record.durable_level = TierLevel.PFS
             if engine._reduced_at(record, TierLevel.PFS):
                 engine.reducer.attach(record, TierLevel.PFS)
             engine.monitor.notify_all()
+        engine._journal_commit(record, TierLevel.PFS, "pfs")
+        engine._maybe_crash("after-f2p", record)

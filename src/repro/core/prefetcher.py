@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 from typing import Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import AdmissionError, ReproError
+from repro.errors import AdmissionError, ReproError, TransientTransferError
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind
 from repro.sched.request import TransferClass
@@ -105,6 +105,23 @@ class Prefetcher:
                     span.add(shed=True)
                     self._m_sheds.inc()
                     shed = True
+                except TransientTransferError as exc:
+                    # Injected transient fault (link fault, tier outage):
+                    # back off on the virtual clock so a dark tier doesn't
+                    # busy-spin the prefetch loop, then re-evaluate.
+                    span.add(retried=True)
+                    self._m_retries.inc()
+                    delay = 0.05
+                    if engine.retry_policy is not None:
+                        delay = engine.retry_policy.backoff(
+                            0, "prefetch", record.ckpt_id
+                        )
+                    engine.clock.sleep(delay)
+                    log.debug(
+                        "p%d: prefetch of checkpoint %d (%s->%s) hit a "
+                        "transient fault: %s",
+                        engine.process_id, record.ckpt_id, src.name, dst.name, exc,
+                    )
                 except ReproError as exc:
                     # Raced with a concurrent state change (e.g. the extent
                     # appeared on the destination meanwhile); re-evaluate.

@@ -129,6 +129,15 @@ def _check_reduction(engine: "ScoreEngine") -> None:
     live images exactly, no orphans, chain depths within the bound."""
     reducer = engine.reducer
     assert reducer is not None
+    # Chain-head integrity: the delta base for the next encode must be a
+    # live catalog record — a failed checkpoint() that was rolled back may
+    # never linger as the base of future deltas.
+    head = reducer._last_image
+    if head is not None and not engine.catalog.contains(head.ckpt_id):
+        raise InvariantViolation(
+            f"reducer delta-chain head is checkpoint {head.ckpt_id}, which "
+            "is not in the catalog (leaked by a rolled-back write?)"
+        )
     caches = {TierLevel.GPU: engine.gpu_cache, TierLevel.HOST: engine.host_cache}
     expected: dict = {level: {} for level in TierLevel}
     for record in engine.catalog.all_records():

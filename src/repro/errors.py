@@ -52,6 +52,22 @@ class TransferError(ReproError):
     """An asynchronous transfer failed or was cancelled unexpectedly."""
 
 
+class TransientTransferError(TransferError):
+    """A transfer failed mid-flight for a recoverable reason (injected
+    link fault, tier brownout); retrying the same transfer may succeed.
+    Carries ``bytes_moved`` so callers can account partial progress."""
+
+    def __init__(self, message: str, bytes_moved: int = 0):
+        super().__init__(message)
+        self.bytes_moved = bytes_moved
+
+
+class TierOfflineError(TransientTransferError):
+    """The target tier is inside an outage window (or its circuit breaker
+    is open); the operation may succeed on another tier or after the
+    window ends."""
+
+
 class AdmissionError(TransferError):
     """A shared-link scheduler shed the transfer at admission (its bounded
     queue is full); the caller should back off and retry later."""
@@ -69,3 +85,10 @@ class FlushTimeoutError(TransferError):
 
 class UvmError(ReproError):
     """Unified-virtual-memory simulation misuse (bad advice, OOB access)."""
+
+
+class InjectedCrash(ReproError):
+    """A :class:`~repro.config.FaultConfig` crash point fired: the engine
+    process is considered dead from this instant.  Every subsequent engine
+    operation fails until a new engine is incarnated over the same cluster
+    and ``recover_history()`` replays the durable manifest."""

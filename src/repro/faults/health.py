@@ -1,0 +1,168 @@
+"""Per-tier health tracking: circuit breakers over store endpoints.
+
+Each durable endpoint (``node{j}-ssd``, ``pfs``) gets a
+:class:`CircuitBreaker` keyed by its telemetry track name.  The breaker is
+a classic three-state machine:
+
+* ``CLOSED`` — healthy; failures are counted, successes reset the count.
+* ``OPEN`` — after ``breaker_threshold`` *consecutive* failures the tier is
+  blacklisted: ``allow()`` returns ``False`` and the flush cascade reroutes
+  around it.  Opened-at is stamped on the **virtual** clock.
+* ``HALF_OPEN`` — once ``breaker_reset_s`` nominal seconds elapse, a single
+  probe operation is admitted; success closes the breaker, failure re-opens
+  it and restarts the cool-down.
+
+State transitions are emitted on the trace bus (track ``resilience``) so a
+Perfetto timeline shows exactly when a tier went dark and when it healed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.config import ResilienceConfig
+from repro.telemetry import Telemetry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Three-state breaker for one tier endpoint, timed on the virtual clock."""
+
+    def __init__(self, name: str, threshold: int, reset_s: float, clock,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        self.name = name
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self.clock = clock
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.opens = 0
+
+    def _emit(self, event: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.bus.instant(
+                event, track="resilience", tier=self.name,
+                failures=self._failures,
+            )
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether an operation against this tier should be attempted now.
+
+        In ``OPEN`` state this returns ``False`` until the cool-down
+        elapses, then admits exactly one half-open probe at a time.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self.clock.now() - self._opened_at < self.reset_s:
+                    return False
+                self._state = HALF_OPEN
+                self._probe_inflight = True
+                self._emit("breaker-probe")
+                return True
+            # HALF_OPEN: one probe at a time.
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_inflight = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._emit("breaker-close")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probe_inflight = False
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED and self._failures >= self.threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self.clock.now()
+                self.opens += 1
+                self._emit("breaker-open")
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "opens": self.opens,
+            }
+
+
+class HealthRegistry:
+    """Lazily-built map of tier endpoint name -> :class:`CircuitBreaker`.
+
+    All methods are no-ops (always healthy) when resilience is disabled, so
+    the hot path pays a single attribute check.
+    """
+
+    def __init__(self, config: ResilienceConfig, clock,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        self.config = config
+        self.enabled = config.enabled
+        self.clock = clock
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        with self._lock:
+            brk = self._breakers.get(name)
+            if brk is None:
+                brk = CircuitBreaker(
+                    name, self.config.breaker_threshold,
+                    self.config.breaker_reset_s, self.clock, self.telemetry,
+                )
+                self._breakers[name] = brk
+            return brk
+
+    def allow(self, name: str) -> bool:
+        """Gate a write/flush against ``name`` (consumes half-open probes)."""
+        if not self.enabled:
+            return True
+        return self.breaker(name).allow()
+
+    def healthy(self, name: str) -> bool:
+        """Read-side check: ``False`` only while the breaker is OPEN.
+
+        Unlike :meth:`allow` this never consumes a half-open probe slot, so
+        read routing cannot starve the write-side probe.
+        """
+        if not self.enabled:
+            return True
+        return self.breaker(name).state != OPEN
+
+    def success(self, name: str) -> None:
+        if self.enabled:
+            self.breaker(name).record_success()
+
+    def failure(self, name: str) -> None:
+        if self.enabled:
+            self.breaker(name).record_failure()
+
+    def snapshot(self) -> Dict[str, dict]:
+        if not self.enabled:
+            return {}
+        with self._lock:
+            breakers = list(self._breakers.items())
+        return {name: brk.snapshot() for name, brk in breakers}

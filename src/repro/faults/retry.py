@@ -1,0 +1,77 @@
+"""Budgeted retry with exponential backoff and deterministic jitter.
+
+Backoff delays are charged on the **virtual** clock, so retries cost
+simulated time (and show up in the chaos harness's overhead numbers)
+without slowing the host.  Jitter is derived from
+:func:`repro.util.rng.derive_seed` over the (stage, checkpoint, attempt)
+label path — two runs with the same seed back off identically, which keeps
+fault-injected runs reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TypeVar
+
+from repro.config import ResilienceConfig
+from repro.errors import TransientTransferError
+from repro.util.rng import derive_seed
+
+_DENOM = float(1 << 64)
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Per-transfer-class retry budgets + deterministic backoff schedule."""
+
+    def __init__(self, config: ResilienceConfig, seed: int) -> None:
+        self.config = config
+        self.seed = seed
+
+    def budget(self, class_name: str) -> int:
+        """Max retries (beyond the first attempt) for a transfer class."""
+        return self.config.retries_for(class_name)
+
+    def backoff(self, attempt: int, *labels) -> float:
+        """Nominal seconds to sleep before retry ``attempt`` (0-based)."""
+        cfg = self.config
+        base = min(
+            cfg.backoff_base_s * (cfg.backoff_factor ** attempt),
+            cfg.backoff_max_s,
+        )
+        jitter = derive_seed(self.seed, "jitter", *labels, attempt) / _DENOM
+        return base * (1.0 + cfg.jitter * jitter)
+
+
+def run_with_retries(
+    fn: Callable[[], T],
+    *,
+    policy: Optional[RetryPolicy],
+    clock,
+    class_name: str,
+    labels: tuple,
+    on_retry: Optional[Callable[[int, float, Exception], None]] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
+) -> T:
+    """Run ``fn`` retrying :class:`TransientTransferError` within budget.
+
+    Non-transient errors (cancellation ``TransferError``, lifecycle errors)
+    propagate immediately.  With ``policy=None`` this is a plain call —
+    zero-overhead when resilience is disabled.
+    """
+    if policy is None:
+        return fn()
+    budget = policy.budget(class_name)
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except TransientTransferError as exc:
+            if attempt >= budget:
+                raise
+            if should_abort is not None and should_abort():
+                raise
+            delay = policy.backoff(attempt, *labels)
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            clock.sleep(delay)
+            attempt += 1

@@ -103,6 +103,7 @@ class Reducer:
         telemetry: Optional[Telemetry] = None,
         process_id: int = 0,
         gpudirect: bool = False,
+        recipes=None,
     ) -> None:
         self.config = config
         self.scale = scale
@@ -119,6 +120,13 @@ class Reducer:
         }
         self._lock = threading.RLock()
         self._last_image: Optional[ReducedImage] = None
+        #: chain head before the most recent encode (for ``abort``).
+        self._prev_image: Optional[ReducedImage] = None
+        #: durable chunk-recipe sidecar (``repro.faults.journal.RecipeStore``)
+        #: or None; when set, every encoded recipe is persisted so reduced
+        #: checkpoints survive a crash and ``recover_history()`` can rebuild
+        #: them.
+        self.recipes = recipes
         # Per-reducer tallies (the registry counters below are shared across
         # the cluster's engines; ``stats`` must stay per-engine).
         self.rebases = 0
@@ -209,6 +217,7 @@ class Reducer:
                 base_ckpt=base.ckpt_id if used_delta else None,
                 site_level=self.site_level,
             )
+            self._prev_image = self._last_image
             self._last_image = image
             self.encodes += 1
             self.logical_bytes += record.nominal_size
@@ -223,6 +232,11 @@ class Reducer:
         # must already be physical when they first see it.
         record.physical_size = physical
         record.reduction = image
+        if self.recipes is not None:
+            # Durable sidecar write (metadata, uncharged): the recipe must
+            # be on disk before any blob of this checkpoint becomes durable,
+            # so a crash never leaves a recoverable blob without its recipe.
+            self.recipes.save(self.process_id, image)
         self._m_logical.inc(record.nominal_size)
         self._m_physical.inc(physical)
         self._m_new.inc(image.new_chunks)
@@ -244,6 +258,25 @@ class Reducer:
         )
         self.clock.sleep(seconds)
         return seconds
+
+    def abort(self, record: "CheckpointRecord") -> None:
+        """Roll back a just-encoded checkpoint (write-path exception safety).
+
+        Rewinds the delta-chain head when this record's image is still the
+        base, drops its persisted recipe, and clears the record's reduction
+        so the catalog rollback leaves no dangling chunk references (the
+        validator's chain-head invariant).
+        """
+        image = record.reduction
+        if image is None:
+            return
+        with self._lock:
+            if self._last_image is image:
+                self._last_image = self._prev_image
+        if self.recipes is not None:
+            self.recipes.discard(self.process_id, record.ckpt_id)
+        record.reduction = None
+        record.physical_size = record.nominal_size
 
     # -- reconstruction ----------------------------------------------------
     def reconstruct(

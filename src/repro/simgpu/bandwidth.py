@@ -64,6 +64,12 @@ class Link:
         #: in priority/WFQ order in bounded quanta instead of the FIFO chunk
         #: interleave.  Attached by :class:`repro.sched.SchedContext`.
         self.scheduler: Optional["LinkScheduler"] = None
+        #: optional fault source (:class:`repro.faults.LinkFaultInjector`);
+        #: when attached (by :class:`repro.faults.FaultDomain`), transfers
+        #: may fail mid-flight with :class:`TransientTransferError` after a
+        #: deterministically-drawn fraction of their bytes — the moved
+        #: bytes stay charged on the virtual clock and the link stats.
+        self.fault_injector = None
         self._mutex = threading.Lock()
         self._stats_lock = threading.Lock()
         self._busy_time = 0.0
@@ -142,8 +148,11 @@ class Link:
             raise TransferError(
                 f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
             )
+        fail_after = None
+        if self.fault_injector is not None and nbytes > 0:
+            fail_after = self.fault_injector.draw(nbytes)
         if self.scheduler is not None and request is not None:
-            return self._transfer_scheduled(nbytes, cancelled, request)
+            return self._transfer_scheduled(nbytes, cancelled, request, fail_after)
         with self._stats_lock:
             self._pending_bytes += nbytes
             self._transfers += 1
@@ -166,6 +175,8 @@ class Link:
                     raise TransferError(
                         f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
                     )
+                if fail_after is not None and nbytes - remaining >= fail_after:
+                    raise self.fault_injector.fault(nbytes, nbytes - remaining)
                 # Adaptive coalescing: when this is the only transfer in
                 # flight, interleaving chunks through the mutex buys nothing
                 # — move the whole remainder in one span.  Under contention
@@ -174,6 +185,8 @@ class Link:
                 with self._stats_lock:
                     alone = self._active == 1
                 span = remaining if alone else min(remaining, self.chunk_size)
+                if fail_after is not None:
+                    span = min(span, fail_after - (nbytes - remaining))
                 queued_at = self._clock.now()
                 with self._mutex:
                     accounted += self._clock.now() - queued_at  # contention
@@ -207,6 +220,7 @@ class Link:
         nbytes: int,
         cancelled: Optional[threading.Event],
         request: "TransferRequest",
+        fail_after: Optional[int] = None,
     ) -> float:
         """Arbitrated transfer: the scheduler grants the link in quanta.
 
@@ -245,7 +259,11 @@ class Link:
                     raise TransferError(
                         f"transfer of {nbytes} bytes on link {self.name!r} cancelled"
                     )
+                if fail_after is not None and nbytes - remaining >= fail_after:
+                    raise self.fault_injector.fault(nbytes, nbytes - remaining)
                 span = min(remaining, sched.quantum)
+                if fail_after is not None:
+                    span = min(span, fail_after - (nbytes - remaining))
                 queued_at = self._clock.now()
                 sched.acquire(entry)  # raises TransferError when cancelled
                 served = 0

@@ -26,7 +26,14 @@ import logging
 import os
 from typing import List, Optional, Sequence
 
-from repro.config import CacheConfig, ReduceConfig, SchedConfig, bench_config
+from repro.config import (
+    CacheConfig,
+    FaultConfig,
+    ReduceConfig,
+    ResilienceConfig,
+    SchedConfig,
+    bench_config,
+)
 from repro.log import enable_console_logging
 from repro.telemetry.exporters import render_summary, write_chrome_trace, write_jsonl
 from repro.util.units import MiB
@@ -81,6 +88,8 @@ def run_trace(
     sched: bool = False,
     reduce: bool = False,
     similarity: float = 0.9,
+    faults: Optional[FaultConfig] = None,
+    resilient: bool = False,
 ) -> dict:
     """Run ``workload`` with tracing on; return the written paths."""
     from repro.harness.approaches import make_engine_factory
@@ -96,6 +105,10 @@ def run_trace(
         cfg = cfg.with_(sched=SchedConfig(enabled=True))
     if reduce:
         cfg = cfg.with_(reduce=ReduceConfig(enabled=True))
+    if faults is not None:
+        cfg = cfg.with_(faults=faults)
+    if resilient:
+        cfg = cfg.with_(resilience=ResilienceConfig(enabled=True))
     specs = _build_specs(
         workload,
         cfg,
@@ -164,6 +177,22 @@ def run_trace(
     return out
 
 
+def _parse_outage(spec: str):
+    """``tier:start:end[:factor]`` -> a ``FaultConfig.tier_outages`` entry
+    (factor defaults to 0.0, a hard outage)."""
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise argparse.ArgumentTypeError(
+            f"expected tier:start:end[:factor], got {spec!r}"
+        )
+    try:
+        start, end = float(parts[1]), float(parts[2])
+        factor = float(parts[3]) if len(parts) == 4 else 0.0
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return (parts[0], start, end, factor)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
@@ -200,11 +229,65 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: 0.9)",
     )
     parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject transient transfer faults at this per-transfer "
+        "probability (implies fault injection on)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=93,
+        help="seed of the deterministic fault plan (default: 93)",
+    )
+    parser.add_argument(
+        "--outage",
+        action="append",
+        type=_parse_outage,
+        metavar="TIER:START:END[:FACTOR]",
+        help="tier outage window in nominal seconds, e.g. ssd:5:20 (hard) "
+        "or pfs:5:20:0.25 (brownout); repeatable",
+    )
+    parser.add_argument(
+        "--corruption-rate",
+        type=float,
+        default=0.0,
+        help="probability that a durable blob lands bit-corrupted at rest",
+    )
+    parser.add_argument(
+        "--crash-point",
+        default=None,
+        help="kill the engine at a flush-stage boundary, e.g. after-h2f "
+        "(one-shot; see repro.faults)",
+    )
+    parser.add_argument(
+        "--resilient",
+        action="store_true",
+        help="enable the self-healing stack (retries, circuit breakers, "
+        "reroute+backfill, CRC reverify, manifest journal)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="DEBUG logging of the repro runtime"
     )
     args = parser.parse_args(argv)
     if args.verbose:
         enable_console_logging(logging.DEBUG)
+    faults = None
+    if (
+        args.fault_rate > 0.0
+        or args.outage
+        or args.corruption_rate > 0.0
+        or args.crash_point is not None
+    ):
+        faults = FaultConfig(
+            enabled=True,
+            seed=args.fault_seed,
+            transfer_fault_rate=args.fault_rate,
+            tier_outages=tuple(args.outage or ()),
+            corruption_rate=args.corruption_rate,
+            crash_point=args.crash_point,
+        )
     out = run_trace(
         args.workload,
         out_dir=args.out_dir,
@@ -215,6 +298,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sched=args.sched,
         reduce=args.reduce,
         similarity=args.similarity,
+        faults=faults,
+        resilient=args.resilient,
     )
     print(out["rendered"])
     if "sched_rendered" in out:

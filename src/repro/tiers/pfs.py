@@ -17,10 +17,12 @@ from repro.clock import VirtualClock
 from repro.config import HardwareSpec, ScaleModel
 from repro.errors import CheckpointNotFound
 from repro.simgpu.bandwidth import Link
+from repro.simgpu.memory import checksum_payload
 from repro.telemetry import Telemetry
 from repro.tiers.base import InMemoryIndex, ObjectStore, StoreKey, TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultDomain
     from repro.sched.scheduler import SchedContext
 
 
@@ -38,11 +40,15 @@ class PfsStore(ObjectStore):
         aggregate_factor: float = 2.0,
         telemetry: Optional[Telemetry] = None,
         sched: Optional["SchedContext"] = None,
+        faults: Optional["FaultDomain"] = None,
     ) -> None:
         """``aggregate_factor``: the file system sustains this multiple of a
         single node's share before becoming the bottleneck."""
         self.scale = scale
         self._clock = clock
+        self.faults = faults if (faults is not None and faults.enabled) else None
+        self._crc_meta = faults is not None and faults.meta_crc
+        self._faults_hook = faults
         self.telemetry = telemetry or Telemetry.disabled()
         registry = self.telemetry.registry
         self._m_write_bytes = registry.counter("tier.pfs.write_bytes")
@@ -61,6 +67,9 @@ class PfsStore(ObjectStore):
         if sched is not None:
             sched.attach(self.global_write_link)
             sched.attach(self.global_read_link)
+        if faults is not None:
+            faults.attach(self.global_write_link)
+            faults.attach(self.global_read_link)
         self._node_write_links: Dict[int, Link] = {}
         self._node_read_links: Dict[int, Link] = {}
         self._link_lock = threading.Lock()
@@ -88,6 +97,9 @@ class PfsStore(ObjectStore):
                 if self._sched is not None:
                     self._sched.attach(self._node_write_links[node_id])
                     self._sched.attach(self._node_read_links[node_id])
+                if self._faults_hook is not None:
+                    self._faults_hook.attach(self._node_write_links[node_id])
+                    self._faults_hook.attach(self._node_read_links[node_id])
             return self._node_write_links[node_id], self._node_read_links[node_id]
 
     def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
@@ -98,6 +110,14 @@ class PfsStore(ObjectStore):
         meta = kw.get("meta")
         copy = kw.get("copy", True)
         request = kw.get("request")
+        slow = 1.0
+        corrupt_at = None
+        if self.faults is not None:
+            slow = self.faults.tier_gate("pfs", "pfs", "put", key)
+            corrupt_at = self.faults.corruption("pfs", key, int(payload.size))
+        if self._crc_meta:
+            meta = dict(meta or {})
+            meta["stored_crc"] = int(checksum_payload(payload))
         node_link, _ = self.node_links(node_id)
         with self.telemetry.bus.span("pfs-put", "pfs", key=key, bytes=nominal_size):
             seconds = node_link.transfer(
@@ -106,9 +126,16 @@ class PfsStore(ObjectStore):
             seconds += self.global_write_link.transfer(
                 nominal_size, cancelled=cancelled, request=request
             )
+            if slow > 1.0:  # brownout: degraded throughput, same bytes
+                extra = seconds * (slow - 1.0)
+                self._clock.sleep(extra)
+                seconds += extra
         self._m_write_bytes.inc(nominal_size)
         self._m_write_ops.inc()
-        blob = payload.copy() if copy else payload
+        # Corruption flips a byte on the store's copy only (see SsdStore.put).
+        blob = payload.copy() if (copy or corrupt_at is not None) else payload
+        if corrupt_at is not None:
+            blob[corrupt_at] ^= 0xFF
         blob.flags.writeable = False  # get() hands out views of this blob
         with self._blob_lock:
             self._blobs[key] = blob
@@ -117,10 +144,17 @@ class PfsStore(ObjectStore):
 
     def get(self, key: StoreKey, node_id: int = 0, request=None):
         nominal_size = self._index.require(key)
+        slow = 1.0
+        if self.faults is not None:
+            slow = self.faults.tier_gate("pfs", "pfs", "get", key)
         _, node_link = self.node_links(node_id)
         with self.telemetry.bus.span("pfs-get", "pfs", key=key, bytes=nominal_size):
             seconds = node_link.transfer(nominal_size, request=request)
             seconds += self.global_read_link.transfer(nominal_size, request=request)
+            if slow > 1.0:
+                extra = seconds * (slow - 1.0)
+                self._clock.sleep(extra)
+                seconds += extra
         self._m_read_bytes.inc(nominal_size)
         self._m_read_ops.inc()
         with self._blob_lock:
@@ -138,6 +172,19 @@ class PfsStore(ObjectStore):
 
     def contains(self, key: StoreKey) -> bool:
         return self._index.contains(key)
+
+    def verify(self, key: StoreKey) -> bool:
+        """CRC-scrub the stored blob (uncharged); see SsdStore.verify."""
+        if not self._index.contains(key):
+            return False
+        stored_crc = (self._index.meta(key) or {}).get("stored_crc")
+        if stored_crc is None:
+            return True
+        with self._blob_lock:
+            blob = self._blobs.get(key)
+        if blob is None:
+            return False
+        return int(checksum_payload(blob)) == int(stored_crc)
 
     def meta(self, key: StoreKey) -> dict:
         return self._index.meta(key)

@@ -27,10 +27,12 @@ from repro.clock import VirtualClock
 from repro.config import HardwareSpec, ScaleModel
 from repro.errors import CheckpointNotFound
 from repro.simgpu.bandwidth import Link
+from repro.simgpu.memory import checksum_payload
 from repro.telemetry import Telemetry
 from repro.tiers.base import InMemoryIndex, ObjectStore, StoreKey, TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultDomain
     from repro.sched.scheduler import SchedContext
 
 
@@ -48,9 +50,17 @@ class SsdStore(ObjectStore):
         directory: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
         sched: Optional["SchedContext"] = None,
+        faults: Optional["FaultDomain"] = None,
     ) -> None:
         self.node_id = node_id
         self.scale = scale
+        self._clock = clock
+        # Fault gates cost one None-check per op when injection is off;
+        # the pristine-CRC stamp is recorded whenever either injection or
+        # resilience is active (detection needs it written, recovery needs
+        # it verifiable).
+        self.faults = faults if (faults is not None and faults.enabled) else None
+        self._crc_meta = faults is not None and faults.meta_crc
         self.telemetry = telemetry or Telemetry.disabled()
         self._track = f"node{node_id}-ssd"
         registry = self.telemetry.registry
@@ -79,6 +89,9 @@ class SsdStore(ObjectStore):
         if sched is not None:
             sched.attach(self.write_link)
             sched.attach(self.read_link)
+        if faults is not None:
+            faults.attach(self.write_link)
+            faults.attach(self.read_link)
         self._index = InMemoryIndex()
         self._directory = directory
         self._blobs: Dict[StoreKey, np.ndarray] = {}
@@ -117,17 +130,32 @@ class SsdStore(ObjectStore):
         meta = kw.get("meta")
         copy = kw.get("copy", True)
         request = kw.get("request")
+        slow = 1.0
+        corrupt_at = None
+        if self.faults is not None:
+            slow = self.faults.tier_gate("ssd", self._track, "put", key)
+            corrupt_at = self.faults.corruption(self._track, key, int(payload.size))
+        if self._crc_meta:
+            meta = dict(meta or {})
+            meta["stored_crc"] = int(checksum_payload(payload))
         with self.telemetry.bus.span(
             "ssd-put", self._track, key=key, bytes=nominal_size
         ):
             seconds = self.write_link.transfer(
                 nominal_size, cancelled=cancelled, request=request
             )
+            if slow > 1.0:  # brownout: degraded throughput, same bytes
+                extra = seconds * (slow - 1.0)
+                self._clock.sleep(extra)
+                seconds += extra
         self._m_write_bytes.inc(nominal_size)
         self._m_write_ops.inc()
         if self._directory is not None:
+            data = bytearray(np.ascontiguousarray(payload).tobytes())
+            if corrupt_at is not None:
+                data[corrupt_at] ^= 0xFF
             with open(self._path(key), "wb") as fh:
-                fh.write(np.ascontiguousarray(payload).tobytes())
+                fh.write(bytes(data))
             with open(self._meta_path(key), "w") as fh:
                 json.dump(
                     {
@@ -139,7 +167,12 @@ class SsdStore(ObjectStore):
                     fh,
                 )
         else:
-            blob = payload.copy() if copy else payload
+            # Corruption flips a byte on the *store's* copy only: with
+            # copy=False ownership transfers to the store, but the caller's
+            # in-hand array must stay pristine so a re-flush can repair.
+            blob = payload.copy() if (copy or corrupt_at is not None) else payload
+            if corrupt_at is not None:
+                blob[corrupt_at] ^= 0xFF
             blob.flags.writeable = False  # get() hands out views of this blob
             with self._blob_lock:
                 self._blobs[key] = blob
@@ -148,10 +181,17 @@ class SsdStore(ObjectStore):
 
     def get(self, key: StoreKey, request=None):
         nominal_size = self._index.require(key)
+        slow = 1.0
+        if self.faults is not None:
+            slow = self.faults.tier_gate("ssd", self._track, "get", key)
         with self.telemetry.bus.span(
             "ssd-get", self._track, key=key, bytes=nominal_size
         ):
             seconds = self.read_link.transfer(nominal_size, request=request)
+            if slow > 1.0:
+                extra = seconds * (slow - 1.0)
+                self._clock.sleep(extra)
+                seconds += extra
         self._m_read_bytes.inc(nominal_size)
         self._m_read_ops.inc()
         if self._directory is not None:
@@ -185,6 +225,31 @@ class SsdStore(ObjectStore):
 
     def contains(self, key: StoreKey) -> bool:
         return self._index.contains(key)
+
+    def verify(self, key: StoreKey) -> bool:
+        """Check the stored blob's bytes against the CRC stamped at put().
+
+        Uncharged (no link transfer): models a local scrub/DMA checksum.
+        Returns ``True`` when no CRC was stamped (nothing to verify) and
+        ``False`` when the blob is missing or its bytes diverged.
+        """
+        if not self._index.contains(key):
+            return False
+        stored_crc = (self._index.meta(key) or {}).get("stored_crc")
+        if stored_crc is None:
+            return True
+        if self._directory is not None:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    blob = np.frombuffer(fh.read(), dtype=np.uint8)
+            except OSError:
+                return False
+        else:
+            with self._blob_lock:
+                blob = self._blobs.get(key)
+            if blob is None:
+                return False
+        return int(checksum_payload(blob)) == int(stored_crc)
 
     def meta(self, key: StoreKey) -> dict:
         """Recovery metadata recorded at put() time."""

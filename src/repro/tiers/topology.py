@@ -22,6 +22,9 @@ from typing import List, Optional
 from repro.clock import VirtualClock
 from repro.config import RuntimeConfig
 from repro.errors import ConfigError
+from repro.faults.health import HealthRegistry
+from repro.faults.injector import FaultDomain
+from repro.faults.journal import ManifestJournal, RecipeStore
 from repro.sched.scheduler import SchedContext
 from repro.simgpu.bandwidth import Link
 from repro.simgpu.device import Device
@@ -128,6 +131,7 @@ class Node:
             directory=ssd_dir,
             telemetry=cluster.telemetry,
             sched=cluster.sched,
+            faults=cluster.faults,
         )
         # Shared PCIe links: gpus_per_pcie_link GPUs share one per direction.
         self._d2h_links: List[Link] = []
@@ -151,6 +155,8 @@ class Node:
             )
             cluster.sched.attach(self._d2h_links[-1])
             cluster.sched.attach(self._h2d_links[-1])
+            cluster.faults.attach(self._d2h_links[-1])
+            cluster.faults.attach(self._h2d_links[-1])
         self.devices: List[Device] = []
         for gi in range(spec.gpus_per_node):
             link_idx = gi // spec.gpus_per_pcie_link
@@ -196,6 +202,25 @@ class Cluster:
         #: fleet unless ``config.sched.enabled``); every Link this cluster
         #: creates — PCIe pairs, SSD, PFS, fabric — is offered to it.
         self.sched = SchedContext(config.sched, self.clock, self.telemetry)
+        #: deterministic fault injection (inactive unless ``config.faults``
+        #: enables it); offered every Link and tier store like the scheduler.
+        self.faults = FaultDomain(
+            config.faults, config.resilience, self.clock, self.telemetry
+        )
+        #: per-tier circuit breakers (always constructed; no-op registry
+        #: unless ``config.resilience.enabled``).
+        self.health = HealthRegistry(config.resilience, self.clock, self.telemetry)
+        #: crash-consistent durable-commit log + reduced-checkpoint recipe
+        #: sidecar; file-backed next to the SSD tier when it has a directory
+        #: so both survive full process re-incarnation.
+        journal_path = None
+        recipe_dir = None
+        if config.ssd_directory is not None:
+            os.makedirs(config.ssd_directory, exist_ok=True)
+            journal_path = os.path.join(config.ssd_directory, "journal.jsonl")
+            recipe_dir = os.path.join(config.ssd_directory, "recipes")
+        self.journal = ManifestJournal(path=journal_path)
+        self.recipes = RecipeStore(directory=recipe_dir)
         self.pfs = PfsStore(
             config.hardware,
             config.scale,
@@ -203,6 +228,7 @@ class Cluster:
             num_nodes=config.num_nodes,
             telemetry=self.telemetry,
             sched=self.sched,
+            faults=self.faults,
         )
         self.nodes = [Node(node_id, self) for node_id in range(config.num_nodes)]
         self._closed = False
@@ -224,6 +250,7 @@ class Cluster:
                     latency=self.config.hardware.transfer_latency,
                 )
                 self.sched.attach(link)
+                self.faults.attach(link)
                 self._internode_links[key] = link
             return link
 

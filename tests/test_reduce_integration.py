@@ -92,7 +92,9 @@ def test_gpudirect_forces_gpu_site():
 
 def test_recovery_skips_reduced_blobs():
     """Reduced SSD/PFS blobs are placeholders whose recipe dies with the
-    reducer; a fresh engine must skip them instead of restoring zeros."""
+    reducer; a fresh engine must skip them instead of restoring zeros.
+    (With resilience enabled the recipe survives in the durable sidecar and
+    recovery works — see ``test_recovery_restores_reduced_checkpoints``.)"""
     cfg = tiny_config(reduce=ReduceConfig(enabled=True))
     with Cluster(cfg) as cluster:
         ctx = cluster.process_contexts()[0]
@@ -106,6 +108,72 @@ def test_recovery_skips_reduced_blobs():
             assert reborn.recover_history() == 0
         finally:
             reborn.close()
+
+
+def test_recovery_restores_reduced_checkpoints():
+    """With resilience on, the chunk-recipe sidecar outlives the engine:
+    a re-incarnated process rebuilds each ReducedImage from its recipe and
+    restores the full logical bytes, CRC-verified."""
+    from repro.config import ResilienceConfig
+
+    cfg = tiny_config(
+        reduce=ReduceConfig(enabled=True),
+        resilience=ResilienceConfig(enabled=True),
+    )
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        engine = ScoreEngine(ctx, flush_to_pfs=True)
+        sums = {}
+        for v in range(4):
+            buf = make_buffer(ctx, CKPT, seed=v)
+            sums[v] = buf.checksum()
+            engine.checkpoint(v, buf)
+        engine.wait_for_flushes(timeout=600.0)
+        engine.close()
+        reborn = ScoreEngine(ctx, flush_to_pfs=True)
+        try:
+            assert reborn.recover_history() == 4
+            out = ctx.device.alloc_buffer(CKPT)
+            for v in range(4):
+                record = reborn.catalog.get(v)
+                assert record.reduction is not None  # rebuilt from the recipe
+                reborn.restore(v, out)
+                assert out.checksum() == sums[v]
+            validate_engine(reborn)
+        finally:
+            reborn.close()
+
+
+def test_recovery_restores_reduced_checkpoints_across_clusters(tmp_path):
+    """Full restart with a file-backed SSD tier: blobs, manifest journal
+    and chunk recipes all re-index from disk in a brand-new cluster."""
+    from repro.config import ResilienceConfig
+
+    cfg = tiny_config(
+        reduce=ReduceConfig(enabled=True),
+        resilience=ResilienceConfig(enabled=True),
+        ssd_directory=str(tmp_path),
+    )
+    sums = {}
+    with Cluster(cfg) as c1:
+        ctx = c1.process_contexts()[0]
+        with ScoreEngine(ctx) as engine:
+            for v in range(4):
+                buf = make_buffer(ctx, CKPT, seed=v)
+                sums[v] = buf.checksum()
+                engine.checkpoint(v, buf)
+            engine.wait_for_flushes(timeout=600.0)
+        assert c1.journal.commits >= 4
+    with Cluster(cfg) as c2:
+        ctx = c2.process_contexts()[0]
+        assert c2.journal.entries_for(0)  # replayed from journal.jsonl
+        with ScoreEngine(ctx) as engine:
+            assert engine.recover_history() == 4
+            out = ctx.device.alloc_buffer(CKPT)
+            for v in range(4):
+                engine.restore(v, out)
+                assert out.checksum() == sums[v]
+            validate_engine(engine)
 
 
 def test_unreduced_history_still_recovers():
