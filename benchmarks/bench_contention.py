@@ -37,7 +37,8 @@ import threading
 import time
 from collections import deque
 
-from repro.config import CacheConfig, RuntimeConfig, ScaleModel, SchedConfig
+from repro.analysis.report import analyze_events
+from repro.config import AnalysisConfig, CacheConfig, RuntimeConfig, ScaleModel, SchedConfig
 from repro.core.engine import ScoreEngine
 from repro.tiers.topology import Cluster
 from repro.util.rng import make_rng
@@ -136,8 +137,15 @@ def summarize(values) -> dict:
     }
 
 
-def run_mode(sched_enabled: bool, snapshots: int) -> dict:
-    with Cluster(build_config(sched_enabled)) as cluster:
+def run_mode(sched_enabled: bool, snapshots: int, analysis: bool = False) -> dict:
+    config = build_config(sched_enabled)
+    if analysis:
+        # Separate attribution pass: tracing + causal ids add real-time
+        # bookkeeping that would pollute the measured p99s, so the timed
+        # modes above run with both off and this pass's latencies are
+        # never compared against the baseline gate.
+        config = config.with_(telemetry=True, analysis=AnalysisConfig(enabled=True))
+    with Cluster(config) as cluster:
         contexts = cluster.process_contexts()
         engines = [ScoreEngine(ctx, flush_to_pfs=True) for ctx in contexts]
         demand_ids = [set() for _ in engines]
@@ -171,12 +179,23 @@ def run_mode(sched_enabled: bool, snapshots: int) -> dict:
                     "sheds": sum(s["sheds"] for s in snaps),
                     "admission_blocks": sum(s["admission_blocks"] for s in snaps),
                 }
+            attribution = {}
+            if analysis:
+                report = analyze_events(cluster.telemetry.bus.snapshot())
+                attribution = {
+                    "attribution": {
+                        "accounting": report["accounting"],
+                        "categories": report["categories"],
+                        "tiers": report["tiers"],
+                    }
+                }
             return {
                 "sched": sched_enabled,
                 "wall_s": round(time.perf_counter() - started, 3),
                 "demand_restores": summarize(demand),
                 "hinted_restores": summarize(hinted),
                 **sched_stats,
+                **attribution,
             }
         finally:
             for engine in engines:
@@ -199,6 +218,8 @@ def run(quick: bool, repeats: int, label: str) -> dict:
             )
         # Best-of-N: thread-scheduling noise only ever inflates latency.
         modes[key] = min(runs, key=lambda r: r["demand_restores"]["p99_s"])
+    print("  attribution pass (sched + causal tracing)", file=sys.stderr)
+    attribution = run_mode(True, snapshots, analysis=True).get("attribution", {})
     fifo_p99 = modes["fifo"]["demand_restores"]["p99_s"]
     sched_p99 = modes["sched"]["demand_restores"]["p99_s"]
     return {
@@ -210,6 +231,7 @@ def run(quick: bool, repeats: int, label: str) -> dict:
         "repeats": repeats,
         "fifo": modes["fifo"],
         "sched": modes["sched"],
+        "attribution": attribution,
         "demand_p99_improvement_pct": round(
             100.0 * (fifo_p99 - sched_p99) / fifo_p99, 1
         )

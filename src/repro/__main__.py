@@ -3,7 +3,10 @@
 ``python -m repro <figure>`` regenerates one paper figure (see
 ``python -m repro --list``); ``python -m repro trace <workload>`` runs a
 traced workload and exports Chrome/Perfetto trace JSON plus a metrics
-summary (see :mod:`repro.telemetry.cli`).
+summary (see :mod:`repro.telemetry.cli`); ``python -m repro analyze``
+reconstructs per-op span DAGs from a live run or a saved JSONL and renders
+critical-path / category-attribution reports with SLO evaluation (see
+:mod:`repro.analysis.cli`).
 """
 
 import sys
@@ -14,6 +17,10 @@ def main() -> int:
         from repro.telemetry.cli import main as trace_main
 
         return trace_main(sys.argv[2:])
+    if len(sys.argv) > 1 and sys.argv[1] == "analyze":
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(sys.argv[2:])
     from repro.harness.figures import main as figures_main
 
     return figures_main()

@@ -1,0 +1,49 @@
+"""Causal analysis: op DAGs, critical paths, attribution, SLOs.
+
+Built on the causal identity the runtime stamps on trace events when
+``AnalysisConfig.enabled`` (see :mod:`repro.telemetry.causal`):
+
+* :mod:`repro.analysis.dag` — group a TraceBus snapshot or re-imported
+  JSONL into per-operation span DAGs (checkpoint → flush cascade,
+  checkpoint → restore/prefetch chains);
+* :mod:`repro.analysis.attribution` — sweep each op's categorized spans
+  into a critical path and per-category / per-tier time attribution, with
+  the accounting-completeness invariant (≥95 % of op wall time);
+* :mod:`repro.analysis.slo` — rolling-window latency objectives
+  (durability, demand restore) with burn-rate alerts, usable live or
+  post hoc;
+* :mod:`repro.analysis.report` — text/JSON bottleneck reports and the
+  two-run regression diff;
+* :mod:`repro.analysis.cli` — ``python -m repro analyze``.
+"""
+
+from repro.analysis.attribution import (
+    COVERAGE_THRESHOLD,
+    DagAttribution,
+    OpAttribution,
+    Segment,
+    attribute_dag,
+    attribute_op,
+)
+from repro.analysis.dag import OpDag, OpNode, build_dag
+from repro.analysis.report import analyze_events, diff_reports, render_diff, render_report
+from repro.analysis.slo import SloMonitor, SloObjective, evaluate_dag
+
+__all__ = [
+    "OpDag",
+    "OpNode",
+    "build_dag",
+    "OpAttribution",
+    "DagAttribution",
+    "Segment",
+    "attribute_op",
+    "attribute_dag",
+    "COVERAGE_THRESHOLD",
+    "SloMonitor",
+    "SloObjective",
+    "evaluate_dag",
+    "analyze_events",
+    "diff_reports",
+    "render_report",
+    "render_diff",
+]

@@ -1,0 +1,120 @@
+"""Reconstruct per-operation span DAGs from trace events.
+
+The causal layer (:mod:`repro.telemetry.causal`) stamps every span an
+operation touches with the operation's ``op_id``; this module groups a
+TraceBus snapshot (or a re-imported JSONL log) back into
+:class:`OpNode` objects — one per operation — and links them into a DAG
+via ``parent_id`` (a restore's parent is the checkpoint that produced its
+data; ditto prefetch chains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.telemetry.bus import TraceEvent
+from repro.telemetry.causal import parse_op_id
+
+
+@dataclass
+class OpNode:
+    """One operation: its events, identity, and window."""
+
+    op_id: str
+    kind: str  # "checkpoint" | "restore" | "prefetch"
+    pid: int
+    ckpt: int
+    parent_id: Optional[str] = None
+    events: List[TraceEvent] = field(default_factory=list)
+    children: List[str] = field(default_factory=list)
+
+    @property
+    def start(self) -> float:
+        return min(e.ts for e in self.events)
+
+    @property
+    def end(self) -> float:
+        """End of the op's last *span*.
+
+        Instants do not extend the window: markers like the eviction of
+        the checkpoint's extent fire long after the operation itself
+        finished, and the timeline between the last span and such a marker
+        is (correctly) nobody's time.
+        """
+        spans = [e for e in self.events if e.phase == "X"]
+        pool = spans if spans else self.events
+        return max(e.ts + e.dur for e in pool)
+
+    @property
+    def wall(self) -> float:
+        """The operation's wall-clock window in nominal seconds."""
+        return self.end - self.start
+
+    def spans(self) -> List[TraceEvent]:
+        """The op's categorized complete spans (the attribution inputs)."""
+        return [e for e in self.events if e.phase == "X" and e.category is not None]
+
+    def instants(self, name: Optional[str] = None) -> List[TraceEvent]:
+        out = [e for e in self.events if e.phase == "i"]
+        if name is not None:
+            out = [e for e in out if e.name == name]
+        return out
+
+    def durable_at(self) -> Optional[float]:
+        """Timestamp of the first durable-commit instant, if any."""
+        marks = self.instants("durable")
+        return min(e.ts for e in marks) if marks else None
+
+
+@dataclass
+class OpDag:
+    """Every operation of one run, keyed by op id."""
+
+    ops: Dict[str, OpNode]
+    #: events carrying causal markings the DAG could not place: a malformed
+    #: ``op_id``, or a category with no ``op_id`` at all.  Non-empty means
+    #: an emission bug; the CI gate requires zero.
+    orphans: List[TraceEvent]
+
+    def by_kind(self, kind: str) -> List[OpNode]:
+        return sorted(
+            (op for op in self.ops.values() if op.kind == kind),
+            key=lambda op: (op.pid, op.ckpt),
+        )
+
+    def roots(self) -> List[OpNode]:
+        return [
+            op
+            for op in self.ops.values()
+            if op.parent_id is None or op.parent_id not in self.ops
+        ]
+
+
+def build_dag(events: Iterable[TraceEvent]) -> OpDag:
+    """Group causally-tagged events into an :class:`OpDag`."""
+    ops: Dict[str, OpNode] = {}
+    orphans: List[TraceEvent] = []
+    for event in events:
+        if event.op_id is None:
+            if event.category is not None:
+                orphans.append(event)
+            continue
+        parsed = parse_op_id(event.op_id)
+        if parsed is None:
+            orphans.append(event)
+            continue
+        node = ops.get(event.op_id)
+        if node is None:
+            kind, pid, ckpt = parsed
+            node = OpNode(op_id=event.op_id, kind=kind, pid=pid, ckpt=ckpt)
+            ops[event.op_id] = node
+        node.events.append(event)
+        if event.parent_id is not None and node.parent_id is None:
+            node.parent_id = event.parent_id
+    for node in ops.values():
+        if node.parent_id is not None:
+            parent = ops.get(node.parent_id)
+            if parent is not None:
+                parent.children.append(node.op_id)
+    return OpDag(ops=ops, orphans=orphans)

@@ -1,0 +1,196 @@
+"""Bottleneck reports: per-category / per-tier attribution, text + JSON.
+
+:func:`analyze_events` is the one-stop entry: events in (live bus snapshot
+or re-imported JSONL), plain-dict report out — op counts, category and
+tier×category totals, accounting-completeness stats, the slowest ops with
+their critical paths, and the post-hoc SLO evaluation.
+:func:`diff_reports` aligns two such reports and attributes the regression
+to the tier×category cells that grew the most.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.attribution import DagAttribution, attribute_dag
+from repro.analysis.dag import build_dag
+from repro.analysis.slo import evaluate_dag
+from repro.config import SloConfig
+from repro.telemetry.bus import TraceEvent
+
+
+def analyze_events(
+    events: Iterable[TraceEvent],
+    slo: Optional[SloConfig] = None,
+    top: int = 5,
+) -> dict:
+    """Build the full analysis report (a JSON-serialisable dict)."""
+    dag = build_dag(events)
+    attr = attribute_dag(dag)
+    report: dict = {
+        "ops": {
+            kind: len(dag.by_kind(kind))
+            for kind in ("checkpoint", "restore", "prefetch")
+        },
+        "wall_s": sum(a.wall for a in attr.per_op.values()),
+        "attributed_s": sum(a.covered for a in attr.per_op.values()),
+        "categories": _rounded(attr.total_by_category()),
+        "tiers": _tier_matrix(attr),
+        "accounting": attr.coverage_stats(),
+        "slowest": _slowest(attr, top),
+    }
+    monitor = evaluate_dag(dag, slo or SloConfig())
+    report["slo"] = monitor.snapshot()
+    report["slo_lines"] = monitor.summary_lines()
+    return report
+
+
+def _rounded(totals: Dict[str, float]) -> Dict[str, float]:
+    return {k: round(v, 6) for k, v in sorted(totals.items())}
+
+
+def _tier_matrix(attr: DagAttribution) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for (tier, cat), dur in sorted(attr.total_by_tier_category().items()):
+        out.setdefault(tier, {})[cat] = round(dur, 6)
+    return out
+
+
+def _slowest(attr: DagAttribution, top: int) -> List[dict]:
+    out = []
+    for a in attr.slowest(n=top):
+        out.append(
+            {
+                "op": a.op.op_id,
+                "kind": a.op.kind,
+                "ckpt": a.op.ckpt,
+                "wall_s": round(a.wall, 6),
+                "coverage": round(a.coverage, 4),
+                "categories": _rounded(a.by_category),
+                "critical_path": [
+                    {
+                        "name": seg.name,
+                        "category": seg.category,
+                        "tier": seg.tier,
+                        "dur_s": round(seg.dur, 6),
+                    }
+                    for seg in a.critical_path
+                ],
+            }
+        )
+    return out
+
+
+# -- rendering ----------------------------------------------------------------
+def render_report(report: dict, title: str = "causal analysis") -> str:
+    lines = [title, "=" * len(title)]
+    ops = report["ops"]
+    lines.append(
+        f"ops: {ops.get('checkpoint', 0)} checkpoints, "
+        f"{ops.get('restore', 0)} restores, {ops.get('prefetch', 0)} prefetch chains"
+    )
+    wall = report["wall_s"]
+    attributed = report["attributed_s"]
+    frac = attributed / wall if wall else 1.0
+    lines.append(
+        f"wall {wall:.4g}s op-time, {attributed:.4g}s attributed ({frac:.1%})"
+    )
+    acct = report["accounting"]
+    lines.append(
+        f"accounting: min coverage {acct['min']:.1%}, mean {acct['mean']:.1%} "
+        f"(threshold {acct['threshold']:.0%}); "
+        f"{len(acct['violations'])} violations, {acct['orphans']} orphan spans"
+    )
+    lines.append("")
+    lines.append("time by category:")
+    total = sum(report["categories"].values()) or 1.0
+    for cat, dur in sorted(report["categories"].items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {cat:<10} {dur:>10.4g}s  {dur / total:>6.1%}")
+    lines.append("")
+    lines.append("time by tier x category:")
+    for tier, cats in report["tiers"].items():
+        cells = ", ".join(
+            f"{cat} {dur:.4g}s" for cat, dur in sorted(cats.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"  {tier:<8} {cells}")
+    if report.get("slowest"):
+        lines.append("")
+        lines.append("slowest ops (critical path):")
+        for entry in report["slowest"]:
+            lines.append(
+                f"  {entry['op']} ({entry['kind']}) wall {entry['wall_s']:.4g}s "
+                f"coverage {entry['coverage']:.1%}"
+            )
+            for seg in entry["critical_path"]:
+                tier = f" [{seg['tier']}]" if seg["tier"] != "-" else ""
+                lines.append(
+                    f"    {seg['dur_s']:>10.4g}s  {seg['category']:<9} {seg['name']}{tier}"
+                )
+    if report.get("slo_lines"):
+        lines.append("")
+        lines.extend(report["slo_lines"])
+    return "\n".join(lines)
+
+
+# -- diffing ------------------------------------------------------------------
+def diff_reports(baseline: dict, candidate: dict) -> dict:
+    """Attribute the wall-time change between two runs to tier×category cells.
+
+    Returns per-cell deltas (candidate − baseline, nominal seconds) sorted
+    by regression size; ``top_regressions`` leads with the cells that
+    explain the slowdown.
+    """
+    cells: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for which, report in (("base", baseline), ("cand", candidate)):
+        for tier, cats in report["tiers"].items():
+            for cat, dur in cats.items():
+                base, cand = cells.get((tier, cat), (0.0, 0.0))
+                if which == "base":
+                    cells[(tier, cat)] = (dur, cand)
+                else:
+                    cells[(tier, cat)] = (base, dur)
+    entries = []
+    for (tier, cat), (base, cand) in cells.items():
+        delta = cand - base
+        entries.append(
+            {
+                "tier": tier,
+                "category": cat,
+                "baseline_s": round(base, 6),
+                "candidate_s": round(cand, 6),
+                "delta_s": round(delta, 6),
+                "ratio": round(cand / base, 4) if base > 0 else None,
+            }
+        )
+    entries.sort(key=lambda e: -e["delta_s"])
+    wall_delta = candidate["wall_s"] - baseline["wall_s"]
+    return {
+        "wall_delta_s": round(wall_delta, 6),
+        "ops_baseline": baseline["ops"],
+        "ops_candidate": candidate["ops"],
+        "cells": entries,
+        "top_regressions": [e for e in entries if e["delta_s"] > 0][:5],
+    }
+
+
+def render_diff(diff: dict, title: str = "regression attribution") -> str:
+    lines = [title, "=" * len(title)]
+    lines.append(f"total op wall-time delta: {diff['wall_delta_s']:+.4g}s")
+    top = diff["top_regressions"]
+    if not top:
+        lines.append("no regressions: no tier/category cell grew")
+    else:
+        lead = top[0]
+        lines.append(
+            f"largest regression: {lead['category']} on tier {lead['tier']} "
+            f"({lead['baseline_s']:.4g}s -> {lead['candidate_s']:.4g}s, "
+            f"{lead['delta_s']:+.4g}s)"
+        )
+        lines.append("")
+        lines.append(f"{'tier':<8} {'category':<10} {'baseline':>10} {'candidate':>10} {'delta':>10}")
+        for e in diff["cells"]:
+            lines.append(
+                f"{e['tier']:<8} {e['category']:<10} {e['baseline_s']:>10.4g} "
+                f"{e['candidate_s']:>10.4g} {e['delta_s']:>+10.4g}"
+            )
+    return "\n".join(lines)

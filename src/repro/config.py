@@ -516,6 +516,70 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class SloConfig:
+    """Service-level objectives for the checkpoint cascade.
+
+    Two latency objectives, each stated as "a fraction ``objective`` of
+    operations completes within the target": *durability latency* (from
+    ``checkpoint()`` entry to the first durable copy on SSD/PFS) and
+    *demand-restore latency* (the blocked portion of ``restore()``).
+    Violations are tracked over a rolling window of ``window_s`` nominal
+    seconds; when the windowed violation rate exceeds the error budget by
+    ``burn_rate_threshold``×, the SLO monitor raises a burn-rate alert
+    (a ``slo-burn`` trace instant plus a summary line).
+    """
+
+    #: target durability latency per checkpoint, nominal seconds.
+    durability_target_s: float = 2.0
+    #: target blocked time per demand restore, nominal seconds.
+    restore_target_s: float = 0.5
+    #: fraction of operations that must meet their target.
+    objective: float = 0.95
+    #: rolling-window length for violation accounting, nominal seconds.
+    window_s: float = 30.0
+    #: alert when windowed violation rate > threshold × (1 - objective).
+    burn_rate_threshold: float = 2.0
+    #: observations required in the window before burn alerts can fire
+    #: (suppresses alerts off a single early violation).
+    min_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if self.durability_target_s <= 0 or self.restore_target_s <= 0:
+            raise ConfigError("SLO latency targets must be positive")
+        if self.min_samples < 1:
+            raise ConfigError(f"min_samples must be >= 1: {self.min_samples}")
+        if not (0.0 < self.objective < 1.0):
+            raise ConfigError(f"objective out of (0, 1): {self.objective}")
+        if self.window_s <= 0:
+            raise ConfigError(f"window_s must be positive: {self.window_s}")
+        if self.burn_rate_threshold <= 0:
+            raise ConfigError(
+                f"burn_rate_threshold must be positive: {self.burn_rate_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Causal tracing + SLO monitoring (:mod:`repro.analysis`).
+
+    With ``enabled=False`` (the default) nothing changes: no causal ids are
+    attached to trace events, no extra events are emitted, and runs are
+    bit-identical to a build without this subsystem.  When enabled (and
+    ``RuntimeConfig.telemetry`` is on), every ``checkpoint()``/``restore()``
+    and each prefetch chain is issued a stable operation id that rides on
+    every span the operation touches — flush FSM stages, retries, reroutes,
+    reserve waits, journal commits — so :mod:`repro.analysis` can rebuild
+    per-op span DAGs, compute critical paths, and attribute wall time to
+    categories.  The SLO monitor watches op completions live.
+    """
+
+    #: master switch for causal ids, fill events, and the SLO monitor.
+    enabled: bool = False
+    #: service-level objectives evaluated live and in ``repro analyze``.
+    slo: SloConfig = field(default_factory=SloConfig)
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """Everything one simulation run needs."""
 
@@ -530,6 +594,9 @@ class RuntimeConfig:
     faults: FaultConfig = field(default_factory=FaultConfig)
     #: self-healing transfer/tier recovery (:mod:`repro.faults`).
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: causal tracing, critical-path attribution and SLO monitoring
+    #: (:mod:`repro.analysis`); needs ``telemetry=True`` to record anything.
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     #: default ``wait_for_flushes`` timeout in nominal seconds (None = no
     #: timeout unless the call site passes one).
     flush_wait_timeout: Optional[float] = None

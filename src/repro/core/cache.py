@@ -432,6 +432,7 @@ class CacheBuffer:
         self.telemetry.bus.instant(
             "evict",
             self.name,
+            op_id=record.op.op_id if record.op is not None else None,
             ckpt=record.ckpt_id,
             bytes=record.stored_size(self.level),
             forced=forced,

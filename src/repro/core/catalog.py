@@ -60,6 +60,11 @@ class CheckpointRecord:
         self.cancel_flush = threading.Event()
         #: the prefetcher is currently moving this checkpoint between tiers.
         self.prefetch_inflight = False
+        #: causal handle of the ``checkpoint()`` that created this record
+        #: (:class:`repro.telemetry.causal.OpTrace`); None for records
+        #: adopted by recovery or when causal tracing is disabled — the
+        #: flusher then falls back to the no-op tracer.
+        self.op = None
         self._on_transition = on_transition
 
     # -- sizes -------------------------------------------------------------

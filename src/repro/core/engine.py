@@ -47,7 +47,18 @@ from repro.metrics.recorder import OpEvent, OpKind, Recorder
 from repro.reduce.pipeline import Reducer
 from repro.sched.request import TransferClass, TransferRequest
 from repro.simgpu.memory import DeviceBuffer, checksum_payload
+from repro.analysis.slo import SloMonitor
 from repro.telemetry import Telemetry
+from repro.telemetry.causal import (
+    CAT_JOURNAL,
+    CAT_QUEUE,
+    CAT_REDUCE,
+    CAT_RESERVE,
+    CAT_RETRY,
+    CAT_TRANSFER,
+    NULL_OP,
+    OpTracer,
+)
 from repro.tiers.base import TierLevel
 from repro.tiers.topology import ProcessContext
 
@@ -129,6 +140,21 @@ class ScoreEngine:
         )
         self._app_track = f"p{self.process_id}-app"
         self._lifecycle_track = f"p{self.process_id}-lifecycle"
+        #: causal tracing (:mod:`repro.telemetry.causal`): when
+        #: ``config.analysis.enabled`` (and the bus records), every
+        #: checkpoint/restore/prefetch chain gets an op id that rides on all
+        #: its spans; otherwise ``ops`` hands out NULL_OP and the runtime is
+        #: bit-identical to the pre-causal build.
+        self.causal = bool(self.config.analysis.enabled)
+        self.ops = OpTracer(self.telemetry.bus, self.process_id, self.causal)
+        self.slo: Optional[SloMonitor] = None
+        if self.ops.enabled:
+            self.slo = SloMonitor(
+                self.config.analysis.slo,
+                self.telemetry.bus,
+                track=f"p{self.process_id}-slo",
+                registry=self.telemetry.registry,
+            )
         registry = self.telemetry.registry
         self._m_ckpt_ops = registry.counter("engine.checkpoint.ops")
         self._m_ckpt_bytes = registry.counter("engine.checkpoint.bytes")
@@ -221,11 +247,15 @@ class ScoreEngine:
             return None
         bus = self.telemetry.bus
         track = self._lifecycle_track
+        causal, pid = self.causal, self.process_id
 
         def hook(ckpt_id, inst, old, new, now):
             bus.instant(
                 "fsm",
                 track,
+                # FSM edges belong to the checkpoint's own op (its id is
+                # deterministic, so no record lookup is needed here).
+                op_id=f"c{pid}:{ckpt_id}" if causal else None,
                 ckpt=ckpt_id,
                 level=inst.level.name,
                 **{"from": old.value, "to": new.value},
@@ -306,20 +336,24 @@ class ScoreEngine:
         """
         if not (self.resilient and self.config.resilience.journal):
             return
-        self.journal.commit(
-            self.process_id,
-            record.ckpt_id,
-            store=store_id,
-            level=level.name,
-            nominal_size=record.stored_size(level),
-            meta=self.recovery_meta(record),
-        )
+        op = record.op if record.op is not None else NULL_OP
+        with op.stage("journal-commit", CAT_JOURNAL, store=store_id, level=level.name):
+            self.journal.commit(
+                self.process_id,
+                record.ckpt_id,
+                store=store_id,
+                level=level.name,
+                nominal_size=record.stored_size(level),
+                meta=self.recovery_meta(record),
+            )
 
     def _journal_retract(self, record: CheckpointRecord, store_id: str) -> None:
         """Append a retract entry after deleting ``store_id``'s blob."""
         if not (self.resilient and self.config.resilience.journal):
             return
-        self.journal.retract(self.process_id, record.ckpt_id, store=store_id)
+        op = record.op if record.op is not None else NULL_OP
+        with op.stage("journal-retract", CAT_JOURNAL, store=store_id):
+            self.journal.retract(self.process_id, record.ckpt_id, store=store_id)
 
     def _reduce_detach(self, record: CheckpointRecord, level: TierLevel) -> None:
         """Cache eviction hook: release the extent's chunk references."""
@@ -335,9 +369,11 @@ class ScoreEngine:
         tclass: TransferClass,
         deadline: Optional[float] = None,
         cancel_event=None,
+        op=NULL_OP,
     ) -> Optional[TransferRequest]:
         """A QoS-tagged transfer request, or ``None`` when scheduling is off
-        (untagged transfers always take the legacy FIFO path)."""
+        (untagged transfers always take the legacy FIFO path).  ``op`` ties
+        the transfer's sched queue wait to its operation's span DAG."""
         if not self.sched.enabled:
             return None
         if cancel_event is not None:
@@ -346,8 +382,11 @@ class ScoreEngine:
                 engine_id=self.process_id,
                 deadline=deadline,
                 cancel_event=cancel_event,
+                op_id=op.op_id,
             )
-        return TransferRequest(tclass, engine_id=self.process_id, deadline=deadline)
+        return TransferRequest(
+            tclass, engine_id=self.process_id, deadline=deadline, op_id=op.op_id
+        )
 
     # -- write path ------------------------------------------------------------------
     def checkpoint(self, ckpt_id: int, buffer: DeviceBuffer) -> float:
@@ -366,29 +405,40 @@ class ScoreEngine:
         nominal = self.scale.align(buffer.nominal_size)
         checksum = buffer.checksum()
         started = self.clock.now()
+        op = self.ops.checkpoint(ckpt_id, self._app_track)
         with self.telemetry.bus.span(
-            "checkpoint", self._app_track, ckpt=ckpt_id, bytes=nominal
+            "checkpoint", self._app_track, op_id=op.op_id, ckpt=ckpt_id, bytes=nominal
         ):
-            backpressured = self._flush_backpressure(ckpt_id)
+            with op.stage("admission", CAT_QUEUE):
+                backpressured = self._flush_backpressure(ckpt_id)
             with self.monitor:
                 record = self.catalog.create(ckpt_id, nominal, buffer.nominal_size, checksum)
+            record.op = op
             try:
                 encoded = 0.0
                 if self.reducer is not None and self.reducer.site == "gpu":
                     # Device-side reduction happens before placement, so the
                     # GPU cache (and everything below) holds the physical form.
-                    encoded = self.reducer.encode(record, buffer.payload)
-                waited = self.gpu_cache.reserve(
-                    record, CkptState.WRITE_IN_PROGRESS, blocking=True
-                )
-                # Device-to-device copy of the protected region into the cache.
-                copied = self.device.d2d_link.transfer(record.stored_size(TierLevel.GPU))
-                if self._reduced_at(record, TierLevel.GPU):
-                    # The extent models the physical footprint; the logical
-                    # bytes live in the reduction image's chunks.
-                    self.gpu_cache.write_payload(record, self.reducer.physical_payload(record))
-                else:
-                    self.gpu_cache.write_payload(record, buffer.payload)
+                    with op.stage("encode", CAT_REDUCE):
+                        encoded = self.reducer.encode(record, buffer.payload)
+                with op.stage("reserve-gpu", CAT_RESERVE):
+                    waited = self.gpu_cache.reserve(
+                        record, CkptState.WRITE_IN_PROGRESS, blocking=True
+                    )
+                with op.stage("copy-in", CAT_TRANSFER, tier="gpu"):
+                    # Device-to-device copy of the protected region into the
+                    # cache.
+                    copied = self.device.d2d_link.transfer(
+                        record.stored_size(TierLevel.GPU)
+                    )
+                    if self._reduced_at(record, TierLevel.GPU):
+                        # The extent models the physical footprint; the
+                        # logical bytes live in the reduction image's chunks.
+                        self.gpu_cache.write_payload(
+                            record, self.reducer.physical_payload(record)
+                        )
+                    else:
+                        self.gpu_cache.write_payload(record, buffer.payload)
                 with self.monitor:
                     record.instance(TierLevel.GPU).transition(
                         CkptState.WRITE_COMPLETE, self.clock.now()
@@ -502,8 +552,9 @@ class ScoreEngine:
         """
         self._require_open()
         started = self.clock.now()
+        op = self.ops.restore(ckpt_id, self._app_track)
         with self.telemetry.bus.span(
-            "restore", self._app_track, ckpt=ckpt_id
+            "restore", self._app_track, op_id=op.op_id, parent_id=op.parent_id, ckpt=ckpt_id
         ) as span:
             with self.monitor:
                 record = self.catalog.get(ckpt_id)
@@ -520,14 +571,15 @@ class ScoreEngine:
                 # _await_gpu_copy pins the extent (crossover to READ_COMPLETE)
                 # before returning, so it cannot be evicted under the copy
                 # below.
-                waited += self._await_gpu_copy(record)
+                waited += self._await_gpu_copy(record, op=op)
                 if self._reduced_at(record, TierLevel.GPU):
                     # The GPU extent holds the physical form: reassemble the
                     # logical payload (chunk concat + modeled delta apply and
                     # decode charge) before handing bytes to the application.
-                    payload, step_decoded = self.reducer.reconstruct(
-                        record, TierLevel.GPU
-                    )
+                    with op.stage("decode", CAT_REDUCE):
+                        payload, step_decoded = self.reducer.reconstruct(
+                            record, TierLevel.GPU
+                        )
                     decoded += step_decoded
                 else:
                     # Copy out to the application buffer (device-to-device).
@@ -536,8 +588,9 @@ class ScoreEngine:
                     # safe: this thread is the only one that could force-evict
                     # pinned extents.
                     payload = self.gpu_cache.read_payload(record, copy=False)
-                copied += self.device.d2d_link.transfer(record.nominal_size)
-                buffer.copy_from(payload)
+                with op.stage("copy-out", CAT_TRANSFER, tier="gpu"):
+                    copied += self.device.d2d_link.transfer(record.nominal_size)
+                    buffer.copy_from(payload)
                 if self.verify_restores:
                     actual = checksum_payload(payload[: buffer.payload.size])
                     if actual != record.checksum:
@@ -558,7 +611,12 @@ class ScoreEngine:
                         )
                 break
             self._consume(record)
+        # After the root span closes, so the fill reaches (past) its end and
+        # the op's timeline stays gap-free to the last instant.
+        op.fill("finalize")
         blocked = waited + decoded + copied
+        if self.slo is not None:
+            self.slo.observe_restore(self.clock.now(), blocked, op_id=op.op_id)
         self._m_restore_ops.inc()
         self._m_restore_bytes.inc(record.nominal_size)
         self._m_restore_blocked.observe(blocked)
@@ -662,7 +720,7 @@ class ScoreEngine:
                 )
         return record.durable_level is not None
 
-    def _await_gpu_copy(self, record: CheckpointRecord) -> float:
+    def _await_gpu_copy(self, record: CheckpointRecord, op=NULL_OP) -> float:
         """Block until the GPU cache holds a full copy of ``record``;
         returns the nominal seconds charged to the caller.
 
@@ -709,6 +767,7 @@ class ScoreEngine:
                         wait_started = self.clock.now()
                         self.monitor.wait(virtual_timeout=1.0)
                         blocked += self.clock.now() - wait_started
+                        op.fill("stall-inflight")
                         continue
                     step = self.promotion_step(record)
                     if step is None:
@@ -716,6 +775,7 @@ class ScoreEngine:
                         wait_started = self.clock.now()
                         self.monitor.wait(virtual_timeout=1.0)
                         blocked += self.clock.now() - wait_started
+                        op.fill("stall-flush")
                         continue
                     record.prefetch_inflight = True
                 src, dst = step
@@ -729,7 +789,8 @@ class ScoreEngine:
                         allow_pinned=True,
                         # Highest class: jumps every queue and preempts
                         # in-flight speculative prefetches on the way.
-                        request=self._sched_request(TransferClass.DEMAND_READ),
+                        request=self._sched_request(TransferClass.DEMAND_READ, op=op),
+                        op=op,
                     )
                 except TransientTransferError:
                     # Injected transient fault (link fault, tier outage):
@@ -738,7 +799,8 @@ class ScoreEngine:
                     delay = 0.05
                     if self.retry_policy is not None:
                         delay = self.retry_policy.backoff(0, "demand", record.ckpt_id)
-                    self.clock.sleep(delay)
+                    with op.stage("backoff", CAT_RETRY):
+                        self.clock.sleep(delay)
                 except ReproError:
                     # The source moved while we promoted; re-resolve.
                     pass
@@ -789,6 +851,7 @@ class ScoreEngine:
         blocking: bool,
         allow_pinned: bool,
         request: Optional[TransferRequest] = None,
+        op=NULL_OP,
     ) -> Optional[float]:
         """Move ``record`` one level toward the GPU.  Monitor NOT held.
 
@@ -797,31 +860,37 @@ class ScoreEngine:
         the underlying link transfers for QoS arbitration; a preempted or
         shed transfer releases its reservation and raises
         (:class:`TransferError` / :class:`~repro.errors.AdmissionError`).
+        ``op`` attributes the reserve/read/decode stages to the demanding
+        restore (or the prefetch chain) when causal tracing is on.
         """
         if dst == TierLevel.GPU and src in (TierLevel.SSD, TierLevel.PFS):
             # GPUDirect storage read: SSD/PFS → HBM over PCIe DMA.
-            waited = self.gpu_cache.reserve(
-                record,
-                CkptState.READ_IN_PROGRESS,
-                blocking=blocking,
-                allow_pinned=allow_pinned,
-            )
+            with op.stage("reserve-gpu", CAT_RESERVE):
+                waited = self.gpu_cache.reserve(
+                    record,
+                    CkptState.READ_IN_PROGRESS,
+                    blocking=blocking,
+                    allow_pinned=allow_pinned,
+                )
             if waited is None:
                 return None
             try:
                 src, store = self.durable_read_source(record)
-                if src == TierLevel.PFS:
-                    payload, read_seconds = store.get(
-                        self.store_key(record), node_id=self.node_id, request=request
+                with op.stage(
+                    "promote", CAT_TRANSFER, tier=src.name.lower(), dst=dst.name
+                ):
+                    if src == TierLevel.PFS:
+                        payload, read_seconds = store.get(
+                            self.store_key(record), node_id=self.node_id, request=request
+                        )
+                    else:
+                        payload, read_seconds = store.get(
+                            self.store_key(record), request=request
+                        )
+                    seconds = waited + read_seconds
+                    seconds += self.device.h2d_link.transfer(
+                        record.wire_size(src, TierLevel.GPU), request=request
                     )
-                else:
-                    payload, read_seconds = store.get(
-                        self.store_key(record), request=request
-                    )
-                seconds = waited + read_seconds
-                seconds += self.device.h2d_link.transfer(
-                    record.wire_size(src, TierLevel.GPU), request=request
-                )
             except Exception:
                 self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
                 raise
@@ -835,12 +904,13 @@ class ScoreEngine:
                 self.monitor.notify_all()
             return seconds
         if dst == TierLevel.GPU:
-            waited = self.gpu_cache.reserve(
-                record,
-                CkptState.READ_IN_PROGRESS,
-                blocking=blocking,
-                allow_pinned=allow_pinned,
-            )
+            with op.stage("reserve-gpu", CAT_RESERVE):
+                waited = self.gpu_cache.reserve(
+                    record,
+                    CkptState.READ_IN_PROGRESS,
+                    blocking=blocking,
+                    allow_pinned=allow_pinned,
+                )
             if waited is None:
                 return None
             # Pin the host source extent for the (short) payload read so
@@ -864,7 +934,10 @@ class ScoreEngine:
                     # Host-site reduction: decode on the host before the
                     # PCIe crossing, so the GPU cache holds logical bytes
                     # and the wire below moves them at logical size.
-                    payload, decoded = self.reducer.reconstruct(record, TierLevel.HOST)
+                    with op.stage("decode", CAT_REDUCE):
+                        payload, decoded = self.reducer.reconstruct(
+                            record, TierLevel.HOST
+                        )
                 else:
                     # Zero-copy: move the bytes host-arena → GPU-arena
                     # through a read-only view while the host extent is
@@ -878,9 +951,10 @@ class ScoreEngine:
                     host_inst.read_pinned -= 1
                     self.monitor.notify_all()
             try:
-                seconds = waited + decoded + self.device.h2d_link.transfer(
-                    record.wire_size(TierLevel.HOST, TierLevel.GPU), request=request
-                )
+                with op.stage("promote", CAT_TRANSFER, tier="pcie", dst=dst.name):
+                    seconds = waited + decoded + self.device.h2d_link.transfer(
+                        record.wire_size(TierLevel.HOST, TierLevel.GPU), request=request
+                    )
             except TransferError:
                 # Preempted (or cancelled) mid-promotion: the reserved —
                 # and eagerly written — GPU extent is released for reuse.
@@ -894,19 +968,23 @@ class ScoreEngine:
                     self.reducer.attach(record, TierLevel.GPU)
                 self.monitor.notify_all()
             return seconds
-        waited = self.host_cache.reserve(
-            record, CkptState.READ_IN_PROGRESS, blocking=blocking, allow_pinned=allow_pinned
-        )
+        with op.stage("reserve-host", CAT_RESERVE):
+            waited = self.host_cache.reserve(
+                record, CkptState.READ_IN_PROGRESS, blocking=blocking, allow_pinned=allow_pinned
+            )
         if waited is None:
             return None
         try:
             src, store = self.durable_read_source(record)
-            if src == TierLevel.PFS:
-                payload, read_seconds = store.get(
-                    self.store_key(record), node_id=self.node_id, request=request
-                )
-            else:
-                payload, read_seconds = store.get(self.store_key(record), request=request)
+            with op.stage("promote", CAT_TRANSFER, tier=src.name.lower(), dst=dst.name):
+                if src == TierLevel.PFS:
+                    payload, read_seconds = store.get(
+                        self.store_key(record), node_id=self.node_id, request=request
+                    )
+                else:
+                    payload, read_seconds = store.get(
+                        self.store_key(record), request=request
+                    )
         except Exception:
             self._release_reservation(self.host_cache, record, TierLevel.HOST)
             raise

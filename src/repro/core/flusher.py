@@ -35,6 +35,14 @@ from repro.errors import (
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind
 from repro.sched.request import TransferClass
+from repro.telemetry.causal import (
+    CAT_REDUCE,
+    CAT_REROUTE,
+    CAT_RESERVE,
+    CAT_RETRY,
+    CAT_TRANSFER,
+    NULL_OP,
+)
 from repro.tiers.base import TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -101,12 +109,46 @@ class Flusher:
     def _track_for(self, stage: str) -> str:
         return self._tracks.get(stage.split("-", 1)[0], self._tracks["h2f"])
 
+    def _op(self, record: "CheckpointRecord"):
+        """The record's causal handle (``NULL_OP`` when tracing is off)."""
+        op = record.op
+        return op if op is not None else NULL_OP
+
+    def _causal(self, op, tier: str) -> dict:
+        """Extra span kwargs tying a flush leg to its op, empty when off.
+
+        Gated on ``op.op_id`` so disabled runs emit byte-identical spans
+        (the ``tier`` arg must not appear in their args dicts).
+        """
+        if op.op_id is None:
+            return {}
+        return {"op_id": op.op_id, "category": CAT_TRANSFER, "tier": tier}
+
+    def _mark_durable(self, record: "CheckpointRecord", op, stage: str, level: TierLevel) -> None:
+        """First durable landing: emit the ``durable`` instant + SLO sample."""
+        if op.op_id is None:
+            return
+        engine = self.engine
+        now = engine.clock.now()
+        op.instant(
+            "durable",
+            track=self._track_for(stage),
+            tier=level.name.lower(),
+            level=level.name,
+        )
+        if engine.slo is not None:
+            engine.slo.observe_durability(now, now - op.start, op_id=op.op_id)
+
     def _abandon(self, stage: str, record: "CheckpointRecord", reason: str) -> None:
         """Count + trace + log one abandoned flush leg (monitor NOT required)."""
         self.abandoned += 1
         self._m_abandoned.inc()
         self.telemetry.bus.instant(
-            "flush-abandoned", self._tracks[stage], ckpt=record.ckpt_id, reason=reason
+            "flush-abandoned",
+            self._tracks[stage],
+            op_id=self._op(record).op_id,
+            ckpt=record.ckpt_id,
+            reason=reason,
         )
         log.debug(
             "p%d: abandoning %s flush of checkpoint %d (%s)",
@@ -208,15 +250,20 @@ class Flusher:
                 delay = policy.backoff(attempt, stage, record.ckpt_id)
                 self.retries += 1
                 self._m_retries.inc()
+                op = self._op(record)
                 self.telemetry.bus.instant(
                     "flush-retry",
                     self._track_for(stage),
+                    op_id=op.op_id,
                     ckpt=record.ckpt_id,
                     stage=stage,
                     attempt=attempt,
                     delay=delay,
                 )
-                engine.clock.sleep(delay)
+                with op.stage(
+                    "backoff", CAT_RETRY, track=self._track_for(stage), leg=stage
+                ):
+                    engine.clock.sleep(delay)
                 attempt += 1
                 continue
             if breaker is not None:
@@ -241,6 +288,7 @@ class Flusher:
             self.telemetry.bus.instant(
                 "flush-reverify",
                 self._track_for(stage),
+                op_id=self._op(record).op_id,
                 ckpt=record.ckpt_id,
                 stage=stage,
                 tier=getattr(store, "_track", "pfs"),
@@ -271,6 +319,8 @@ class Flusher:
         key = engine.store_key(record)
         breaker = engine.ssd._track
         rcfg = engine.config.resilience
+        op = self._op(record)
+        track = self._track_for(stage)
 
         def put(copy: bool) -> None:
             engine.ssd.put(
@@ -292,7 +342,8 @@ class Flusher:
         try:
             # First attempt hands ownership of the snapshot to the store
             # (copy=False, the historical zero-copy path); re-puts copy.
-            self._retrying(stage, record, lambda: put(False), breaker=breaker)
+            with op.stage("ssd-put", CAT_TRANSFER, track=track, tier="ssd"):
+                self._retrying(stage, record, lambda: put(False), breaker=breaker)
         except TransientTransferError as exc:
             if engine.resilient and rcfg.reroute and engine.pfs is not None:
                 return "pfs" if self._reroute_to_pfs(stage, record, payload) else None
@@ -302,7 +353,11 @@ class Flusher:
             self._abandon(stage, record, "cancelled mid-transfer")
             return None
         if engine.resilient and rcfg.reverify:
-            if not self._reverify(stage, record, engine.ssd, breaker, lambda: put(True)):
+            with op.stage("reverify", CAT_RETRY, track=track, tier="ssd"):
+                verified = self._reverify(
+                    stage, record, engine.ssd, breaker, lambda: put(True)
+                )
+            if not verified:
                 engine.ssd.delete(key)
                 engine._journal_retract(record, breaker)
                 if rcfg.reroute and engine.pfs is not None:
@@ -322,10 +377,15 @@ class Flusher:
         pfs = engine.pfs
         key = engine.store_key(record)
         rcfg = engine.config.resilience
+        op = self._op(record)
         self.rerouted += 1
         self._m_reroutes.inc()
         self.telemetry.bus.instant(
-            "flush-reroute", self._track_for(stage), ckpt=record.ckpt_id, stage=stage
+            "flush-reroute",
+            self._track_for(stage),
+            op_id=op.op_id,
+            ckpt=record.ckpt_id,
+            stage=stage,
         )
         log.info(
             "p%d: rerouting %s flush of checkpoint %d around the dark SSD "
@@ -346,24 +406,31 @@ class Flusher:
 
         reroute_stage = f"{stage}-reroute"
         try:
-            self._retrying(reroute_stage, record, put, breaker="pfs")
+            with op.stage(
+                "reroute", CAT_REROUTE, track=self._track_for(stage), tier="pfs"
+            ):
+                self._retrying(reroute_stage, record, put, breaker="pfs")
+                if rcfg.reverify and not self._reverify(
+                    reroute_stage, record, pfs, "pfs", put
+                ):
+                    pfs.delete(key)
+                    engine._journal_retract(record, "pfs")
+                    self._abandon(stage, record, "persistent corruption on PFS reroute")
+                    return False
         except TransferError as exc:
             self._abandon(stage, record, f"PFS reroute failed ({type(exc).__name__})")
             return False
-        if rcfg.reverify and not self._reverify(
-            reroute_stage, record, pfs, "pfs", put
-        ):
-            pfs.delete(key)
-            engine._journal_retract(record, "pfs")
-            self._abandon(stage, record, "persistent corruption on PFS reroute")
-            return False
+        first_durable = False
         with engine.monitor:
             if record.durable_level is None or record.durable_level < TierLevel.PFS:
+                first_durable = record.durable_level is None
                 record.durable_level = TierLevel.PFS
             if engine._reduced_at(record, TierLevel.PFS):
                 engine.reducer.attach(record, TierLevel.PFS)
             engine.monitor.notify_all()
         engine._journal_commit(record, TierLevel.PFS, "pfs")
+        if first_durable:
+            self._mark_durable(record, op, stage, TierLevel.PFS)
         if rcfg.backfill:
             with self._backfill_lock:
                 self._backfill.append(record)
@@ -394,6 +461,12 @@ class Flusher:
                 with self._backfill_lock:
                     self._backfill.appendleft(record)
                 return
+            op = self._op(record)
+            # The op has been idle since its reroute, waiting for the dark
+            # SSD to heal: label that whole gap before timing the copy, so
+            # its timeline stays gap-free.
+            op.fill("await-heal", CAT_REROUTE, track=self._track_for("h2f"))
+            backfill_t0 = engine.clock.now()
             try:
                 payload, _ = engine.pfs.get(
                     key, node_id=engine.node_id, request=self._request(record)
@@ -419,8 +492,22 @@ class Flusher:
             engine._journal_commit(record, TierLevel.SSD, breaker)
             self.backfilled += 1
             self._m_backfills.inc()
+            if op.op_id is not None:
+                now = engine.clock.now()
+                self.telemetry.bus.complete(
+                    "backfill",
+                    self._track_for("h2f"),
+                    backfill_t0,
+                    now - backfill_t0,
+                    op_id=op.op_id,
+                    category=CAT_REROUTE,
+                    tier="ssd",
+                )
             self.telemetry.bus.instant(
-                "flush-backfill", self._track_for("h2f"), ckpt=record.ckpt_id
+                "flush-backfill",
+                self._track_for("h2f"),
+                op_id=op.op_id,
+                ckpt=record.ckpt_id,
             )
 
     # -- stages --------------------------------------------------------------
@@ -430,6 +517,8 @@ class Flusher:
             return  # the incarnation is dead; drop queued work
         engine._maybe_crash("before-d2h", record)
         started = engine.clock.now()
+        op = self._op(record)
+        op.fill("flush-queue", track=self._tracks["d2h"])
         with engine.monitor:
             gpu_inst = record.peek(TierLevel.GPU)
             if record.discarded or gpu_inst is None:
@@ -456,12 +545,20 @@ class Flusher:
             # Host-site reduction: encode off the application's critical
             # path, on this flush thread, before the host placement — the
             # host cache and everything below hold the physical form.
-            engine.reducer.encode(record, payload)
+            with op.stage("encode", CAT_REDUCE, track=self._tracks["d2h"]):
+                engine.reducer.encode(record, payload)
         wire = record.wire_size(TierLevel.GPU, TierLevel.HOST)
         # Claim host cache space (blocks for evictions as needed).
-        engine.host_cache.reserve(record, CkptState.WRITE_IN_PROGRESS, blocking=True)
+        with op.stage("reserve-host", CAT_RESERVE, track=self._tracks["d2h"]):
+            engine.host_cache.reserve(
+                record, CkptState.WRITE_IN_PROGRESS, blocking=True
+            )
         with self.telemetry.bus.span(
-            "d2h", self._tracks["d2h"], ckpt=record.ckpt_id, bytes=wire
+            "d2h",
+            self._tracks["d2h"],
+            ckpt=record.ckpt_id,
+            bytes=wire,
+            **self._causal(op, "pcie"),
         ) as span:
             try:
                 self._retrying(
@@ -517,6 +614,8 @@ class Flusher:
             return
         engine._maybe_crash("before-d2s", record)
         started = engine.clock.now()
+        op = self._op(record)
+        op.fill("flush-queue", track=self._tracks["d2s"])
         with engine.monitor:
             gpu_inst = record.peek(TierLevel.GPU)
             if record.discarded or gpu_inst is None:
@@ -535,7 +634,11 @@ class Flusher:
             engine.monitor.notify_all()
         wire = record.wire_size(TierLevel.GPU, TierLevel.SSD)
         with self.telemetry.bus.span(
-            "d2s", self._tracks["d2s"], ckpt=record.ckpt_id, bytes=wire
+            "d2s",
+            self._tracks["d2s"],
+            ckpt=record.ckpt_id,
+            bytes=wire,
+            **self._causal(op, "ssd"),
         ) as span:
             try:
                 # The DMA crosses the same PCIe link, then commits to the drive.
@@ -559,9 +662,11 @@ class Flusher:
             if outcome == "pfs":
                 span.add(rerouted=True)
         self._m_bytes["d2s"].inc(wire)
+        first_durable = False
         with engine.monitor:
             if outcome == "ssd":
                 if record.durable_level is None or record.durable_level < TierLevel.SSD:
+                    first_durable = record.durable_level is None
                     record.durable_level = TierLevel.SSD
                 if engine._reduced_at(record, TierLevel.SSD):
                     engine.reducer.attach(record, TierLevel.SSD)
@@ -571,6 +676,8 @@ class Flusher:
             engine.monitor.notify_all()
         if outcome == "ssd":
             engine._journal_commit(record, TierLevel.SSD, engine.ssd._track)
+            if first_durable:
+                self._mark_durable(record, op, "d2s", TierLevel.SSD)
         engine.recorder.record(
             OpEvent(
                 kind=OpKind.FLUSH,
@@ -594,6 +701,8 @@ class Flusher:
         if engine.crashed.is_set():
             return
         engine._maybe_crash("before-h2f", record)
+        op = self._op(record)
+        op.fill("flush-queue", track=self._tracks["h2f"])
         with engine.monitor:
             host_inst = record.peek(TierLevel.HOST)
             if record.discarded or host_inst is None:
@@ -612,7 +721,11 @@ class Flusher:
             engine.monitor.notify_all()
         wire = record.wire_size(TierLevel.HOST, TierLevel.SSD)
         with self.telemetry.bus.span(
-            "h2f", self._tracks["h2f"], ckpt=record.ckpt_id, bytes=wire
+            "h2f",
+            self._tracks["h2f"],
+            ckpt=record.ckpt_id,
+            bytes=wire,
+            **self._causal(op, "ssd"),
         ) as span:
             outcome = self._durable_ssd_put("h2f", record, payload)
             if outcome is None:
@@ -621,9 +734,11 @@ class Flusher:
             if outcome == "pfs":
                 span.add(rerouted=True)
         self._m_bytes["h2f"].inc(wire)
+        first_durable = False
         with engine.monitor:
             if outcome == "ssd":
                 if record.durable_level is None or record.durable_level < TierLevel.SSD:
+                    first_durable = record.durable_level is None
                     record.durable_level = TierLevel.SSD
                 if engine._reduced_at(record, TierLevel.SSD):
                     engine.reducer.attach(record, TierLevel.SSD)
@@ -633,6 +748,8 @@ class Flusher:
             engine.monitor.notify_all()
         if outcome == "ssd":
             engine._journal_commit(record, TierLevel.SSD, engine.ssd._track)
+            if first_durable:
+                self._mark_durable(record, op, "h2f", TierLevel.SSD)
         engine._maybe_crash("after-h2f", record)
         if outcome == "ssd":
             self._drain_backfill()
@@ -651,6 +768,8 @@ class Flusher:
         if engine.crashed.is_set():
             return
         engine._maybe_crash("before-repl", record)
+        op = self._op(record)
+        op.fill("flush-queue", track=self._tracks["repl"])
         with engine.monitor:
             if record.discarded:
                 self._abandon("repl", record, "discarded before replication")
@@ -679,7 +798,11 @@ class Flusher:
             )
 
         with self.telemetry.bus.span(
-            "repl", self._tracks["repl"], ckpt=record.ckpt_id, bytes=stored
+            "repl",
+            self._tracks["repl"],
+            ckpt=record.ckpt_id,
+            bytes=stored,
+            **self._causal(op, "fabric"),
         ) as span:
             try:
                 self._retrying("repl", record, copy_to_partner)
@@ -697,6 +820,8 @@ class Flusher:
         if engine.crashed.is_set():
             return
         engine._maybe_crash("before-f2p", record)
+        op = self._op(record)
+        op.fill("flush-queue", track=self._tracks["f2p"])
         with engine.monitor:
             if record.discarded:
                 self._abandon("f2p", record, "discarded before PFS flush")
@@ -713,18 +838,25 @@ class Flusher:
         stored = record.stored_size(TierLevel.PFS)
         wire = record.wire_size(TierLevel.SSD, TierLevel.PFS)
         with self.telemetry.bus.span(
-            "f2p", self._tracks["f2p"], ckpt=record.ckpt_id, bytes=wire
+            "f2p",
+            self._tracks["f2p"],
+            ckpt=record.ckpt_id,
+            bytes=wire,
+            **self._causal(op, "pfs"),
         ) as span:
             try:
                 # This SSD read-back shares the read link with demand
                 # restores — the QoS tag keeps it behind them.  Retried
                 # separately from the PFS write so an SSD failure never
                 # counts against the PFS breaker.
-                payload, _ = self._retrying(
-                    "f2p",
-                    record,
-                    lambda: engine.ssd.get(key, request=self._request(record)),
-                )
+                with op.stage(
+                    "read-back", CAT_TRANSFER, track=self._tracks["f2p"], tier="ssd"
+                ):
+                    payload, _ = self._retrying(
+                        "f2p",
+                        record,
+                        lambda: engine.ssd.get(key, request=self._request(record)),
+                    )
             except TransferError:
                 span.add(abandoned=True)
                 self._abandon("f2p", record, "cancelled mid-transfer")
@@ -748,7 +880,11 @@ class Flusher:
                 self._abandon("f2p", record, "cancelled mid-transfer")
                 return
             if engine.resilient and engine.config.resilience.reverify:
-                if not self._reverify("f2p", record, pfs, "pfs", put):
+                with op.stage(
+                    "reverify", CAT_RETRY, track=self._tracks["f2p"], tier="pfs"
+                ):
+                    verified = self._reverify("f2p", record, pfs, "pfs", put)
+                if not verified:
                     pfs.delete(key)
                     engine._journal_retract(record, "pfs")
                     span.add(abandoned=True)

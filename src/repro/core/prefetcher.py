@@ -23,6 +23,7 @@ from repro.errors import AdmissionError, ReproError, TransientTransferError
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind
 from repro.sched.request import TransferClass
+from repro.telemetry.causal import CAT_RETRY, CAT_TRANSFER, NULL_OP
 from repro.tiers.base import TierLevel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,6 +45,10 @@ class Prefetcher:
         self.promotions = 0
         self.telemetry = engine.telemetry
         self._track = f"p{engine.process_id}-prefetch"
+        #: per-checkpoint chain ops (``f<pid>:<ckpt>``): one causal identity
+        #: spans every promotion step of a hint (SSD→host, host→GPU).
+        #: Touched only by the prefetch thread.
+        self._ops = {}
         registry = self.telemetry.registry
         self._m_promotions = registry.counter("prefetch.promotions")
         self._m_bytes = registry.counter("prefetch.bytes")
@@ -54,6 +59,16 @@ class Prefetcher:
             target=self._run, name=f"prefetcher-p{engine.process_id}", daemon=True
         )
         self._thread.start()
+
+    def _chain_op(self, ckpt_id: int):
+        """The checkpoint's prefetch-chain op (cached across steps)."""
+        if not self.engine.ops.enabled:
+            return NULL_OP
+        op = self._ops.get(ckpt_id)
+        if op is None:
+            op = self.engine.ops.prefetch(ckpt_id, self._track)
+            self._ops[ckpt_id] = op
+        return op
 
     def stop(self) -> None:
         with self.engine.monitor:
@@ -81,10 +96,19 @@ class Prefetcher:
                     return
                 task[0].prefetch_inflight = True
             record, src, dst, distance = task
-            request = self._classify(distance)
+            op = self._chain_op(record.ckpt_id)
+            op.fill("hint-wait")
+            request = self._classify(distance, op=op)
             started = engine.clock.now()
             seconds: Optional[float] = None
             shed = False
+            causal = {}
+            if op.op_id is not None:
+                causal = {
+                    "op_id": op.op_id,
+                    "category": CAT_TRANSFER,
+                    "tier": "pcie" if src == TierLevel.HOST else src.name.lower(),
+                }
             span = self.telemetry.bus.span(
                 "prefetch",
                 self._track,
@@ -92,12 +116,13 @@ class Prefetcher:
                 src=src.name,
                 dst=dst.name,
                 bytes=record.nominal_size,
+                **causal,
             )
             with span:
                 try:
                     seconds = engine.promote_once(
                         record, src, dst, blocking=False, allow_pinned=False,
-                        request=request,
+                        request=request, op=op,
                     )
                 except AdmissionError:
                     # The link's speculative queue is full — back off below
@@ -116,7 +141,8 @@ class Prefetcher:
                         delay = engine.retry_policy.backoff(
                             0, "prefetch", record.ckpt_id
                         )
-                    engine.clock.sleep(delay)
+                    with op.stage("backoff", CAT_RETRY):
+                        engine.clock.sleep(delay)
                     log.debug(
                         "p%d: prefetch of checkpoint %d (%s->%s) hit a "
                         "transient fault: %s",
@@ -140,8 +166,11 @@ class Prefetcher:
                         record.prefetch_inflight = False
                         engine.monitor.notify_all()
             if shed:
-                engine.clock.sleep(engine.config.sched.hint_spacing_s)
+                with op.stage("shed-backoff", CAT_RETRY):
+                    engine.clock.sleep(engine.config.sched.hint_spacing_s)
             if seconds is not None:
+                if dst == TierLevel.GPU:
+                    self._ops.pop(record.ckpt_id, None)  # chain complete
                 self.promotions += 1
                 self._m_promotions.inc()
                 self._m_bytes.inc(record.nominal_size)
@@ -156,7 +185,7 @@ class Prefetcher:
                     )
                 )
 
-    def _classify(self, distance: int):
+    def _classify(self, distance: int, op=NULL_OP):
         """QoS tag for a prefetch at ``distance`` hints from the restore
         head: near hints are HINTED_PREFETCH (never preempted), far ones
         SPECULATIVE_PREFETCH (sheddable + preemptible); the deadline paces
@@ -170,7 +199,7 @@ class Prefetcher:
             else TransferClass.SPECULATIVE_PREFETCH
         )
         deadline = engine.clock.now() + distance * scfg.hint_spacing_s
-        return engine._sched_request(tclass, deadline=deadline)
+        return engine._sched_request(tclass, deadline=deadline, op=op)
 
     # -- task selection (monitor held) ------------------------------------------
     def _pick_task(self) -> Optional[Task]:

@@ -45,12 +45,17 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probe_inflight = False
         self.opens = 0
+        self._m_opens = (
+            telemetry.registry.counter("resilience.breaker_opens")
+            if telemetry is not None
+            else None
+        )
 
     def _emit(self, event: str) -> None:
         if self.telemetry is not None:
             self.telemetry.bus.instant(
                 event, track="resilience", tier=self.name,
-                failures=self._failures,
+                state=self._state, failures=self._failures,
             )
 
     @property
@@ -98,6 +103,8 @@ class CircuitBreaker:
                 self._state = OPEN
                 self._opened_at = self.clock.now()
                 self.opens += 1
+                if self._m_opens is not None:
+                    self._m_opens.inc()
                 self._emit("breaker-open")
 
     def snapshot(self) -> dict:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.report import analyze_events
 from repro.config import CacheConfig, RuntimeConfig, bench_config
 from repro.errors import ConfigError
 from repro.harness.approaches import Approach, make_engine_factory
@@ -84,6 +85,10 @@ class ExperimentResult:
     #: telemetry registry snapshot taken at the end of the run (always
     #: present — the metrics registry is live even when tracing is off).
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: causal attribution report (:func:`repro.analysis.report.analyze_events`)
+    #: — present only when the experiment ran with ``analysis.enabled`` and
+    #: the trace bus on.
+    attribution: Optional[dict] = None
 
     @property
     def checkpoint_rate(self) -> float:
@@ -157,8 +162,19 @@ def run_experiment(exp: Experiment) -> ExperimentResult:
             cluster, factory, specs, tightly_coupled=exp.tightly_coupled
         )
         metrics = cluster.telemetry.registry.snapshot()
+        attribution = None
+        if cfg.analysis.enabled and cluster.telemetry.bus.enabled:
+            attribution = analyze_events(
+                cluster.telemetry.bus.snapshot(), slo=cfg.analysis.slo
+            )
     summary = throughput([s.recorder for s in shots])
-    return ExperimentResult(experiment=exp, summary=summary, shots=shots, metrics=metrics)
+    return ExperimentResult(
+        experiment=exp,
+        summary=summary,
+        shots=shots,
+        metrics=metrics,
+        attribution=attribution,
+    )
 
 
 def run_matrix(experiments: Sequence[Experiment]) -> List[ExperimentResult]:

@@ -145,6 +145,12 @@ class Reducer:
         self._m_rebases = registry.counter("reduce.rebases")
         self._m_encode_s = registry.histogram("reduce.encode_s")
         self._m_decode_s = registry.histogram("reduce.decode_s")
+        #: observability satellites: the headline reduction ratios as live
+        #: gauges (recomputed after every encode from the shared counters)
+        #: plus the delta-chain depth distribution.
+        self._m_dedup_rate = registry.gauge("reduce.dedup_hit_rate")
+        self._m_ratio = registry.gauge("reduce.compression_ratio")
+        self._m_chain_depth = registry.histogram("reduce.delta_chain_depth")
 
     # -- encode ------------------------------------------------------------
     def covers(self, level: TierLevel) -> bool:
@@ -242,6 +248,12 @@ class Reducer:
         self._m_new.inc(image.new_chunks)
         self._m_dup.inc(image.dup_chunks)
         self._m_delta.inc(image.delta_chunks)
+        total_chunks = self._m_new.value + self._m_dup.value + self._m_delta.value
+        if total_chunks:
+            self._m_dedup_rate.set(self._m_dup.value / total_chunks)
+        if self._m_logical.value:
+            self._m_ratio.set(self._m_physical.value / self._m_logical.value)
+        self._m_chain_depth.observe(float(depth))
         seconds = record.nominal_size / self.codec.encode_bandwidth(self.site)
         self._m_encode_s.observe(seconds)
         self.telemetry.bus.instant(

@@ -68,6 +68,10 @@ class TransferRequest:
     engine_id: int = 0
     deadline: Optional[float] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: causal id of the operation this transfer serves (None unless
+    #: ``AnalysisConfig.enabled``); the scheduler stamps it on the
+    #: ``sched-wait`` span it emits for the transfer's first grant wait.
+    op_id: Optional[str] = None
 
     @property
     def preemptible(self) -> bool:

@@ -227,6 +227,22 @@ class LinkScheduler:
                         if entry.first_grant_wait is None:
                             entry.first_grant_wait = self.clock.now() - entry.opened_at
                             self._m_wait.observe(entry.first_grant_wait)
+                            if (
+                                entry.request.op_id is not None
+                                and entry.first_grant_wait > 0
+                            ):
+                                # Causal refinement: the queueing share of a
+                                # transfer that would otherwise all charge
+                                # to its enclosing transfer span.
+                                self.telemetry.bus.complete(
+                                    "sched-wait",
+                                    self._track,
+                                    entry.opened_at,
+                                    entry.first_grant_wait,
+                                    op_id=entry.request.op_id,
+                                    category="queue",
+                                    cls=entry.request.tclass.name,
+                                )
                         return
                     self._cond.wait(self.clock.to_real(self._wait_hint()))
             except BaseException:

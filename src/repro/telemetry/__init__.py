@@ -27,10 +27,12 @@ from typing import Optional
 
 from repro.clock import VirtualClock
 from repro.telemetry.bus import DEFAULT_CAPACITY, NULL_SPAN, TraceBus, TraceEvent
+from repro.telemetry.causal import CATEGORIES, NULL_OP, OpTrace, OpTracer
 from repro.telemetry.exporters import (
     chrome_trace,
     events_by_track,
     filter_events,
+    read_jsonl,
     render_summary,
     write_chrome_trace,
     write_jsonl,
@@ -74,7 +76,12 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "read_jsonl",
     "render_summary",
     "events_by_track",
     "filter_events",
+    "OpTrace",
+    "OpTracer",
+    "NULL_OP",
+    "CATEGORIES",
 ]

@@ -44,6 +44,14 @@ class TraceEvent:
     ``phase`` follows the Chrome trace-event vocabulary the exporter emits:
     ``"X"`` — a complete span of ``dur`` nominal seconds starting at ``ts``;
     ``"i"`` — an instant event at ``ts``.
+
+    The three causal fields are optional (all ``None`` unless
+    ``AnalysisConfig.enabled`` attaches them): ``op_id`` ties the event to
+    one operation's lifetime (``c<pid>:<ckpt>`` checkpoint,
+    ``r<pid>:<ckpt>`` restore, ``f<pid>:<ckpt>`` prefetch chain),
+    ``parent_id`` links an operation to the operation that caused it, and
+    ``category`` names the attribution bucket the event's duration charges
+    (see :data:`repro.telemetry.causal.CATEGORIES`).
     """
 
     name: str
@@ -52,19 +60,34 @@ class TraceEvent:
     phase: str = "i"
     dur: float = 0.0  # nominal seconds (spans only)
     args: dict = field(default_factory=dict)
+    op_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    category: Optional[str] = None
 
 
 class _Span:
     """Context manager recording one complete ("X") event on exit."""
 
-    __slots__ = ("_bus", "_name", "_track", "_args", "_started")
+    __slots__ = ("_bus", "_name", "_track", "_args", "_started", "_op_id", "_parent_id", "_category")
 
-    def __init__(self, bus: "TraceBus", name: str, track: str, args: dict) -> None:
+    def __init__(
+        self,
+        bus: "TraceBus",
+        name: str,
+        track: str,
+        args: dict,
+        op_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> None:
         self._bus = bus
         self._name = name
         self._track = track
         self._args = args
         self._started = 0.0
+        self._op_id = op_id
+        self._parent_id = parent_id
+        self._category = category
 
     def __enter__(self) -> "_Span":
         self._started = self._bus.clock.now()
@@ -84,6 +107,9 @@ class _Span:
                 phase="X",
                 dur=now - self._started,
                 args=self._args,
+                op_id=self._op_id,
+                parent_id=self._parent_id,
+                category=self._category,
             )
         )
 
@@ -125,19 +151,76 @@ class TraceBus:
         self._lock = threading.Lock()
 
     # -- emission -----------------------------------------------------------
-    def instant(self, name: str, track: str, **args) -> None:
+    def instant(
+        self,
+        name: str,
+        track: str,
+        op_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        category: Optional[str] = None,
+        **args,
+    ) -> None:
         """Record an instant event now (no-op when disabled)."""
         if not self.enabled:
             return
         self._append(
-            TraceEvent(name=name, track=track, ts=self.clock.now(), phase="i", args=args)
+            TraceEvent(
+                name=name,
+                track=track,
+                ts=self.clock.now(),
+                phase="i",
+                args=args,
+                op_id=op_id,
+                parent_id=parent_id,
+                category=category,
+            )
         )
 
-    def span(self, name: str, track: str, **args):
+    def span(
+        self,
+        name: str,
+        track: str,
+        op_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        category: Optional[str] = None,
+        **args,
+    ):
         """A context manager timing one operation (no-op when disabled)."""
         if not self.enabled:
             return NULL_SPAN
-        return _Span(self, name, track, args)
+        return _Span(self, name, track, args, op_id=op_id, parent_id=parent_id, category=category)
+
+    def complete(
+        self,
+        name: str,
+        track: str,
+        ts: float,
+        dur: float,
+        op_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        category: Optional[str] = None,
+        **args,
+    ) -> None:
+        """Record a back-dated complete ("X") span with explicit timing.
+
+        Used by the causal layer to materialise waits measured between two
+        known points (queue fills) without holding a context manager open.
+        """
+        if not self.enabled:
+            return
+        self._append(
+            TraceEvent(
+                name=name,
+                track=track,
+                ts=ts,
+                phase="X",
+                dur=dur,
+                args=args,
+                op_id=op_id,
+                parent_id=parent_id,
+                category=category,
+            )
+        )
 
     def _append(self, event: TraceEvent) -> None:
         with self._lock:

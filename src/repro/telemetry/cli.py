@@ -27,13 +27,17 @@ import os
 from typing import List, Optional, Sequence
 
 from repro.config import (
+    AnalysisConfig,
     CacheConfig,
     FaultConfig,
+    HardwareSpec,
     ReduceConfig,
     ResilienceConfig,
     SchedConfig,
+    SloConfig,
     bench_config,
 )
+from repro.errors import ConfigError
 from repro.log import enable_console_logging
 from repro.telemetry.exporters import render_summary, write_chrome_trace, write_jsonl
 from repro.util.units import MiB
@@ -90,6 +94,9 @@ def run_trace(
     similarity: float = 0.9,
     faults: Optional[FaultConfig] = None,
     resilient: bool = False,
+    analysis: bool = False,
+    slo: Optional[SloConfig] = None,
+    hardware: Optional[HardwareSpec] = None,
 ) -> dict:
     """Run ``workload`` with tracing on; return the written paths."""
     from repro.harness.approaches import make_engine_factory
@@ -97,10 +104,16 @@ def run_trace(
     from repro.tiers.topology import Cluster
     from repro.workloads.multiproc import run_multiprocess_shot
 
+    if workload not in _DEFAULTS:
+        raise ConfigError(
+            f"unknown workload {workload!r}; choose from {sorted(_DEFAULTS)}"
+        )
     default_snapshots, default_processes = _DEFAULTS[workload]
     snapshots = snapshots or default_snapshots
     processes = processes or default_processes
     cfg = bench_config(telemetry=True, processes_per_node=processes)
+    if hardware is not None:
+        cfg = cfg.with_(hardware=hardware)
     if sched:
         cfg = cfg.with_(sched=SchedConfig(enabled=True))
     if reduce:
@@ -109,6 +122,8 @@ def run_trace(
         cfg = cfg.with_(faults=faults)
     if resilient:
         cfg = cfg.with_(resilience=ResilienceConfig(enabled=True))
+    if analysis:
+        cfg = cfg.with_(analysis=AnalysisConfig(enabled=True, slo=slo or SloConfig()))
     specs = _build_specs(
         workload,
         cfg,
@@ -179,18 +194,37 @@ def run_trace(
 
 def _parse_outage(spec: str):
     """``tier:start:end[:factor]`` -> a ``FaultConfig.tier_outages`` entry
-    (factor defaults to 0.0, a hard outage)."""
+    (factor defaults to 0.0, a hard outage).
+
+    Validates the full grammar here — tier name, window ordering, factor
+    range — so a malformed spec dies as a clean argparse usage error
+    instead of a :class:`~repro.errors.ConfigError` traceback out of
+    ``FaultConfig`` later.
+    """
     parts = spec.split(":")
     if len(parts) not in (3, 4):
         raise argparse.ArgumentTypeError(
             f"expected tier:start:end[:factor], got {spec!r}"
         )
+    tier = parts[0]
+    if tier not in ("ssd", "pfs"):
+        raise argparse.ArgumentTypeError(
+            f"unknown outage tier {tier!r} in {spec!r} (expected ssd or pfs)"
+        )
     try:
         start, end = float(parts[1]), float(parts[2])
         factor = float(parts[3]) if len(parts) == 4 else 0.0
     except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc))
-    return (parts[0], start, end, factor)
+        raise argparse.ArgumentTypeError(f"{spec!r}: {exc}")
+    if not 0.0 <= start < end:
+        raise argparse.ArgumentTypeError(
+            f"bad outage window [{start}, {end}) in {spec!r} (need 0 <= start < end)"
+        )
+    if not 0.0 <= factor < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"outage factor {factor} in {spec!r} out of [0, 1)"
+        )
+    return (tier, start, end, factor)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -280,27 +314,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         or args.corruption_rate > 0.0
         or args.crash_point is not None
     ):
-        faults = FaultConfig(
-            enabled=True,
-            seed=args.fault_seed,
-            transfer_fault_rate=args.fault_rate,
-            tier_outages=tuple(args.outage or ()),
-            corruption_rate=args.corruption_rate,
-            crash_point=args.crash_point,
+        try:
+            faults = FaultConfig(
+                enabled=True,
+                seed=args.fault_seed,
+                transfer_fault_rate=args.fault_rate,
+                tier_outages=tuple(args.outage or ()),
+                corruption_rate=args.corruption_rate,
+                crash_point=args.crash_point,
+            )
+        except ConfigError as exc:
+            parser.exit(2, f"{parser.prog}: error: {exc}\n")
+    try:
+        out = run_trace(
+            args.workload,
+            out_dir=args.out_dir,
+            snapshots=args.snapshots,
+            processes=args.processes,
+            order=RestoreOrder(args.order),
+            seed=args.seed,
+            sched=args.sched,
+            reduce=args.reduce,
+            similarity=args.similarity,
+            faults=faults,
+            resilient=args.resilient,
         )
-    out = run_trace(
-        args.workload,
-        out_dir=args.out_dir,
-        snapshots=args.snapshots,
-        processes=args.processes,
-        order=RestoreOrder(args.order),
-        seed=args.seed,
-        sched=args.sched,
-        reduce=args.reduce,
-        similarity=args.similarity,
-        faults=faults,
-        resilient=args.resilient,
-    )
+    except ConfigError as exc:
+        parser.exit(2, f"{parser.prog}: error: {exc}\n")
     print(out["rendered"])
     if "sched_rendered" in out:
         print()

@@ -83,13 +83,22 @@ def chrome_trace(
     # in timeline order.
     for event in sorted(events, key=lambda e: e.ts):
         pid, _ = _split_track(event.track)
+        args = event.args
+        if event.op_id is not None or event.category is not None:
+            args = dict(args)
+            if event.op_id is not None:
+                args["op"] = event.op_id
+            if event.parent_id is not None:
+                args["parent"] = event.parent_id
+            if event.category is not None:
+                args["cat"] = event.category
         entry = {
             "name": event.name,
             "ph": event.phase,
             "ts": event.ts * 1e6,  # nominal seconds -> microseconds
             "pid": pid,
             "tid": tids[event.track],
-            "args": event.args,
+            "args": args,
         }
         if event.phase == "X":
             entry["dur"] = event.dur * 1e6
@@ -121,19 +130,23 @@ def write_jsonl(
 
     def dump(fh: TextIO) -> None:
         for event in events:
-            fh.write(
-                json.dumps(
-                    {
-                        "name": event.name,
-                        "track": event.track,
-                        "ts": event.ts,
-                        "phase": event.phase,
-                        "dur": event.dur,
-                        "args": event.args,
-                    },
-                    default=_json_default,
-                )
-            )
+            record = {
+                "name": event.name,
+                "track": event.track,
+                "ts": event.ts,
+                "phase": event.phase,
+                "dur": event.dur,
+                "args": event.args,
+            }
+            # Causal fields only when present, so pre-causal logs and
+            # disabled-analysis runs serialise byte-identically.
+            if event.op_id is not None:
+                record["op_id"] = event.op_id
+            if event.parent_id is not None:
+                record["parent_id"] = event.parent_id
+            if event.category is not None:
+                record["category"] = event.category
+            fh.write(json.dumps(record, default=_json_default))
             fh.write("\n")
 
     if isinstance(path_or_file, str):
@@ -142,6 +155,43 @@ def write_jsonl(
     else:
         dump(path_or_file)
     return len(events)
+
+
+def read_jsonl(path_or_file: Union[str, TextIO]) -> List[TraceEvent]:
+    """Re-import a :func:`write_jsonl` log as :class:`TraceEvent` objects.
+
+    The inverse of :func:`write_jsonl` up to arg-value stringification (the
+    ``_json_default`` fallback renders enums and infinities as strings):
+    event count, ordering, timing, and causal identity round-trip exactly,
+    so the analyzer sees the same op DAGs from a file as from a live bus.
+    """
+
+    def load(fh: TextIO) -> List[TraceEvent]:
+        events: List[TraceEvent] = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            events.append(
+                TraceEvent(
+                    name=rec["name"],
+                    track=rec["track"],
+                    ts=rec["ts"],
+                    phase=rec.get("phase", "i"),
+                    dur=rec.get("dur", 0.0),
+                    args=rec.get("args", {}),
+                    op_id=rec.get("op_id"),
+                    parent_id=rec.get("parent_id"),
+                    category=rec.get("category"),
+                )
+            )
+        return events
+
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as fh:
+            return load(fh)
+    return load(path_or_file)
 
 
 def _json_default(value):

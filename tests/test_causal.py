@@ -1,0 +1,197 @@
+"""Unit tests for the causal op-trace layer (:mod:`repro.telemetry.causal`).
+
+An :class:`OpTrace` must *tile* its operation's window: every stage first
+back-fills the gap since the op's cursor as a ``wait`` span, so the
+analyzer's accounting-completeness invariant holds by construction.  These
+tests drive the cursor machinery with a hand-stepped clock so the tiling
+is checked exactly, without virtual-time jitter.
+"""
+
+import pytest
+
+from repro.telemetry.bus import TraceBus
+from repro.telemetry.causal import (
+    CAT_QUEUE,
+    CAT_RETRY,
+    CAT_TRANSFER,
+    CATEGORIES,
+    CATEGORY_PRIORITY,
+    NULL_OP,
+    OpTracer,
+    checkpoint_op_id,
+    parse_op_id,
+    prefetch_op_id,
+    restore_op_id,
+)
+
+
+class ManualClock:
+    """A clock the test advances by hand (duck-types VirtualClock.now)."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_bus(enabled=True) -> TraceBus:
+    return TraceBus(ManualClock(), enabled=enabled)
+
+
+# -- op-id grammar ------------------------------------------------------------
+def test_op_id_roundtrip():
+    assert parse_op_id(checkpoint_op_id(3, 17)) == ("checkpoint", 3, 17)
+    assert parse_op_id(restore_op_id(0, 0)) == ("restore", 0, 0)
+    assert parse_op_id(prefetch_op_id(12, 345)) == ("prefetch", 12, 345)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "x0:1", "c0", "c0:", "c:1", "c-1:2", "cc0:1", "c0:1:2", "C0:1", "c0 1"],
+)
+def test_parse_op_id_rejects_malformed(bad):
+    assert parse_op_id(bad) is None
+
+
+def test_category_priority_covers_taxonomy():
+    assert set(CATEGORY_PRIORITY) == set(CATEGORIES)
+    # Distinct ranks: the sweep's tie-break must be deterministic.
+    assert len(set(CATEGORY_PRIORITY.values())) == len(CATEGORY_PRIORITY)
+
+
+# -- gating -------------------------------------------------------------------
+def test_disabled_tracer_hands_out_null_op():
+    bus = make_bus(enabled=True)
+    tracer = OpTracer(bus, process_id=0, enabled=False)
+    assert tracer.checkpoint(1, "app") is NULL_OP
+    assert tracer.restore(1, "app") is NULL_OP
+    assert tracer.prefetch(1, "app") is NULL_OP
+    # Enabled flag but a silent bus must also gate off.
+    silent = OpTracer(make_bus(enabled=False), process_id=0, enabled=True)
+    assert silent.checkpoint(1, "app") is NULL_OP
+
+
+def test_null_op_is_inert():
+    assert NULL_OP.op_id is None
+    assert NULL_OP.parent_id is None
+    assert not NULL_OP.enabled
+    with NULL_OP.stage("anything", CAT_TRANSFER) as st:
+        st.add(foo=1)
+    NULL_OP.fill("gap")
+    NULL_OP.instant("mark")
+
+
+def test_op_ids_and_parent_links():
+    bus = make_bus()
+    tracer = OpTracer(bus, process_id=2, enabled=True)
+    ckpt = tracer.checkpoint(5, "p2-app")
+    assert ckpt.op_id == "c2:5"
+    assert ckpt.parent_id is None
+    rest = tracer.restore(5, "p2-app")
+    assert rest.op_id == "r2:5"
+    assert rest.parent_id == "c2:5"
+    pref = tracer.prefetch(5, "p2-prefetch")
+    assert pref.op_id == "f2:5"
+    assert pref.parent_id == "c2:5"
+
+
+# -- cursor tiling ------------------------------------------------------------
+def test_stage_backfills_gap_and_times_body():
+    bus = make_bus()
+    clock = bus.clock
+    op = OpTracer(bus, 0, enabled=True).checkpoint(0, "app")
+    clock.advance(1.0)  # queueing before the stage runs
+    with op.stage("copy", CAT_TRANSFER, tier="pcie"):
+        clock.advance(2.0)  # the stage body
+    events = bus.snapshot()
+    assert [e.name for e in events] == ["wait", "copy"]
+    wait, copy = events
+    assert (wait.ts, wait.dur, wait.category) == (0.0, 1.0, CAT_QUEUE)
+    assert (copy.ts, copy.dur, copy.category) == (1.0, 2.0, CAT_TRANSFER)
+    assert copy.args["tier"] == "pcie"
+    assert all(e.op_id == "c0:0" for e in events)
+
+
+def test_spans_tile_the_window_without_gaps():
+    bus = make_bus()
+    clock = bus.clock
+    op = OpTracer(bus, 0, enabled=True).checkpoint(7, "app")
+    with op.stage("a", CAT_TRANSFER):
+        clock.advance(0.5)
+    clock.advance(0.25)
+    with op.stage("b", CAT_RETRY):
+        clock.advance(1.0)
+    clock.advance(0.125)
+    op.fill("tail")
+    events = bus.snapshot()
+    # Sorted by start, consecutive spans must abut exactly.
+    spans = sorted(events, key=lambda e: e.ts)
+    assert spans[0].ts == op.start
+    for prev, nxt in zip(spans, spans[1:]):
+        assert prev.ts + prev.dur == pytest.approx(nxt.ts)
+    assert spans[-1].ts + spans[-1].dur == pytest.approx(clock.now())
+
+
+def test_fill_emits_nothing_when_cursor_is_current():
+    bus = make_bus()
+    op = OpTracer(bus, 0, enabled=True).checkpoint(0, "app")
+    op.fill("gap")  # no time has passed
+    assert len(bus) == 0
+    bus.clock.advance(0.5)
+    op.fill("gap")
+    op.fill("gap")  # second call: cursor already advanced
+    assert len(bus) == 1
+
+
+def test_external_span_is_overlapped_by_next_fill_and_sweep_resolves():
+    """An externally-timed span does NOT move the cursor.
+
+    Call sites deliberately leave the cursor where it was (advancing it
+    after the span's ``__exit__`` would overshoot by the clock-read
+    latency and leak an unattributable sliver per span).  The next fill
+    back-fills *over* the span; the attribution sweep's innermost-wins
+    rule hands the span its own interval, so coverage stays complete.
+    """
+    from repro.analysis.attribution import attribute_op
+    from repro.analysis.dag import build_dag
+
+    bus = make_bus()
+    clock = bus.clock
+    op = OpTracer(bus, 0, enabled=True).checkpoint(0, "app")
+    with bus.span("d2h", "p0-flush-d2h", op_id=op.op_id, category=CAT_TRANSFER):
+        clock.advance(3.0)
+    clock.advance(1.0)
+    op.fill("after")
+    after = [e for e in bus.snapshot() if e.name == "after"]
+    assert len(after) == 1
+    # The fill covers from the pre-span cursor, overlapping the span.
+    assert (after[0].ts, after[0].dur) == (0.0, 4.0)
+    dag = build_dag(bus.snapshot())
+    attr = attribute_op(dag.ops["c0:0"])
+    assert attr.coverage == pytest.approx(1.0)
+    assert attr.by_category[CAT_TRANSFER] == pytest.approx(3.0)
+    assert attr.by_category[CAT_QUEUE] == pytest.approx(1.0)
+
+
+def test_stage_add_attaches_args():
+    bus = make_bus()
+    op = OpTracer(bus, 0, enabled=True).checkpoint(0, "app")
+    with op.stage("put", CAT_TRANSFER) as st:
+        bus.clock.advance(0.1)
+        st.add(bytes=4096)
+    (event,) = bus.snapshot()
+    assert event.args["bytes"] == 4096
+
+
+def test_instant_carries_op_id():
+    bus = make_bus()
+    op = OpTracer(bus, 1, enabled=True).checkpoint(9, "app")
+    op.instant("durable", tier="ssd")
+    (event,) = bus.snapshot()
+    assert event.phase == "i"
+    assert event.op_id == "c1:9"
+    assert event.args["tier"] == "ssd"
