@@ -38,7 +38,14 @@ import time
 from collections import deque
 
 from repro.analysis.report import analyze_events
-from repro.config import AnalysisConfig, CacheConfig, RuntimeConfig, ScaleModel, SchedConfig
+from repro.config import (
+    AnalysisConfig,
+    CacheConfig,
+    RuntimeConfig,
+    ScaleModel,
+    SchedConfig,
+    StreamConfig,
+)
 from repro.core.engine import ScoreEngine
 from repro.tiers.topology import Cluster
 from repro.util.rng import make_rng
@@ -64,8 +71,8 @@ RESTORE_INTERVAL = 0.05
 DEVIATE_EVERY = 4  # every 4th restore demands the farthest version
 
 
-def build_config(sched_enabled: bool) -> RuntimeConfig:
-    return RuntimeConfig(
+def build_config(sched_enabled: bool, stream: bool = False) -> RuntimeConfig:
+    config = RuntimeConfig(
         scale=BENCH_SCALE,
         # 4 GPU slots / 8 host slots per engine: most of the history is
         # evicted to SSD (and, via the cascade, to the PFS) before restores
@@ -77,6 +84,12 @@ def build_config(sched_enabled: bool) -> RuntimeConfig:
         # ~3 ms on the SSD link before the arbiter hands it the slot.
         sched=SchedConfig(enabled=sched_enabled, quantum_bytes=16 * MiB),
     )
+    if stream:
+        # 128 MiB snapshots stream as 8-chunk pipelines at the default
+        # chunk size; chunks flow through the same WFQ arbiters, so this
+        # mode exercises chunk-boundary preemption under contention.
+        config = config.with_(stream=StreamConfig(enabled=True))
+    return config
 
 
 def make_buffer(context, seed: int):
@@ -137,8 +150,10 @@ def summarize(values) -> dict:
     }
 
 
-def run_mode(sched_enabled: bool, snapshots: int, analysis: bool = False) -> dict:
-    config = build_config(sched_enabled)
+def run_mode(
+    sched_enabled: bool, snapshots: int, analysis: bool = False, stream: bool = False
+) -> dict:
+    config = build_config(sched_enabled, stream=stream)
     if analysis:
         # Separate attribution pass: tracing + causal ids add real-time
         # bookkeeping that would pollute the measured p99s, so the timed
@@ -202,13 +217,13 @@ def run_mode(sched_enabled: bool, snapshots: int, analysis: bool = False) -> dic
                 engine.close()
 
 
-def run(quick: bool, repeats: int, label: str) -> dict:
+def run(quick: bool, repeats: int, label: str, stream: bool = False) -> dict:
     snapshots = 32 if quick else 96
     modes = {}
     for key, enabled in (("fifo", False), ("sched", True)):
         runs = []
         for i in range(repeats):
-            result = run_mode(enabled, snapshots)
+            result = run_mode(enabled, snapshots, stream=stream)
             runs.append(result)
             print(
                 f"  {key} run {i + 1}/{repeats}: demand p99 "
@@ -219,12 +234,15 @@ def run(quick: bool, repeats: int, label: str) -> dict:
         # Best-of-N: thread-scheduling noise only ever inflates latency.
         modes[key] = min(runs, key=lambda r: r["demand_restores"]["p99_s"])
     print("  attribution pass (sched + causal tracing)", file=sys.stderr)
-    attribution = run_mode(True, snapshots, analysis=True).get("attribution", {})
+    attribution = run_mode(True, snapshots, analysis=True, stream=stream).get(
+        "attribution", {}
+    )
     fifo_p99 = modes["fifo"]["demand_restores"]["p99_s"]
     sched_p99 = modes["sched"]["demand_restores"]["p99_s"]
     return {
         "label": label,
         "quick": quick,
+        "stream": stream,
         "engines": 2,
         "snapshots": snapshots,
         "deviate_every": DEVIATE_EVERY,
@@ -240,21 +258,30 @@ def run(quick: bool, repeats: int, label: str) -> dict:
     }
 
 
-def baseline_entry(baseline: dict, quick: bool):
-    """The baseline measurement matching this run's ``--quick`` mode."""
+def baseline_entry(baseline: dict, quick: bool, stream: bool = False):
+    """The baseline measurement matching this run's ``--quick``/``--stream``."""
     candidates = []
     if "sched" in baseline and isinstance(baseline.get("sched"), dict):
         candidates.append(baseline)
     for value in baseline.values():
         if isinstance(value, dict) and isinstance(value.get("sched"), dict):
             candidates.append(value)
-    matching = [c for c in candidates if c.get("quick", False) == quick]
+    matching = [
+        c
+        for c in candidates
+        if c.get("quick", False) == quick and c.get("stream", False) == stream
+    ]
     return matching[0] if matching else None
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="reduced workload (CI smoke)")
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="enable pipelined chunk streaming through the flush cascade",
+    )
     parser.add_argument("--repeats", type=int, default=2, help="runs per mode (best-of)")
     parser.add_argument("--label", default="after", help="label stored in the result JSON")
     parser.add_argument("--json", default=None, help="write the result JSON here")
@@ -267,7 +294,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    result = run(args.quick, args.repeats, args.label)
+    result = run(args.quick, args.repeats, args.label, stream=args.stream)
     print(json.dumps(result, indent=2))
     if args.json:
         with open(args.json, "w") as fh:
@@ -276,11 +303,11 @@ def main(argv=None) -> int:
 
     if args.baseline:
         with open(args.baseline) as fh:
-            entry = baseline_entry(json.load(fh), args.quick)
+            entry = baseline_entry(json.load(fh), args.quick, args.stream)
         if entry is None:
             print(
-                f"no baseline entry with quick={args.quick} in {args.baseline}; "
-                "skipping regression gate",
+                f"no baseline entry with quick={args.quick} stream={args.stream} "
+                f"in {args.baseline}; skipping regression gate",
                 file=sys.stderr,
             )
             return 0

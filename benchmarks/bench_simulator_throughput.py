@@ -32,7 +32,7 @@ import json
 import sys
 import time
 
-from repro.config import ScaleModel, bench_config
+from repro.config import ScaleModel, StreamConfig, bench_config
 from repro.harness.approaches import APPROACHES
 from repro.harness.experiment import Experiment, run_experiment
 from repro.util.units import KiB, MiB
@@ -42,7 +42,16 @@ from repro.util.units import KiB, MiB
 FAST_SCALE = ScaleModel(data_scale=512 * KiB, time_scale=0.002, alignment=512 * KiB)
 
 
-def build_experiment(quick: bool) -> Experiment:
+def build_experiment(quick: bool, stream: bool = False) -> Experiment:
+    config = bench_config().with_(scale=FAST_SCALE)
+    if stream:
+        # 2 MiB chunks so the 8 MiB snapshots stream as 4-chunk pipelines
+        # (the 16 MiB default would fall back to store-and-forward).  This
+        # mode measures the *coordination overhead* of chunk streaming on
+        # the hot paths; its latency win only shows at coarse time scales.
+        config = config.with_(
+            stream=StreamConfig(enabled=True, stream_chunk_bytes=2 * MiB)
+        )
     return Experiment(
         approach=APPROACHES["score-all"],
         workload="uniform",
@@ -51,13 +60,13 @@ def build_experiment(quick: bool) -> Experiment:
         compute_interval=0.010,
         num_nodes=1,
         processes_per_node=4,  # 4 concurrent engines on shared links/SSD
-        config=bench_config().with_(scale=FAST_SCALE),
+        config=config,
         seed=7,
     )
 
 
-def run(quick: bool, repeats: int, label: str) -> dict:
-    exp = build_experiment(quick)
+def run(quick: bool, repeats: int, label: str, stream: bool = False) -> dict:
+    exp = build_experiment(quick, stream)
     ops_per_rank = 2 * exp.num_snapshots  # one checkpoint + one restore each
     ops = ops_per_rank * exp.processes_per_node
     # A short GIL switch interval tames scheduler-convoy variance between
@@ -78,6 +87,7 @@ def run(quick: bool, repeats: int, label: str) -> dict:
     return {
         "label": label,
         "quick": quick,
+        "stream": stream,
         "engines": exp.processes_per_node,
         "snapshots": exp.num_snapshots,
         "repeats": repeats,
@@ -90,12 +100,12 @@ def run(quick: bool, repeats: int, label: str) -> dict:
     }
 
 
-def baseline_entry(baseline: dict, quick: bool):
+def baseline_entry(baseline: dict, quick: bool, stream: bool = False):
     """The baseline measurement matching this run's mode.
 
     Accepts either a bare result dict or a combined file (``BENCH_pr2.json``
     style) whose values include result dicts; picks the entry with the same
-    ``quick`` flag, preferring ones labelled ``after``/``quick``.
+    ``quick``/``stream`` flags, preferring ones labelled ``after``/``quick``.
     """
     candidates = []
     if "ops_per_s" in baseline:
@@ -103,7 +113,11 @@ def baseline_entry(baseline: dict, quick: bool):
     for key, value in baseline.items():
         if isinstance(value, dict) and "ops_per_s" in value:
             candidates.append(value)
-    matching = [c for c in candidates if c.get("quick", False) == quick]
+    matching = [
+        c
+        for c in candidates
+        if c.get("quick", False) == quick and c.get("stream", False) == stream
+    ]
     if not matching:
         return None
     for entry in matching:
@@ -115,6 +129,11 @@ def baseline_entry(baseline: dict, quick: bool):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="reduced workload (CI smoke)")
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="enable pipelined chunk streaming (2 MiB chunks) in the cascade",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="runs (best-of); default 3")
     parser.add_argument("--label", default="after", help="label stored in the result JSON")
     parser.add_argument("--json", default=None, help="write the result JSON here")
@@ -127,7 +146,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    result = run(args.quick, args.repeats, args.label)
+    result = run(args.quick, args.repeats, args.label, stream=args.stream)
     print(json.dumps(result, indent=2))
     if args.json:
         with open(args.json, "w") as fh:
@@ -136,11 +155,11 @@ def main(argv=None) -> int:
 
     if args.baseline:
         with open(args.baseline) as fh:
-            entry = baseline_entry(json.load(fh), args.quick)
+            entry = baseline_entry(json.load(fh), args.quick, args.stream)
         if entry is None:
             print(
-                f"no baseline entry with quick={args.quick} in {args.baseline}; "
-                "skipping regression gate",
+                f"no baseline entry with quick={args.quick} stream={args.stream} "
+                f"in {args.baseline}; skipping regression gate",
                 file=sys.stderr,
             )
             return 0

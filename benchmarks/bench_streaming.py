@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Streamed-cascade benchmark: durability latency, pipelined vs legacy.
+
+The figure of merit is *durability latency*: nominal seconds from the
+start of ``checkpoint()`` until the cascade has settled the version on the
+PFS (``wait_for_flushes`` returns).  Store-and-forward pays every hop in
+sequence — D2H, host→SSD, then the SSD read-back and the PFS write; the
+streamed cascade (``StreamConfig.enabled``) overlaps them chunk-by-chunk
+through the per-checkpoint ring buffer, so latency should collapse toward
+the slowest single stage.
+
+Unlike the throughput benches this one runs a *coarse* time scale: chunk
+wall durations must dwarf thread-handoff jitter or the overlap the virtual
+clock would credit is lost to scheduling noise (at the test scale of 0.002
+a 16 MiB chunk lasts ~µs of wall time and the pipeline degenerates to
+store-and-forward timing).
+
+Two gates, both self-contained (no baseline file needed):
+
+* ``--max-ratio`` (default 0.8): streamed mean durability latency must be
+  at most this fraction of the legacy mean — the ≥20 % reduction gate.
+* ``--stage-factor`` (default 1.5): streamed mean durability latency must
+  be within this factor of the slowest legacy cascade stage (d2h / h2f /
+  f2p span means from a tracing pass) — "latency collapses toward
+  max(stage)".
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py \
+        --json out.json [--quick] [--label after] \
+        [--baseline BENCH_pr7.json --max-regression 25]
+
+With ``--baseline`` the run additionally fails (exit 1) when its streamed
+mean latency is more than ``--max-regression`` percent above the matching
+entry (same ``--quick`` mode) of the baseline file — the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import CacheConfig, RuntimeConfig, ScaleModel, StreamConfig
+from repro.core.engine import ScoreEngine
+from repro.tiers.topology import Cluster
+from repro.util.rng import make_rng
+from repro.util.units import GiB, KiB, MiB
+
+#: One nominal second lasts 200 ms.  A 16 MiB chunk then occupies the PFS
+#: link for ~2.5 ms of wall time — two orders of magnitude above
+#: condition-variable wake-up jitter, so the measured overlap reflects the
+#: pipeline, not the thread scheduler.
+BENCH_SCALE = ScaleModel(data_scale=512 * KiB, time_scale=0.2, alignment=512 * KiB)
+
+SNAPSHOT_SIZE = 128 * MiB
+STAGES = ("d2h", "h2f", "f2p")
+
+
+def build_config(stream: bool, telemetry: bool = False) -> RuntimeConfig:
+    cfg = RuntimeConfig(
+        scale=BENCH_SCALE,
+        cache=CacheConfig(gpu_cache_size=512 * MiB, host_cache_size=2 * GiB),
+        charge_allocation_cost=False,
+        processes_per_node=1,
+    )
+    if stream:
+        cfg = cfg.with_(stream=StreamConfig(enabled=True))
+    if telemetry:
+        cfg = cfg.with_(telemetry=True)
+    return cfg
+
+
+def run_mode(stream: bool, checkpoints: int, telemetry: bool = False) -> dict:
+    """One cluster run; per-checkpoint durability latencies + stream metrics.
+
+    The latency of checkpoint *i* is measured with the cascade quiesced
+    between versions (checkpoint → ``wait_for_flushes``), so each sample is
+    the full GPU→PFS durability path of one version, not a queueing
+    artifact of the previous one.
+    """
+    config = build_config(stream, telemetry=telemetry)
+    started = time.perf_counter()
+    with Cluster(config) as cluster:
+        ctx = cluster.process_contexts()[0]
+        engine = ScoreEngine(ctx, flush_to_pfs=True)
+        try:
+            buf = ctx.device.alloc_buffer(SNAPSHOT_SIZE)
+            buf.fill_random(make_rng(7, "bench-streaming"))
+            latencies = []
+            for i in range(checkpoints):
+                t0 = engine.clock.now()
+                engine.checkpoint(i, buf)
+                engine.wait_for_flushes(timeout=600.0)
+                latencies.append(engine.clock.now() - t0)
+            metrics = {}
+            if stream:
+                snapshot = engine.telemetry.registry.snapshot()
+                metrics = {
+                    "pipelines": snapshot.get("flush.stream.pipelines", 0),
+                    "overlap_ratio": round(
+                        snapshot.get("flush.stream.overlap_ratio", 0.0), 4
+                    ),
+                }
+            stage_means = {}
+            if telemetry:
+                spans: dict = {name: [] for name in STAGES}
+                for event in cluster.telemetry.bus.snapshot():
+                    if event.name in spans and event.phase == "X":
+                        spans[event.name].append(event.dur)
+                stage_means = {
+                    name: round(sum(vals) / len(vals), 6)
+                    for name, vals in spans.items()
+                    if vals
+                }
+        finally:
+            engine.close()
+    mean = sum(latencies) / len(latencies)
+    result = {
+        "stream": stream,
+        "checkpoints": checkpoints,
+        "wall_s": round(time.perf_counter() - started, 3),
+        "mean_s": round(mean, 6),
+        "min_s": round(min(latencies), 6),
+        "max_s": round(max(latencies), 6),
+    }
+    if metrics:
+        result["stream_metrics"] = metrics
+    if stage_means:
+        result["stage_means_s"] = stage_means
+    return result
+
+
+def run(quick: bool, repeats: int, label: str) -> dict:
+    checkpoints = 6 if quick else 10
+    modes = {}
+    for key, stream in (("legacy", False), ("streamed", True)):
+        runs = []
+        for i in range(repeats):
+            result = run_mode(stream, checkpoints)
+            runs.append(result)
+            print(
+                f"  {key} run {i + 1}/{repeats}: mean durability "
+                f"{result['mean_s']:.4f}s nominal ({result['wall_s']:.2f}s wall)",
+                file=sys.stderr,
+            )
+        # Best-of-N: wall-clock scheduling noise leaks into the wall-scaled
+        # virtual clock and only ever inflates latency.
+        modes[key] = min(runs, key=lambda r: r["mean_s"])
+    # Separate tracing pass for the per-stage denominators of the
+    # stage-factor gate (tracing overhead must not pollute the timed runs).
+    print("  stage-attribution pass (legacy + tracing)", file=sys.stderr)
+    stages = run_mode(False, checkpoints, telemetry=True).get("stage_means_s", {})
+    legacy_mean = modes["legacy"]["mean_s"]
+    streamed_mean = modes["streamed"]["mean_s"]
+    max_stage = max(stages.values()) if stages else None
+    return {
+        "label": label,
+        "quick": quick,
+        "snapshot_size_mib": SNAPSHOT_SIZE // MiB,
+        "checkpoints": checkpoints,
+        "repeats": repeats,
+        "legacy": modes["legacy"],
+        "streamed": modes["streamed"],
+        "stage_means_s": stages,
+        "max_stage_s": max_stage,
+        "latency_ratio": round(streamed_mean / legacy_mean, 4),
+        "reduction_pct": round(100.0 * (1.0 - streamed_mean / legacy_mean), 1),
+        "stage_factor": round(streamed_mean / max_stage, 3) if max_stage else None,
+    }
+
+
+def baseline_entry(baseline: dict, quick: bool):
+    """The baseline measurement matching this run's ``--quick`` mode."""
+    candidates = []
+    if isinstance(baseline.get("streamed"), dict):
+        candidates.append(baseline)
+    for value in baseline.values():
+        if isinstance(value, dict) and isinstance(value.get("streamed"), dict):
+            candidates.append(value)
+    matching = [c for c in candidates if c.get("quick", False) == quick]
+    return matching[0] if matching else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced workload (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=2, help="runs per mode (best-of)")
+    parser.add_argument("--label", default="after", help="label stored in the result JSON")
+    parser.add_argument("--json", default=None, help="write the result JSON here")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=0.8,
+        help="fail when streamed/legacy mean latency exceeds this ratio",
+    )
+    parser.add_argument(
+        "--stage-factor",
+        type=float,
+        default=1.5,
+        help="fail when streamed latency exceeds this multiple of the slowest stage",
+    )
+    parser.add_argument("--baseline", default=None, help="baseline JSON to gate against")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=25.0,
+        help="fail when streamed latency exceeds baseline by this percent",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(args.quick, args.repeats, args.label)
+    print(json.dumps(result, indent=2))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+
+    failed = False
+    if result["latency_ratio"] > args.max_ratio:
+        print(
+            f"GATE FAILED: streamed/legacy latency ratio "
+            f"{result['latency_ratio']:.3f} > {args.max_ratio}",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"OK: streamed durability latency is {result['latency_ratio']:.3f}x "
+            f"legacy ({result['reduction_pct']:.1f}% reduction)",
+            file=sys.stderr,
+        )
+    if result["stage_factor"] is not None:
+        if result["stage_factor"] > args.stage_factor:
+            print(
+                f"GATE FAILED: streamed latency is {result['stage_factor']:.2f}x "
+                f"the slowest stage (limit {args.stage_factor}x)",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(
+                f"OK: streamed latency is {result['stage_factor']:.2f}x the "
+                f"slowest stage (limit {args.stage_factor}x)",
+                file=sys.stderr,
+            )
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            entry = baseline_entry(json.load(fh), args.quick)
+        if entry is None:
+            print(
+                f"no baseline entry with quick={args.quick} in {args.baseline}; "
+                "skipping regression gate",
+                file=sys.stderr,
+            )
+        else:
+            baseline_mean = entry["streamed"]["mean_s"]
+            ceiling = baseline_mean * (1.0 + args.max_regression / 100.0)
+            current = result["streamed"]["mean_s"]
+            verdict = "OK" if current <= ceiling else "REGRESSION"
+            print(
+                f"{verdict}: streamed mean {current:.4f}s vs baseline "
+                f"{baseline_mean:.4f}s (ceiling {ceiling:.4f}s)",
+                file=sys.stderr,
+            )
+            if verdict != "OK":
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

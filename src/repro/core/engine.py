@@ -29,6 +29,7 @@ from repro.core.lifecycle import CkptState
 from repro.core.prefetcher import Prefetcher
 from repro.core.restore_queue import RestoreQueue
 from repro.core.scoring import ScorePolicy
+from repro.core.streaming import ChunkPipeline, chunk_sizes_for, plan_chunks
 from repro.core.sync import Monitor
 from repro.errors import (
     BackpressureError,
@@ -123,6 +124,11 @@ class ScoreEngine:
             if self.resilient
             else None
         )
+        #: pipelined chunk streaming (``config.stream.enabled``): the flush
+        #: cascade and the promote path move in overlapped chunks through
+        #: per-checkpoint ring buffers (:mod:`repro.core.streaming`); off,
+        #: every hop is the historical store-and-forward whole object.
+        self.streaming = bool(self.config.stream.enabled)
         #: set once an injected crash point fires; flush streams drop their
         #: remaining work and public entry points raise
         #: :class:`~repro.errors.InjectedCrash` until re-incarnation.
@@ -229,6 +235,13 @@ class ScoreEngine:
             self.host_cache.write_boundary = self.scale.align(
                 self.host_cache.table.capacity // 2
             )
+        #: dedicated consumer stream for streamed promotions: the storage
+        #: read-back (producer, on the promoting thread) overlaps the H2D
+        #: crossing chunk-by-chunk through a ChunkPipeline, mirroring the
+        #: flush cascade in the opposite direction.
+        self.promote_stream = (
+            self.device.create_stream("promote-h2d") if self.streaming else None
+        )
         self.flusher = Flusher(self)
         self.prefetcher = Prefetcher(self, lookahead=prefetch_lookahead)
 
@@ -863,6 +876,16 @@ class ScoreEngine:
         ``op`` attributes the reserve/read/decode stages to the demanding
         restore (or the prefetch chain) when causal tracing is on.
         """
+        if (
+            self.streaming
+            and self.config.stream.prefetch
+            and src in (TierLevel.SSD, TierLevel.PFS)
+        ):
+            result = self._promote_streamed(
+                record, src, dst, blocking, allow_pinned, request, op
+            )
+            if result is not NotImplemented:
+                return result
         if dst == TierLevel.GPU and src in (TierLevel.SSD, TierLevel.PFS):
             # GPUDirect storage read: SSD/PFS → HBM over PCIe DMA.
             with op.stage("reserve-gpu", CAT_RESERVE):
@@ -997,6 +1020,190 @@ class ScoreEngine:
                 self.reducer.attach(record, TierLevel.HOST)
             self.monitor.notify_all()
         return waited + read_seconds
+
+    def _promote_streamed(
+        self,
+        record: CheckpointRecord,
+        src: TierLevel,
+        dst: TierLevel,
+        blocking: bool,
+        allow_pinned: bool,
+        request: Optional[TransferRequest],
+        op=NULL_OP,
+    ):
+        """Streamed promotion off a storage tier: the store read-back and
+        the PCIe H2D crossing overlap chunk-by-chunk (the flush cascade run
+        backwards).  With ``dst == HOST`` the promotion is *fused*: the GPU
+        extent is claimed up front and both levels land from one streamed
+        read, so a hinted checkpoint reaches the GPU in ``max(read, h2d)``
+        instead of ``read + h2d``.  Returns ``NotImplemented`` to route the
+        caller onto the legacy store-and-forward path (transfer too small,
+        decode boundary in the way, or a non-blocking GPU claim lost the
+        race), ``None`` when a non-blocking reservation could not claim
+        space, else the accounted nominal seconds.
+        """
+        fused = dst == TierLevel.HOST
+        if fused and self._reduced_at(record, TierLevel.HOST) and not self._reduced_at(
+            record, TierLevel.GPU
+        ):
+            # The host-site decode sits between the two hops; the fused
+            # stream has no host staging step to decode at.
+            return NotImplemented
+        scfg = self.config.stream
+        src_now, store = self.durable_read_source(record)
+        read_nominal = record.stored_size(src_now)
+        sizes = plan_chunks(
+            read_nominal, scfg.stream_chunk_bytes, scfg.min_stream_chunks
+        )
+        if sizes is None or self.promote_stream is None:
+            return NotImplemented
+        h2d_wire = record.wire_size(
+            src_now if dst == TierLevel.GPU else TierLevel.HOST, TierLevel.GPU
+        )
+        h2d_sizes = chunk_sizes_for(h2d_wire, len(sizes))
+        with op.stage("reserve-gpu", CAT_RESERVE):
+            gpu_waited = self.gpu_cache.reserve(
+                record,
+                CkptState.READ_IN_PROGRESS,
+                blocking=blocking,
+                allow_pinned=allow_pinned,
+            )
+        if gpu_waited is None:
+            # Prefetch lost the GPU claim: fall back to the plain one-level
+            # hop rather than shed the whole promotion.
+            return NotImplemented if fused else None
+        host_waited = 0.0
+        if fused:
+            with op.stage("reserve-host", CAT_RESERVE):
+                host_waited = self.host_cache.reserve(
+                    record,
+                    CkptState.READ_IN_PROGRESS,
+                    blocking=blocking,
+                    allow_pinned=allow_pinned,
+                )
+            if host_waited is None:
+                self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
+                return None
+
+        pipeline = ChunkPipeline(
+            record.ckpt_id,
+            len(sizes),
+            scfg.ring_chunks,
+            self.clock,
+            crashed=self.crashed,
+        )
+        pipeline.add_stage("read")
+        pipeline.add_stage("h2d")
+        bus = self.telemetry.bus
+        prefetch_track = f"p{self.process_id}-prefetch"
+
+        def chunk_span(stage: str, tier: str, chunk: int, nbytes: int, t0: float):
+            causal = (
+                {"op_id": op.op_id, "category": CAT_TRANSFER, "tier": tier}
+                if op.op_id is not None
+                else {}
+            )
+            bus.complete(
+                f"{stage}-chunk",
+                prefetch_track,
+                t0,
+                self.clock.now() - t0,
+                ckpt=record.ckpt_id,
+                chunk=chunk,
+                bytes=nbytes,
+                **causal,
+            )
+
+        def consume() -> None:
+            try:
+                for i, nbytes in enumerate(h2d_sizes):
+                    if not pipeline.await_upstream("h2d", i):
+                        raise TransferError("streamed promotion abandoned")
+                    t0 = self.clock.now()
+                    pipeline.enter_chunk()
+                    try:
+                        self.device.h2d_link.transfer(nbytes, request=request)
+                    finally:
+                        pipeline.exit_chunk()
+                    chunk_span("h2d", "pcie", i, nbytes, t0)
+                    pipeline.publish("h2d", i)
+                pipeline.finish("h2d")
+            except BaseException:
+                pipeline.fail("h2d")
+                raise
+
+        consumer_error: Optional[BaseException] = None
+        try:
+            with op.stage(
+                "promote", CAT_TRANSFER, tier=src_now.name.lower(), dst=dst.name,
+                chunks=pipeline.chunks,
+            ):
+                if src_now == TierLevel.PFS:
+                    reader = store.open_get(
+                        self.store_key(record), node_id=self.node_id, request=request
+                    )
+                else:
+                    reader = store.open_get(self.store_key(record), request=request)
+                read_sizes = chunk_sizes_for(reader.nominal_size, pipeline.chunks)
+                event = self.promote_stream.submit(
+                    consume, label=f"h2d-{record.ckpt_id}"
+                )
+                try:
+                    for i, nbytes in enumerate(read_sizes):
+                        if not pipeline.throttle("read", i):
+                            raise TransferError("streamed promotion interrupted")
+                        t0 = self.clock.now()
+                        pipeline.enter_chunk()
+                        try:
+                            reader.read(nbytes)
+                        finally:
+                            pipeline.exit_chunk()
+                        chunk_span("read", src_now.name.lower(), i, nbytes, t0)
+                        pipeline.publish("read", i)
+                    payload, _ = reader.finish()
+                    pipeline.payload = payload
+                    pipeline.finish("read")
+                except BaseException:
+                    pipeline.fail("read")
+                    raise
+                finally:
+                    # The consumer owns h2d charges; settle it either way so
+                    # reservations are never released under a live transfer.
+                    try:
+                        event.wait()
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        consumer_error = exc
+        except BaseException:
+            if fused:
+                self._release_reservation(self.host_cache, record, TierLevel.HOST)
+            self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
+            raise
+        if fused:
+            # Host landing first: it is the durable staging copy and must be
+            # consistent before the GPU extent becomes consumable.
+            self.host_cache.write_payload(record, payload)
+            with self.monitor:
+                record.instance(TierLevel.HOST).transition(
+                    CkptState.READ_COMPLETE, self.clock.now()
+                )
+                if self._reduced_at(record, TierLevel.HOST):
+                    self.reducer.attach(record, TierLevel.HOST)
+                self.monitor.notify_all()
+        if consumer_error is not None:
+            # Preempted (or shed) mid-crossing: the host copy — when fused —
+            # stays (mirroring the two-step path where the first hop had
+            # already landed), the GPU claim is rolled back.
+            self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
+            raise consumer_error
+        self.gpu_cache.write_payload(record, payload)
+        with self.monitor:
+            record.instance(TierLevel.GPU).transition(
+                CkptState.READ_COMPLETE, self.clock.now()
+            )
+            if self._reduced_at(record, TierLevel.GPU):
+                self.reducer.attach(record, TierLevel.GPU)
+            self.monitor.notify_all()
+        return gpu_waited + host_waited + pipeline.active_s
 
     def _release_reservation(self, cache, record: CheckpointRecord, level: TierLevel) -> None:
         """Undo a READ_IN_PROGRESS reservation whose transfer failed."""
@@ -1262,6 +1469,8 @@ class ScoreEngine:
         self._closed = True
         self.prefetcher.stop()
         self.flusher.close()
+        if self.promote_stream is not None:
+            self.promote_stream.close(drain=True)
 
     def __enter__(self) -> "ScoreEngine":
         return self

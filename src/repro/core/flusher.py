@@ -26,6 +26,7 @@ from collections import deque
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.lifecycle import CkptState
+from repro.core.streaming import ChunkPipeline, chunk_sizes_for, plan_chunks
 from repro.errors import (
     AllocationError,
     ReproError,
@@ -62,6 +63,14 @@ class Flusher:
         self.f2p_stream = (
             engine.device.create_stream("flush-f2p") if engine.flush_to_pfs else None
         )
+        # Streamed-only companion to f2p: the SSD read-back runs as its own
+        # pipeline stage so the read of chunk i+1 overlaps the PFS write of
+        # chunk i (store-and-forward f2p serialises the two legs).
+        self.f2r_stream = (
+            engine.device.create_stream("flush-f2r")
+            if engine.streaming and engine.flush_to_pfs
+            else None
+        )
         self.repl_stream = (
             engine.device.create_stream("flush-repl")
             if engine.partner_ssd is not None
@@ -85,6 +94,7 @@ class Flusher:
             "d2s": f"p{pid}-flush-d2h",  # GPUDirect rides the d2h stream
             "h2f": f"p{pid}-flush-h2f",
             "f2p": f"p{pid}-flush-f2p",
+            "f2r": f"p{pid}-flush-f2r",
             "repl": f"p{pid}-flush-repl",
         }
         registry = self.telemetry.registry
@@ -99,6 +109,18 @@ class Flusher:
         self._m_reroutes = registry.counter("resilience.reroutes")
         self._m_reflush = registry.counter("resilience.reflushes")
         self._m_backfills = registry.counter("resilience.backfills")
+        # Pipeline-occupancy metrics exist only when streaming is on, so a
+        # disabled run's metrics snapshot stays byte-identical to pre-stream.
+        self._stream_lock = threading.Lock()
+        self._stream_active_s = 0.0
+        self._stream_overlap_s = 0.0
+        if engine.streaming:
+            self._m_streamed = registry.counter("flush.stream.pipelines")
+            self._m_overlap = registry.gauge("flush.stream.overlap_ratio")
+            self._m_stall = {
+                stage: registry.gauge(f"flush.{stage}.stall_time")
+                for stage in ("d2h", "h2f", "f2r", "f2p")
+            }
 
     @property
     def backfill_depth(self) -> int:
@@ -166,11 +188,72 @@ class Flusher:
             self.d2h_stream.submit(
                 lambda: self._flush_d2s(record), label=f"d2s-{record.ckpt_id}"
             )
-        else:
+        elif not self._schedule_streamed(record):
             self.d2h_stream.submit(
                 lambda: self._flush_d2h(record), label=f"d2h-{record.ckpt_id}"
             )
         self._m_d2h_depth.set(self.d2h_stream.depth)
+
+    def _schedule_streamed(self, record: "CheckpointRecord") -> bool:
+        """Co-submit the streamed cascade stages; ``False`` when this record
+        takes the legacy store-and-forward path (streaming off, or the
+        transfer is too small to amortise per-chunk latency).
+
+        All stages of one checkpoint are submitted together, in cascade
+        order, onto their per-stage FIFO streams.  Because every checkpoint
+        submits in the same stage order, the only cross-stage waits are
+        *backward* (consumer on producer of the same checkpoint, producer
+        throttled by its own consumer) — the dependency graph stays acyclic
+        and the co-scheduled workers cannot deadlock.
+        """
+        engine = self.engine
+        if not engine.streaming:
+            return False
+        scfg = engine.config.stream
+        sizes = plan_chunks(
+            record.wire_size(TierLevel.GPU, TierLevel.HOST),
+            scfg.stream_chunk_bytes,
+            scfg.min_stream_chunks,
+        )
+        if sizes is None:
+            return False
+        pipeline = ChunkPipeline(
+            record.ckpt_id,
+            len(sizes),
+            scfg.ring_chunks,
+            engine.clock,
+            cancelled=record.cancel_flush,
+            crashed=engine.crashed,
+        )
+        pipeline.add_stage("d2h")
+        pipeline.add_stage("h2f")
+        stages = [("d2h", self.d2h_stream, self._stream_d2h),
+                  ("h2f", self.h2f_stream, self._stream_h2f)]
+        if self.f2p_stream is not None:
+            # The PFS upgrade runs as two stages — SSD read-back producing
+            # for the PFS writer — so chunk reads overlap chunk writes.
+            pipeline.add_stage("f2r")
+            pipeline.add_stage("f2p")
+            stages.append(("f2r", self.f2r_stream, self._stream_f2r))
+            stages.append(("f2p", self.f2p_stream, self._stream_f2p))
+        pipeline.retain(len(stages))
+        self._m_streamed.inc()
+        for name, stream, body in stages:
+            event = stream.submit(
+                lambda body=body: body(record, pipeline),
+                label=f"{name}-{record.ckpt_id}",
+            )
+            # Event-driven failure propagation: a stage worker that dies
+            # with an unhandled error (or is cancelled at stream close)
+            # fails its pipeline stage so neighbours unblock immediately
+            # instead of timing out in their waits.
+            event.add_done_callback(
+                lambda ev, name=name: pipeline.fail(name)
+                if (ev.error is not None or ev.cancelled)
+                else None
+            )
+        self._m_h2f_depth.set(self.h2f_stream.depth)
+        return True
 
     def _request(self, record: "CheckpointRecord"):
         """QoS tag for one flush leg (None when scheduling is off).
@@ -191,32 +274,48 @@ class Flusher:
         work in flight at the deadline, ``True`` once everything drained.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        for _ in range(2):
-            # Two passes: a d2h item may have enqueued h2f (and onward)
-            # work after the first downstream sync.  Each pass also gives
-            # rerouted records a chance to backfill onto a healed SSD.
-            self._drain_backfill()
+        streams = [
+            stream
             for stream in (
                 self.d2h_stream,
                 self.h2f_stream,
                 self.repl_stream,
+                self.f2r_stream,
                 self.f2p_stream,
-            ):
-                if stream is None:
-                    continue
+            )
+            if stream is not None
+        ]
+        # Sweep until every stream is *simultaneously* idle: a drained d2h
+        # item may have enqueued h2f work which enqueues repl/f2p work (and
+        # with chunk streaming, stages co-run), so a fixed pass count can
+        # return while the tail of the cascade is still in flight.  Each
+        # sweep also gives rerouted records a chance to backfill onto a
+        # healed SSD; a *stuck* backfill (tier still dark) does not hold
+        # drain hostage — matching the historical contract.
+        while True:
+            backfill_before = self.backfill_depth
+            self._drain_backfill()
+            for stream in streams:
                 if deadline is None:
                     stream.synchronize()
                     continue
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not stream.synchronize(timeout=remaining):
                     return False
-        return True
+            if any(stream.depth > 0 for stream in streams):
+                continue  # a synced stage enqueued downstream work mid-sweep
+            depth = self.backfill_depth
+            if depth and depth != backfill_before:
+                continue  # backfill progressed; give it another sweep
+            return True
 
     def close(self) -> None:
         self.d2h_stream.close(drain=True)
         self.h2f_stream.close(drain=True)
         if self.repl_stream is not None:
             self.repl_stream.close(drain=True)
+        if self.f2r_stream is not None:
+            self.f2r_stream.close(drain=True)
         if self.f2p_stream is not None:
             self.f2p_stream.close(drain=True)
 
@@ -898,3 +997,721 @@ class Flusher:
             engine.monitor.notify_all()
         engine._journal_commit(record, TierLevel.PFS, "pfs")
         engine._maybe_crash("after-f2p", record)
+
+    # -- streamed stages ------------------------------------------------------
+    # The pipelined counterparts of the store-and-forward stages above.  A
+    # stage keeps its legacy preamble (discard checks, crash points) and
+    # epilogue (state transitions, journal commits) verbatim; only the
+    # middle changes: the single whole-object link charge becomes a loop of
+    # chunk charges interleaved with the neighbouring stages through the
+    # checkpoint's ChunkPipeline.  Payload *bytes* still move and commit
+    # whole-object — a torn stream leaves nothing on any tier, so the
+    # manifest journal's crash consistency is untouched.
+
+    def _stream_bail(self, stage: str, record: "CheckpointRecord", reason: str) -> None:
+        """Quiet abandonment of a streamed leg whose upstream already
+        abandoned (and counted) the flush — log only, no double-count."""
+        log.debug(
+            "p%d: streamed %s leg of checkpoint %d bailing (%s)",
+            self.engine.process_id, stage, record.ckpt_id, reason,
+        )
+
+    def _chunk_span(
+        self,
+        stage: str,
+        tier: str,
+        record: "CheckpointRecord",
+        chunk: int,
+        nbytes: int,
+        t0: float,
+    ) -> None:
+        """One chunk slice, nested under the stage span on the same track."""
+        self.telemetry.bus.complete(
+            f"{stage}-chunk",
+            self._track_for(stage),
+            t0,
+            self.engine.clock.now() - t0,
+            ckpt=record.ckpt_id,
+            chunk=chunk,
+            bytes=nbytes,
+            **self._causal(self._op(record), tier),
+        )
+
+    def _account_stream(self, pipeline: ChunkPipeline) -> None:
+        """Roll one finished pipeline into the occupancy gauges."""
+        with self._stream_lock:
+            self._stream_active_s += pipeline.active_s
+            self._stream_overlap_s += pipeline.overlap_s
+            active = self._stream_active_s
+            overlap = self._stream_overlap_s
+            for stage, stalled in pipeline.stall_s.items():
+                gauge = self._m_stall.get(stage)
+                if gauge is not None and stalled > 0:
+                    gauge.add(stalled)
+        if active > 0:
+            self._m_overlap.set(overlap / active)
+
+    def _stream_d2h(self, record: "CheckpointRecord", pipeline: ChunkPipeline) -> None:
+        """Streamed D2H: produce chunks into the pipeline as they cross PCIe."""
+        engine = self.engine
+        ok = False
+        try:
+            if engine.crashed.is_set():
+                return
+            engine._maybe_crash("before-d2h", record)
+            started = engine.clock.now()
+            op = self._op(record)
+            op.fill("flush-queue", track=self._tracks["d2h"])
+            with engine.monitor:
+                gpu_inst = record.peek(TierLevel.GPU)
+                if record.discarded or gpu_inst is None:
+                    if gpu_inst is not None:
+                        gpu_inst.flush_pending = False
+                    self._abandon("d2h", record, "discarded or already evicted")
+                    engine.monitor.notify_all()
+                    return
+            try:
+                payload = engine.gpu_cache.read_payload(record)
+            except AllocationError:
+                self._abandon("d2h", record, "evicted during payload snapshot")
+                return
+            with engine.monitor:
+                gpu_inst.flush_pending = False
+                engine.monitor.notify_all()
+            if (
+                engine.reducer is not None
+                and engine.reducer.site == "host"
+                and record.reduction is None
+            ):
+                with op.stage("encode", CAT_REDUCE, track=self._tracks["d2h"]):
+                    engine.reducer.encode(record, payload)
+            # Hand the post-encode physical payload to the consumers up
+            # front: they charge their links chunk-by-chunk against our
+            # published completions instead of waiting for the host copy.
+            if engine._reduced_at(record, TierLevel.HOST):
+                pipeline.payload = engine.reducer.physical_payload(record)
+            else:
+                pipeline.payload = payload
+            wire = record.wire_size(TierLevel.GPU, TierLevel.HOST)
+            with op.stage("reserve-host", CAT_RESERVE, track=self._tracks["d2h"]):
+                engine.host_cache.reserve(
+                    record, CkptState.WRITE_IN_PROGRESS, blocking=True
+                )
+            sizes = chunk_sizes_for(wire, pipeline.chunks)
+            with self.telemetry.bus.span(
+                "d2h",
+                self._tracks["d2h"],
+                ckpt=record.ckpt_id,
+                bytes=wire,
+                chunks=pipeline.chunks,
+                **self._causal(op, "pcie"),
+            ) as span:
+                try:
+                    for i, nbytes in enumerate(sizes):
+                        if not pipeline.throttle("d2h", i):
+                            raise TransferError("stream interrupted")
+                        t0 = engine.clock.now()
+                        pipeline.enter_chunk()
+                        try:
+                            self._retrying(
+                                "d2h",
+                                record,
+                                lambda nb=nbytes: engine.device.d2h_link.transfer(
+                                    nb,
+                                    cancelled=record.cancel_flush,
+                                    request=self._request(record),
+                                ),
+                            )
+                        finally:
+                            pipeline.exit_chunk()
+                        self._chunk_span("d2h", "pcie", record, i, nbytes, t0)
+                        pipeline.publish("d2h", i)
+                except TransferError:
+                    span.add(abandoned=True)
+                    engine.host_cache.release(record)
+                    self._abandon("d2h", record, "cancelled mid-transfer")
+                    return
+            self._m_bytes["d2h"].inc(wire)
+            engine.host_cache.write_payload(record, pipeline.payload)
+            with engine.monitor:
+                host_inst = record.instance(TierLevel.HOST)
+                host_inst.transition(CkptState.WRITE_COMPLETE, engine.clock.now())
+                host_inst.flush_pending = True
+                if engine._reduced_at(record, TierLevel.HOST):
+                    engine.reducer.attach(record, TierLevel.HOST)
+                gpu_now = record.peek(TierLevel.GPU)
+                if gpu_now is not None:
+                    gpu_now.try_transition(CkptState.FLUSHED, engine.clock.now())
+                engine.monitor.notify_all()
+            engine.recorder.record(
+                OpEvent(
+                    kind=OpKind.FLUSH,
+                    ckpt_id=record.ckpt_id,
+                    started_at=started,
+                    blocked=engine.clock.now() - started,
+                    nominal_bytes=record.nominal_size,
+                    source_level=TierLevel.GPU.name,
+                )
+            )
+            engine._maybe_crash("after-d2h", record)
+            pipeline.finish("d2h")
+            ok = True
+        finally:
+            if not ok:
+                pipeline.fail("d2h")
+            if pipeline.release():
+                self._account_stream(pipeline)
+            self._m_h2f_depth.set(self.h2f_stream.depth)
+
+    def _stream_h2f(self, record: "CheckpointRecord", pipeline: ChunkPipeline) -> None:
+        """Streamed durable hop: consume D2H chunks, charge the SSD per
+        chunk, commit-at-end; reroutes to the PFS resume at the failed chunk."""
+        engine = self.engine
+        ok = False
+        try:
+            if engine.crashed.is_set():
+                return
+            op = self._op(record)
+            op.fill("flush-queue", track=self._tracks["h2f"])
+            # The preamble needs the post-encode payload and wire sizes, so
+            # first wait for the producer to publish its opening chunk.
+            if not pipeline.await_upstream("h2f", 0):
+                self._stream_bail("h2f", record, "upstream abandoned")
+                return
+            engine._maybe_crash("before-h2f", record)
+            with engine.monitor:
+                if record.discarded:
+                    host_inst = record.peek(TierLevel.HOST)
+                    if host_inst is not None:
+                        host_inst.flush_pending = False
+                    self._abandon("h2f", record, "discarded mid-stream")
+                    engine.monitor.notify_all()
+                    return
+            payload = pipeline.payload
+            wire = record.wire_size(TierLevel.HOST, TierLevel.SSD)
+            with self.telemetry.bus.span(
+                "h2f",
+                self._tracks["h2f"],
+                ckpt=record.ckpt_id,
+                bytes=wire,
+                chunks=pipeline.chunks,
+                **self._causal(op, "ssd"),
+            ) as span:
+                outcome = self._stream_durable_put(record, pipeline, payload, wire)
+                if outcome is None:
+                    span.add(abandoned=True)
+                    return
+                if outcome == "pfs":
+                    span.add(rerouted=True)
+            # The producer's epilogue owns the host instance's
+            # WRITE_COMPLETE transition; settle it before flipping FLUSHED.
+            if not pipeline.await_finished("h2f", "d2h"):
+                self._stream_bail("h2f", record, "producer failed post-commit")
+                return
+            self._m_bytes["h2f"].inc(wire)
+            pipeline.ssd_outcome = outcome
+            first_durable = False
+            with engine.monitor:
+                if outcome == "ssd":
+                    if record.durable_level is None or record.durable_level < TierLevel.SSD:
+                        first_durable = record.durable_level is None
+                        record.durable_level = TierLevel.SSD
+                    if engine._reduced_at(record, TierLevel.SSD):
+                        engine.reducer.attach(record, TierLevel.SSD)
+                host_now = record.peek(TierLevel.HOST)
+                if host_now is not None:
+                    host_now.flush_pending = False
+                    host_now.try_transition(CkptState.FLUSHED, engine.clock.now())
+                engine.monitor.notify_all()
+            if outcome == "ssd":
+                engine._journal_commit(record, TierLevel.SSD, engine.ssd._track)
+                if first_durable:
+                    self._mark_durable(record, op, "h2f", TierLevel.SSD)
+            engine._maybe_crash("after-h2f", record)
+            pipeline.finish("h2f")
+            ok = True
+            if outcome == "ssd":
+                self._drain_backfill()
+                if self.repl_stream is not None:
+                    self.repl_stream.submit(
+                        lambda: self._replicate(record), label=f"repl-{record.ckpt_id}"
+                    )
+        finally:
+            if not ok:
+                pipeline.fail("h2f")
+                if self.f2p_stream is not None:
+                    pipeline.skip("f2r")
+                    pipeline.skip("f2p")
+                # The producer's epilogue pinned the host copy for us; an
+                # abandoned durable hop must unpin it or it is unevictable
+                # forever (legacy h2f unpinned right after its snapshot).
+                with engine.monitor:
+                    host_now = record.peek(TierLevel.HOST)
+                    if host_now is not None and host_now.flush_pending:
+                        host_now.flush_pending = False
+                        engine.monitor.notify_all()
+            if pipeline.release():
+                self._account_stream(pipeline)
+
+    def _stream_durable_put(
+        self, record: "CheckpointRecord", pipeline: ChunkPipeline, payload, wire: int
+    ):
+        """Streamed analogue of :meth:`_durable_ssd_put`.
+
+        Chunks are charged on the SSD write link as the producer publishes
+        them; the blob commits (and only then becomes visible) after the
+        last chunk.  A transient failure retries *the failed chunk*; an
+        exhausted retry budget (or an open breaker) reroutes the stream to
+        the PFS, resuming at the failed chunk — upstream chunks are not
+        re-transferred.  Returns ``"ssd"``/``"pfs"``/``None`` like the
+        store-and-forward version.
+        """
+        engine = self.engine
+        key = engine.store_key(record)
+        breaker = engine.ssd._track
+        rcfg = engine.config.resilience
+        op = self._op(record)
+        track = self._track_for("h2f")
+        stored = record.stored_size(TierLevel.SSD)
+
+        if engine.resilient and not engine.health.allow(breaker):
+            if rcfg.reroute and engine.pfs is not None:
+                return (
+                    "pfs"
+                    if self._stream_reroute(record, pipeline, payload, consumed=0)
+                    else None
+                )
+            self._abandon("h2f", record, "ssd circuit breaker open")
+            return None
+        sizes = chunk_sizes_for(wire, pipeline.chunks)
+        consumed = 0
+        try:
+            with op.stage("ssd-put", CAT_TRANSFER, track=track, tier="ssd"):
+                # The open draws the tier gate (a dark SSD raises here, at
+                # chunk 0 of the stream) and the at-rest corruption for this
+                # put attempt; retries re-open, re-drawing both.
+                handle = self._retrying(
+                    "h2f",
+                    record,
+                    lambda: engine.ssd.open_put(
+                        key, stored, int(payload.size),
+                        cancelled=record.cancel_flush,
+                    ),
+                    breaker=breaker,
+                )
+                for i, nbytes in enumerate(sizes):
+                    if not pipeline.await_upstream("h2f", i):
+                        handle.abort()
+                        self._stream_bail("h2f", record, "upstream abandoned")
+                        return None
+                    consumed = i + 1
+                    if not pipeline.throttle("h2f", i):
+                        handle.abort()
+                        raise TransferError("stream interrupted")
+                    t0 = engine.clock.now()
+                    pipeline.enter_chunk()
+                    try:
+                        self._retrying(
+                            "h2f",
+                            record,
+                            lambda nb=nbytes: handle.write(
+                                nb, request=self._request(record)
+                            ),
+                            breaker=breaker,
+                        )
+                    finally:
+                        pipeline.exit_chunk()
+                    self._chunk_span("h2f", "ssd", record, i, nbytes, t0)
+                    pipeline.publish("h2f", i)
+                # Commit-at-end: ownership of the snapshot passes to the
+                # store (copy=False, the historical zero-copy path).
+                handle.commit(
+                    payload, meta=engine.recovery_meta(record), copy=False
+                )
+        except TransientTransferError as exc:
+            if engine.resilient and rcfg.reroute and engine.pfs is not None:
+                return (
+                    "pfs"
+                    if self._stream_reroute(record, pipeline, payload, consumed)
+                    else None
+                )
+            self._abandon("h2f", record, f"{type(exc).__name__} mid-transfer")
+            return None
+        except TransferError:
+            self._abandon("h2f", record, "cancelled mid-transfer")
+            return None
+
+        def reput() -> None:
+            engine.ssd.put(
+                key,
+                payload,
+                stored,
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+                copy=True,
+                request=self._request(record),
+            )
+
+        if engine.resilient and rcfg.reverify:
+            with op.stage("reverify", CAT_RETRY, track=track, tier="ssd"):
+                verified = self._reverify("h2f", record, engine.ssd, breaker, reput)
+            if not verified:
+                engine.ssd.delete(key)
+                engine._journal_retract(record, breaker)
+                if rcfg.reroute and engine.pfs is not None:
+                    return (
+                        "pfs"
+                        if self._stream_reroute(record, pipeline, payload, pipeline.chunks)
+                        else None
+                    )
+                self._abandon("h2f", record, "persistent corruption on SSD put")
+                return None
+        return "ssd"
+
+    def _stream_reroute(
+        self,
+        record: "CheckpointRecord",
+        pipeline: ChunkPipeline,
+        payload,
+        consumed: int,
+    ) -> bool:
+        """Mid-stream reroute around a dark SSD, straight to the PFS.
+
+        ``consumed`` producer chunks already crossed into host staging, so
+        they replay onto the PFS links immediately; the remaining chunks
+        keep streaming against the producer as before — consumption resumes
+        at the right chunk instead of restarting the cascade.  On success
+        the record is durable (journaled) at the PFS and queued for SSD
+        backfill, exactly like the store-and-forward reroute.
+        """
+        engine = self.engine
+        pfs = engine.pfs
+        key = engine.store_key(record)
+        rcfg = engine.config.resilience
+        op = self._op(record)
+        track = self._track_for("h2f")
+        if self.f2p_stream is not None:
+            # The SSD upgrade hop is moot: the blob is going to the PFS now.
+            pipeline.skip("f2r")
+            pipeline.skip("f2p")
+        self.rerouted += 1
+        self._m_reroutes.inc()
+        self.telemetry.bus.instant(
+            "flush-reroute",
+            track,
+            op_id=op.op_id,
+            ckpt=record.ckpt_id,
+            stage="h2f",
+            chunk=consumed,
+        )
+        log.info(
+            "p%d: rerouting streamed h2f flush of checkpoint %d around the "
+            "dark SSD to the PFS at chunk %d/%d",
+            engine.process_id, record.ckpt_id, consumed, pipeline.chunks,
+        )
+        stored = record.stored_size(TierLevel.PFS)
+        sizes = chunk_sizes_for(stored, pipeline.chunks)
+
+        def reput() -> None:
+            pfs.put(
+                key,
+                payload,
+                stored,
+                node_id=engine.node_id,
+                cancelled=record.cancel_flush,
+                meta=engine.recovery_meta(record),
+                request=self._request(record),
+            )
+
+        try:
+            with op.stage("reroute", CAT_REROUTE, track=track, tier="pfs"):
+                handle = self._retrying(
+                    "h2f-reroute",
+                    record,
+                    lambda: pfs.open_put(
+                        key,
+                        stored,
+                        int(payload.size),
+                        node_id=engine.node_id,
+                        cancelled=record.cancel_flush,
+                    ),
+                    breaker="pfs",
+                )
+                for i, nbytes in enumerate(sizes):
+                    if i >= consumed and not pipeline.await_upstream("h2f", i):
+                        handle.abort()
+                        self._stream_bail("h2f", record, "upstream abandoned")
+                        return False
+                    t0 = engine.clock.now()
+                    pipeline.enter_chunk()
+                    try:
+                        self._retrying(
+                            "h2f-reroute",
+                            record,
+                            lambda nb=nbytes: handle.write(
+                                nb, request=self._request(record)
+                            ),
+                            breaker="pfs",
+                        )
+                    finally:
+                        pipeline.exit_chunk()
+                    self._chunk_span("h2f", "pfs", record, i, nbytes, t0)
+                    pipeline.publish("h2f", i)
+                handle.commit(payload, meta=engine.recovery_meta(record))
+                if rcfg.reverify and not self._reverify(
+                    "h2f-reroute", record, pfs, "pfs", reput
+                ):
+                    pfs.delete(key)
+                    engine._journal_retract(record, "pfs")
+                    self._abandon("h2f", record, "persistent corruption on PFS reroute")
+                    return False
+        except TransferError as exc:
+            self._abandon("h2f", record, f"PFS reroute failed ({type(exc).__name__})")
+            return False
+        first_durable = False
+        with engine.monitor:
+            if record.durable_level is None or record.durable_level < TierLevel.PFS:
+                first_durable = record.durable_level is None
+                record.durable_level = TierLevel.PFS
+            if engine._reduced_at(record, TierLevel.PFS):
+                engine.reducer.attach(record, TierLevel.PFS)
+            engine.monitor.notify_all()
+        engine._journal_commit(record, TierLevel.PFS, "pfs")
+        if first_durable:
+            self._mark_durable(record, op, "h2f", TierLevel.PFS)
+        if rcfg.backfill:
+            with self._backfill_lock:
+                self._backfill.append(record)
+        return True
+
+    def _stream_f2r(self, record: "CheckpointRecord", pipeline: ChunkPipeline) -> None:
+        """Streamed SSD read-back: the producer half of the PFS upgrade.
+
+        Runs as its own pipeline stage so the read of chunk *i+1* overlaps
+        the PFS write of chunk *i* — store-and-forward f2p serialises the
+        whole read behind the whole write, which would otherwise pace the
+        streamed cascade at read+write per chunk.  The read-back overlaps
+        the not-yet-committed SSD put (the drive streams its write buffer
+        through), so the handle takes the size explicitly instead of the
+        store index.
+        """
+        engine = self.engine
+        ok = False
+        try:
+            if engine.crashed.is_set():
+                return
+            if pipeline.skipped("f2r"):
+                ok = True
+                return
+            engine._maybe_crash("before-f2p", record)
+            # Sizes and the physical payload settle once the producer has
+            # run its preamble (host-site encode), signalled by its first
+            # published chunk reaching the durable hop.
+            if not pipeline.await_upstream("f2r", 0):
+                self._stream_bail("f2r", record, "durable hop abandoned")
+                return
+            if pipeline.skipped("f2r"):
+                ok = True
+                return
+            key = engine.store_key(record)
+            read_total = record.stored_size(TierLevel.SSD)
+            read_sizes = chunk_sizes_for(read_total, pipeline.chunks)
+            try:
+                reader = engine.ssd.open_get(key, nominal_size=read_total)
+            except TransferError as exc:
+                self._abandon("f2p", record, f"{type(exc).__name__} at read-back open")
+                return
+            op = self._op(record)
+            with self.telemetry.bus.span(
+                "f2r",
+                self._tracks["f2r"],
+                ckpt=record.ckpt_id,
+                bytes=read_total,
+                chunks=pipeline.chunks,
+                **self._causal(op, "ssd"),
+            ) as span:
+                try:
+                    for i, nbytes in enumerate(read_sizes):
+                        if not pipeline.await_upstream("f2r", i):
+                            self._stream_bail("f2r", record, "durable hop abandoned")
+                            span.add(abandoned=True)
+                            return
+                        if pipeline.skipped("f2r") or pipeline.skipped("f2p"):
+                            ok = True
+                            return
+                        if pipeline.failed("f2p"):
+                            # The writer already abandoned (and counted) the
+                            # upgrade; reading for a dead consumer is waste.
+                            ok = True
+                            return
+                        if not pipeline.throttle("f2r", i):
+                            raise TransferError("stream interrupted")
+                        t0 = engine.clock.now()
+                        pipeline.enter_chunk()
+                        try:
+                            with op.stage(
+                                "read-back",
+                                CAT_TRANSFER,
+                                track=self._tracks["f2r"],
+                                tier="ssd",
+                            ):
+                                self._retrying(
+                                    "f2p",
+                                    record,
+                                    lambda nb=nbytes: reader.read(
+                                        nb, request=self._request(record)
+                                    ),
+                                )
+                        finally:
+                            pipeline.exit_chunk()
+                        self._chunk_span("f2r", "ssd", record, i, nbytes, t0)
+                        pipeline.publish("f2r", i)
+                except TransferError:
+                    span.add(abandoned=True)
+                    self._abandon("f2p", record, "read-back cancelled mid-transfer")
+                    return
+            pipeline.finish("f2r")
+            ok = True
+        finally:
+            if not ok:
+                pipeline.fail("f2r")
+            if pipeline.release():
+                self._account_stream(pipeline)
+
+    def _stream_f2p(self, record: "CheckpointRecord", pipeline: ChunkPipeline) -> None:
+        """Streamed PFS upgrade: consume read-back chunks, charge the PFS
+        per chunk, commit-at-end — overlapping the durable hop *and* the
+        SSD read-back still streaming chunk *i+1*."""
+        engine = self.engine
+        ok = False
+        try:
+            if engine.crashed.is_set():
+                return
+            if pipeline.skipped("f2p"):
+                ok = True
+                return
+            op = self._op(record)
+            op.fill("flush-queue", track=self._tracks["f2p"])
+            with engine.monitor:
+                if record.discarded:
+                    self._abandon("f2p", record, "discarded before PFS flush")
+                    return
+            pfs = engine.pfs
+            if pfs is None:
+                ok = True
+                return
+            if engine.resilient and not engine.health.allow("pfs"):
+                self._abandon("f2p", record, "pfs circuit breaker open")
+                return
+            # The read-back's opening chunk implies the producer preamble
+            # ran, so the physical payload and stored sizes are settled.
+            if not pipeline.await_upstream("f2p", 0):
+                self._stream_bail("f2p", record, "read-back abandoned")
+                return
+            if pipeline.skipped("f2p"):
+                ok = True
+                return
+            key = engine.store_key(record)
+            stored = record.stored_size(TierLevel.PFS)
+            wire = record.wire_size(TierLevel.SSD, TierLevel.PFS)
+            write_sizes = chunk_sizes_for(stored, pipeline.chunks)
+            try:
+                writer = pfs.open_put(
+                    key,
+                    stored,
+                    int(pipeline.payload.size),
+                    node_id=engine.node_id,
+                    cancelled=record.cancel_flush,
+                )
+            except TransferError as exc:
+                self._abandon("f2p", record, f"{type(exc).__name__} at open")
+                return
+            with self.telemetry.bus.span(
+                "f2p",
+                self._tracks["f2p"],
+                ckpt=record.ckpt_id,
+                bytes=wire,
+                chunks=pipeline.chunks,
+                **self._causal(op, "pfs"),
+            ) as span:
+                try:
+                    for i in range(pipeline.chunks):
+                        if not pipeline.await_upstream("f2p", i):
+                            writer.abort()
+                            self._stream_bail("f2p", record, "read-back abandoned")
+                            span.add(abandoned=True)
+                            return
+                        if pipeline.skipped("f2p"):
+                            writer.abort()
+                            ok = True
+                            return
+                        t0 = engine.clock.now()
+                        pipeline.enter_chunk()
+                        try:
+                            self._retrying(
+                                "f2p",
+                                record,
+                                lambda nb=write_sizes[i]: writer.write(
+                                    nb, request=self._request(record)
+                                ),
+                                breaker="pfs",
+                            )
+                        finally:
+                            pipeline.exit_chunk()
+                        self._chunk_span("f2p", "pfs", record, i, write_sizes[i], t0)
+                        pipeline.publish("f2p", i)
+                except TransferError:
+                    writer.abort()
+                    span.add(abandoned=True)
+                    self._abandon("f2p", record, "cancelled mid-transfer")
+                    return
+                # The upgrade only commits over a blob the durable hop
+                # actually landed on the SSD (reroutes skip this stage).
+                if not pipeline.await_finished("f2p", "h2f"):
+                    writer.abort()
+                    span.add(abandoned=True)
+                    self._stream_bail("f2p", record, "durable hop failed")
+                    return
+                if pipeline.skipped("f2p") or pipeline.ssd_outcome != "ssd":
+                    writer.abort()
+                    ok = True
+                    return
+                writer.commit(pipeline.payload, meta=engine.recovery_meta(record))
+
+                def reput() -> None:
+                    pfs.put(
+                        key,
+                        pipeline.payload,
+                        stored,
+                        node_id=engine.node_id,
+                        cancelled=record.cancel_flush,
+                        meta=engine.recovery_meta(record),
+                        request=self._request(record),
+                    )
+
+                if engine.resilient and engine.config.resilience.reverify:
+                    with op.stage(
+                        "reverify", CAT_RETRY, track=self._tracks["f2p"], tier="pfs"
+                    ):
+                        verified = self._reverify("f2p", record, pfs, "pfs", reput)
+                    if not verified:
+                        pfs.delete(key)
+                        engine._journal_retract(record, "pfs")
+                        span.add(abandoned=True)
+                        self._abandon("f2p", record, "persistent corruption on PFS put")
+                        return
+            self._m_bytes["f2p"].inc(wire)
+            with engine.monitor:
+                record.durable_level = TierLevel.PFS
+                if engine._reduced_at(record, TierLevel.PFS):
+                    engine.reducer.attach(record, TierLevel.PFS)
+                engine.monitor.notify_all()
+            engine._journal_commit(record, TierLevel.PFS, "pfs")
+            engine._maybe_crash("after-f2p", record)
+            pipeline.finish("f2p")
+            ok = True
+        finally:
+            if not ok:
+                pipeline.fail("f2p")
+            if pipeline.release():
+                self._account_stream(pipeline)

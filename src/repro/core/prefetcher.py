@@ -169,7 +169,12 @@ class Prefetcher:
                 with op.stage("shed-backoff", CAT_RETRY):
                     engine.clock.sleep(engine.config.sched.hint_spacing_s)
             if seconds is not None:
-                if dst == TierLevel.GPU:
+                gpu_inst = record.peek(TierLevel.GPU)
+                if dst == TierLevel.GPU or (
+                    gpu_inst is not None and gpu_inst.has_copy
+                ):
+                    # Direct GPU hop, or a fused streamed promotion that
+                    # landed the GPU extent along with the host one.
                     self._ops.pop(record.ckpt_id, None)  # chain complete
                 self.promotions += 1
                 self._m_promotions.inc()
@@ -234,6 +239,17 @@ class Prefetcher:
                     engine.host_cache.pinned_bytes() + record.stored_size(TierLevel.HOST)
                     > host_budget
                 ):
+                    return None
+                if (
+                    engine.streaming
+                    and engine.config.stream.prefetch
+                    and engine.gpu_cache.pinned_bytes()
+                    + record.stored_size(TierLevel.GPU)
+                    > gpu_budget
+                ):
+                    # A fused streamed promotion claims a GPU extent along
+                    # with the host one; hold off until consumption frees
+                    # GPU budget rather than overshoot it.
                     return None
             return (record, src, dst, distance)
         return None

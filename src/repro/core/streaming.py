@@ -1,0 +1,296 @@
+"""Per-checkpoint chunk pipeline for the streamed flush/prefetch cascades.
+
+One :class:`ChunkPipeline` coordinates the stages of a single checkpoint's
+streamed transfer (``d2h`` → ``h2f`` → ``f2p``, or ``read`` → ``h2d`` on
+the promote path).  Every stage moves the same number of chunks (stage
+byte counts may differ under reduction — chunk *boundaries* are per
+stage); a consumer stage charges chunk ``i`` on its link only once the
+upstream stage has published chunk ``i``, and a producer stage parks once
+it runs :attr:`ring` chunks ahead of its slowest consumer — the bounded
+ring buffer providing backpressure.
+
+The pipeline is pure coordination: payload bytes are still written whole
+at each stage's commit (the simulator charges transfer *time* per chunk,
+it does not fragment the numpy payloads), so a torn stream leaves nothing
+behind on a durable tier — chunk streaming cannot violate the manifest
+journal's crash consistency.
+
+Stall time spent in :meth:`await_upstream` / :meth:`throttle` is tallied
+per stage, and an interval integrator tracks how long ≥2 stages were
+simultaneously mid-chunk — the ``flush.stream.overlap_ratio`` headline
+metric (1.0 = perfectly pipelined, → 0 = store-and-forward).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.clock import VirtualClock
+
+
+def plan_chunks(nbytes: int, chunk_bytes: int, min_chunks: int) -> Optional[List[int]]:
+    """Split ``nbytes`` into near-equal chunk sizes, or ``None`` when the
+    transfer is too small to stream (fewer than ``min_chunks`` chunks)."""
+    if nbytes <= 0 or chunk_bytes <= 0:
+        return None
+    count = (nbytes + chunk_bytes - 1) // chunk_bytes
+    if count < min_chunks:
+        return None
+    base, rem = divmod(nbytes, count)
+    return [base + (1 if i < rem else 0) for i in range(count)]
+
+
+def chunk_sizes_for(nbytes: int, count: int) -> List[int]:
+    """``nbytes`` split into exactly ``count`` near-equal chunks.
+
+    Stages of one pipeline share a chunk *count* (so completion events
+    align) while moving different byte totals under reduction.
+    """
+    base, rem = divmod(nbytes, count)
+    return [base + (1 if i < rem else 0) for i in range(count)]
+
+
+class StageFailed(Exception):
+    """Internal signal: an upstream stage failed or was abandoned."""
+
+
+class ChunkPipeline:
+    """Completion-event fabric between the streamed stages of one checkpoint.
+
+    Stages are registered up front with :meth:`add_stage` (order matters:
+    each stage's upstream is the previously added one).  A stage that
+    aborts calls :meth:`fail`, which releases every waiter; a stage that
+    is skipped entirely (e.g. the PFS hop after a reroute already landed
+    the blob there) calls :meth:`skip` so downstream consumers return
+    quietly.
+    """
+
+    #: wall-clock re-check period for waits, seconds.  Waits are woken by
+    #: publish/fail/skip notifications; the timeout is only a
+    #: missed-wakeup/crash-detection guard, not a polling interval.
+    _WAIT_TICK = 0.05
+
+    def __init__(
+        self,
+        ckpt_id: int,
+        chunks: int,
+        ring: int,
+        clock: VirtualClock,
+        cancelled: Optional[threading.Event] = None,
+        crashed: Optional[threading.Event] = None,
+    ) -> None:
+        self.ckpt_id = ckpt_id
+        self.chunks = chunks
+        self.ring = ring
+        self.clock = clock
+        self.cancelled = cancelled
+        self.crashed = crashed
+        self._cond = threading.Condition()
+        self._done: Dict[str, int] = {}
+        self._finished: Dict[str, bool] = {}
+        self._failed: Dict[str, bool] = {}
+        self._skipped: Dict[str, bool] = {}
+        self._order: List[str] = []
+        #: inter-stage payload handoff: the producer stage parks the
+        #: post-encode physical payload here so consumers need not wait
+        #: for the whole upstream copy to land before starting work.
+        self.payload = None
+        #: where the durable put landed ("ssd" / "pfs" / None), set by the
+        #: durable stage before it finishes.
+        self.ssd_outcome: Optional[str] = None
+        #: per-stage nominal seconds spent stalled in await/throttle.
+        self.stall_s: Dict[str, float] = {}
+        #: chunk-completion callbacks (event-driven handoff for metrics
+        #: and tests); fired outside the lock, after publish.
+        self._chunk_callbacks: List[Callable[[str, int], None]] = []
+        self._workers = 0
+        # -- overlap integrator (virtual time, ≥2 stages mid-chunk) --
+        self._active = 0
+        self._active_since: Optional[float] = None
+        self._overlap_since: Optional[float] = None
+        self.active_s = 0.0
+        self.overlap_s = 0.0
+
+    # -- worker refcount ----------------------------------------------------
+    def retain(self, workers: int) -> None:
+        """Declare how many stage workers will run this pipeline."""
+        with self._cond:
+            self._workers = workers
+
+    def release(self) -> bool:
+        """One worker exited; ``True`` for the last one out (it owns the
+        pipeline's metrics roll-up)."""
+        with self._cond:
+            self._workers -= 1
+            return self._workers == 0
+
+    # -- registration -------------------------------------------------------
+    def add_stage(self, name: str) -> None:
+        with self._cond:
+            if name in self._done:
+                raise ValueError(f"stage {name!r} already registered")
+            self._order.append(name)
+            self._done[name] = 0
+            self._finished[name] = False
+            self._failed[name] = False
+            self._skipped[name] = False
+            self.stall_s[name] = 0.0
+
+    def upstream_of(self, name: str) -> Optional[str]:
+        idx = self._order.index(name)
+        return self._order[idx - 1] if idx > 0 else None
+
+    def downstream_of(self, name: str) -> Optional[str]:
+        idx = self._order.index(name)
+        return self._order[idx + 1] if idx + 1 < len(self._order) else None
+
+    def add_chunk_callback(self, fn: Callable[[str, int], None]) -> None:
+        with self._cond:
+            self._chunk_callbacks.append(fn)
+
+    # -- interruption checks ------------------------------------------------
+    def _interrupted(self) -> bool:
+        return (self.cancelled is not None and self.cancelled.is_set()) or (
+            self.crashed is not None and self.crashed.is_set()
+        )
+
+    # -- stage lifecycle ----------------------------------------------------
+    def publish(self, stage: str, chunk: int) -> None:
+        """Record chunk ``chunk`` of ``stage`` complete; wake all waiters."""
+        with self._cond:
+            if chunk + 1 > self._done[stage]:
+                self._done[stage] = chunk + 1
+            self._cond.notify_all()
+            callbacks = list(self._chunk_callbacks)
+        for fn in callbacks:
+            fn(stage, chunk)
+
+    def finish(self, stage: str) -> None:
+        """The stage's commit is complete (its epilogue has run)."""
+        with self._cond:
+            self._finished[stage] = True
+            self._done[stage] = self.chunks
+            self._cond.notify_all()
+
+    def fail(self, stage: str) -> None:
+        """The stage aborted; downstream waiters unblock and abandon."""
+        with self._cond:
+            if self._finished[stage]:
+                return  # completed before the failure signal: keep the result
+            self._failed[stage] = True
+            self._cond.notify_all()
+
+    def skip(self, stage: str) -> None:
+        """The stage will not run (e.g. PFS hop after a reroute landed
+        the blob there already); downstream consumers return quietly."""
+        with self._cond:
+            self._skipped[stage] = True
+            self._done[stage] = self.chunks
+            self._cond.notify_all()
+
+    def failed(self, stage: str) -> bool:
+        with self._cond:
+            return self._failed[stage]
+
+    def skipped(self, stage: str) -> bool:
+        with self._cond:
+            return self._skipped[stage]
+
+    def finished(self, stage: str) -> bool:
+        with self._cond:
+            return self._finished[stage]
+
+    # -- waits --------------------------------------------------------------
+    def _stalled_wait(self, stage: str, ready) -> bool:
+        """Wait until ``ready()`` (lock held inside), tallying stall time.
+
+        Returns ``False`` when the wait was interrupted (upstream failure,
+        cancellation, injected crash) — the caller abandons its stage.
+        """
+        started = self.clock.now()
+        try:
+            with self._cond:
+                while True:
+                    status = ready()
+                    if status is not None:
+                        return status
+                    if self._interrupted():
+                        return False
+                    self._cond.wait(self._WAIT_TICK)
+        finally:
+            waited = self.clock.now() - started
+            if waited > 0:
+                with self._cond:
+                    self.stall_s[stage] += waited
+
+    def await_upstream(self, stage: str, chunk: int) -> bool:
+        """Block until the upstream stage published chunk ``chunk``.
+
+        ``True`` once available; ``False`` when the upstream failed (the
+        chunk will never arrive) or the pipeline was interrupted.
+        """
+        upstream = self.upstream_of(stage)
+        if upstream is None:
+            return True
+
+        def ready():
+            if self._done[upstream] > chunk:
+                return True
+            if self._failed[upstream]:
+                return False
+            return None
+
+        return self._stalled_wait(stage, ready)
+
+    def await_finished(self, stage: str, other: str) -> bool:
+        """Block until ``other``'s commit completed (``False`` on failure)."""
+
+        def ready():
+            if self._finished[other] or self._skipped[other]:
+                return True
+            if self._failed[other]:
+                return False
+            return None
+
+        return self._stalled_wait(stage, ready)
+
+    def throttle(self, stage: str, chunk: int) -> bool:
+        """Backpressure: park until the downstream consumer is within
+        :attr:`ring` chunks of ``chunk``.  A failed/skipped downstream
+        releases the producer (``True`` — the producer keeps going)."""
+        downstream = self.downstream_of(stage)
+        if downstream is None:
+            return True
+
+        def ready():
+            if self._failed[downstream] or self._skipped[downstream]:
+                return True
+            if chunk - self._done[downstream] < self.ring:
+                return True
+            return None
+
+        return self._stalled_wait(stage, ready)
+
+    # -- occupancy accounting ----------------------------------------------
+    def enter_chunk(self) -> None:
+        """A stage starts charging one chunk on its link."""
+        now = self.clock.now()
+        with self._cond:
+            self._active += 1
+            if self._active == 1:
+                self._active_since = now
+            elif self._active == 2:
+                self._overlap_since = now
+
+    def exit_chunk(self) -> None:
+        """A stage finished charging one chunk."""
+        now = self.clock.now()
+        with self._cond:
+            self._active -= 1
+            if self._active == 1 and self._overlap_since is not None:
+                self.overlap_s += now - self._overlap_since
+                self._overlap_since = None
+            if self._active == 0 and self._active_since is not None:
+                self.active_s += now - self._active_since
+                self._active_since = None

@@ -30,10 +30,29 @@ class Event:
         self._done = threading.Event()
         self._error: Optional[BaseException] = None
         self._cancelled = False
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     def _finish(self, error: Optional[BaseException] = None) -> None:
         self._error = error
-        self._done.set()
+        with self._cb_lock:
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def add_done_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the work item completes (immediately if it
+        already has).  Callbacks fire on the stream's worker thread — the
+        event-driven completion handoff that replaces polling ``query()``
+        loops (streamed cascade stages chain on these instead of waiting for
+        whole payloads).
+        """
+        with self._cb_lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def query(self) -> bool:
         """True when the work item has finished (successfully or not)."""

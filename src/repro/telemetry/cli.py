@@ -35,6 +35,7 @@ from repro.config import (
     ResilienceConfig,
     SchedConfig,
     SloConfig,
+    StreamConfig,
     bench_config,
 )
 from repro.errors import ConfigError
@@ -91,6 +92,7 @@ def run_trace(
     seed: int = 7,
     sched: bool = False,
     reduce: bool = False,
+    stream: bool = False,
     similarity: float = 0.9,
     faults: Optional[FaultConfig] = None,
     resilient: bool = False,
@@ -118,6 +120,8 @@ def run_trace(
         cfg = cfg.with_(sched=SchedConfig(enabled=True))
     if reduce:
         cfg = cfg.with_(reduce=ReduceConfig(enabled=True))
+    if stream:
+        cfg = cfg.with_(stream=StreamConfig(enabled=True))
     if faults is not None:
         cfg = cfg.with_(faults=faults)
     if resilient:
@@ -256,6 +260,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "logical/physical bytes, dedup hit rate and delta-chain depths",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="enable pipelined chunk streaming through the flush/prefetch "
+        "cascade; chunk-level spans nest under each stage's track in the "
+        "Perfetto export",
+    )
+    parser.add_argument(
         "--similarity",
         type=float,
         default=0.9,
@@ -335,6 +346,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             sched=args.sched,
             reduce=args.reduce,
+            stream=args.stream,
             similarity=args.similarity,
             faults=faults,
             resilient=args.resilient,

@@ -37,8 +37,20 @@ class ObjectStore(ABC):
     """A keyed store for whole checkpoints on a slow tier.
 
     Checkpoints are monolithic and immutable once written (the paper's core
-    assumption), so the interface is put/get/delete of whole objects; cost
-    accounting (bandwidth throttling) happens inside the implementations.
+    assumption), so the *visibility* interface is put/get/delete of whole
+    objects; cost accounting (bandwidth throttling) happens inside the
+    implementations.
+
+    Streaming interface (chunk pipelining): :meth:`open_put` /
+    :meth:`open_get` return in-flight handles whose ``write(nbytes)`` /
+    ``read(nbytes)`` charge the virtual clock one chunk at a time, so a
+    cascade stage can overlap its chunks with the neighbouring hop.  The
+    object stays invisible until the put handle's ``commit(payload)`` —
+    commit-at-end keeps every crash-consistency property of whole-object
+    puts (a torn stream leaves nothing behind; the manifest journal never
+    references an uncommitted key).  ``put``/``get`` are exactly
+    ``open_* + one full-size chunk + commit/finish``, so the legacy
+    whole-object path and the streamed path share one implementation.
     """
 
     level: TierLevel
@@ -54,6 +66,16 @@ class ObjectStore(ABC):
         """Read a whole checkpoint back; blocks for the throttled duration.
 
         Returns ``(payload, accounted nominal seconds)``."""
+
+    def open_put(self, key: StoreKey, nominal_size: int, payload_size: int, **kw):
+        """Chunk-granular write handle: ``write(nbytes)`` per chunk, then
+        ``commit(payload, meta=, copy=)`` (or ``abort()``)."""
+        raise NotImplementedError(f"{type(self).__name__} does not stream puts")
+
+    def open_get(self, key: StoreKey, **kw):
+        """Chunk-granular read handle: ``read(nbytes)`` per chunk, then
+        ``finish() -> (payload, seconds)``."""
+        raise NotImplementedError(f"{type(self).__name__} does not stream gets")
 
     @abstractmethod
     def delete(self, key: StoreKey) -> None:

@@ -102,36 +102,43 @@ class PfsStore(ObjectStore):
                     self._faults_hook.attach(self._node_read_links[node_id])
             return self._node_write_links[node_id], self._node_read_links[node_id]
 
-    def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
-        """``copy=False`` transfers ownership of ``payload`` to the store
-        (the caller must not mutate it afterwards) instead of copying it."""
+    def open_put(self, key: StoreKey, nominal_size: int, payload_size: int, **kw):
+        """Chunk-granular write handle (mirrors :meth:`SsdStore.open_put`)."""
         node_id = kw.get("node_id", 0)
-        cancelled = kw.get("cancelled")
-        meta = kw.get("meta")
-        copy = kw.get("copy", True)
-        request = kw.get("request")
         slow = 1.0
         corrupt_at = None
         if self.faults is not None:
             slow = self.faults.tier_gate("pfs", "pfs", "put", key)
-            corrupt_at = self.faults.corruption("pfs", key, int(payload.size))
+            corrupt_at = self.faults.corruption("pfs", key, payload_size)
+        return _PfsPut(
+            self,
+            key,
+            nominal_size,
+            node_id,
+            slow,
+            corrupt_at,
+            cancelled=kw.get("cancelled"),
+            request=kw.get("request"),
+        )
+
+    def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
+        """``copy=False`` transfers ownership of ``payload`` to the store
+        (the caller must not mutate it afterwards) instead of copying it."""
+        handle = self.open_put(
+            key,
+            nominal_size,
+            int(payload.size),
+            node_id=kw.get("node_id", 0),
+            cancelled=kw.get("cancelled"),
+            request=kw.get("request"),
+        )
+        handle.write(nominal_size)
+        return handle.commit(payload, meta=kw.get("meta"), copy=kw.get("copy", True))
+
+    def _commit_blob(self, key, payload, nominal_size, meta, copy, corrupt_at) -> None:
         if self._crc_meta:
             meta = dict(meta or {})
             meta["stored_crc"] = int(checksum_payload(payload))
-        node_link, _ = self.node_links(node_id)
-        with self.telemetry.bus.span("pfs-put", "pfs", key=key, bytes=nominal_size):
-            seconds = node_link.transfer(
-                nominal_size, cancelled=cancelled, request=request
-            )
-            seconds += self.global_write_link.transfer(
-                nominal_size, cancelled=cancelled, request=request
-            )
-            if slow > 1.0:  # brownout: degraded throughput, same bytes
-                extra = seconds * (slow - 1.0)
-                self._clock.sleep(extra)
-                seconds += extra
-        self._m_write_bytes.inc(nominal_size)
-        self._m_write_ops.inc()
         # Corruption flips a byte on the store's copy only (see SsdStore.put).
         blob = payload.copy() if (copy or corrupt_at is not None) else payload
         if corrupt_at is not None:
@@ -140,30 +147,28 @@ class PfsStore(ObjectStore):
         with self._blob_lock:
             self._blobs[key] = blob
         self._index.add(key, nominal_size, meta)
-        return seconds
 
-    def get(self, key: StoreKey, node_id: int = 0, request=None):
+    def open_get(self, key: StoreKey, node_id: int = 0, request=None):
+        """Chunk-granular read handle; ``finish()`` yields the payload."""
         nominal_size = self._index.require(key)
         slow = 1.0
         if self.faults is not None:
             slow = self.faults.tier_gate("pfs", "pfs", "get", key)
-        _, node_link = self.node_links(node_id)
-        with self.telemetry.bus.span("pfs-get", "pfs", key=key, bytes=nominal_size):
-            seconds = node_link.transfer(nominal_size, request=request)
-            seconds += self.global_read_link.transfer(nominal_size, request=request)
-            if slow > 1.0:
-                extra = seconds * (slow - 1.0)
-                self._clock.sleep(extra)
-                seconds += extra
-        self._m_read_bytes.inc(nominal_size)
-        self._m_read_ops.inc()
+        return _PfsGet(self, key, nominal_size, node_id, slow, request)
+
+    def get(self, key: StoreKey, node_id: int = 0, request=None):
+        handle = self.open_get(key, node_id=node_id, request=request)
+        handle.read(handle.nominal_size)
+        return handle.finish()
+
+    def _read_payload(self, key: StoreKey) -> np.ndarray:
         with self._blob_lock:
             payload = self._blobs.get(key)
         if payload is None:
             raise CheckpointNotFound(f"checkpoint {key} missing from PFS store")
         # Zero-copy: a read-only view (blobs are immutable once stored, and
         # a view keeps its base alive even across a concurrent delete()).
-        return payload[:], seconds
+        return payload[:]
 
     def delete(self, key: StoreKey) -> None:
         if self._index.remove(key):
@@ -200,3 +205,107 @@ class PfsStore(ObjectStore):
 
     def object_count(self) -> int:
         return self._index.count()
+
+
+class _PfsPut:
+    """In-flight PFS write: each chunk crosses the node link then the
+    global fabric link (both charged), commit-at-end."""
+
+    def __init__(
+        self,
+        store: PfsStore,
+        key: StoreKey,
+        nominal_size: int,
+        node_id: int,
+        slow: float,
+        corrupt_at: Optional[int],
+        cancelled=None,
+        request=None,
+    ) -> None:
+        self.store = store
+        self.key = key
+        self.nominal_size = nominal_size
+        self.node_id = node_id
+        self.seconds = 0.0
+        self._slow = slow
+        self._corrupt_at = corrupt_at
+        self._cancelled = cancelled
+        self._request = request
+        self._chunks = 0
+
+    def write(self, nbytes: int, cancelled=None, request=None) -> float:
+        store = self.store
+        if self._chunks > 0 and store.faults is not None:
+            self._slow = store.faults.tier_gate("pfs", "pfs", "put", self.key)
+        cancelled = self._cancelled if cancelled is None else cancelled
+        request = self._request if request is None else request
+        node_link, _ = store.node_links(self.node_id)
+        with store.telemetry.bus.span("pfs-put", "pfs", key=self.key, bytes=nbytes):
+            seconds = node_link.transfer(nbytes, cancelled=cancelled, request=request)
+            seconds += store.global_write_link.transfer(
+                nbytes, cancelled=cancelled, request=request
+            )
+            if self._slow > 1.0:  # brownout: degraded throughput, same bytes
+                extra = seconds * (self._slow - 1.0)
+                store._clock.sleep(extra)
+                seconds += extra
+        store._m_write_bytes.inc(nbytes)
+        self._chunks += 1
+        self.seconds += seconds
+        return seconds
+
+    def commit(self, payload: np.ndarray, meta=None, copy: bool = True) -> float:
+        store = self.store
+        store._m_write_ops.inc()
+        store._commit_blob(
+            self.key, payload, self.nominal_size, meta, copy, self._corrupt_at
+        )
+        return self.seconds
+
+    def abort(self) -> None:
+        """Nothing to roll back: an uncommitted stream left no state."""
+
+
+class _PfsGet:
+    """In-flight PFS read: chunk charges on node + global links."""
+
+    def __init__(
+        self,
+        store: PfsStore,
+        key: StoreKey,
+        nominal_size: int,
+        node_id: int,
+        slow: float,
+        request,
+    ) -> None:
+        self.store = store
+        self.key = key
+        self.nominal_size = nominal_size
+        self.node_id = node_id
+        self.seconds = 0.0
+        self._slow = slow
+        self._request = request
+        self._chunks = 0
+
+    def read(self, nbytes: int, request=None) -> float:
+        store = self.store
+        if self._chunks > 0 and store.faults is not None:
+            self._slow = store.faults.tier_gate("pfs", "pfs", "get", self.key)
+        request = self._request if request is None else request
+        _, node_link = store.node_links(self.node_id)
+        with store.telemetry.bus.span("pfs-get", "pfs", key=self.key, bytes=nbytes):
+            seconds = node_link.transfer(nbytes, request=request)
+            seconds += store.global_read_link.transfer(nbytes, request=request)
+            if self._slow > 1.0:
+                extra = seconds * (self._slow - 1.0)
+                store._clock.sleep(extra)
+                seconds += extra
+        store._m_read_bytes.inc(nbytes)
+        self._chunks += 1
+        self.seconds += seconds
+        return seconds
+
+    def finish(self):
+        """``(payload, accounted seconds)`` — the whole object, post-charges."""
+        self.store._m_read_ops.inc()
+        return self.store._read_payload(self.key), self.seconds

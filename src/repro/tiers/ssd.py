@@ -123,33 +123,39 @@ class SsdStore(ObjectStore):
         return os.path.join(self._directory, f"ckpt-p{key[0]}-v{key[1]}.bin")
 
     # -- ObjectStore --------------------------------------------------------
-    def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
-        """``copy=False`` transfers ownership of ``payload`` to the store
-        (the caller must not mutate it afterwards) instead of copying it."""
-        cancelled = kw.get("cancelled")
-        meta = kw.get("meta")
-        copy = kw.get("copy", True)
-        request = kw.get("request")
+    def open_put(self, key: StoreKey, nominal_size: int, payload_size: int, **kw):
+        """Chunk-granular write handle (see :class:`~repro.tiers.base.StreamingPut`).
+
+        Draws the fault gates once (same order as a whole-object ``put``);
+        ``write()`` charges the write link per chunk and re-gates outages so
+        a tier going dark mid-stream raises at the next chunk boundary.
+        Nothing is visible in the store until ``commit()`` — a torn stream
+        leaves no partial object behind.
+        """
         slow = 1.0
         corrupt_at = None
         if self.faults is not None:
             slow = self.faults.tier_gate("ssd", self._track, "put", key)
-            corrupt_at = self.faults.corruption(self._track, key, int(payload.size))
+            corrupt_at = self.faults.corruption(self._track, key, payload_size)
+        return _SsdPut(self, key, nominal_size, slow, corrupt_at, **kw)
+
+    def put(self, key: StoreKey, payload: np.ndarray, nominal_size: int, **kw) -> float:
+        """``copy=False`` transfers ownership of ``payload`` to the store
+        (the caller must not mutate it afterwards) instead of copying it."""
+        handle = self.open_put(
+            key,
+            nominal_size,
+            int(payload.size),
+            cancelled=kw.get("cancelled"),
+            request=kw.get("request"),
+        )
+        handle.write(nominal_size)
+        return handle.commit(payload, meta=kw.get("meta"), copy=kw.get("copy", True))
+
+    def _commit_blob(self, key, payload, nominal_size, meta, copy, corrupt_at) -> None:
         if self._crc_meta:
             meta = dict(meta or {})
             meta["stored_crc"] = int(checksum_payload(payload))
-        with self.telemetry.bus.span(
-            "ssd-put", self._track, key=key, bytes=nominal_size
-        ):
-            seconds = self.write_link.transfer(
-                nominal_size, cancelled=cancelled, request=request
-            )
-            if slow > 1.0:  # brownout: degraded throughput, same bytes
-                extra = seconds * (slow - 1.0)
-                self._clock.sleep(extra)
-                seconds += extra
-        self._m_write_bytes.inc(nominal_size)
-        self._m_write_ops.inc()
         if self._directory is not None:
             data = bytearray(np.ascontiguousarray(payload).tobytes())
             if corrupt_at is not None:
@@ -177,29 +183,34 @@ class SsdStore(ObjectStore):
             with self._blob_lock:
                 self._blobs[key] = blob
         self._index.add(key, nominal_size, meta)
-        return seconds
 
-    def get(self, key: StoreKey, request=None):
-        nominal_size = self._index.require(key)
+    def open_get(self, key: StoreKey, request=None, nominal_size=None):
+        """Chunk-granular read handle; ``finish()`` yields the payload.
+
+        ``nominal_size`` bypasses the index lookup for streamed cascade
+        read-backs that overlap a not-yet-committed put of the same key
+        (streaming out of the drive's write buffer); such callers take the
+        payload from their pipeline, not ``finish()``.
+        """
+        if nominal_size is None:
+            nominal_size = self._index.require(key)
         slow = 1.0
         if self.faults is not None:
             slow = self.faults.tier_gate("ssd", self._track, "get", key)
-        with self.telemetry.bus.span(
-            "ssd-get", self._track, key=key, bytes=nominal_size
-        ):
-            seconds = self.read_link.transfer(nominal_size, request=request)
-            if slow > 1.0:
-                extra = seconds * (slow - 1.0)
-                self._clock.sleep(extra)
-                seconds += extra
-        self._m_read_bytes.inc(nominal_size)
-        self._m_read_ops.inc()
+        return _SsdGet(self, key, nominal_size, slow, request)
+
+    def get(self, key: StoreKey, request=None):
+        handle = self.open_get(key, request=request)
+        handle.read(handle.nominal_size)
+        return handle.finish()
+
+    def _read_payload(self, key: StoreKey) -> np.ndarray:
         if self._directory is not None:
             path = self._path(key)
             try:
                 with open(path, "rb") as fh:
                     # frombuffer over bytes is already zero-copy + read-only.
-                    return np.frombuffer(fh.read(), dtype=np.uint8), seconds
+                    return np.frombuffer(fh.read(), dtype=np.uint8)
             except FileNotFoundError:
                 raise CheckpointNotFound(f"checkpoint {key} missing from {path}")
         with self._blob_lock:
@@ -208,7 +219,7 @@ class SsdStore(ObjectStore):
             raise CheckpointNotFound(f"checkpoint {key} missing from SSD store")
         # Zero-copy: a read-only view (blobs are immutable once stored, and
         # a view keeps its base alive even across a concurrent delete()).
-        return payload[:], seconds
+        return payload[:]
 
     def delete(self, key: StoreKey) -> None:
         if not self._index.remove(key):
@@ -267,3 +278,103 @@ class SsdStore(ObjectStore):
 
     def object_count(self) -> int:
         return self._index.count()
+
+
+class _SsdPut:
+    """In-flight write: chunk charges on the write link, commit-at-end."""
+
+    def __init__(
+        self,
+        store: SsdStore,
+        key: StoreKey,
+        nominal_size: int,
+        slow: float,
+        corrupt_at: Optional[int],
+        cancelled=None,
+        request=None,
+    ) -> None:
+        self.store = store
+        self.key = key
+        self.nominal_size = nominal_size
+        self.seconds = 0.0
+        self._slow = slow
+        self._corrupt_at = corrupt_at
+        self._cancelled = cancelled
+        self._request = request
+        self._chunks = 0
+
+    def write(self, nbytes: int, cancelled=None, request=None) -> float:
+        """Charge one chunk; blocks for the throttled duration."""
+        store = self.store
+        if self._chunks > 0 and store.faults is not None:
+            # Re-gate later chunks: a hard outage opening mid-stream raises
+            # TierOfflineError at the next chunk boundary; a brownout
+            # degrades the remaining chunks.
+            self._slow = store.faults.tier_gate("ssd", store._track, "put", self.key)
+        with store.telemetry.bus.span(
+            "ssd-put", store._track, key=self.key, bytes=nbytes
+        ):
+            seconds = store.write_link.transfer(
+                nbytes,
+                cancelled=self._cancelled if cancelled is None else cancelled,
+                request=self._request if request is None else request,
+            )
+            if self._slow > 1.0:  # brownout: degraded throughput, same bytes
+                extra = seconds * (self._slow - 1.0)
+                store._clock.sleep(extra)
+                seconds += extra
+        store._m_write_bytes.inc(nbytes)
+        self._chunks += 1
+        self.seconds += seconds
+        return seconds
+
+    def commit(self, payload: np.ndarray, meta=None, copy: bool = True) -> float:
+        """Make the object visible; returns total accounted seconds."""
+        store = self.store
+        store._m_write_ops.inc()
+        store._commit_blob(
+            self.key, payload, self.nominal_size, meta, copy, self._corrupt_at
+        )
+        return self.seconds
+
+    def abort(self) -> None:
+        """Nothing to roll back: an uncommitted stream left no state."""
+
+
+class _SsdGet:
+    """In-flight read: chunk charges on the read link, payload at finish."""
+
+    def __init__(
+        self, store: SsdStore, key: StoreKey, nominal_size: int, slow: float, request
+    ) -> None:
+        self.store = store
+        self.key = key
+        self.nominal_size = nominal_size
+        self.seconds = 0.0
+        self._slow = slow
+        self._request = request
+        self._chunks = 0
+
+    def read(self, nbytes: int, request=None) -> float:
+        store = self.store
+        if self._chunks > 0 and store.faults is not None:
+            self._slow = store.faults.tier_gate("ssd", store._track, "get", self.key)
+        with store.telemetry.bus.span(
+            "ssd-get", store._track, key=self.key, bytes=nbytes
+        ):
+            seconds = store.read_link.transfer(
+                nbytes, request=self._request if request is None else request
+            )
+            if self._slow > 1.0:
+                extra = seconds * (self._slow - 1.0)
+                store._clock.sleep(extra)
+                seconds += extra
+        store._m_read_bytes.inc(nbytes)
+        self._chunks += 1
+        self.seconds += seconds
+        return seconds
+
+    def finish(self):
+        """``(payload, accounted seconds)`` — the whole object, post-charges."""
+        self.store._m_read_ops.inc()
+        return self.store._read_payload(self.key), self.seconds

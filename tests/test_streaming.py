@@ -1,0 +1,553 @@
+"""Pipelined chunk streaming through the flush/prefetch cascade.
+
+The acceptance bar for the streaming subsystem:
+
+* ``StreamConfig.enabled=False`` changes nothing — the same discipline as
+  ``SchedConfig`` / ``ReduceConfig`` / ``FaultConfig``: identical eviction
+  decision streams, cache layouts, tier byte counters, store metadata and
+  restored bytes, and no streaming metrics registered;
+* streaming on, the cascade restores bit-identical bytes, reports pipeline
+  counts and overlap/stall gauges, and composes with the reduction
+  pipeline (chunk recipes reconstruct, CRCs verify);
+* a crash between chunk commits loses nothing durable (commit-at-end: a
+  torn stream leaves no partial object, and the manifest journal recovers
+  every checkpoint that reached a durable tier);
+* an SSD failure mid-stream reroutes to the PFS, replaying the chunks the
+  dead put had consumed, and the rerouted checkpoint restores verified
+  bytes;
+* (property) streamed and store-and-forward runs restore identical
+  payload checksums for arbitrary snapshot-size mixes.
+
+Plus unit coverage of the chunk planner, the ring-buffer backpressure
+fabric itself, the event-driven completion callbacks, and the drain
+sweep.
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clock import VirtualClock
+from repro.config import FaultConfig, ReduceConfig, ResilienceConfig, StreamConfig
+from repro.core.engine import ScoreEngine
+from repro.core.streaming import ChunkPipeline, chunk_sizes_for, plan_chunks
+from repro.core.validator import validate_engine
+from repro.errors import InjectedCrash, TierOfflineError
+from repro.simgpu.stream import Stream
+from repro.tiers.base import TierLevel
+from repro.tiers.topology import Cluster
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+from repro.workloads.patterns import RestoreOrder, restore_order
+from tests.conftest import make_buffer, tiny_config
+
+CKPT = 128 * MiB
+
+STREAMING = StreamConfig(enabled=True)
+RESILIENT = ResilienceConfig(enabled=True)
+
+
+# -- chunk planning ----------------------------------------------------------
+class TestChunkPlanning:
+    def test_plan_splits_near_equal(self):
+        sizes = plan_chunks(100, 30, 2)
+        assert sizes == [25, 25, 25, 25]
+        assert sum(sizes) == 100
+
+    def test_plan_rejects_small_transfers(self):
+        assert plan_chunks(10, 30, 2) is None  # one chunk: stay legacy
+        assert plan_chunks(0, 30, 2) is None
+        assert plan_chunks(60, 30, 2) == [30, 30]
+
+    def test_chunk_sizes_for_exact_count(self):
+        sizes = chunk_sizes_for(10, 3)
+        assert sizes == [4, 3, 3]
+        assert sum(sizes) == 10
+
+    def test_stage_counts_align_across_sizes(self):
+        # Reduced stages move fewer bytes but the same number of chunks.
+        wire = plan_chunks(128 * MiB, 16 * MiB, 2)
+        reduced = chunk_sizes_for(37 * MiB + 11, len(wire))
+        assert len(reduced) == len(wire)
+        assert sum(reduced) == 37 * MiB + 11
+
+
+# -- the pipeline fabric -----------------------------------------------------
+class TestChunkPipeline:
+    def _pipeline(self, chunks=4, ring=2):
+        pipe = ChunkPipeline(0, chunks, ring, VirtualClock())
+        pipe.add_stage("a")
+        pipe.add_stage("b")
+        return pipe
+
+    def test_consumer_waits_for_publish(self):
+        pipe = self._pipeline()
+        got = []
+
+        def consumer():
+            for i in range(pipe.chunks):
+                got.append(pipe.await_upstream("b", i))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        for i in range(pipe.chunks):
+            pipe.publish("a", i)
+        t.join(timeout=10.0)
+        assert got == [True] * pipe.chunks
+
+    def test_ring_backpressure_parks_producer(self):
+        pipe = self._pipeline(chunks=6, ring=2)
+        progressed = threading.Event()
+        parked = threading.Event()
+
+        def producer():
+            for i in range(pipe.chunks):
+                if i == pipe.ring:
+                    parked.set()
+                assert pipe.throttle("a", i)
+                pipe.publish("a", i)
+            progressed.set()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        assert parked.wait(timeout=10.0)
+        # ring chunks ahead of a consumer that has done nothing: parked.
+        assert not progressed.wait(timeout=0.2)
+        for i in range(pipe.chunks):
+            pipe.publish("b", i)
+        assert progressed.wait(timeout=10.0)
+        t.join(timeout=10.0)
+        assert pipe.stall_s["a"] > 0.0
+
+    def test_upstream_failure_unblocks_consumer(self):
+        pipe = self._pipeline()
+        pipe.publish("a", 0)
+        assert pipe.await_upstream("b", 0)
+        result = []
+        t = threading.Thread(target=lambda: result.append(pipe.await_upstream("b", 1)))
+        t.start()
+        pipe.fail("a")
+        t.join(timeout=10.0)
+        assert result == [False]
+
+    def test_downstream_failure_releases_producer(self):
+        pipe = self._pipeline(chunks=6, ring=2)
+        pipe.fail("b")
+        # The producer keeps charging its own link to completion.
+        assert all(pipe.throttle("a", i) for i in range(pipe.chunks))
+
+    def test_skip_counts_as_complete(self):
+        pipe = self._pipeline()
+        pipe.skip("b")
+        assert pipe.skipped("b")
+        assert all(pipe.throttle("a", i) for i in range(pipe.chunks))
+        assert pipe.await_finished("a", "b")
+
+    def test_finish_beats_late_failure_signal(self):
+        pipe = self._pipeline()
+        pipe.finish("a")
+        pipe.fail("a")  # stream-level error after the commit: kept
+        assert pipe.finished("a") and not pipe.failed("a")
+        assert pipe.await_upstream("b", pipe.chunks - 1)
+
+    def test_release_refcount(self):
+        pipe = self._pipeline()
+        pipe.retain(2)
+        assert not pipe.release()
+        assert pipe.release()  # last worker out owns the metrics roll-up
+
+    def test_overlap_integrator(self):
+        pipe = self._pipeline()
+        pipe.enter_chunk()
+        pipe.enter_chunk()
+        pipe.exit_chunk()
+        pipe.exit_chunk()
+        assert pipe.active_s >= pipe.overlap_s >= 0.0
+
+
+# -- event-driven completion handoff ----------------------------------------
+class TestEventCallbacks:
+    def test_callback_fires_on_completion(self):
+        stream = Stream("cb-test")
+        try:
+            gate = threading.Event()
+            fired = threading.Event()
+            event = stream.submit(gate.wait)
+            event.add_done_callback(lambda ev: fired.set())
+            assert not fired.is_set()
+            gate.set()
+            assert fired.wait(timeout=10.0)
+        finally:
+            stream.close()
+
+    def test_callback_fires_immediately_when_done(self):
+        stream = Stream("cb-test")
+        try:
+            event = stream.submit(lambda: None)
+            event.wait(timeout=10.0)
+            seen = []
+            event.add_done_callback(seen.append)
+            assert seen == [event]
+        finally:
+            stream.close()
+
+    def test_callback_receives_failed_event(self):
+        stream = Stream("cb-test")
+        try:
+            errors = []
+            event = stream.submit(lambda: 1 / 0)
+            event.add_done_callback(lambda ev: errors.append(ev.error))
+            with pytest.raises(ZeroDivisionError):
+                event.wait(timeout=10.0)
+            assert len(errors) == 1 and isinstance(errors[0], ZeroDivisionError)
+        finally:
+            stream.close()
+
+
+# -- disabled == bit-identical ----------------------------------------------
+def _equivalence_scenario(stream_cfg):
+    """The test_faults_equivalence scenario, parameterized on StreamConfig."""
+    import json  # noqa: F401 - kept for symmetry with the faults twin
+
+    cfg = tiny_config(telemetry=True)
+    if stream_cfg is not None:
+        cfg = cfg.with_(stream=stream_cfg)
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+            assert not engine.streaming
+            assert engine.promote_stream is None
+            sums = {}
+            for v in range(10):
+                buf = make_buffer(ctx, CKPT, seed=v)
+                sums[v] = buf.checksum()
+                engine.checkpoint(v, buf)
+                engine.wait_for_flushes(timeout=600.0)
+            restored = {}
+            out = ctx.device.alloc_buffer(CKPT)
+            for v in restore_order(RestoreOrder.IRREGULAR, 10, seed=3):
+                engine.restore(v, out)
+                restored[v] = out.checksum()
+            assert restored == sums
+            decisions = [
+                {"name": ev.name, "args": ev.args}
+                for ev in cluster.telemetry.bus.snapshot()
+                if ev.name == "evict-window"
+            ]
+            layouts = {
+                cache.name: [
+                    (f.offset, f.size, None if f.is_gap else f.record.ckpt_id)
+                    for f in cache.table.fragments()
+                ]
+                for cache in (engine.gpu_cache, engine.host_cache)
+            }
+            registry = cluster.telemetry.registry
+            tier_bytes = {
+                name: registry.counter(name).value
+                for name in (
+                    "flush.d2h.bytes",
+                    "flush.h2f.bytes",
+                    "flush.f2p.bytes",
+                    "tier.ssd.write_bytes",
+                    "tier.pfs.write_bytes",
+                )
+            }
+            metric_names = sorted(registry.snapshot().keys())
+            return decisions, layouts, tier_bytes, metric_names, restored
+
+
+def test_disabled_streaming_is_bit_identical():
+    import json
+
+    default = _equivalence_scenario(None)
+    # Every other knob non-default; enabled=False must make them all inert.
+    off = _equivalence_scenario(
+        StreamConfig(
+            enabled=False,
+            stream_chunk_bytes=4 * MiB,
+            ring_chunks=7,
+            min_stream_chunks=3,
+            prefetch=False,
+        )
+    )
+    for got, want in zip(off, default):
+        assert json.dumps(got, sort_keys=True, default=str) == json.dumps(
+            want, sort_keys=True, default=str
+        )
+    metric_names = default[3]
+    # The streaming gauges must not exist in a disabled run's snapshot.
+    assert not any("stream" in name for name in metric_names)
+
+
+# -- streaming on: end-to-end correctness ------------------------------------
+class TestStreamedCascade:
+    def test_streamed_flush_restores_identical_bytes(self):
+        cfg = tiny_config(telemetry=True, stream=STREAMING)
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+                assert engine.streaming
+                sums = {}
+                for v in range(8):
+                    buf = make_buffer(ctx, CKPT, seed=v)
+                    sums[v] = buf.checksum()
+                    engine.checkpoint(v, buf)
+                assert engine.wait_for_flushes(timeout=600.0)
+                for v in range(8):
+                    assert engine.catalog.get(v).durable_level is TierLevel.PFS
+                out = ctx.device.alloc_buffer(CKPT)
+                for v in restore_order(RestoreOrder.IRREGULAR, 8, seed=3):
+                    engine.restore(v, out)
+                    assert out.checksum() == sums[v]
+                reg = cluster.telemetry.registry
+                assert reg.counter("flush.stream.pipelines").value == 8
+                # Gauges exist and carry sane values (overlap itself is
+                # wall-clock dependent, so only bounds are asserted).
+                assert 0.0 <= reg.gauge("flush.stream.overlap_ratio").value <= 1.0
+                for stage in ("d2h", "h2f", "f2p"):
+                    assert reg.gauge(f"flush.{stage}.stall_time").value >= 0.0
+                validate_engine(engine)
+
+    def test_small_checkpoints_fall_back_to_legacy(self):
+        # Below min_stream_chunks chunks the whole-object path runs.
+        cfg = tiny_config(
+            telemetry=True,
+            stream=StreamConfig(enabled=True, stream_chunk_bytes=256 * MiB),
+        )
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+                buf = make_buffer(ctx, CKPT, seed=0)
+                expected = buf.checksum()
+                engine.checkpoint(0, buf)
+                assert engine.wait_for_flushes(timeout=600.0)
+                assert cluster.telemetry.registry.counter(
+                    "flush.stream.pipelines"
+                ).value == 0
+                out = ctx.device.alloc_buffer(CKPT)
+                engine.restore(0, out)
+                assert out.checksum() == expected
+
+    def test_streaming_with_reduction(self):
+        """Chunk recipes reconstruct and CRCs verify under streaming."""
+        cfg = tiny_config(
+            telemetry=True,
+            stream=STREAMING,
+            reduce=ReduceConfig(enabled=True),
+            resilience=RESILIENT,  # CRC metadata stamped at commit
+        )
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+                sums = {}
+                base = make_buffer(ctx, CKPT, seed=0)
+                for v in range(6):
+                    buf = ctx.device.alloc_buffer(CKPT)
+                    # High similarity: dedup/delta engage, physical < wire.
+                    buf.payload[:] = base.payload
+                    rng = make_rng(v, "stream-reduce")
+                    idx = rng.integers(
+                        0, buf.payload.size, size=buf.payload.size // 50
+                    )
+                    buf.payload[idx] ^= v + 1
+                    sums[v] = buf.checksum()
+                    engine.checkpoint(v, buf)
+                assert engine.wait_for_flushes(timeout=600.0)
+                pid = engine.process_id
+                for v in range(6):
+                    key = (pid, v)
+                    if engine.ssd.contains(key):
+                        assert engine.ssd.verify(key)
+                out = ctx.device.alloc_buffer(CKPT)
+                for v in range(6):
+                    engine.restore(v, out)
+                    assert out.checksum() == sums[v]
+                validate_engine(engine)
+
+
+# -- streaming + faults ------------------------------------------------------
+class TestStreamedFaults:
+    @pytest.mark.parametrize("point", ["before-h2f", "after-h2f", "after-f2p"])
+    def test_crash_between_chunk_commits(self, point):
+        """Commit-at-end: a crash at a stage boundary mid-stream leaves no
+        torn object; the journal recovers exactly what committed."""
+        cfg = tiny_config(
+            stream=STREAMING,
+            faults=FaultConfig(enabled=True, crash_point=point, crash_ckpt=1),
+            resilience=RESILIENT,
+        )
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            engine = ScoreEngine(ctx, flush_to_pfs=True)
+            sums = {}
+            buf0 = make_buffer(ctx, CKPT, seed=0)
+            sums[0] = buf0.checksum()
+            engine.checkpoint(0, buf0)
+            engine.wait_for_flushes(timeout=600.0)
+            buf1 = make_buffer(ctx, CKPT, seed=1)
+            sums[1] = buf1.checksum()
+            try:
+                engine.checkpoint(1, buf1)
+            except InjectedCrash:
+                pass
+            engine.close()
+            assert engine.crashed.is_set()
+            pid = engine.process_id
+            stores = [cluster.nodes[0].ssd, cluster.pfs]
+            durable = {
+                v for v in (0, 1) if any(s.contains((pid, v)) for s in stores)
+            }
+            assert 0 in durable
+            if point == "before-h2f":
+                # Crashed before any durable commit of v1: no torn object.
+                assert not cluster.nodes[0].ssd.contains((pid, 1))
+            engine2 = ScoreEngine(ctx, flush_to_pfs=True)
+            try:
+                assert engine2.recover_history() == len(durable)
+                out = ctx.device.alloc_buffer(CKPT)
+                for v in sorted(durable):
+                    engine2.restore(v, out)
+                    assert out.checksum() == sums[v]
+                validate_engine(engine2)
+            finally:
+                engine2.close()
+
+    def test_reroute_mid_stream_resumes_at_right_chunk(self):
+        """An SSD that dies after consuming some chunks reroutes to the
+        PFS, replaying the consumed chunks, and lands verified bytes."""
+        cfg = tiny_config(
+            telemetry=True, stream=STREAMING, resilience=RESILIENT
+        )
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+                real_open_put = engine.ssd.open_put
+                die_after = 2  # chunks the SSD consumes before going dark
+
+                def flaky_open_put(key, nominal_size, payload_size, **kw):
+                    handle = real_open_put(key, nominal_size, payload_size, **kw)
+                    real_write = handle.write
+                    calls = {"n": 0}
+
+                    def flaky_write(nbytes, **wkw):
+                        if calls["n"] >= die_after:
+                            raise TierOfflineError("ssd died mid-stream")
+                        calls["n"] += 1
+                        return real_write(nbytes, **wkw)
+
+                    handle.write = flaky_write
+                    return handle
+
+                engine.ssd.open_put = flaky_open_put
+                try:
+                    buf = make_buffer(ctx, CKPT, seed=0)
+                    expected = buf.checksum()
+                    engine.checkpoint(0, buf)
+                    assert engine.wait_for_flushes(timeout=600.0)
+                finally:
+                    engine.ssd.open_put = real_open_put
+                record = engine.catalog.get(0)
+                assert record.durable_level is TierLevel.PFS
+                assert engine.flusher.rerouted >= 1
+                assert not engine.ssd.contains((engine.process_id, 0))
+                # The reroute replayed the already-consumed chunks: the PFS
+                # moved the full wire size, not just the tail.
+                wire = record.wire_size(TierLevel.HOST, TierLevel.SSD)
+                reg = cluster.telemetry.registry
+                assert reg.counter("tier.pfs.write_bytes").value >= wire
+                out = ctx.device.alloc_buffer(CKPT)
+                engine.restore(0, out)
+                assert out.checksum() == expected
+                validate_engine(engine)
+
+    def test_mid_stream_outage_window(self):
+        """A time-indexed SSD outage opening mid-run still yields full
+        durability (reroute at whatever chunk boundary the gate trips)."""
+        cfg = tiny_config(
+            stream=STREAMING,
+            faults=FaultConfig(
+                enabled=True, tier_outages=(("ssd", 0.0, 1e9, 0.0),)
+            ),
+            resilience=RESILIENT,
+        )
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+                sums = {}
+                for v in range(3):
+                    buf = make_buffer(ctx, CKPT, seed=v)
+                    sums[v] = buf.checksum()
+                    engine.checkpoint(v, buf)
+                assert engine.wait_for_flushes(timeout=600.0)
+                out = ctx.device.alloc_buffer(CKPT)
+                for v in range(3):
+                    record = engine.catalog.get(v)
+                    assert record.durable_level is TierLevel.PFS
+                    engine.restore(v, out)
+                    assert out.checksum() == sums[v]
+                validate_engine(engine)
+
+
+# -- drain sweep -------------------------------------------------------------
+def test_drain_waits_for_cascading_resubmission():
+    """drain() must not return while a later stage still holds queued work
+    that an earlier sweep pass missed (the old two-pass sweep bug)."""
+    cfg = tiny_config(stream=STREAMING)
+    with Cluster(cfg) as cluster:
+        ctx = cluster.process_contexts()[0]
+        with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+            for v in range(6):
+                engine.checkpoint(v, make_buffer(ctx, CKPT, seed=v))
+            assert engine.wait_for_flushes(timeout=600.0)
+            # After a successful drain every stream really is idle and
+            # every checkpoint reached the final tier.
+            for stream in (
+                engine.flusher.d2h_stream,
+                engine.flusher.h2f_stream,
+                engine.flusher.f2p_stream,
+            ):
+                assert stream is None or stream.depth == 0
+            for v in range(6):
+                assert engine.catalog.get(v).durable_level is TierLevel.PFS
+
+
+# -- property: streamed == store-and-forward payloads ------------------------
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    sizes=st.lists(
+        st.sampled_from([32 * MiB, 48 * MiB, 128 * MiB, 160 * MiB]),
+        min_size=2,
+        max_size=4,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_streamed_and_legacy_checksums_identical(sizes, seed):
+    def run(stream_cfg):
+        cfg = tiny_config()
+        if stream_cfg is not None:
+            cfg = cfg.with_(stream=stream_cfg)
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx, flush_to_pfs=True) as engine:
+                sums = {}
+                for v, size in enumerate(sizes):
+                    buf = ctx.device.alloc_buffer(size)
+                    buf.fill_random(make_rng(seed + v, "stream-prop"))
+                    sums[v] = buf.checksum()
+                    engine.checkpoint(v, buf)
+                assert engine.wait_for_flushes(timeout=600.0)
+                restored = {}
+                for v, size in enumerate(sizes):
+                    out = ctx.device.alloc_buffer(size)
+                    engine.restore(v, out)
+                    restored[v] = out.checksum()
+                assert restored == sums
+                return sums
+
+    assert run(STREAMING) == run(None)
