@@ -25,6 +25,7 @@ def analyze_events(
     top: int = 5,
 ) -> dict:
     """Build the full analysis report (a JSON-serialisable dict)."""
+    events = list(events)  # consumed twice: DAG build + per-node rollup
     dag = build_dag(events)
     attr = attribute_dag(dag)
     report: dict = {
@@ -39,10 +40,40 @@ def analyze_events(
         "accounting": attr.coverage_stats(),
         "slowest": _slowest(attr, top),
     }
+    nodes = _node_rollup(events)
+    if nodes:
+        report["nodes"] = nodes
     monitor = evaluate_dag(dag, slo or SloConfig())
     report["slo"] = monitor.snapshot()
     report["slo_lines"] = monitor.summary_lines()
     return report
+
+
+def _node_rollup(events: Iterable[TraceEvent]) -> Dict[str, dict]:
+    """Per-node activity totals (cluster runs tag events with ``node_id``).
+
+    Empty outside fabric-enabled runs, so single-node reports are unchanged.
+    """
+    nodes: Dict[int, dict] = {}
+    for event in events:
+        if event.node_id is None:
+            continue
+        entry = nodes.setdefault(
+            event.node_id, {"events": 0, "span_s": 0.0, "engines": set()}
+        )
+        entry["events"] += 1
+        if event.phase == "X":
+            entry["span_s"] += event.dur
+        if event.engine_id is not None:
+            entry["engines"].add(event.engine_id)
+    return {
+        str(node_id): {
+            "events": entry["events"],
+            "span_s": round(entry["span_s"], 6),
+            "engines": sorted(entry["engines"]),
+        }
+        for node_id, entry in sorted(nodes.items())
+    }
 
 
 def _rounded(totals: Dict[str, float]) -> Dict[str, float]:
@@ -113,6 +144,15 @@ def render_report(report: dict, title: str = "causal analysis") -> str:
             f"{cat} {dur:.4g}s" for cat, dur in sorted(cats.items(), key=lambda kv: -kv[1])
         )
         lines.append(f"  {tier:<8} {cells}")
+    if report.get("nodes"):
+        lines.append("")
+        lines.append("per-node activity:")
+        for node_id, entry in report["nodes"].items():
+            engines = ", ".join(f"p{e}" for e in entry["engines"]) or "-"
+            lines.append(
+                f"  node{node_id}: {entry['events']} events, "
+                f"{entry['span_s']:.4g}s span time, engines {engines}"
+            )
     if report.get("slowest"):
         lines.append("")
         lines.append("slowest ops (critical path):")

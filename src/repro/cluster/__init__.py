@@ -1,0 +1,37 @@
+"""Distributed checkpoint fabric: multi-node cluster on the virtual clock.
+
+The package promotes the single-process topology to an N-node cluster:
+
+* :mod:`repro.cluster.directory` — cluster-wide replica directory mapping
+  checkpoint keys to the SSDs that hold a durable copy.
+* :mod:`repro.cluster.fabric` — :class:`ClusterFabric`, the glue object:
+  peer-read routing over the modeled interconnect, ring-successor replica
+  targets, per-node PFS write aggregators, and node-tagged telemetry.
+* :mod:`repro.cluster.aggregator` — :class:`PfsWriteAggregator`, batching
+  concurrent small flush streams into one PFS commit.
+* :mod:`repro.cluster.service` — :class:`CheckpointService`, the RPC-style
+  submit/restore/query front-end with per-client sessions and bounded
+  admission.
+* :mod:`repro.cluster.topology` — :class:`ClusterTopology`, the one-call
+  builder: cluster + one engine per process context + service.
+
+Everything is gated on ``RuntimeConfig.cluster.enabled``; with the gate
+off no fabric object exists and the single-node path is bit-identical
+(equivalence-tested in ``tests/test_cluster_equivalence.py``).
+"""
+
+from repro.cluster.aggregator import PfsWriteAggregator
+from repro.cluster.directory import ReplicaDirectory
+from repro.cluster.fabric import ClusterFabric, PeerSsdStore
+from repro.cluster.service import CheckpointService, ClientSession
+from repro.cluster.topology import ClusterTopology
+
+__all__ = [
+    "CheckpointService",
+    "ClientSession",
+    "ClusterFabric",
+    "ClusterTopology",
+    "PeerSsdStore",
+    "PfsWriteAggregator",
+    "ReplicaDirectory",
+]

@@ -1,0 +1,50 @@
+"""Cluster-wide replica directory: which node SSDs hold which checkpoint.
+
+Every :class:`~repro.tiers.ssd.SsdStore` in a fabric-enabled cluster
+publishes its commits (and withdraws its deletes) here, so a restore on
+any node can discover a neighbor's durable copy without touching the PFS.
+The directory is pure metadata — bytes still move over the modeled
+interconnect links — and deliberately tiny: a dict under one lock, the
+in-process stand-in for the etcd/gossip membership map a real fabric
+would run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Set, Tuple
+
+#: (process_id, ckpt_id) — the same key the tier stores index by.
+StoreKey = Tuple[int, int]
+
+
+class ReplicaDirectory:
+    """Thread-safe map from checkpoint key to the node ids holding it."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._holders: Dict[StoreKey, Set[int]] = {}
+
+    def publish(self, key: StoreKey, node_id: int) -> None:
+        """Record that ``node_id``'s SSD committed a durable copy of ``key``."""
+        with self._lock:
+            self._holders.setdefault(key, set()).add(node_id)
+
+    def withdraw(self, key: StoreKey, node_id: int) -> None:
+        """Drop ``node_id`` as a holder of ``key`` (eviction or delete)."""
+        with self._lock:
+            holders = self._holders.get(key)
+            if holders is None:
+                return
+            holders.discard(node_id)
+            if not holders:
+                del self._holders[key]
+
+    def holders(self, key: StoreKey) -> List[int]:
+        """Node ids holding ``key``, sorted for deterministic routing."""
+        with self._lock:
+            return sorted(self._holders.get(key, ()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._holders)

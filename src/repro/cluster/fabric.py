@@ -1,0 +1,318 @@
+"""The cluster fabric: peer-SSD reads, replica routing, PFS aggregation.
+
+:class:`ClusterFabric` is built by :class:`~repro.tiers.topology.Cluster`
+when ``config.cluster.enabled`` and owns everything the single-node stack
+does not know about:
+
+* the :class:`~repro.cluster.directory.ReplicaDirectory` every node SSD
+  publishes into,
+* peer-read routing — :meth:`peer_source` resolves a checkpoint key to a
+  :class:`PeerSsdStore` wrapping a healthy neighbor's SSD, reached over
+  the modeled interconnect (the same WFQ-scheduled, fault-injected links
+  the legacy partner replication uses),
+* ring-successor replica targets for the flusher's replication stage,
+* per-node :class:`~repro.cluster.aggregator.PfsWriteAggregator` instances
+  batching concurrent flush streams into single PFS commits.
+
+A peer read that dies mid-transfer (breaker-open SSD, link fault, tier
+outage) falls back to the PFS transparently: the reader re-opens the blob
+there and replays the bytes consumed so far, so callers see one
+uninterrupted byte stream either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.cluster.aggregator import PfsWriteAggregator
+from repro.cluster.directory import ReplicaDirectory, StoreKey
+from repro.errors import TransientTransferError
+from repro.simgpu.bandwidth import Link
+from repro.tiers.base import TierLevel
+
+if TYPE_CHECKING:
+    from repro.tiers.ssd import SsdStore
+    from repro.tiers.topology import Cluster
+
+
+class ClusterFabric:
+    """Cluster-wide routing state shared by every engine in the topology."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.config = cluster.config.cluster
+        self.clock = cluster.clock
+        self.telemetry = cluster.telemetry
+        self.health = cluster.health
+        self.faults = cluster.faults
+        self.pfs = cluster.pfs
+        self.num_nodes = len(cluster.nodes)
+        self.directory = ReplicaDirectory()
+        self._lock = threading.Lock()
+        self._peer_links: Dict[Tuple[int, int], Link] = {}
+        self._aggregators: Dict[int, PfsWriteAggregator] = {}
+        registry = cluster.telemetry.registry
+        self._m_peer_reads = registry.counter("cluster.peer.reads")
+        self._m_peer_read_bytes = registry.counter("cluster.peer.read_bytes")
+        self._m_peer_fallbacks = registry.counter("cluster.peer.fallbacks")
+        # Node-attributed telemetry lanes: every SSD track and the per-node
+        # peer-hop track carry their node id into the trace (satellite:
+        # per-node Perfetto lanes / `analyze` rollups).
+        bus = cluster.telemetry.bus
+        for node in cluster.nodes:
+            bus.bind_track(node.ssd._track, node_id=node.node_id)
+            bus.bind_track(f"node{node.node_id}-peer", node_id=node.node_id)
+
+    # -- links -----------------------------------------------------------------
+    def link(self, node_a: int, node_b: int) -> Link:
+        """The interconnect link used for peer reads between two nodes.
+
+        Defaults to the cluster's shared fabric link (also carrying partner
+        replication); ``ClusterConfig.peer_bandwidth`` carves out dedicated
+        peer-read links instead, e.g. to model RDMA reads bypassing the
+        replication path.
+        """
+        if self.config.peer_bandwidth is None:
+            return self.cluster.internode_link(node_a, node_b)
+        key = (min(node_a, node_b), max(node_a, node_b))
+        with self._lock:
+            link = self._peer_links.get(key)
+            if link is None:
+                link = Link(
+                    f"peer-{key[0]}-{key[1]}",
+                    self.config.peer_bandwidth,
+                    self.clock,
+                    latency=self.cluster.config.hardware.transfer_latency,
+                )
+                self.cluster.sched.attach(link)
+                self.cluster.faults.attach(link)
+                self._peer_links[key] = link
+            return link
+
+    # -- replica placement -----------------------------------------------------
+    def replica_targets(self, node_id: int) -> List[Tuple[int, "SsdStore", Link]]:
+        """Ring-successor SSDs receiving replicas of ``node_id``'s checkpoints.
+
+        ``replica_factor`` counts the home copy, so a factor of 2 yields one
+        successor — the legacy partner-pair layout generalized to N nodes.
+        """
+        targets = []
+        for step in range(1, self.config.replica_factor):
+            peer = (node_id + step) % self.num_nodes
+            if peer == node_id:
+                break
+            targets.append(
+                (peer, self.cluster.nodes[peer].ssd, self.link(node_id, peer))
+            )
+        return targets
+
+    # -- peer reads ------------------------------------------------------------
+    def peer_source(self, reader_node: int, key: StoreKey) -> Optional["PeerSsdStore"]:
+        """A readable neighbor SSD holding ``key``, or None.
+
+        Holders are tried in ring order from the reader; a holder must still
+        contain the blob (the directory can lag a concurrent eviction) and
+        its breaker must be closed. A tier-global SSD outage darkens every
+        peer at once — the caller then drops to the PFS.
+        """
+        if not self.config.peer_reads:
+            return None
+        if self.faults.enabled and self.faults.hard_outage("ssd"):
+            return None
+        holders = self.directory.holders(key)
+        if not holders:
+            return None
+        holders.sort(key=lambda h: (h - reader_node) % self.num_nodes)
+        for holder in holders:
+            if holder == reader_node:
+                continue
+            remote = self.cluster.nodes[holder].ssd
+            if not remote.contains(key):
+                continue
+            if not self.health.healthy(remote._track):
+                continue
+            return PeerSsdStore(self, reader_node, holder, remote)
+        return None
+
+    # -- PFS writes ------------------------------------------------------------
+    def pfs_put(
+        self,
+        node_id: int,
+        key: StoreKey,
+        payload,
+        nominal_size: int,
+        *,
+        cancelled=None,
+        meta=None,
+        request=None,
+    ) -> float:
+        """Route a whole-object PFS write through ``node_id``'s aggregator.
+
+        With aggregation off this is exactly the legacy ``pfs.put`` call, so
+        timings and op counts are unchanged.
+        """
+        if not self.config.aggregation:
+            return self.pfs.put(
+                key,
+                payload,
+                nominal_size,
+                node_id=node_id,
+                cancelled=cancelled,
+                meta=meta,
+                request=request,
+            )
+        with self._lock:
+            aggregator = self._aggregators.get(node_id)
+            if aggregator is None:
+                aggregator = PfsWriteAggregator(self, node_id)
+                self._aggregators[node_id] = aggregator
+        return aggregator.submit(
+            key,
+            payload,
+            nominal_size,
+            cancelled=cancelled,
+            meta=meta,
+            request=request,
+        )
+
+
+class PeerSsdStore:
+    """Read-only view of a neighbor node's SSD, reached over the fabric.
+
+    Duck-types the read side of :class:`~repro.tiers.ssd.SsdStore` (``get``,
+    ``open_get``, ``contains``, ``meta``, ``size_of``, ``verify``) so the
+    engine's promotion paths — whole-object and streamed — work unchanged.
+    Every chunk pays the remote SSD read *plus* the interconnect hop, both
+    on scheduled links.
+    """
+
+    level = TierLevel.SSD
+
+    def __init__(
+        self,
+        fabric: ClusterFabric,
+        reader_node: int,
+        peer_node: int,
+        remote: "SsdStore",
+    ) -> None:
+        self.fabric = fabric
+        self.reader_node = reader_node
+        self.peer_node = peer_node
+        self.remote = remote
+        # Spans from the remote read land on the peer's own SSD track; the
+        # repair path also keys breakers by this name.
+        self._track = remote._track
+
+    @property
+    def node_id(self) -> int:
+        return self.remote.node_id
+
+    def contains(self, key: StoreKey) -> bool:
+        return self.remote.contains(key)
+
+    def meta(self, key: StoreKey):
+        return self.remote.meta(key)
+
+    def size_of(self, key: StoreKey) -> int:
+        return self.remote.size_of(key)
+
+    def verify(self, key: StoreKey) -> bool:
+        return self.remote.verify(key)
+
+    def delete(self, key: StoreKey) -> None:
+        self.remote.delete(key)
+
+    def open_get(self, key: StoreKey, request=None, nominal_size: Optional[int] = None):
+        return _PeerGet(self, key, request=request, nominal_size=nominal_size)
+
+    def get(self, key: StoreKey, request=None):
+        handle = self.open_get(key, request=request)
+        handle.read(handle.nominal_size, request=request)
+        return handle.finish()
+
+
+class _PeerGet:
+    """Streaming read off a peer SSD with transparent PFS failover.
+
+    Chunks are read from the remote SSD (its own read link, fault gates,
+    and brownout model) and then traverse the interconnect link. If the
+    peer dies mid-read — a :class:`TransientTransferError` from either
+    hop — the handle re-opens the blob on the PFS, replays the bytes
+    already consumed plus the failed chunk, and serves the rest from
+    there. The caller sees a single uninterrupted stream.
+    """
+
+    def __init__(
+        self,
+        store: PeerSsdStore,
+        key: StoreKey,
+        request=None,
+        nominal_size: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self.key = key
+        self._request = request
+        fabric = store.fabric
+        self._bus = fabric.telemetry.bus
+        self._hop_track = f"node{store.reader_node}-peer"
+        self._link = fabric.link(store.reader_node, store.peer_node)
+        self._reader = store.remote.open_get(
+            key, request=request, nominal_size=nominal_size
+        )
+        self.nominal_size = self._reader.nominal_size
+        self._fallback = None
+        self._consumed = 0
+        self.seconds = 0.0
+
+    def read(self, nbytes: int, request=None) -> float:
+        request = request if request is not None else self._request
+        if self._fallback is not None:
+            seconds = self._fallback.read(nbytes, request=request)
+            self.seconds += seconds
+            return seconds
+        try:
+            seconds = self._reader.read(nbytes, request=request)
+            with self._bus.span(
+                "peer-hop",
+                self._hop_track,
+                key=str(self.key),
+                peer=self.store.peer_node,
+                bytes=nbytes,
+            ):
+                seconds += self._link.transfer(nbytes, request=request)
+        except TransientTransferError:
+            seconds = self._fail_over(nbytes, request)
+        self._consumed += nbytes
+        self.seconds += seconds
+        return seconds
+
+    def _fail_over(self, nbytes: int, request) -> float:
+        """Re-open on the PFS and replay through the failed chunk."""
+        fabric = self.store.fabric
+        fabric.health.failure(self.store._track)
+        fabric._m_peer_fallbacks.inc()
+        self._bus.instant(
+            "peer-fallback",
+            self._hop_track,
+            key=str(self.key),
+            peer=self.store.peer_node,
+        )
+        if fabric.pfs is None or not fabric.pfs.contains(self.key):
+            raise  # no durable copy below: surface the peer failure
+        self._fallback = fabric.pfs.open_get(
+            self.key, node_id=self.store.reader_node, request=request
+        )
+        replay = self._consumed + nbytes
+        return self._fallback.read(replay, request=request) if replay else 0.0
+
+    def finish(self):
+        if self._fallback is not None:
+            payload, _ = self._fallback.finish()
+            return payload, self.seconds
+        payload, _ = self._reader.finish()
+        fabric = self.store.fabric
+        fabric._m_peer_reads.inc()
+        fabric._m_peer_read_bytes.inc(self.nominal_size)
+        fabric.health.success(self.store._track)
+        return payload, self.seconds

@@ -1,0 +1,246 @@
+"""RPC-style checkpoint service front-end over the in-process cluster.
+
+:class:`CheckpointService` is the "millions of users" story from the
+roadmap scaled down to the virtual clock: many concurrent clients drive
+``submit`` / ``restore`` / ``query`` against a cluster of engines through
+per-client sessions. The message layer is in-process — an RPC is a
+method call that charges ``service_rpc_latency_s`` on the virtual clock —
+but the *control* structure is the real one:
+
+* **sessions** — ``connect`` pins each client to a home engine
+  (round-robin across the cluster) and is bounded by
+  ``service_max_sessions``; excess clients are refused with
+  :class:`~repro.errors.BackpressureError`.
+* **admission** — each session allows ``service_queue_depth`` RPCs in
+  flight; the bound is enforced at the door rather than by queueing
+  unbounded work behind the engines.
+* **placement** — the service owns a global ``ckpt_id → home process``
+  map, so any session can restore any checkpoint: a restore landing on a
+  foreign engine adopts the record (:meth:`ScoreEngine.adopt_foreign`)
+  and promotes it over the fabric — peer SSD when a healthy holder
+  exists, PFS otherwise.
+* **restore fan-in** — :meth:`restore_many` runs a batch of restores
+  concurrently (one thread per RPC, like a real server's handler pool)
+  and returns per-restore latencies.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BackpressureError, CheckpointNotFound, LifecycleError
+
+if TYPE_CHECKING:
+    from repro.config import ClusterConfig
+    from repro.core.engine import ScoreEngine
+
+
+class ClientSession:
+    """One client's handle: a home engine plus a bounded admission gate."""
+
+    def __init__(self, service: "CheckpointService", client_id: str, engine) -> None:
+        self.service = service
+        self.client_id = client_id
+        self.engine = engine
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    # -- admission -------------------------------------------------------------
+    def _admit(self) -> None:
+        depth = self.service.config.service_queue_depth
+        with self._lock:
+            if self._inflight >= depth:
+                raise BackpressureError(
+                    f"session {self.client_id}: {self._inflight} RPCs in flight "
+                    f"(queue depth {depth})"
+                )
+            self._inflight += 1
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    # -- RPCs ------------------------------------------------------------------
+    def submit(self, ckpt_id: int, buffer) -> float:
+        """Checkpoint ``buffer`` on the session's home engine."""
+        self._admit()
+        try:
+            self.service._rpc_hop()
+            self.service._place(ckpt_id, self.engine.process_id)
+            try:
+                return self.engine.checkpoint(ckpt_id, buffer)
+            except BaseException:
+                self.service._unplace(ckpt_id, self.engine.process_id)
+                raise
+        finally:
+            self._release()
+
+    def restore(self, ckpt_id: int, buffer, engine=None) -> float:
+        """Restore ``ckpt_id`` into ``buffer`` on ``engine`` (default: home).
+
+        A target that never created the checkpoint adopts the home
+        engine's durable copy first, then promotes it through the fabric.
+        """
+        self._admit()
+        try:
+            self.service._rpc_hop()
+            target = self.service._resolve_engine(engine) or self.engine
+            home_pid = self.service._home_of(ckpt_id)
+            if home_pid is None:
+                raise CheckpointNotFound(
+                    f"checkpoint {ckpt_id} was never submitted to the service"
+                )
+            if home_pid != target.process_id and not target.catalog.contains(ckpt_id):
+                target.adopt_foreign(home_pid, ckpt_id)
+            return target.restore(ckpt_id, buffer)
+        finally:
+            self._release()
+
+    def query(self, ckpt_id: int) -> dict:
+        """Placement and durability metadata for ``ckpt_id``."""
+        self._admit()
+        try:
+            self.service._rpc_hop()
+            return self.service._query(ckpt_id)
+        finally:
+            self._release()
+
+
+class CheckpointService:
+    """Submit/restore/query front-end shared by every client session."""
+
+    def __init__(
+        self,
+        engines: Sequence["ScoreEngine"],
+        config: "ClusterConfig",
+        clock,
+    ) -> None:
+        if not engines:
+            raise LifecycleError("checkpoint service needs at least one engine")
+        self.engines = list(engines)
+        self.config = config
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, ClientSession] = {}
+        self._next_engine = 0
+        self._placement: Dict[int, int] = {}
+        self._by_pid = {engine.process_id: engine for engine in self.engines}
+
+    # -- sessions --------------------------------------------------------------
+    def connect(self, client_id: str) -> ClientSession:
+        """Open (or return) a session, round-robin pinned to a home engine."""
+        with self._lock:
+            session = self._sessions.get(client_id)
+            if session is not None:
+                return session
+            if len(self._sessions) >= self.config.service_max_sessions:
+                raise BackpressureError(
+                    f"service at capacity: {len(self._sessions)} sessions "
+                    f"(limit {self.config.service_max_sessions})"
+                )
+            engine = self.engines[self._next_engine % len(self.engines)]
+            self._next_engine += 1
+            session = ClientSession(self, client_id, engine)
+            self._sessions[client_id] = session
+            return session
+
+    def disconnect(self, client_id: str) -> None:
+        with self._lock:
+            self._sessions.pop(client_id, None)
+
+    # -- placement -------------------------------------------------------------
+    def _place(self, ckpt_id: int, pid: int) -> None:
+        with self._lock:
+            if ckpt_id in self._placement:
+                raise LifecycleError(
+                    f"checkpoint {ckpt_id} already submitted "
+                    f"(home process {self._placement[ckpt_id]})"
+                )
+            self._placement[ckpt_id] = pid
+
+    def _unplace(self, ckpt_id: int, pid: int) -> None:
+        with self._lock:
+            if self._placement.get(ckpt_id) == pid:
+                del self._placement[ckpt_id]
+
+    def _home_of(self, ckpt_id: int) -> Optional[int]:
+        with self._lock:
+            return self._placement.get(ckpt_id)
+
+    def _resolve_engine(self, engine):
+        if engine is None:
+            return None
+        if isinstance(engine, int):
+            try:
+                return self._by_pid[engine]
+            except KeyError:
+                raise LifecycleError(f"no engine with process id {engine}") from None
+        return engine
+
+    def _rpc_hop(self) -> None:
+        """Charge one client→service message hop on the virtual clock."""
+        if self.config.service_rpc_latency_s > 0:
+            self.clock.sleep(self.config.service_rpc_latency_s)
+
+    def _query(self, ckpt_id: int) -> dict:
+        home_pid = self._home_of(ckpt_id)
+        if home_pid is None:
+            raise CheckpointNotFound(
+                f"checkpoint {ckpt_id} was never submitted to the service"
+            )
+        home = self._by_pid[home_pid]
+        record = home.catalog.maybe_get(ckpt_id)
+        info = {
+            "ckpt_id": ckpt_id,
+            "home_pid": home_pid,
+            "home_node": home.node_id,
+            "durable_level": record.durable_level.name if record is not None else None,
+        }
+        if home.fabric is not None:
+            info["ssd_holders"] = home.fabric.directory.holders((home_pid, ckpt_id))
+        return info
+
+    # -- fan-in ----------------------------------------------------------------
+    def restore_many(
+        self, items: Sequence[Tuple[ClientSession, int, object, object]]
+    ) -> List[float]:
+        """Run ``(session, ckpt_id, buffer, engine)`` restores concurrently.
+
+        Returns per-item restore latencies in item order; the first failure
+        is re-raised after all workers finish (the rest of the batch is not
+        cancelled — server handlers run to completion).
+        """
+        results: List[Optional[float]] = [None] * len(items)
+        errors: List[BaseException] = []
+
+        def worker(i, session, ckpt_id, buffer, engine):
+            try:
+                results[i] = session.restore(ckpt_id, buffer, engine=engine)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=(i, session, ckpt_id, buffer, engine),
+                name=f"svc-restore-{i}",
+                daemon=True,
+            )
+            for i, (session, ckpt_id, buffer, engine) in enumerate(items)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return [r for r in results if r is not None]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "sessions": len(self._sessions),
+                "checkpoints": len(self._placement),
+                "engines": len(self.engines),
+            }

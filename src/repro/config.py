@@ -629,6 +629,88 @@ class AnalysisConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """Distributed checkpoint fabric (:mod:`repro.cluster`).
+
+    With ``enabled=False`` (the default) no fabric is constructed and the
+    runtime is bit-identical to a build without the subsystem (same
+    discipline as :class:`SchedConfig` / :class:`FaultConfig`).  When
+    enabled: every durable SSD commit is published to a cluster-wide
+    replica directory so demand restores and prefetches can pull a blob
+    from a healthy peer's SSD over the inter-node fabric instead of
+    dropping to the PFS; flushes are replicated to ``replica_factor - 1``
+    successor nodes; a per-node aggregator coalesces concurrent small
+    SSD→PFS flush streams into batched PFS writes (one per-op latency
+    charge per batch, commit-at-end); and a :class:`~repro.cluster.service.
+    CheckpointService` front-end exposes ``submit/restore/query`` over an
+    in-process RPC layer with per-client sessions and bounded admission.
+    """
+
+    #: master switch: build the ClusterFabric (replica directory, peer
+    #: routing, PFS write aggregation) on the Cluster.
+    enabled: bool = False
+    #: total SSD copies per checkpoint including the home node; copies
+    #: beyond the first go to successor nodes over the fabric.  Must not
+    #: exceed ``RuntimeConfig.num_nodes`` when the fabric is enabled.
+    replica_factor: int = 2
+    #: route demand restores / prefetches through a healthy peer's SSD
+    #: when the local copy is gone (instead of dropping to the PFS).
+    peer_reads: bool = True
+    #: fabric bandwidth override in bytes per nominal second (None = use
+    #: ``HardwareSpec.internode_bandwidth``).
+    peer_bandwidth: Optional[float] = None
+    #: coalesce concurrent SSD→PFS flush legs into batched PFS writes.
+    aggregation: bool = True
+    #: nominal seconds the batch leader waits for followers to join
+    #: before sealing the batch.
+    aggregation_window_s: float = 0.002
+    #: seal the batch early once this many members joined.
+    aggregation_max_ops: int = 8
+    #: seal the batch early once the combined payload reaches this many
+    #: nominal bytes.
+    aggregation_max_bytes: int = 256 * MiB
+    #: maximum concurrently-connected service sessions.
+    service_max_sessions: int = 64
+    #: per-session bound on in-flight service requests; arrivals beyond
+    #: it raise :class:`~repro.errors.BackpressureError`.
+    service_queue_depth: int = 16
+    #: modeled one-way RPC latency per service call, nominal seconds.
+    service_rpc_latency_s: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if self.replica_factor < 1:
+            raise ConfigError(f"replica_factor must be >= 1: {self.replica_factor}")
+        if self.peer_bandwidth is not None and self.peer_bandwidth <= 0:
+            raise ConfigError(
+                f"peer_bandwidth must be positive or None: {self.peer_bandwidth}"
+            )
+        if self.aggregation_window_s < 0:
+            raise ConfigError(
+                f"aggregation_window_s must be >= 0: {self.aggregation_window_s}"
+            )
+        if self.aggregation_max_ops < 1:
+            raise ConfigError(
+                f"aggregation_max_ops must be >= 1: {self.aggregation_max_ops}"
+            )
+        if self.aggregation_max_bytes <= 0:
+            raise ConfigError(
+                f"aggregation_max_bytes must be positive: {self.aggregation_max_bytes}"
+            )
+        if self.service_max_sessions < 1:
+            raise ConfigError(
+                f"service_max_sessions must be >= 1: {self.service_max_sessions}"
+            )
+        if self.service_queue_depth < 1:
+            raise ConfigError(
+                f"service_queue_depth must be >= 1: {self.service_queue_depth}"
+            )
+        if self.service_rpc_latency_s < 0:
+            raise ConfigError(
+                f"service_rpc_latency_s must be >= 0: {self.service_rpc_latency_s}"
+            )
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """Everything one simulation run needs."""
 
@@ -649,6 +731,9 @@ class RuntimeConfig:
     #: causal tracing, critical-path attribution and SLO monitoring
     #: (:mod:`repro.analysis`); needs ``telemetry=True`` to record anything.
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+    #: distributed checkpoint fabric — peer SSD reads, flush replication,
+    #: PFS write aggregation, checkpoint service (:mod:`repro.cluster`).
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
     #: default ``wait_for_flushes`` timeout in nominal seconds (None = no
     #: timeout unless the call site passes one).
     flush_wait_timeout: Optional[float] = None
@@ -697,6 +782,11 @@ class RuntimeConfig:
         if self.flush_wait_timeout is not None and self.flush_wait_timeout <= 0:
             raise ConfigError(
                 f"flush_wait_timeout must be positive or None: {self.flush_wait_timeout}"
+            )
+        if self.cluster.enabled and self.cluster.replica_factor > self.num_nodes:
+            raise ConfigError(
+                f"cluster.replica_factor ({self.cluster.replica_factor}) exceeds "
+                f"num_nodes ({self.num_nodes})"
             )
 
     @property

@@ -54,6 +54,10 @@ class CheckpointRecord:
         #: not the process's home store (e.g. a partner node's SSD after
         #: recovery from replication); None → the engine's default store.
         self.durable_store = None
+        #: owning process id when this record was adopted from another
+        #: engine (cluster service cross-node restore); None → this
+        #: engine created the checkpoint, store keys use its own pid.
+        self.home_pid: Optional[int] = None
         self.consumed = False
         self.discarded = False
         #: set to abandon in-flight flushes (checked chunk-wise by Link).

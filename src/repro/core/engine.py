@@ -33,6 +33,7 @@ from repro.core.streaming import ChunkPipeline, chunk_sizes_for, plan_chunks
 from repro.core.sync import Monitor
 from repro.errors import (
     BackpressureError,
+    CheckpointNotFound,
     EngineClosedError,
     FlushTimeoutError,
     InjectedCrash,
@@ -139,6 +140,26 @@ class ScoreEngine:
             self.partner_node_id = (self.node_id + 1) % len(cluster.nodes)
             self.partner_ssd = cluster.nodes[self.partner_node_id].ssd
             self.partner_link = cluster.internode_link(self.node_id, self.partner_node_id)
+        #: distributed checkpoint fabric (None unless ``config.cluster``
+        #: enables it): peer-SSD read routing, ring-replica targets, and
+        #: PFS write aggregation (:mod:`repro.cluster.fabric`).
+        self.fabric = getattr(cluster, "fabric", None)
+        #: SSD replica destinations ``(node_id, ssd, link)`` beyond the home
+        #: node: the legacy partner pair when ``partner_replication`` asked
+        #: for it, else the fabric's ``replica_factor - 1`` ring successors.
+        self.replica_targets = []
+        if self.partner_ssd is not None:
+            self.replica_targets = [
+                (self.partner_node_id, self.partner_ssd, self.partner_link)
+            ]
+        elif self.fabric is not None:
+            self.replica_targets = self.fabric.replica_targets(self.node_id)
+            if self.replica_targets:
+                # Keep the legacy aliases pointing at the first replica so
+                # recovery and repair scan it exactly as a partner pair.
+                self.partner_node_id, self.partner_ssd, self.partner_link = (
+                    self.replica_targets[0]
+                )
 
         self.monitor = Monitor(self.clock)
         self.telemetry: Telemetry = (
@@ -146,6 +167,10 @@ class ScoreEngine:
         )
         self._app_track = f"p{self.process_id}-app"
         self._lifecycle_track = f"p{self.process_id}-lifecycle"
+        if self.fabric is not None:
+            # Per-node trace lanes: stamp this engine's p<pid>-* tracks with
+            # its node id so Perfetto and `repro analyze` group per node.
+            self.telemetry.bus.bind_process(self.process_id, self.node_id)
         #: causal tracing (:mod:`repro.telemetry.causal`): when
         #: ``config.analysis.enabled`` (and the bus records), every
         #: checkpoint/restore/prefetch chain gets an op id that rides on all
@@ -278,7 +303,10 @@ class ScoreEngine:
 
     # -- helpers -----------------------------------------------------------------
     def store_key(self, record: CheckpointRecord):
-        return (self.process_id, record.ckpt_id)
+        # Adopted foreign records keep their home engine's key so every
+        # tier store (local, peer, PFS) resolves the same durable blob.
+        pid = self.process_id if record.home_pid is None else record.home_pid
+        return (pid, record.ckpt_id)
 
     def durable_store_of(self, record: CheckpointRecord):
         """The object store holding this record's durable copy."""
@@ -300,6 +328,10 @@ class ScoreEngine:
         if record.durable_store is not None:
             return record.durable_level, record.durable_store
         key = self.store_key(record)
+        if self.fabric is not None:
+            routed = self._fabric_read_source(key)
+            if routed is not None:
+                return routed
         if self.resilient and self.pfs is not None and self.pfs.contains(key):
             # Self-healing read routing: skip the local SSD while it is
             # missing the blob, inside a hard-outage window, or blacklisted
@@ -314,6 +346,112 @@ class ScoreEngine:
         if record.durable_level is TierLevel.PFS and not self.ssd.contains(key):
             return TierLevel.PFS, self.pfs
         return TierLevel.SSD, self.ssd
+
+    def _fabric_read_source(self, key):
+        """Cluster read routing: local SSD, then a peer's SSD, then PFS.
+
+        Returns None when the local drive can serve the read (the legacy
+        resolution applies unchanged) or when the fabric has nothing
+        better to offer.
+        """
+        if self.ssd.contains(key):
+            dark = self.faults.enabled and self.faults.hard_outage("ssd")
+            sick = self.resilient and not self.health.healthy(self.ssd._track)
+            if not (dark or sick):
+                return None
+        peer = self.fabric.peer_source(self.node_id, key)
+        if peer is not None:
+            return TierLevel.SSD, peer
+        if self.pfs is not None and self.pfs.contains(key):
+            return TierLevel.PFS, self.pfs
+        return None
+
+    def _pfs_put(
+        self, key, payload, nominal_size, *, cancelled=None, meta=None, request=None
+    ) -> float:
+        """Whole-object PFS write, routed through the fabric's per-node
+        write aggregator when one exists; the direct legacy call (same
+        timings, same op count) otherwise."""
+        if self.fabric is not None:
+            return self.fabric.pfs_put(
+                self.node_id,
+                key,
+                payload,
+                nominal_size,
+                cancelled=cancelled,
+                meta=meta,
+                request=request,
+            )
+        return self.pfs.put(
+            key,
+            payload,
+            nominal_size,
+            node_id=self.node_id,
+            cancelled=cancelled,
+            meta=meta,
+            request=request,
+        )
+
+    def adopt_foreign(self, home_pid: int, ckpt_id: int) -> CheckpointRecord:
+        """Adopt another engine's durable checkpoint into this catalog.
+
+        The cluster service's cross-node restore entry point: the record
+        keeps its home process id (:attr:`CheckpointRecord.home_pid`), so
+        every store lookup resolves the owner's blob, and promotion routes
+        through the fabric — a healthy peer SSD when one holds the copy,
+        the PFS otherwise. Idempotent; raises
+        :class:`~repro.errors.CheckpointNotFound` when no durable copy is
+        reachable from this node.
+        """
+        self._require_open()
+        key = (home_pid, ckpt_id)
+        with self.monitor:
+            existing = self.catalog.maybe_get(ckpt_id)
+            if existing is not None:
+                return existing
+        meta = None
+        level = None
+        if self.ssd.contains(key):
+            meta = self.ssd.meta(key) or {}
+            nominal = self.ssd.size_of(key)
+            level = TierLevel.SSD
+        if meta is None and self.fabric is not None:
+            peer = self.fabric.peer_source(self.node_id, key)
+            if peer is not None:
+                meta = peer.meta(key) or {}
+                nominal = peer.size_of(key)
+                level = TierLevel.SSD
+        if meta is None and self.pfs is not None and self.pfs.contains(key):
+            meta = self.pfs.meta(key) or {}
+            nominal = self.pfs.size_of(key)
+            level = TierLevel.PFS
+        if meta is None:
+            raise CheckpointNotFound(
+                f"checkpoint {ckpt_id} of process {home_pid} has no durable "
+                f"copy reachable from node {self.node_id}"
+            )
+        if meta.get("reduced"):
+            raise CheckpointNotFound(
+                f"reduced checkpoint {ckpt_id} of process {home_pid} cannot "
+                "be adopted cross-process (its chunk recipe lives with the "
+                "home engine)"
+            )
+        with self.monitor:
+            existing = self.catalog.maybe_get(ckpt_id)
+            if existing is not None:
+                return existing
+            record = self.catalog.create(
+                ckpt_id,
+                nominal,
+                int(meta.get("true_size", nominal)),
+                int(meta.get("checksum", 0)),
+            )
+            record.home_pid = home_pid
+            # durable_store stays None: read routing re-resolves the best
+            # holder per restore (a peer can die between adopt and read).
+            record.durable_level = level
+            self.monitor.notify_all()
+        return record
 
     def _require_open(self) -> None:
         if self._closed:

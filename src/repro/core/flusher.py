@@ -862,7 +862,13 @@ class Flusher:
                 )
 
     def _replicate(self, record: "CheckpointRecord") -> None:
-        """Copy the durable checkpoint to the partner node's SSD."""
+        """Copy the durable checkpoint to its replica targets' SSDs.
+
+        One target is the legacy partner pair; the cluster fabric supplies
+        ``replica_factor - 1`` ring successors instead. Targets are copied
+        in ring order; a failed target abandons the remaining ones —
+        replication is best-effort beyond the first durable copy.
+        """
         engine = self.engine
         if engine.crashed.is_set():
             return
@@ -877,41 +883,44 @@ class Flusher:
         # accounting: the home node owns the recipe, the partner only keeps a
         # byte-copy for node-failure recovery.
         stored = record.stored_size(TierLevel.SSD)
+        for _target_node, target_ssd, target_link in engine.replica_targets:
 
-        def copy_to_partner() -> None:
-            payload, _ = engine.ssd.get(
-                engine.store_key(record), request=self._request(record)
-            )
-            engine.partner_link.transfer(
-                stored,
-                cancelled=record.cancel_flush,
-                request=self._request(record),
-            )
-            engine.partner_ssd.put(
-                engine.store_key(record),
-                payload,
-                stored,
-                cancelled=record.cancel_flush,
-                meta=engine.recovery_meta(record),
-                request=self._request(record),
-            )
+            def copy_to_partner(ssd=target_ssd, link=target_link) -> None:
+                payload, _ = engine.ssd.get(
+                    engine.store_key(record), request=self._request(record)
+                )
+                link.transfer(
+                    stored,
+                    cancelled=record.cancel_flush,
+                    request=self._request(record),
+                )
+                ssd.put(
+                    engine.store_key(record),
+                    payload,
+                    stored,
+                    cancelled=record.cancel_flush,
+                    meta=engine.recovery_meta(record),
+                    request=self._request(record),
+                )
 
-        with self.telemetry.bus.span(
-            "repl",
-            self._tracks["repl"],
-            ckpt=record.ckpt_id,
-            bytes=stored,
-            **self._causal(op, "fabric"),
-        ) as span:
-            try:
-                self._retrying("repl", record, copy_to_partner)
-            except (TransferError, ReproError) as exc:
-                span.add(abandoned=True)
-                self._abandon("repl", record, f"{type(exc).__name__} during replication")
-                return
-        self._m_bytes["repl"].inc(stored)
-        self.replicated += 1
-        engine._journal_commit(record, TierLevel.SSD, engine.partner_ssd._track)
+            with self.telemetry.bus.span(
+                "repl",
+                self._tracks["repl"],
+                ckpt=record.ckpt_id,
+                bytes=stored,
+                **self._causal(op, "fabric"),
+            ) as span:
+                try:
+                    self._retrying("repl", record, copy_to_partner)
+                except (TransferError, ReproError) as exc:
+                    span.add(abandoned=True)
+                    self._abandon(
+                        "repl", record, f"{type(exc).__name__} during replication"
+                    )
+                    return
+            self._m_bytes["repl"].inc(stored)
+            self.replicated += 1
+            engine._journal_commit(record, TierLevel.SSD, target_ssd._track)
         engine._maybe_crash("after-repl", record)
 
     def _flush_f2p(self, record: "CheckpointRecord") -> None:
@@ -962,11 +971,16 @@ class Flusher:
                 return
 
             def put() -> None:
-                pfs.put(
+                # Routed through the fabric's per-node write aggregator when
+                # the cluster is enabled (concurrent whole-object flushes
+                # coalesce into one batched PFS commit); the direct store
+                # call otherwise. Reroute/backfill and the streamed cascade
+                # stay unaggregated: their chunk pacing and failure
+                # semantics are per-object by design.
+                engine._pfs_put(
                     key,
                     payload,
                     stored,
-                    node_id=engine.node_id,
                     cancelled=record.cancel_flush,
                     meta=engine.recovery_meta(record),
                     request=self._request(record),

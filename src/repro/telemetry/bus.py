@@ -25,12 +25,16 @@ to build conventional track names.
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.clock import VirtualClock
+
+#: Per-process track convention (:meth:`TraceBus.track`): ``p<pid>-...``.
+_PID_TRACK_RE = re.compile(r"^p(\d+)-")
 
 #: Default ring capacity: enough for a full benchmark shot (a 192-snapshot
 #: 8-rank run emits ~50k events) without unbounded growth on long runs.
@@ -63,6 +67,12 @@ class TraceEvent:
     op_id: Optional[str] = None
     parent_id: Optional[str] = None
     category: Optional[str] = None
+    #: cluster attribution (None outside fabric-enabled runs): the node
+    #: whose hardware the event ran on, and the engine (process id) that
+    #: caused it. Stamped by the bus from the track bindings, so emitters
+    #: never thread node ids through their call chains.
+    node_id: Optional[int] = None
+    engine_id: Optional[int] = None
 
 
 class _Span:
@@ -149,6 +159,11 @@ class TraceBus:
         self._events: deque = deque(maxlen=capacity)
         self._emitted = 0
         self._lock = threading.Lock()
+        # Track → (node_id, engine_id) attribution (cluster runs only;
+        # empty maps keep _append on the historical two-statement path).
+        self._bind_exact: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+        self._bind_pid: Dict[int, int] = {}
+        self._bind_cache: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
 
     # -- emission -----------------------------------------------------------
     def instant(
@@ -222,8 +237,45 @@ class TraceBus:
             )
         )
 
+    # -- node/engine attribution ----------------------------------------------
+    def bind_track(
+        self,
+        track: str,
+        node_id: Optional[int] = None,
+        engine_id: Optional[int] = None,
+    ) -> None:
+        """Stamp every future event on ``track`` with a node/engine id."""
+        with self._lock:
+            self._bind_exact[track] = (node_id, engine_id)
+            self._bind_cache.clear()
+
+    def bind_process(self, process_id: int, node_id: int) -> None:
+        """Stamp every future ``p<pid>-*`` event with its node and engine."""
+        with self._lock:
+            self._bind_pid[process_id] = node_id
+            self._bind_cache.clear()
+
+    def _resolve_binding(self, track: str) -> Tuple[Optional[int], Optional[int]]:
+        """(node_id, engine_id) for a track; caller holds ``_lock``."""
+        binding = self._bind_cache.get(track)
+        if binding is None:
+            binding = self._bind_exact.get(track)
+            if binding is None:
+                match = _PID_TRACK_RE.match(track)
+                if match is not None:
+                    pid = int(match.group(1))
+                    binding = (self._bind_pid.get(pid), pid)
+                else:
+                    binding = (None, None)
+            self._bind_cache[track] = binding
+        return binding
+
     def _append(self, event: TraceEvent) -> None:
         with self._lock:
+            if (self._bind_exact or self._bind_pid) and event.node_id is None:
+                node_id, engine_id = self._resolve_binding(event.track)
+                if node_id is not None or engine_id is not None:
+                    event = replace(event, node_id=node_id, engine_id=engine_id)
             self._events.append(event)
             self._emitted += 1
 
@@ -250,6 +302,7 @@ class TraceBus:
             return list(self._events)
 
     def clear(self) -> None:
+        """Drop buffered events; track bindings persist across clears."""
         with self._lock:
             self._events.clear()
             self._emitted = 0

@@ -54,8 +54,33 @@ def chrome_trace(
     named_pids: Dict[int, None] = {}
     tids: Dict[str, int] = {}
 
-    for track in sorted({e.track for e in events}):
+    # Node attribution (cluster runs tag events with node_id): shared tracks
+    # split out of the flat "cluster" process into one synthetic process per
+    # node, and rank processes are labelled with the node hosting them.
+    node_of: Dict[str, int] = {}
+    for e in events:
+        if e.node_id is not None and e.track not in node_of:
+            node_of[e.track] = e.node_id
+
+    def resolve(track: str) -> Tuple[int, str]:
         pid, thread = _split_track(track)
+        node = node_of.get(track)
+        if pid == CLUSTER_PID and node is not None:
+            return CLUSTER_PID + 1 + node, thread
+        return pid, thread
+
+    def process_name(pid: int, track: str) -> str:
+        if pid == CLUSTER_PID:
+            return "cluster"
+        if pid > CLUSTER_PID:
+            return f"node{pid - CLUSTER_PID - 1}"
+        node = node_of.get(track)
+        if node is not None:
+            return f"node{node} rank {pid}"
+        return f"rank {pid}"
+
+    for track in sorted({e.track for e in events}):
+        pid, thread = resolve(track)
         tids[track] = len(tids) + 1
         if pid not in named_pids:
             named_pids[pid] = None
@@ -65,7 +90,7 @@ def chrome_trace(
                     "ph": "M",
                     "pid": pid,
                     "tid": 0,
-                    "args": {"name": "cluster" if pid == CLUSTER_PID else f"rank {pid}"},
+                    "args": {"name": process_name(pid, track)},
                 }
             )
         trace_events.append(
@@ -82,7 +107,7 @@ def chrome_trace(
     # operations on a shared track (e.g. two streams hitting the SSD) render
     # in timeline order.
     for event in sorted(events, key=lambda e: e.ts):
-        pid, _ = _split_track(event.track)
+        pid, _ = resolve(event.track)
         args = event.args
         if event.op_id is not None or event.category is not None:
             args = dict(args)
@@ -146,6 +171,11 @@ def write_jsonl(
                 record["parent_id"] = event.parent_id
             if event.category is not None:
                 record["category"] = event.category
+            # Node attribution likewise only-when-present (cluster runs).
+            if event.node_id is not None:
+                record["node_id"] = event.node_id
+            if event.engine_id is not None:
+                record["engine_id"] = event.engine_id
             fh.write(json.dumps(record, default=_json_default))
             fh.write("\n")
 
@@ -184,6 +214,8 @@ def read_jsonl(path_or_file: Union[str, TextIO]) -> List[TraceEvent]:
                     op_id=rec.get("op_id"),
                     parent_id=rec.get("parent_id"),
                     category=rec.get("category"),
+                    node_id=rec.get("node_id"),
+                    engine_id=rec.get("engine_id"),
                 )
             )
         return events

@@ -135,6 +135,46 @@ class PfsStore(ObjectStore):
         handle.write(nominal_size)
         return handle.commit(payload, meta=kw.get("meta"), copy=kw.get("copy", True))
 
+    def put_batch(self, entries, node_id: int = 0, request=None) -> float:
+        """Commit several whole objects as one aggregated PFS operation.
+
+        ``entries`` is ``[(key, payload, nominal_size, meta), ...]``. All
+        bytes cross the node and global links as a single transfer — one
+        per-op latency charge and one metadata op for the whole batch,
+        which is exactly what write aggregation buys — and the blobs
+        commit only after the full transfer lands (commit-at-end: a crash
+        mid-batch durably commits nothing). Fault gates and corruption
+        draws still run per entry so injection stays key-deterministic.
+        """
+        gates = []
+        total = 0
+        for key, payload, nominal_size, meta in entries:
+            slow = 1.0
+            corrupt_at = None
+            if self.faults is not None:
+                slow = self.faults.tier_gate("pfs", "pfs", "put", key)
+                corrupt_at = self.faults.corruption("pfs", key, int(payload.size))
+            gates.append((slow, corrupt_at))
+            total += nominal_size
+        slow = max((g[0] for g in gates), default=1.0)
+        node_link, _ = self.node_links(node_id)
+        with self.telemetry.bus.span(
+            "pfs-put-batch", "pfs", ops=len(entries), bytes=total
+        ):
+            seconds = node_link.transfer(total, request=request)
+            seconds += self.global_write_link.transfer(total, request=request)
+            if slow > 1.0:  # brownout: the whole batch rides the slow link
+                extra = seconds * (slow - 1.0)
+                self._clock.sleep(extra)
+                seconds += extra
+        self._m_write_bytes.inc(total)
+        self._m_write_ops.inc()
+        for (key, payload, nominal_size, meta), (_slow, corrupt_at) in zip(
+            entries, gates
+        ):
+            self._commit_blob(key, payload, nominal_size, meta, True, corrupt_at)
+        return seconds
+
     def _commit_blob(self, key, payload, nominal_size, meta, copy, corrupt_at) -> None:
         if self._crc_meta:
             meta = dict(meta or {})

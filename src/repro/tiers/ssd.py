@@ -94,6 +94,9 @@ class SsdStore(ObjectStore):
             faults.attach(self.read_link)
         self._index = InMemoryIndex()
         self._directory = directory
+        # Cluster replica directory (attach_directory); commits publish the
+        # key so neighbor nodes can route peer-SSD reads here.
+        self._replica_dir = None
         self._blobs: Dict[StoreKey, np.ndarray] = {}
         self._blob_lock = threading.Lock()
         if directory is not None:
@@ -183,6 +186,13 @@ class SsdStore(ObjectStore):
             with self._blob_lock:
                 self._blobs[key] = blob
         self._index.add(key, nominal_size, meta)
+        if self._replica_dir is not None:
+            self._replica_dir.publish(key, self.node_id)
+
+    def attach_directory(self, directory) -> None:
+        """Publish commits/deletes to a cluster-wide replica directory
+        (:class:`repro.cluster.directory.ReplicaDirectory`)."""
+        self._replica_dir = directory
 
     def open_get(self, key: StoreKey, request=None, nominal_size=None):
         """Chunk-granular read handle; ``finish()`` yields the payload.
@@ -224,6 +234,8 @@ class SsdStore(ObjectStore):
     def delete(self, key: StoreKey) -> None:
         if not self._index.remove(key):
             return
+        if self._replica_dir is not None:
+            self._replica_dir.withdraw(key, self.node_id)
         if self._directory is not None:
             for path in (self._path(key), self._meta_path(key)):
                 try:

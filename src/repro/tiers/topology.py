@@ -234,6 +234,16 @@ class Cluster:
         self._closed = False
         self._lock = threading.Lock()
         self._internode_links = {}
+        #: distributed checkpoint fabric (None unless ``config.cluster``
+        #: enables it): replica directory, peer-read routing, per-node PFS
+        #: write aggregators (:mod:`repro.cluster.fabric`).
+        self.fabric = None
+        if config.cluster.enabled:
+            from repro.cluster.fabric import ClusterFabric  # lazy: import cycle
+
+            self.fabric = ClusterFabric(self)
+            for node in self.nodes:
+                node.ssd.attach_directory(self.fabric.directory)
 
     def internode_link(self, node_a: int, node_b: int) -> Link:
         """The shared fabric link between two nodes (created lazily)."""

@@ -1,0 +1,88 @@
+"""Service-driven cluster workload: concurrent clients over the front-end.
+
+Drives a :class:`~repro.cluster.topology.ClusterTopology` the way a
+serving fleet would: every client opens a session, submits its
+checkpoints to its home engine, and — once the flush cascades settle on
+durable tiers — restores them back through the service's concurrent
+fan-in, optionally on an engine of a *different* node (cold caches, so
+each restore is a demand promotion off the durable tiers: peer SSD over
+the fabric when enabled, PFS otherwise).
+
+Used by ``benchmarks/bench_cluster.py`` (peer-vs-PFS ablation) and the
+cluster test suite; returns raw per-restore latencies so callers compute
+their own percentiles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+
+if TYPE_CHECKING:
+    from repro.cluster.topology import ClusterTopology
+
+
+def run_service_load(
+    topology: "ClusterTopology",
+    *,
+    clients: int,
+    checkpoints_per_client: int,
+    snapshot_bytes: int = 128 * MiB,
+    cross_node: bool = True,
+    node_shift: int = 1,
+    seed: int = 11,
+    flush_timeout: float = 600.0,
+) -> dict:
+    """Submit-then-restore through the service; returns latencies + checks.
+
+    Checkpoint ids are globally unique (``client_index * per_client + j``)
+    — the service's placement map rejects duplicates across clients.
+    """
+    service = topology.service
+    engines = topology.engines
+    num_nodes = len(topology.cluster.nodes)
+    per_node = max(1, len(engines) // num_nodes)
+    sessions = [service.connect(f"client-{i}") for i in range(clients)]
+
+    # Submissions interleave round-robin across clients — concurrent
+    # clients hit the service together, which also keeps co-located
+    # engines' flush cascades phase-aligned (what PFS write aggregation
+    # feeds on).
+    checksums = {}
+    for j in range(checkpoints_per_client):
+        for i, session in enumerate(sessions):
+            ckpt_id = i * checkpoints_per_client + j
+            buf = session.engine.device.alloc_buffer(snapshot_bytes)
+            buf.fill_random(make_rng(seed + ckpt_id, "service-load"))
+            checksums[ckpt_id] = buf.checksum()
+            session.submit(ckpt_id, buf)
+    for engine in engines:
+        engine.wait_for_flushes(timeout=flush_timeout)
+
+    # Restore fan-in. Cross-node targets shift each client ``node_shift``
+    # whole nodes around the ring, so every restore promotes a blob its
+    # target node never wrote (a shift of 2 also skips the ring-successor
+    # replica holder, forcing reads over the fabric).
+    items = []
+    buffers = []
+    for i, session in enumerate(sessions):
+        home_index = engines.index(session.engine)
+        target = session.engine
+        if cross_node and num_nodes > 1:
+            target = engines[(home_index + node_shift * per_node) % len(engines)]
+        for j in range(checkpoints_per_client):
+            ckpt_id = i * checkpoints_per_client + j
+            out = target.device.alloc_buffer(snapshot_bytes)
+            buffers.append((ckpt_id, out))
+            items.append((session, ckpt_id, out, target))
+    latencies: List[float] = service.restore_many(items)
+
+    checksums_ok = all(out.checksum() == checksums[cid] for cid, out in buffers)
+    return {
+        "restore_latencies": latencies,
+        "restored": len(latencies),
+        "checksums_ok": checksums_ok,
+        "stats": service.stats(),
+    }

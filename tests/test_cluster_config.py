@@ -1,0 +1,47 @@
+"""ClusterConfig validation: every knob rejects nonsense with ConfigError."""
+
+import pytest
+
+from repro.config import ClusterConfig, RuntimeConfig
+from repro.errors import ConfigError
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"replica_factor": 0},
+        {"replica_factor": -1},
+        {"peer_bandwidth": 0.0},
+        {"peer_bandwidth": -1e9},
+        {"aggregation_window_s": -0.001},
+        {"aggregation_max_ops": 0},
+        {"aggregation_max_bytes": 0},
+        {"aggregation_max_bytes": -1},
+        {"service_max_sessions": 0},
+        {"service_queue_depth": 0},
+        {"service_rpc_latency_s": -1e-6},
+    ],
+)
+def test_bad_knobs_raise(kwargs):
+    with pytest.raises(ConfigError):
+        ClusterConfig(**kwargs)
+
+
+def test_defaults_validate():
+    ClusterConfig()
+    ClusterConfig(enabled=True)
+
+
+def test_replica_factor_cannot_exceed_node_count_when_enabled():
+    with pytest.raises(ConfigError, match="replica_factor"):
+        RuntimeConfig(
+            num_nodes=2, cluster=ClusterConfig(enabled=True, replica_factor=3)
+        )
+
+
+def test_replica_factor_unchecked_when_disabled():
+    RuntimeConfig(num_nodes=2, cluster=ClusterConfig(enabled=False, replica_factor=3))
+
+
+def test_peer_bandwidth_none_is_valid():
+    ClusterConfig(peer_bandwidth=None)

@@ -1,0 +1,69 @@
+"""Property: peer-SSD restores are bit-identical to PFS restores.
+
+The fabric may change *where* a demand restore reads from — a ring
+successor's SSD over the interconnect instead of the shared PFS — but
+never *what* it reads: for any payload and any ring position, the bytes
+a peer read returns, the bytes the PFS holds, and the checksum the
+application wrote must all agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.config import ClusterConfig
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+from tests.conftest import tiny_config
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    size_mib=st.sampled_from([16, 64, 129]),
+    peer_reads=st.booleans(),
+)
+def test_peer_and_pfs_restores_are_bit_identical(seed, size_mib, peer_reads):
+    size = size_mib * MiB
+    cfg = tiny_config(
+        num_nodes=3,
+        cluster=ClusterConfig(enabled=True, peer_reads=peer_reads),
+    )
+    with ClusterTopology(cfg, engine_kwargs={"flush_to_pfs": True}) as topo:
+        session = topo.service.connect("prop")
+        buf = session.engine.device.alloc_buffer(size)
+        buf.fill_random(make_rng(seed, "cluster-prop"))
+        want = buf.checksum()
+        session.submit(0, buf)
+        for engine in topo.engines:
+            engine.wait_for_flushes(timeout=600.0)
+
+        key = (session.engine.process_id, 0)
+        pfs_payload = topo.cluster.pfs._read_payload(key)
+
+        # The replica a peer read serves is byte-for-byte the PFS blob.
+        peer = topo.fabric.peer_source(2, key)
+        if peer_reads:
+            assert peer is not None
+            payload, _ = peer.get(key)
+            assert np.array_equal(payload, pfs_payload)
+        else:
+            assert peer is None
+
+        # End-to-end: a cross-node demand restore (peer SSD or PFS,
+        # whichever the config routes to) returns the submitted checksum.
+        target = topo.engines[2]
+        out = target.device.alloc_buffer(size)
+        session.restore(0, out, engine=target)
+        assert out.checksum() == want
+
+        snap = topo.telemetry.registry.snapshot()
+        assert snap["cluster.peer.reads"] == (2 if peer_reads else 0)
+        assert snap["cluster.peer.fallbacks"] == 0
