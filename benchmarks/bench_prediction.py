@@ -1,0 +1,331 @@
+#!/usr/bin/env python
+"""Access-pattern prediction benchmark: learned prefetch vs hints vs none.
+
+One deterministic LLM-serving KV-cache trace (Zipf-popular sessions
+suspending and re-activating; the flush cascade turns the caches over
+fast enough that a suspended session's block never survives to its
+re-activation) is driven four ways; the figure of merit is the
+demand-restore p99 in nominal seconds:
+
+* ``none``          — no hints, no prediction: demand-only promotion.
+* ``learned``       — no hints; the online predictor discovers per-session
+  periods and stages re-activations speculatively.
+* ``hints``         — the oracle restore order as explicit hints (upper
+  bound; no real serving system has it).
+* ``hints_predict`` — oracle hints *and* prediction enabled: explicit
+  hints must keep outranking the overlay, so this must match ``hints``
+  within noise.
+
+A fifth run replays an *adversarial* trace (3x the sessions, memoryless
+uniform re-activation — unlearnable by construction) under the learned
+config and checks the validation layer suspends speculation instead of
+thrashing.
+
+Self-contained gates:
+
+* ``--max-learned-ratio`` (default 0.7): learned p99 must be at most this
+  fraction of the ``none`` p99 (the >= 30 percent cut of the issue).
+* ``--hint-tolerance`` (default 30): ``hints_predict`` p99 may exceed
+  ``hints`` p99 by at most this many percent — or by at most
+  ``--hint-abs-tolerance`` nominal seconds (default 0.02, below one cold
+  SSD demand read), because a percentage of a sub-millisecond hinted p99
+  amplifies one tail cold miss into triple digits.
+* ``--require-suspension``: the adversarial run must record at least one
+  validation suspension.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_prediction.py \
+        --json BENCH_pr9.json [--quick] [--label after] \
+        [--baseline BENCH_pr9.json --max-regression 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import CacheConfig, PredictConfig, RuntimeConfig, ScaleModel
+from repro.harness.prediction import percentile, run_predicted
+from repro.util.units import KiB, MiB
+from repro.workloads.kvcache import KvCacheSpec
+
+#: One nominal second lasts 100 ms: restore transfers (tens of nominal
+#: milliseconds) dwarf thread-handoff jitter on the wall-scaled clock.
+BENCH_SCALE = ScaleModel(data_scale=512 * KiB, time_scale=0.1, alignment=512 * KiB)
+
+KV_BYTES = 128 * MiB
+SESSIONS = 8
+#: the adversarial run doubles-plus the session count so the working set
+#: (24 blocks) far exceeds the caches — speculation *must* thrash there,
+#: and the validation layer is expected to suspend it.
+ADVERSARIAL_SESSIONS = 24
+#: 4 GPU slots + 8 host slots.  Capacity alone does not keep a session
+#: resident: the flush cascade turns the caches over at the aggregate
+#: checkpoint rate, so a suspended session's block is evicted long before
+#: its re-activation — without hints or prediction every re-activation is
+#: an SSD demand read.
+GPU_SLOTS = 4
+HOST_SLOTS = 8
+
+
+def build_config(predict_on: bool) -> RuntimeConfig:
+    cfg = RuntimeConfig(
+        scale=BENCH_SCALE,
+        cache=CacheConfig(
+            gpu_cache_size=GPU_SLOTS * KV_BYTES,
+            host_cache_size=HOST_SLOTS * KV_BYTES,
+        ),
+        charge_allocation_cost=False,
+        processes_per_node=1,
+        telemetry=True,
+    )
+    if predict_on:
+        cfg = cfg.with_(predict=PredictConfig(enabled=True))
+    return cfg
+
+
+def build_spec(events: int, adversarial: bool, seed: int = 11) -> KvCacheSpec:
+    return KvCacheSpec(
+        sessions=ADVERSARIAL_SESSIONS if adversarial else SESSIONS,
+        events=events,
+        kv_bytes=KV_BYTES,
+        base_period_s=0.4,
+        think_s=0.004,
+        adversarial=adversarial,
+        seed=seed,
+    )
+
+
+def run_mode(
+    key: str, mode: str, predict_on: bool, events: int, adversarial: bool
+) -> dict:
+    cfg = build_config(predict_on)
+    spec = build_spec(events, adversarial)
+    started = time.perf_counter()
+    result, telemetry = run_predicted(cfg, spec, mode)
+    if result.verified != len(result.restore_latencies):
+        raise RuntimeError(
+            f"{key}: {result.verified}/{len(result.restore_latencies)} "
+            "restores checksum-verified"
+        )
+    snapshot = telemetry.registry.snapshot()
+    latencies = result.restore_latencies
+    return {
+        "mode": mode,
+        "prediction_enabled": predict_on,
+        "adversarial": adversarial,
+        "restores": len(latencies),
+        "wall_s": round(time.perf_counter() - started, 3),
+        "p50_s": round(percentile(latencies, 0.50), 6),
+        "p99_s": round(percentile(latencies, 0.99), 6),
+        "mean_s": round(sum(latencies) / len(latencies), 6),
+        "ssd_read_ops": int(snapshot.get("tier.ssd.read_ops", 0)),
+        "spec_promotions": int(snapshot.get("predict.spec_prefetches", 0)),
+        "spec_hits": int(snapshot.get("predict.spec_hits", 0)),
+        "spec_wastes": int(snapshot.get("predict.spec_wastes", 0)),
+        "spec_wasted_bytes": int(snapshot.get("predict.spec_wasted_bytes", 0)),
+        "suspensions": int(snapshot.get("predict.suspensions", 0)),
+    }
+
+
+#: (key, queue mode, prediction enabled, adversarial trace)
+MODES = (
+    ("none", "none", False, False),
+    ("learned", "learned", True, False),
+    ("hints", "hints", False, False),
+    ("hints_predict", "hints", True, False),
+    ("adversarial", "learned", True, True),
+)
+
+
+def run(quick: bool, repeats: int, label: str) -> dict:
+    events = 20 * SESSIONS if quick else 40 * SESSIONS
+    modes = {}
+    for key, mode, predict_on, adversarial in MODES:
+        runs = []
+        for i in range(repeats):
+            result = run_mode(key, mode, predict_on, events, adversarial)
+            runs.append(result)
+            print(
+                f"  {key} run {i + 1}/{repeats}: restore p99 "
+                f"{result['p99_s']:.4f}s nominal, hit/waste "
+                f"{result['spec_hits']}/{result['spec_wastes']}, "
+                f"{result['suspensions']} suspensions "
+                f"({result['wall_s']:.2f}s wall)",
+                file=sys.stderr,
+            )
+        # Best-of-N: wall-clock scheduling noise leaks into the wall-scaled
+        # virtual clock and only ever inflates latency.  Suspensions are
+        # kept as max-of-N — the adversarial gate asks "does the validator
+        # trip", and noise only ever delays the trip.
+        best = min(runs, key=lambda r: r["p99_s"])
+        best = dict(best, suspensions=max(r["suspensions"] for r in runs))
+        modes[key] = best
+    none_p99 = modes["none"]["p99_s"]
+    learned_p99 = modes["learned"]["p99_s"]
+    hints_p99 = modes["hints"]["p99_s"]
+    return {
+        "label": label,
+        "quick": quick,
+        "sessions": SESSIONS,
+        "events": events,
+        "kv_mib": KV_BYTES // MiB,
+        "gpu_slots": GPU_SLOTS,
+        "host_slots": HOST_SLOTS,
+        "repeats": repeats,
+        **modes,
+        "learned_over_none_ratio": round(learned_p99 / none_p99, 4)
+        if none_p99
+        else None,
+        "learned_p99_reduction_pct": round(
+            100.0 * (1.0 - learned_p99 / none_p99), 1
+        )
+        if none_p99
+        else 0.0,
+        "hints_predict_delta_pct": round(
+            100.0 * (modes["hints_predict"]["p99_s"] / hints_p99 - 1.0), 1
+        )
+        if hints_p99
+        else 0.0,
+    }
+
+
+def baseline_entry(baseline: dict, quick: bool):
+    """The baseline measurement matching this run's ``--quick`` mode."""
+    candidates = []
+    if isinstance(baseline.get("learned"), dict):
+        candidates.append(baseline)
+    for value in baseline.values():
+        if isinstance(value, dict) and isinstance(value.get("learned"), dict):
+            candidates.append(value)
+    matching = [c for c in candidates if c.get("quick", False) == quick]
+    return matching[0] if matching else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced workload (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=2, help="runs per mode (best-of)")
+    parser.add_argument("--label", default="after", help="label stored in the result JSON")
+    parser.add_argument("--json", default=None, help="write the result JSON here")
+    parser.add_argument(
+        "--max-learned-ratio",
+        type=float,
+        default=0.7,
+        help="fail when learned p99 exceeds this fraction of the none p99",
+    )
+    parser.add_argument(
+        "--hint-tolerance",
+        type=float,
+        default=30.0,
+        help="fail when hints+prediction p99 exceeds hints p99 by more "
+        "than this percent",
+    )
+    parser.add_argument(
+        "--hint-abs-tolerance",
+        type=float,
+        default=0.02,
+        help="absolute nominal-seconds slack for the hint gate: deltas "
+        "below this never fail, whatever the percentage",
+    )
+    parser.add_argument(
+        "--require-suspension",
+        action="store_true",
+        help="fail unless the adversarial run suspends speculation",
+    )
+    parser.add_argument("--baseline", default=None, help="baseline JSON to gate against")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=25.0,
+        help="fail when learned restore p99 exceeds baseline by this percent",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(args.quick, args.repeats, args.label)
+    print(json.dumps(result, indent=2))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+
+    failed = False
+    ratio = result["learned_over_none_ratio"]
+    if ratio is None or ratio > args.max_learned_ratio:
+        print(
+            f"GATE FAILED: learned p99 is {ratio}x the demand-only p99 "
+            f"(> {args.max_learned_ratio}x allowed)",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"OK: learned prefetch cut demand-restore p99 by "
+            f"{result['learned_p99_reduction_pct']:.1f}% "
+            f"({result['none']['p99_s']:.4f}s -> "
+            f"{result['learned']['p99_s']:.4f}s, {ratio}x)",
+            file=sys.stderr,
+        )
+    delta = result["hints_predict_delta_pct"]
+    abs_delta = result["hints_predict"]["p99_s"] - result["hints"]["p99_s"]
+    if delta > args.hint_tolerance and abs_delta > args.hint_abs_tolerance:
+        print(
+            f"GATE FAILED: enabling prediction on top of explicit hints "
+            f"moved p99 by {delta:+.1f}% / {abs_delta:+.4f}s "
+            f"(> {args.hint_tolerance:.0f}% and > "
+            f"{args.hint_abs_tolerance:.3f}s)",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"OK: hint mode unchanged within noise with prediction on "
+            f"({result['hints']['p99_s']:.4f}s -> "
+            f"{result['hints_predict']['p99_s']:.4f}s, {delta:+.1f}%, "
+            f"{abs_delta:+.4f}s)",
+            file=sys.stderr,
+        )
+    suspensions = result["adversarial"]["suspensions"]
+    if args.require_suspension and suspensions < 1:
+        print(
+            "GATE FAILED: adversarial access did not suspend speculation",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"OK: adversarial access suspended speculation {suspensions} "
+            f"time(s) (hit/waste {result['adversarial']['spec_hits']}/"
+            f"{result['adversarial']['spec_wastes']})",
+            file=sys.stderr,
+        )
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            entry = baseline_entry(json.load(fh), args.quick)
+        if entry is None:
+            print(
+                f"no baseline entry with quick={args.quick} in {args.baseline}; "
+                "skipping regression gate",
+                file=sys.stderr,
+            )
+        else:
+            baseline_p99 = entry["learned"]["p99_s"]
+            ceiling = baseline_p99 * (1.0 + args.max_regression / 100.0)
+            current = result["learned"]["p99_s"]
+            verdict = "OK" if current <= ceiling else "REGRESSION"
+            print(
+                f"{verdict}: learned restore p99 {current:.4f}s vs baseline "
+                f"{baseline_p99:.4f}s (ceiling {ceiling:.4f}s)",
+                file=sys.stderr,
+            )
+            if verdict != "OK":
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,7 @@ def _load_events(target: str, args, slo: SloConfig) -> List[TraceEvent]:
         analysis=True,
         slo=slo,
         hardware=hardware,
+        predict=args.predict,
     )
     return read_jsonl(out["jsonl"])
 
@@ -78,8 +79,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "target",
-        help="workload name (quickstart/uniform/variable; runs live with "
-        "causal analysis on) or a saved .events.jsonl path",
+        help="workload name (quickstart/uniform/variable/kvcache/revolve; "
+        "runs live with causal analysis on) or a saved .events.jsonl path",
     )
     parser.add_argument(
         "--diff",
@@ -110,6 +111,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=RestoreOrder.REVERSE.value,
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--predict",
+        choices=["hints", "learned", "none"],
+        default="hints",
+        help="restore foreknowledge in live runs: explicit hints (default), "
+        "online prediction, or demand-only",
+    )
     parser.add_argument("--sched", action="store_true", help="enable QoS transfer scheduling")
     parser.add_argument("--reduce", action="store_true", help="enable the reduction pipeline")
     parser.add_argument("--similarity", type=float, default=0.9)

@@ -43,6 +43,9 @@ def analyze_events(
     nodes = _node_rollup(events)
     if nodes:
         report["nodes"] = nodes
+    prediction = _prediction_rollup(events)
+    if prediction:
+        report["prediction"] = prediction
     monitor = evaluate_dag(dag, slo or SloConfig())
     report["slo"] = monitor.snapshot()
     report["slo_lines"] = monitor.summary_lines()
@@ -73,6 +76,43 @@ def _node_rollup(events: Iterable[TraceEvent]) -> Dict[str, dict]:
             "engines": sorted(entry["engines"]),
         }
         for node_id, entry in sorted(nodes.items())
+    }
+
+
+def _prediction_rollup(events: Iterable[TraceEvent]) -> Optional[dict]:
+    """Speculation-accuracy totals from the predictor's trace instants.
+
+    ``None`` outside prediction-enabled runs, so existing reports are
+    unchanged.  Hit rate counts *resolved* speculative stagings only
+    (consumed or abandoned); stagings still outstanding at the end of the
+    trace are reported separately.
+    """
+    stages = hits = wastes = suspensions = resumes = 0
+    wasted_bytes = 0
+    for event in events:
+        if event.name == "spec-stage":
+            stages += 1
+        elif event.name == "spec-hit":
+            hits += 1
+        elif event.name == "spec-waste":
+            wastes += 1
+            wasted_bytes += int(event.args.get("bytes", 0))
+        elif event.name == "spec-suspend":
+            suspensions += 1
+        elif event.name == "spec-resume":
+            resumes += 1
+    if not (stages or hits or wastes or suspensions or resumes):
+        return None
+    resolved = hits + wastes
+    return {
+        "speculative_stagings": stages,
+        "hits": hits,
+        "wastes": wastes,
+        "outstanding": max(0, stages - resolved),
+        "hit_rate": round(hits / resolved, 4) if resolved else None,
+        "wasted_bytes": wasted_bytes,
+        "suspensions": suspensions,
+        "resumes": resumes,
     }
 
 
@@ -153,6 +193,22 @@ def render_report(report: dict, title: str = "causal analysis") -> str:
                 f"  node{node_id}: {entry['events']} events, "
                 f"{entry['span_s']:.4g}s span time, engines {engines}"
             )
+    if report.get("prediction"):
+        pred = report["prediction"]
+        lines.append("")
+        lines.append("speculation accuracy (access-pattern prediction):")
+        rate = pred["hit_rate"]
+        lines.append(
+            f"  {pred['speculative_stagings']} speculative stagings: "
+            f"{pred['hits']} consumed, {pred['wastes']} wasted, "
+            f"{pred['outstanding']} unresolved"
+        )
+        lines.append(
+            f"  prefetch hit rate {'n/a' if rate is None else f'{rate:.1%}'}, "
+            f"wasted {pred['wasted_bytes'] / (1 << 20):.0f} MiB, "
+            f"{pred['suspensions']} validation suspensions "
+            f"({pred['resumes']} resumes)"
+        )
     if report.get("slowest"):
         lines.append("")
         lines.append("slowest ops (critical path):")

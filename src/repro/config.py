@@ -711,6 +711,86 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class PredictConfig:
+    """Online access-pattern prediction (:mod:`repro.predict`).
+
+    With ``enabled=False`` (the default) nothing is built and the runtime
+    is bit-identical to a build without the subsystem (same discipline as
+    :class:`SchedConfig` / :class:`ClusterConfig`).  When enabled, the
+    engine's hint queue becomes a :class:`~repro.predict.queue.
+    SyntheticRestoreQueue`: explicit hints keep absolute priority, and a
+    revocable predicted overlay — refreshed by a pluggable
+    :class:`~repro.predict.predictors.Predictor` from the
+    :class:`~repro.predict.history.AccessHistory` ring — feeds the same
+    prefetcher and Algorithm-1 eviction scoring when hints are missing.
+    Predicted entries always admit through the sched *speculative* class
+    (sheddable, preemptible), and a PhoenixOS-style validation layer
+    scores each speculative staging on consume/abandon, decays the
+    hit-rate estimate, and suspends speculation (demand-only fallback)
+    when it drops below :attr:`hit_floor`.
+    """
+
+    #: master switch for the synthetic queue, predictors and validator.
+    enabled: bool = False
+    #: prediction model: ``"recency"`` (per-producer reuse-distance /
+    #: inter-access EWMA), ``"markov"`` (first-order next-restore chain
+    #: over producer transitions), or ``"hybrid"`` (markov chain first,
+    #: recency ordering for the rest).
+    predictor: str = "hybrid"
+    #: capacity of the per-engine access-history ring (events).
+    history_capacity: int = 4096
+    #: maximum length of the predicted overlay handed to the queue.
+    max_queue: int = 32
+    #: predictions below this confidence are dropped from the overlay.
+    min_confidence: float = 0.02
+    #: minimum nominal seconds between overlay refreshes (0 = refresh on
+    #: every observed access event).
+    refresh_interval_s: float = 0.0
+    #: build the validation layer; without it speculation is never
+    #: scored or suspended.
+    validation: bool = True
+    #: suspend speculation when the EWMA hit rate drops below this floor.
+    hit_floor: float = 0.4
+    #: speculative outcomes (hits + abandons) required before the floor
+    #: can trigger a suspension.
+    min_samples: int = 8
+    #: nominal seconds of demand-only fallback per suspension; after the
+    #: window the validator re-arms with a fresh estimate (probation).
+    suspend_s: float = 2.0
+    #: EWMA weight of the newest speculative outcome.
+    ewma_alpha: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.predictor not in ("recency", "markov", "hybrid"):
+            raise ConfigError(
+                f"predictor must be 'recency', 'markov' or 'hybrid': "
+                f"{self.predictor!r}"
+            )
+        if self.history_capacity < 1:
+            raise ConfigError(
+                f"history_capacity must be >= 1: {self.history_capacity}"
+            )
+        if self.max_queue < 1:
+            raise ConfigError(f"max_queue must be >= 1: {self.max_queue}")
+        if not (0.0 <= self.min_confidence <= 1.0):
+            raise ConfigError(
+                f"min_confidence out of [0, 1]: {self.min_confidence}"
+            )
+        if self.refresh_interval_s < 0:
+            raise ConfigError(
+                f"refresh_interval_s must be >= 0: {self.refresh_interval_s}"
+            )
+        if not (0.0 < self.hit_floor < 1.0):
+            raise ConfigError(f"hit_floor out of (0, 1): {self.hit_floor}")
+        if self.min_samples < 1:
+            raise ConfigError(f"min_samples must be >= 1: {self.min_samples}")
+        if self.suspend_s <= 0:
+            raise ConfigError(f"suspend_s must be positive: {self.suspend_s}")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ConfigError(f"ewma_alpha out of (0, 1]: {self.ewma_alpha}")
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """Everything one simulation run needs."""
 
@@ -734,6 +814,9 @@ class RuntimeConfig:
     #: distributed checkpoint fabric — peer SSD reads, flush replication,
     #: PFS write aggregation, checkpoint service (:mod:`repro.cluster`).
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    #: online access-pattern prediction feeding the prefetch/eviction
+    #: machinery when hints are missing (:mod:`repro.predict`).
+    predict: PredictConfig = field(default_factory=PredictConfig)
     #: default ``wait_for_flushes`` timeout in nominal seconds (None = no
     #: timeout unless the call site passes one).
     flush_wait_timeout: Optional[float] = None

@@ -210,8 +210,10 @@ class CacheBuffer:
         epoch = queue.shift_epoch
         # Intimate access to the queue's hint index: both dicts are only
         # mutated under the engine monitor, which every caller of the cost
-        # function already holds.
-        hint_position = queue._position
+        # function already holds.  ``hint_index()`` also covers a synthetic
+        # queue's predicted overlay, so entries cached as unhinted are
+        # invalidated when a fragment becomes predicted.
+        hint_position = queue.hint_index()
         hint_consumed = queue._consumed
 
         def cost_of(frag: Fragment):
@@ -259,6 +261,7 @@ class CacheBuffer:
         initial_state: CkptState,
         blocking: bool = True,
         allow_pinned: bool = False,
+        speculative: bool = False,
     ) -> Optional[float]:
         """Claim space for ``record`` and create its instance on this tier.
 
@@ -269,7 +272,9 @@ class CacheBuffer:
         windows that are evictable *right now* are used.  With
         ``allow_pinned=True`` (demand restores deviating from the hints)
         prefetched-but-unconsumed instances may be force-evicted, provided a
-        copy survives on a slower tier.
+        copy survives on a slower tier.  ``speculative=True`` marks the new
+        instance as a predicted (revocable) staging — see
+        :attr:`~repro.core.lifecycle.Instance.speculative`.
 
         Space is claimed at the record's *stored* size for this tier: the
         physical (reduced) size at or below the reduction site, the logical
@@ -306,6 +311,7 @@ class CacheBuffer:
                     now = self.clock.now()
                     inst = record.instance(self.level)
                     inst.tracker = self._make_tracker(record)
+                    inst.speculative = speculative
                     inst.transition(initial_state, now)
                     self.table.insert(record, size, offset, now)
                     waited = 0.0
@@ -394,7 +400,12 @@ class CacheBuffer:
                 return False  # an in-flight promotion reads this extent
             if inst.evictable and not inst.flush_pending:
                 continue
-            if allow_pinned and inst.state == CkptState.READ_COMPLETE:
+            if inst.state == CkptState.READ_COMPLETE and (
+                allow_pinned or (inst.speculative and not inst.flush_pending)
+            ):
+                # Forced demand eviction, or a revocable speculative
+                # staging (never pinned — a wrong prediction would hold
+                # the extent forever and starve the flush path).
                 continue
             return False
         return True
@@ -411,7 +422,8 @@ class CacheBuffer:
     def _evict_record(self, record: "CheckpointRecord", force: bool) -> None:
         inst = record.peek(self.level)
         assert inst is not None, f"evicting {record.ckpt_id} with no instance"
-        forced = inst.pinned
+        revocable = inst.speculative and inst.state == CkptState.READ_COMPLETE
+        forced = inst.pinned and not revocable
         if forced and not force:
             raise AllocationError(
                 f"attempt to evict pinned checkpoint {record.ckpt_id} from {self.name!r}"

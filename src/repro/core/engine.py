@@ -46,6 +46,8 @@ from repro.errors import (
 from repro.faults.retry import RetryPolicy
 from repro.log import get_logger
 from repro.metrics.recorder import OpEvent, OpKind, Recorder
+from repro.predict.queue import SyntheticRestoreQueue
+from repro.predict.runtime import PredictRuntime
 from repro.reduce.pipeline import Reducer
 from repro.sched.request import TransferClass, TransferRequest
 from repro.simgpu.memory import DeviceBuffer, checksum_payload
@@ -197,7 +199,23 @@ class ScoreEngine:
         self._m_restore_blocked = registry.histogram("engine.restore.blocked_s")
         self._m_queue_depth = registry.gauge("prefetch.queue_depth")
         self.catalog = Catalog(on_transition=self._fsm_hook())
-        self.queue = RestoreQueue(telemetry=self.telemetry)
+        #: online access-pattern prediction (None unless
+        #: ``config.predict.enabled``); when present the hint queue is a
+        #: SyntheticRestoreQueue whose predicted overlay feeds the
+        #: prefetcher and eviction scoring exactly like explicit hints.
+        self.predict: Optional[PredictRuntime] = None
+        if self.config.predict.enabled:
+            self.queue: RestoreQueue = SyntheticRestoreQueue(
+                telemetry=self.telemetry
+            )
+            self.predict = PredictRuntime(
+                self.config.predict,
+                self.queue,
+                telemetry=self.telemetry,
+                process_id=self.process_id,
+            )
+        else:
+            self.queue = RestoreQueue(telemetry=self.telemetry)
         self.recorder = recorder or Recorder(process_id=self.process_id)
         #: restores currently promoting on demand; while non-zero the
         #: prefetcher backs off so demand never loses a freed cache slot to
@@ -222,7 +240,20 @@ class ScoreEngine:
                 # reduced checkpoints.
                 recipes=cluster.recipes if self.resilient else None,
             )
-        on_evict = self._reduce_detach if self.reducer is not None else None
+        evict_hooks = []
+        if self.reducer is not None:
+            evict_hooks.append(self._reduce_detach)
+        if self.predict is not None:
+            evict_hooks.append(self._predict_evict)
+        if not evict_hooks:
+            on_evict = None
+        elif len(evict_hooks) == 1:
+            on_evict = evict_hooks[0]
+        else:
+
+            def on_evict(record, level, _hooks=tuple(evict_hooks)):
+                for hook in _hooks:
+                    hook(record, level)
         policy = eviction_policy or self._default_policy()
         gpu_arena = context.gpu_cache_arena()
         host_arena = context.host_cache_arena()
@@ -510,6 +541,11 @@ class ScoreEngine:
         """Cache eviction hook: release the extent's chunk references."""
         self.reducer.detach(record, level)
 
+    def _predict_evict(self, record: CheckpointRecord, level: TierLevel) -> None:
+        """Cache eviction hook: an unconsumed speculative staging that loses
+        its cached copy is abandoned speculation (monitor held)."""
+        self.predict.on_evict(record, level, self.clock.now())
+
     def _reduced_at(self, record: CheckpointRecord, level: TierLevel) -> bool:
         """Whether ``level``'s copy of ``record`` is the physical form."""
         reduction = record.reduction
@@ -540,12 +576,19 @@ class ScoreEngine:
         )
 
     # -- write path ------------------------------------------------------------------
-    def checkpoint(self, ckpt_id: int, buffer: DeviceBuffer) -> float:
+    def checkpoint(
+        self, ckpt_id: int, buffer: DeviceBuffer, producer: Optional[object] = None
+    ) -> float:
         """Checkpoint an application GPU buffer under ``ckpt_id``.
 
         Blocks until the data sits in the GPU cache (the checkpoint is then
         safe against application overwrites); returns the nominal seconds
         the caller was blocked.
+
+        ``producer`` names the stable identity behind a stream of
+        checkpoint versions (a serving session, a revolve state slot) for
+        the access-pattern predictor; ignored unless
+        ``config.predict.enabled``.
 
         Under flush-backlog overload, ``SchedConfig`` admission control
         applies first: ``"block"`` waits here until the backlog drains below
@@ -564,6 +607,8 @@ class ScoreEngine:
                 backpressured = self._flush_backpressure(ckpt_id)
             with self.monitor:
                 record = self.catalog.create(ckpt_id, nominal, buffer.nominal_size, checksum)
+                if self.predict is not None:
+                    self.predict.on_checkpoint(record, producer, self.clock.now())
             record.op = op
             try:
                 encoded = 0.0
@@ -638,6 +683,8 @@ class ScoreEngine:
             self.reducer.abort(record)
         with self.monitor:
             self.catalog.forget(record.ckpt_id)
+            if self.predict is not None:
+                self.predict.forget(record.ckpt_id)
             self.monitor.notify_all()
         self.telemetry.bus.instant(
             "checkpoint-rollback", self._app_track, ckpt=record.ckpt_id
@@ -894,6 +941,9 @@ class ScoreEngine:
                 return False
             # Pin: cached write-path instances cross to the read path.
             inst.try_transition(CkptState.READ_COMPLETE, self.clock.now())
+            # A speculative staging claimed by a demand restore stops being
+            # revocable: the pin must hold through the copy-out below.
+            inst.speculative = False
             return True
 
         with self.monitor:
@@ -902,6 +952,8 @@ class ScoreEngine:
             # Pause the prefetcher for the whole demand episode so it never
             # races the restore for freed cache slots or for this record.
             self.demand_active += 1
+            if self.predict is not None:
+                self.predict.on_demand_miss(record, self.clock.now())
         self.telemetry.bus.instant("gpu-miss", self._app_track, ckpt=record.ckpt_id)
         blocked = 0.0
         try:
@@ -1003,6 +1055,7 @@ class ScoreEngine:
         allow_pinned: bool,
         request: Optional[TransferRequest] = None,
         op=NULL_OP,
+        speculative: bool = False,
     ) -> Optional[float]:
         """Move ``record`` one level toward the GPU.  Monitor NOT held.
 
@@ -1013,6 +1066,8 @@ class ScoreEngine:
         (:class:`TransferError` / :class:`~repro.errors.AdmissionError`).
         ``op`` attributes the reserve/read/decode stages to the demanding
         restore (or the prefetch chain) when causal tracing is on.
+        ``speculative`` marks the landed extents as revocable predicted
+        stagings rather than pinned hinted prefetches.
         """
         if (
             self.streaming
@@ -1020,7 +1075,8 @@ class ScoreEngine:
             and src in (TierLevel.SSD, TierLevel.PFS)
         ):
             result = self._promote_streamed(
-                record, src, dst, blocking, allow_pinned, request, op
+                record, src, dst, blocking, allow_pinned, request, op,
+                speculative=speculative,
             )
             if result is not NotImplemented:
                 return result
@@ -1032,6 +1088,7 @@ class ScoreEngine:
                     CkptState.READ_IN_PROGRESS,
                     blocking=blocking,
                     allow_pinned=allow_pinned,
+                    speculative=speculative,
                 )
             if waited is None:
                 return None
@@ -1071,6 +1128,7 @@ class ScoreEngine:
                     CkptState.READ_IN_PROGRESS,
                     blocking=blocking,
                     allow_pinned=allow_pinned,
+                    speculative=speculative,
                 )
             if waited is None:
                 return None
@@ -1131,7 +1189,11 @@ class ScoreEngine:
             return seconds
         with op.stage("reserve-host", CAT_RESERVE):
             waited = self.host_cache.reserve(
-                record, CkptState.READ_IN_PROGRESS, blocking=blocking, allow_pinned=allow_pinned
+                record,
+                CkptState.READ_IN_PROGRESS,
+                blocking=blocking,
+                allow_pinned=allow_pinned,
+                speculative=speculative,
             )
         if waited is None:
             return None
@@ -1168,6 +1230,7 @@ class ScoreEngine:
         allow_pinned: bool,
         request: Optional[TransferRequest],
         op=NULL_OP,
+        speculative: bool = False,
     ):
         """Streamed promotion off a storage tier: the store read-back and
         the PCIe H2D crossing overlap chunk-by-chunk (the flush cascade run
@@ -1205,6 +1268,7 @@ class ScoreEngine:
                 CkptState.READ_IN_PROGRESS,
                 blocking=blocking,
                 allow_pinned=allow_pinned,
+                speculative=speculative,
             )
         if gpu_waited is None:
             # Prefetch lost the GPU claim: fall back to the plain one-level
@@ -1218,6 +1282,7 @@ class ScoreEngine:
                     CkptState.READ_IN_PROGRESS,
                     blocking=blocking,
                     allow_pinned=allow_pinned,
+                    speculative=speculative,
                 )
             if host_waited is None:
                 self._release_reservation(self.gpu_cache, record, TierLevel.GPU)
@@ -1380,6 +1445,10 @@ class ScoreEngine:
                     inst.try_transition(CkptState.READ_COMPLETE, now)
                 inst.try_transition(CkptState.CONSUMED, now)
             self.queue.consume(record.ckpt_id)
+            if self.predict is not None:
+                # Scores a pending speculation as a hit and re-ranks the
+                # predicted overlay from the freshest history.
+                self.predict.on_restore(record, now)
             self._m_queue_depth.set(len(self.queue))
             if self.discard_consumed:
                 # Condition (5): pending flushes of a discarded checkpoint
@@ -1589,6 +1658,8 @@ class ScoreEngine:
             }
             if self.reducer is not None:
                 stats["reduction"] = self.reducer.stats()
+            if self.predict is not None:
+                stats["prediction"] = self.predict.stats()
             if self.resilient:
                 stats["resilience"] = {
                     "flush_retries": self.flusher.retries,

@@ -10,7 +10,10 @@ instance that serves a restore before being evicted crosses over
 Only ``FLUSHED`` and ``CONSUMED`` instances are evictable.
 ``READ_IN_PROGRESS`` / ``READ_COMPLETE`` instances are *pinned*: the paper's
 anti-thrashing rule (problem condition (4)) forbids evicting a prefetched
-checkpoint before it is consumed.
+checkpoint before it is consumed.  The one exception is a
+:attr:`Instance.speculative` ``READ_COMPLETE`` copy — staged by the
+access-pattern predictor rather than an explicit hint, it is revocable
+under cache pressure (see the property's docstring).
 """
 
 from __future__ import annotations
@@ -90,6 +93,7 @@ class Instance:
         "state_since",
         "_flush_pending",
         "_read_pinned",
+        "_speculative",
         "version",
         "observer",
         "tracker",
@@ -101,6 +105,7 @@ class Instance:
         self.state_since = 0.0
         self._flush_pending = False
         self._read_pinned = 0
+        self._speculative = False
         #: bumped on every eviction-relevant change (state transitions,
         #: ``flush_pending`` / ``read_pinned`` flips); lets the cache reuse
         #: Algorithm-1 fragment costs across reservation retries and
@@ -137,6 +142,25 @@ class Instance:
     def read_pinned(self, value: int) -> None:
         if value != self._read_pinned:
             self._read_pinned = value
+            self.version += 1
+
+    @property
+    def speculative(self) -> bool:
+        """The read path that staged this extent was a *predicted* prefetch,
+        not an explicit application hint.  A speculative ``READ_COMPLETE``
+        copy is revocable: the anti-thrashing pin does not apply (the bytes
+        are a duplicate of a durable copy, and a wrong prediction would
+        otherwise pin the extent forever — with hints the application's
+        promise guarantees consumption, with speculation nothing does, and
+        a cache full of never-consumed pins deadlocks the flush path).
+        Cleared when a demand restore claims the extent, restoring the pin
+        for the copy-out window."""
+        return self._speculative
+
+    @speculative.setter
+    def speculative(self, value: bool) -> None:
+        if value != self._speculative:
+            self._speculative = value
             self.version += 1
 
     def transition(self, new: CkptState, now: float = 0.0) -> None:

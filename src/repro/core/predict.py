@@ -29,6 +29,13 @@ NEVER = math.inf
 #: hints): large enough that such windows lose to any waitable window.
 FORCE_EVICT_PENALTY = 1e9
 
+#: Finite penalty for revoking a *speculative* staging (predicted, not
+#: hinted).  Below :data:`FORCE_EVICT_PENALTY` — when space must be taken
+#: from unconsumed read copies, revoking speculation is always preferred
+#: to force-evicting an explicitly hinted prefetch — but still far above
+#: any waitable flush, so speculation is only revoked as a last resort.
+SPECULATIVE_EVICT_PENALTY = 1e8
+
 
 def instance_state_ts(
     record: "CheckpointRecord",
@@ -55,6 +62,12 @@ def instance_state_ts(
     if inst.state == CkptState.READ_IN_PROGRESS:
         return NEVER  # transfer in flight; the extent is incomplete
     if inst.state == CkptState.READ_COMPLETE:
+        if inst.speculative:
+            # Revocable staging: a duplicate of a durable copy, evictable
+            # even without the forced-eviction waiver (the wrong-prediction
+            # escape hatch — nothing guarantees a speculation is ever
+            # consumed, so it must not pin the extent indefinitely).
+            return SPECULATIVE_EVICT_PENALTY
         return FORCE_EVICT_PENALTY if allow_pinned else NEVER
     # WRITE_IN_PROGRESS / WRITE_COMPLETE: evictable once flushed downward.
     # The stored size at this tier is exactly what the downward flush will

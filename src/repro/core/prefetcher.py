@@ -32,8 +32,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 log = get_logger(__name__)
 
-#: (record, source level, destination level, restore-queue distance)
-Task = Tuple["CheckpointRecord", TierLevel, TierLevel, int]
+#: (record, source level, destination level, restore-queue distance,
+#:  whether the queue entry is an explicit application hint — predicted
+#:  overlay entries are always speculative)
+Task = Tuple["CheckpointRecord", TierLevel, TierLevel, int, bool]
 
 
 class Prefetcher:
@@ -95,10 +97,10 @@ class Prefetcher:
                 if not self._running:
                     return
                 task[0].prefetch_inflight = True
-            record, src, dst, distance = task
+            record, src, dst, distance, explicit = task
             op = self._chain_op(record.ckpt_id)
             op.fill("hint-wait")
-            request = self._classify(distance, op=op)
+            request = self._classify(distance, op=op, explicit=explicit)
             started = engine.clock.now()
             seconds: Optional[float] = None
             shed = False
@@ -123,6 +125,9 @@ class Prefetcher:
                     seconds = engine.promote_once(
                         record, src, dst, blocking=False, allow_pinned=False,
                         request=request, op=op,
+                        # Predicted overlay entries land as revocable
+                        # stagings; explicit hints keep the consume pin.
+                        speculative=not explicit,
                     )
                 except AdmissionError:
                     # The link's speculative queue is full — back off below
@@ -176,6 +181,13 @@ class Prefetcher:
                     # Direct GPU hop, or a fused streamed promotion that
                     # landed the GPU extent along with the host one.
                     self._ops.pop(record.ckpt_id, None)  # chain complete
+                if engine.predict is not None and not explicit:
+                    # Arm the validator: this staging is speculation whose
+                    # fate (consume vs. abandon) scores the predictor.
+                    with engine.monitor:
+                        engine.predict.on_speculative_staged(
+                            record, engine.clock.now()
+                        )
                 self.promotions += 1
                 self._m_promotions.inc()
                 self._m_bytes.inc(record.nominal_size)
@@ -190,17 +202,19 @@ class Prefetcher:
                     )
                 )
 
-    def _classify(self, distance: int, op=NULL_OP):
+    def _classify(self, distance: int, op=NULL_OP, explicit: bool = True):
         """QoS tag for a prefetch at ``distance`` hints from the restore
-        head: near hints are HINTED_PREFETCH (never preempted), far ones
-        SPECULATIVE_PREFETCH (sheddable + preemptible); the deadline paces
-        both so near-future restores win ties.  None when scheduling is off.
+        head: near *explicit* hints are HINTED_PREFETCH (never preempted),
+        far ones SPECULATIVE_PREFETCH (sheddable + preemptible); predicted
+        overlay entries (``explicit=False``) are always speculative, so
+        bad speculation sheds first at admission.  The deadline paces both
+        so near-future restores win ties.  None when scheduling is off.
         """
         engine = self.engine
         scfg = engine.config.sched
         tclass = (
             TransferClass.HINTED_PREFETCH
-            if distance <= scfg.hint_near_distance
+            if explicit and distance <= scfg.hint_near_distance
             else TransferClass.SPECULATIVE_PREFETCH
         )
         deadline = engine.clock.now() + distance * scfg.hint_spacing_s
@@ -216,6 +230,7 @@ class Prefetcher:
         gpu_budget = int(engine.prefetch_budget_fraction * engine.gpu_cache.table.capacity)
         host_budget = int(engine.prefetch_budget_fraction * engine.host_cache.table.capacity)
         for distance, ckpt_id in enumerate(engine.queue.upcoming(self.lookahead)):
+            explicit = engine.queue.is_explicit(ckpt_id)
             record = engine.catalog.maybe_get(ckpt_id)
             if record is None or record.consumed or record.prefetch_inflight:
                 continue
@@ -251,5 +266,5 @@ class Prefetcher:
                     # with the host one; hold off until consumption frees
                     # GPU budget rather than overshoot it.
                     return None
-            return (record, src, dst, distance)
+            return (record, src, dst, distance, explicit)
         return None

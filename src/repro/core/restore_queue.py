@@ -122,6 +122,22 @@ class RestoreQueue:
     def is_hinted(self, ckpt_id: int) -> bool:
         return self._position.get(ckpt_id) is not None and ckpt_id not in self._consumed
 
+    def is_explicit(self, ckpt_id: int) -> bool:
+        """Whether the entry is an application hint (never speculative).
+
+        Identical to :meth:`is_hinted` here; the predicted overlay of
+        :class:`~repro.predict.queue.SyntheticRestoreQueue` reports its
+        synthetic entries as hinted but *not* explicit, so the prefetcher
+        can route them through the sched speculative class.
+        """
+        return self.is_hinted(ckpt_id)
+
+    def hint_index(self) -> Dict[int, int]:
+        """Membership map for the cache's cost memo: an id absent from it
+        (or already consumed) is guaranteed unhinted.  Subclasses with
+        synthetic entries must include them here."""
+        return self._position
+
     # -- consumption ---------------------------------------------------------------
     def consume(self, ckpt_id: int) -> None:
         """Mark a restore as served; tolerates unhinted ids (deviation)."""

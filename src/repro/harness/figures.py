@@ -351,6 +351,72 @@ def fig9_scalability(
 
 
 # --------------------------------------------------------------------------
+# Prediction — hints vs learned vs demand-only (DESIGN.md: Prediction)
+# --------------------------------------------------------------------------
+def fig_prediction(
+    num_snapshots: int = 240, sessions: int = 8, seed: int = 0
+) -> FigureResult:
+    """Serving KV-cache: oracle hints vs online prediction vs demand-only.
+
+    One deterministic suspend/resume trace (``num_snapshots`` activations
+    over ``sessions`` Zipf-popular sessions) driven three ways; demand
+    restore latency is the figure of merit, speculation accuracy the
+    sanity column for the learned mode.  The defaults give the predictor
+    ~30 observations per session — enough for the online model to settle,
+    so the steady state (not the cold start) dominates the p99.
+    """
+    from repro.harness.prediction import (
+        PREDICT_MODES,
+        percentile,
+        run_predicted,
+        serving_caches,
+        speculation_stats,
+    )
+    from repro.workloads.kvcache import KvCacheSpec
+
+    spec = KvCacheSpec(sessions=sessions, events=num_snapshots, seed=seed)
+    rows = []
+    extras: Dict[str, object] = {}
+    for mode in PREDICT_MODES:
+        cfg = bench_config(telemetry=True)
+        cfg = cfg.with_(cache=serving_caches(cfg, spec))
+        result, _ = run_predicted(cfg, spec, mode)
+        lats = result.restore_latencies
+        stats = speculation_stats(result)
+        val = (stats or {}).get("validation") or {}
+        hit_rate = val.get("hit_rate")
+        rows.append(
+            (
+                mode,
+                len(lats),
+                round(percentile(lats, 0.50), 4),
+                round(percentile(lats, 0.99), 4),
+                "n/a" if hit_rate is None else f"{hit_rate:.0%}",
+                round(int(val.get("wasted_bytes", 0)) / MiB),
+            )
+        )
+        extras[mode] = {
+            "restore_latencies": lats,
+            "wall_s": result.wall_s,
+            "prediction": stats,
+        }
+    rendered = render_table(
+        "Prediction: demand-restore latency under oracle hints, online "
+        f"prediction, and demand-only (kvcache, {sessions} sessions, "
+        f"{num_snapshots} activations)",
+        ["mode", "restores", "p50 (s)", "p99 (s)", "spec hit rate", "wasted MiB"],
+        rows,
+    )
+    return FigureResult(
+        figure="prediction",
+        columns=["mode", "restores", "p50_s", "p99_s", "hit_rate", "wasted_mib"],
+        rows=rows,
+        rendered=rendered,
+        extras=extras,
+    )
+
+
+# --------------------------------------------------------------------------
 # Ablations (DESIGN.md: eviction policy, shared vs split cache)
 # --------------------------------------------------------------------------
 def ablation_eviction_policy(num_snapshots: int = DEFAULT_SNAPSHOTS) -> FigureResult:
@@ -489,6 +555,7 @@ _FIGURES = {
     "fig8a": fig8a_compute_interval,
     "fig8b": fig8b_gpu_cache,
     "fig9": fig9_scalability,
+    "prediction": fig_prediction,
     "ablation-eviction": ablation_eviction_policy,
     "ablation-gpudirect": ablation_gpudirect,
     "ablation-shared-cache": ablation_shared_cache,

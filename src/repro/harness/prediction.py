@@ -1,0 +1,105 @@
+"""Shared driver for the hint/learned/none prediction comparison.
+
+The serving (:mod:`repro.workloads.kvcache`) and binomial-checkpointing
+(:mod:`repro.workloads.revolve`) workloads are not :class:`ShotSpec`
+traces — they interleave restores and checkpoints on their own virtual
+timeline — so the trace CLI, the figure harness and the prediction
+benchmark all drive them through this module: one engine, one cluster,
+one of three modes:
+
+* ``hints``   — the workload's oracle restore order is enqueued up front
+  (the paper's explicit-hint upper bound);
+* ``learned`` — no hints; ``PredictConfig.enabled`` turns the online
+  access-pattern predictor on and the overlay supplies the queue;
+* ``none``    — no hints, no prediction: demand-only promotion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple, Union
+
+from repro.config import CacheConfig, RuntimeConfig
+from repro.errors import ConfigError
+from repro.workloads.kvcache import KvCacheResult, KvCacheSpec, run_kvcache
+from repro.workloads.revolve import RevolveResult, RevolveSpec, run_revolve
+
+#: the three sides of every prediction comparison.
+PREDICT_MODES = ("hints", "learned", "none")
+
+Spec = Union[KvCacheSpec, RevolveSpec]
+Result = Union[KvCacheResult, RevolveResult]
+
+
+def apply_predict_mode(cfg: RuntimeConfig, mode: str) -> RuntimeConfig:
+    """Fold a prediction mode into a runtime config.
+
+    ``learned`` enables the prediction subsystem (keeping any non-default
+    knobs the caller already set); ``hints``/``none`` leave the config
+    untouched — they differ only in whether the driver enqueues the
+    oracle restore order.
+    """
+    if mode not in PREDICT_MODES:
+        raise ConfigError(
+            f"unknown predict mode {mode!r}; choose from {PREDICT_MODES}"
+        )
+    if mode == "learned" and not cfg.predict.enabled:
+        return cfg.with_(predict=dataclasses.replace(cfg.predict, enabled=True))
+    return cfg
+
+
+def serving_caches(cfg: RuntimeConfig, spec: Spec) -> CacheConfig:
+    """Cache sizes that make the comparison meaningful: the GPU cache
+    holds a handful of blocks and the host cache a minority of the live
+    working set, so cold re-activations are SSD-bound without staging."""
+    if isinstance(spec, KvCacheSpec):
+        block = cfg.scale.align(spec.kv_bytes)
+        live = spec.sessions
+    else:
+        block = cfg.scale.align(spec.state_bytes)
+        live = spec.snapshots
+    # The GPU floor keeps the prefetch budget (0.9x capacity) above one
+    # block, so staging is not head-of-line blocked behind a single
+    # unconsumed extent at small session counts.
+    gpu_blocks = max(4, live // 6)
+    host_blocks = max(2 * gpu_blocks, live // 2)
+    return CacheConfig(
+        gpu_cache_size=gpu_blocks * block, host_cache_size=host_blocks * block
+    )
+
+
+def run_predicted(
+    cfg: RuntimeConfig, spec: Spec, mode: str = "none"
+) -> Tuple[Result, object]:
+    """Run the workload single-process under ``mode``.
+
+    Returns ``(result, telemetry)`` — the cluster telemetry outlives the
+    cluster, so callers can snapshot the bus and registry afterwards.
+    """
+    from repro.harness.approaches import make_engine_factory
+    from repro.tiers.topology import Cluster
+
+    cfg = apply_predict_mode(cfg, mode)
+    runner = run_kvcache if isinstance(spec, KvCacheSpec) else run_revolve
+    factory = make_engine_factory("score")
+    with Cluster(cfg) as cluster:
+        engine = factory(cluster.process_contexts()[0])
+        try:
+            result = runner(engine, spec, hints=(mode == "hints"))
+        finally:
+            engine.close()
+        return result, cluster.telemetry
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (no numpy dependency on the report path)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def speculation_stats(result: Result) -> Optional[dict]:
+    """The prediction block of the engine stats (None when disabled)."""
+    return result.engine_stats.get("prediction")

@@ -16,7 +16,14 @@ writes three artifacts under ``--out-dir``:
   reduction pipeline (also printed).
 
 Workloads: ``quickstart`` (16 × 128 MiB, one rank, reverse order),
-``uniform`` and ``variable`` (the paper's RTM traces, multi-rank).
+``uniform`` and ``variable`` (the paper's RTM traces, multi-rank),
+``kvcache`` (LLM-serving suspend/resume; ``--snapshots`` = activations)
+and ``revolve`` (binomial adjoint checkpointing; ``--snapshots`` = forward
+steps) — the last two are single-rank and honour ``--predict``:
+
+* ``hints``   — oracle restore hints (the default; unchanged behaviour),
+* ``learned`` — no hints, online access-pattern prediction enabled,
+* ``none``    — no hints, demand-only promotion.
 """
 
 from __future__ import annotations
@@ -42,17 +49,26 @@ from repro.errors import ConfigError
 from repro.log import enable_console_logging
 from repro.telemetry.exporters import render_summary, write_chrome_trace, write_jsonl
 from repro.util.units import MiB
+from repro.workloads.kvcache import KvCacheSpec
 from repro.workloads.patterns import RestoreOrder, restore_order
+from repro.workloads.revolve import RevolveSpec
 from repro.workloads.rtm import uniform_trace, variable_trace
-from repro.workloads.shot import ShotSpec
+from repro.workloads.shot import HintMode, ShotSpec
 
 #: (snapshots, processes) defaults per workload — sized so a trace run
 #: finishes in seconds while still exercising eviction and prefetching.
+#: For ``kvcache`` the first number is session activations; for
+#: ``revolve`` it is forward steps (both are single-rank drivers).
 _DEFAULTS = {
     "quickstart": (16, 1),
     "uniform": (48, 2),
     "variable": (48, 2),
+    "kvcache": (96, 1),
+    "revolve": (24, 1),
 }
+
+#: the single-rank drivers that honour ``--predict`` natively.
+_PREDICTED = ("kvcache", "revolve")
 
 
 def _build_specs(
@@ -63,6 +79,7 @@ def _build_specs(
     order: RestoreOrder,
     seed: int,
     similarity: float = 0.0,
+    hint_mode: HintMode = HintMode.ALL,
 ) -> List[ShotSpec]:
     scale = cfg.scale
     specs: List[ShotSpec] = []
@@ -75,12 +92,50 @@ def _build_specs(
             ShotSpec(
                 trace=trace,
                 restore_order=restore_order(order, len(trace), seed=seed, rank=rank),
+                hint_mode=hint_mode,
                 compute_interval=0.010,
                 similarity=similarity,
                 seed=seed,
             )
         )
     return specs
+
+
+def _predicted_spec(workload: str, snapshots: int, seed: int):
+    """The kvcache/revolve spec a trace run derives from ``--snapshots``."""
+    if workload == "kvcache":
+        return KvCacheSpec(
+            sessions=max(4, snapshots // 6), events=snapshots, seed=seed
+        )
+    return RevolveSpec(
+        steps=snapshots, snapshots=max(2, snapshots // 6), seed=seed
+    )
+
+
+def _render_predict_summary(workload: str, predict: str, result) -> str:
+    """One paragraph on the workload outcome + speculation accuracy."""
+    from repro.harness.prediction import percentile, speculation_stats
+    from repro.util.units import format_size
+
+    lats = result.restore_latencies
+    lines = [
+        f"{workload} ({predict}): {len(lats)} restores "
+        f"({result.verified} verified), demand p50 "
+        f"{percentile(lats, 0.50):.4f}s / p99 {percentile(lats, 0.99):.4f}s, "
+        f"wall {result.wall_s:.2f}s"
+    ]
+    spec_stats = speculation_stats(result)
+    if spec_stats is not None:
+        val = spec_stats.get("validation") or {}
+        hit_rate = val.get("hit_rate")
+        lines.append(
+            "speculation: "
+            f"{spec_stats.get('spec_prefetches', 0)} speculative promotions, "
+            f"hit rate {'n/a' if hit_rate is None else hit_rate}, "
+            f"wasted {format_size(int(val.get('wasted_bytes', 0)))}, "
+            f"{int(val.get('suspensions', 0))} suspensions"
+        )
+    return "\n".join(lines)
 
 
 def run_trace(
@@ -99,10 +154,12 @@ def run_trace(
     analysis: bool = False,
     slo: Optional[SloConfig] = None,
     hardware: Optional[HardwareSpec] = None,
+    predict: str = "hints",
 ) -> dict:
     """Run ``workload`` with tracing on; return the written paths."""
     from repro.harness.approaches import make_engine_factory
     from repro.harness.experiment import scaled_caches
+    from repro.harness.prediction import PREDICT_MODES, apply_predict_mode
     from repro.tiers.topology import Cluster
     from repro.workloads.multiproc import run_multiprocess_shot
 
@@ -110,9 +167,15 @@ def run_trace(
         raise ConfigError(
             f"unknown workload {workload!r}; choose from {sorted(_DEFAULTS)}"
         )
+    if predict not in PREDICT_MODES:
+        raise ConfigError(
+            f"unknown predict mode {predict!r}; choose from {PREDICT_MODES}"
+        )
     default_snapshots, default_processes = _DEFAULTS[workload]
     snapshots = snapshots or default_snapshots
     processes = processes or default_processes
+    if workload in _PREDICTED and processes != 1:
+        raise ConfigError(f"{workload} is a single-rank driver; --processes 1")
     cfg = bench_config(telemetry=True, processes_per_node=processes)
     if hardware is not None:
         cfg = cfg.with_(hardware=hardware)
@@ -128,31 +191,43 @@ def run_trace(
         cfg = cfg.with_(resilience=ResilienceConfig(enabled=True))
     if analysis:
         cfg = cfg.with_(analysis=AnalysisConfig(enabled=True, slo=slo or SloConfig()))
-    specs = _build_specs(
-        workload,
-        cfg,
-        snapshots,
-        processes,
-        order,
-        seed,
-        similarity=similarity if reduce else 0.0,
-    )
-    # Scale the caches to the actual working set (paper ratios), but never
-    # below twice the largest single snapshot — a short variable-size trace
-    # can have one snapshot bigger than the ratio-derived GPU cache.
-    total = max(spec.trace.total_bytes for spec in specs)
-    floor = 2 * cfg.scale.align(max(max(spec.trace.sizes) for spec in specs))
-    ratio = scaled_caches(total)
-    cfg = cfg.with_(
-        cache=CacheConfig(
-            gpu_cache_size=max(ratio.gpu_cache_size, floor),
-            host_cache_size=max(ratio.host_cache_size, floor),
+    cfg = apply_predict_mode(cfg, predict)
+    predict_rendered: Optional[str] = None
+    if workload in _PREDICTED:
+        from repro.harness.prediction import run_predicted, serving_caches
+
+        spec = _predicted_spec(workload, snapshots, seed)
+        cfg = cfg.with_(cache=serving_caches(cfg, spec))
+        result, telemetry = run_predicted(cfg, spec, predict)
+        predict_rendered = _render_predict_summary(workload, predict, result)
+    else:
+        specs = _build_specs(
+            workload,
+            cfg,
+            snapshots,
+            processes,
+            order,
+            seed,
+            similarity=similarity if reduce else 0.0,
+            hint_mode=HintMode.ALL if predict == "hints" else HintMode.NONE,
         )
-    )
-    factory = make_engine_factory("score")
-    with Cluster(cfg) as cluster:
-        run_multiprocess_shot(cluster, factory, specs)
-        telemetry = cluster.telemetry
+        # Scale the caches to the actual working set (paper ratios), but
+        # never below twice the largest single snapshot — a short
+        # variable-size trace can have one snapshot bigger than the
+        # ratio-derived GPU cache.
+        total = max(spec.trace.total_bytes for spec in specs)
+        floor = 2 * cfg.scale.align(max(max(spec.trace.sizes) for spec in specs))
+        ratio = scaled_caches(total)
+        cfg = cfg.with_(
+            cache=CacheConfig(
+                gpu_cache_size=max(ratio.gpu_cache_size, floor),
+                host_cache_size=max(ratio.host_cache_size, floor),
+            )
+        )
+        factory = make_engine_factory("score")
+        with Cluster(cfg) as cluster:
+            run_multiprocess_shot(cluster, factory, specs)
+            telemetry = cluster.telemetry
 
     os.makedirs(out_dir, exist_ok=True)
     trace_path = os.path.join(out_dir, f"{workload}.trace.json")
@@ -175,6 +250,12 @@ def run_trace(
         "events": len(events),
         "rendered": summary,
     }
+    if predict_rendered is not None:
+        predict_path = os.path.join(out_dir, f"{workload}.predict.txt")
+        with open(predict_path, "w") as fh:
+            fh.write(predict_rendered + "\n")
+        out["predict"] = predict_path
+        out["predict_rendered"] = predict_rendered
     if sched:
         from repro.sched import render_sched_timeline, sched_events
 
@@ -247,6 +328,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="restore order (default: reverse)",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--predict",
+        choices=["hints", "learned", "none"],
+        default="hints",
+        help="restore foreknowledge: explicit hints (default), online "
+        "access-pattern prediction (no hints), or demand-only",
+    )
     parser.add_argument(
         "--sched",
         action="store_true",
@@ -350,10 +438,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             similarity=args.similarity,
             faults=faults,
             resilient=args.resilient,
+            predict=args.predict,
         )
     except ConfigError as exc:
         parser.exit(2, f"{parser.prog}: error: {exc}\n")
     print(out["rendered"])
+    if "predict_rendered" in out:
+        print()
+        print(out["predict_rendered"])
     if "sched_rendered" in out:
         print()
         print(out["sched_rendered"])
@@ -362,7 +454,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(out["reduce_rendered"])
     print()
     print(f"wrote {out['events']} events:")
-    for key in ("trace", "jsonl", "summary", "sched", "reduce"):
+    for key in ("trace", "jsonl", "summary", "predict", "sched", "reduce"):
         if key in out:
             print(f"  {out[key]}")
     print("open the .trace.json at https://ui.perfetto.dev")

@@ -1,4 +1,5 @@
-"""Workload generation: RTM traces, restore orders, shot drivers."""
+"""Workload generation: RTM traces, restore orders, shot drivers,
+serving (KV-cache) and binomial-checkpointing (revolve) drivers."""
 
 from repro.workloads.rtm import (
     RtmTrace,
@@ -9,6 +10,21 @@ from repro.workloads.rtm import (
 from repro.workloads.patterns import RestoreOrder, restore_order
 from repro.workloads.shot import HintMode, ShotResult, ShotSpec, run_shot
 from repro.workloads.multiproc import run_multiprocess_shot
+from repro.workloads.kvcache import (
+    KvCacheResult,
+    KvCacheSpec,
+    KvEvent,
+    generate_kvcache_schedule,
+    run_kvcache,
+)
+from repro.workloads.revolve import (
+    RevolveResult,
+    RevolveSpec,
+    materialize,
+    min_forward_steps,
+    revolve_schedule,
+    run_revolve,
+)
 
 __all__ = [
     "RtmTrace",
@@ -22,4 +38,15 @@ __all__ = [
     "ShotResult",
     "run_shot",
     "run_multiprocess_shot",
+    "KvCacheResult",
+    "KvCacheSpec",
+    "KvEvent",
+    "generate_kvcache_schedule",
+    "run_kvcache",
+    "RevolveResult",
+    "RevolveSpec",
+    "materialize",
+    "min_forward_steps",
+    "revolve_schedule",
+    "run_revolve",
 ]

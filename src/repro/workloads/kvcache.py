@@ -1,0 +1,212 @@
+"""LLM-serving KV-cache suspend/resume workload.
+
+Many small sessions hold per-session KV state on the GPU; when a session
+goes idle its KV block is *suspended* (checkpointed under a fresh version
+with ``producer=session``) and the GPU slot is reclaimed, and when the
+session re-activates the block is restored — on the critical path of the
+first token, so demand-restore latency is the figure of merit.  Session
+popularity is Zipfian: hot sessions re-activate on short periods, cold
+ones on long irregular ones, and the working set exceeds the GPU (and
+usually host) cache, so cold re-activations are SSD-bound unless
+something stages them ahead of time.
+
+The schedule is generated up front and deterministic, so the same run can
+be driven three ways:
+
+* **hints** — the oracle restore order is enqueued before the run starts
+  (an upper bound no real serving system has);
+* **learned** — no hints; ``PredictConfig.enabled`` lets the prediction
+  subsystem discover per-session periods online;
+* **none** — no hints, no prediction: demand-only promotion.
+
+``adversarial=True`` replaces the periodic structure with memoryless
+uniform re-activation at exponential gaps — unlearnable by construction,
+the validation layer's suspension test case.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.simgpu.memory import DeviceBuffer
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+
+
+@dataclass(frozen=True)
+class KvCacheSpec:
+    """One serving trace: sessions, popularity, re-activation cadence."""
+
+    sessions: int = 24
+    #: total session activations (first activation of a session only
+    #: creates its KV block; later ones restore + re-suspend it).
+    events: int = 168
+    #: KV block size per session snapshot (nominal bytes).
+    kv_bytes: int = 128 * MiB
+    #: popularity skew: session ``s`` re-activates every
+    #: ``base_period_s * (s + 1) ** zipf_s`` nominal seconds.
+    zipf_s: float = 1.1
+    #: re-activation period of the hottest session (nominal seconds).
+    base_period_s: float = 0.4
+    #: per-activation period jitter, uniform in ``±jitter`` (fractional).
+    jitter: float = 0.1
+    #: nominal seconds of decode work between a restore and the
+    #: subsequent suspend.
+    think_s: float = 0.004
+    #: memoryless uniform re-activation at exponential gaps instead of
+    #: the periodic structure: unlearnable by construction.
+    adversarial: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ConfigError(f"sessions must be >= 1: {self.sessions}")
+        if self.events < self.sessions:
+            raise ConfigError(
+                f"events ({self.events}) must cover one activation per "
+                f"session ({self.sessions})"
+            )
+        if self.kv_bytes <= 0:
+            raise ConfigError(f"kv_bytes must be positive: {self.kv_bytes}")
+        if self.base_period_s <= 0:
+            raise ConfigError(
+                f"base_period_s must be positive: {self.base_period_s}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter out of [0, 1): {self.jitter}")
+        if self.think_s < 0:
+            raise ConfigError(f"think_s must be >= 0: {self.think_s}")
+
+
+@dataclass(frozen=True)
+class KvEvent:
+    """One session activation on the virtual timeline."""
+
+    at: float
+    session: int
+    #: checkpoint restored on re-activation (None on first activation).
+    restore_id: Optional[int]
+    #: fresh checkpoint created when the session suspends again.
+    suspend_id: int
+
+
+def session_period(spec: KvCacheSpec, session: int) -> float:
+    """Zipfian popularity → per-session re-activation period."""
+    return spec.base_period_s * float(session + 1) ** spec.zipf_s
+
+
+def generate_kvcache_schedule(spec: KvCacheSpec) -> List[KvEvent]:
+    """The deterministic activation timeline (checkpoint ids included)."""
+    rng = make_rng(spec.seed, "kvcache-schedule")
+    periods = [session_period(spec, s) for s in range(spec.sessions)]
+    events: List[KvEvent] = []
+    live: Dict[int, int] = {}  # session -> suspended ckpt id
+    next_id = 0
+
+    def activation(at: float, session: int) -> KvEvent:
+        nonlocal next_id
+        restore_id = live.get(session)
+        suspend_id = next_id
+        next_id += 1
+        live[session] = suspend_id
+        return KvEvent(
+            at=at, session=session, restore_id=restore_id, suspend_id=suspend_id
+        )
+
+    if spec.adversarial:
+        # Memoryless: uniform session choice, exponential gaps matching
+        # the structured trace's aggregate event rate.
+        rate = sum(1.0 / p for p in periods)
+        now = 0.0
+        for _ in range(spec.events):
+            now += float(rng.exponential(1.0 / rate))
+            session = int(rng.integers(spec.sessions))
+            events.append(activation(now, session))
+        return events
+
+    # Structured: per-session periodic re-activation with small jitter —
+    # the interleaving is unpredictable but per-session gaps are regular
+    # enough for a recency model to learn online.
+    def jittered(period: float) -> float:
+        if spec.jitter == 0.0:
+            return period
+        return period * (1.0 + float(rng.uniform(-spec.jitter, spec.jitter)))
+
+    heap = []
+    for session in range(spec.sessions):
+        first = float(rng.uniform(0.0, periods[session]))
+        heapq.heappush(heap, (first, session))
+    for _ in range(spec.events):
+        at, session = heapq.heappop(heap)
+        events.append(activation(at, session))
+        heapq.heappush(heap, (at + jittered(periods[session]), session))
+    return events
+
+
+def oracle_restore_order(schedule: List[KvEvent]) -> List[int]:
+    """The exact restore-id order — what a perfect hint queue would hold."""
+    return [ev.restore_id for ev in schedule if ev.restore_id is not None]
+
+
+@dataclass
+class KvCacheResult:
+    """Outcome of one serving run."""
+
+    restore_latencies: List[float] = field(default_factory=list)
+    checkpoint_latencies: List[float] = field(default_factory=list)
+    verified: int = 0
+    #: final checkpoints of sessions that never re-activated — abandoned
+    #: on session end, never restored.
+    abandoned: List[int] = field(default_factory=list)
+    wall_s: float = 0.0
+    engine_stats: dict = field(default_factory=dict)
+
+
+def run_kvcache(engine, spec: KvCacheSpec, hints: bool = False) -> KvCacheResult:
+    """Drive ``engine`` through the serving trace.
+
+    With ``hints=True`` the oracle restore order is enqueued up front and
+    prefetching starts immediately; otherwise the engine sees no hints
+    (prediction, when enabled, supplies the overlay on its own).
+    """
+    schedule = generate_kvcache_schedule(spec)
+    clock = engine.clock
+    scale = engine.scale
+    device_id = getattr(engine.device, "device_id", 0)
+    rng = make_rng(spec.seed, "kvcache-payloads")
+    result = KvCacheResult()
+    if hints:
+        for restore_id in oracle_restore_order(schedule):
+            engine.prefetch_enqueue(restore_id)
+        engine.prefetch_start()
+    checksums: Dict[int, int] = {}
+    size = scale.align(spec.kv_bytes)
+    started = clock.now()
+    for event in schedule:
+        gap = (started + event.at) - clock.now()
+        if gap > 0:
+            clock.sleep(gap)
+        if event.restore_id is not None:
+            buffer = DeviceBuffer(size, scale, device_id)
+            blocked = engine.restore(event.restore_id, buffer)
+            result.restore_latencies.append(blocked)
+            if buffer.checksum() == checksums.pop(event.restore_id):
+                result.verified += 1
+        if spec.think_s > 0:
+            clock.sleep(spec.think_s)
+        # Suspend: the session's (mutated) KV block leaves the GPU under a
+        # fresh version.
+        buffer = DeviceBuffer(size, scale, device_id)
+        buffer.fill_random(rng)
+        checksums[event.suspend_id] = buffer.checksum()
+        blocked = engine.checkpoint(
+            event.suspend_id, buffer, producer=event.session
+        )
+        result.checkpoint_latencies.append(blocked)
+    result.wall_s = clock.now() - started
+    result.abandoned = sorted(checksums)
+    result.engine_stats = engine.stats()
+    return result

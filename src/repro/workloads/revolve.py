@@ -1,0 +1,256 @@
+"""Binomial (Griewank–Walther *revolve*) checkpointing schedules.
+
+Adjoint computations that cannot store every forward state use binomial
+checkpointing: with ``snapshots`` storage slots, the optimal schedule
+recomputes forward steps in a binomial recursion pattern, restoring each
+stored state several times in a decidedly non-LIFO order — the classic
+stress test for eviction policies tuned to sequential-reverse traces.
+
+:func:`revolve_schedule` emits the optimal action list (``snapshot`` /
+``advance`` / ``restore`` / ``adjoint``), choosing every split point by
+the dynamic program over the recurrence::
+
+    W(n, s) = min_{1<=k<n} [ k + W(n-k, s-1) + W(k, s) ]     W(n, 0) = n(n-1)/2
+
+(``W`` = recomputed forward steps), so the schedule's revisit counts are
+testable against the recurrence directly.
+
+:func:`materialize` maps the state-level schedule onto the engine's
+consume-once checkpoint semantics: every ``snapshot`` stores the state
+under a fresh checkpoint id, and a ``restore`` whose state is needed
+again later immediately re-checkpoints it under a new id (the
+application still holds the state in memory) — exactly the churn that
+stresses cache scoring.  The materialized op list is deterministic, so
+the oracle restore-id order for hint mode falls out of it for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.simgpu.memory import DeviceBuffer
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+
+#: schedule actions: ("snapshot", state) | ("advance", src, dst)
+#: | ("restore", state) | ("adjoint", state)
+Action = Tuple
+
+
+@lru_cache(maxsize=None)
+def min_forward_steps(n: int, snaps: int) -> int:
+    """``W(n, s)`` of the binomial recurrence (recomputed forward steps)."""
+    if n <= 1:
+        return 0
+    if snaps == 0:
+        return n * (n - 1) // 2
+    return min(
+        k + min_forward_steps(n - k, snaps - 1) + min_forward_steps(k, snaps)
+        for k in range(1, n)
+    )
+
+
+def _split(n: int, snaps: int) -> int:
+    """The smallest optimal split point for ``rec`` (deterministic)."""
+    best_k, best = 1, None
+    for k in range(1, n):
+        cost = k + min_forward_steps(n - k, snaps - 1) + min_forward_steps(k, snaps)
+        if best is None or cost < best:
+            best_k, best = k, cost
+    return best_k
+
+
+def revolve_schedule(steps: int, snapshots: int) -> List[Action]:
+    """Optimal binomial schedule reversing ``steps`` forward steps with
+    ``snapshots`` total storage slots (state 0 occupies one)."""
+    if steps < 1:
+        raise ConfigError(f"steps must be >= 1: {steps}")
+    if snapshots < 1:
+        raise ConfigError(f"snapshots must be >= 1: {snapshots}")
+    actions: List[Action] = [("snapshot", 0)]
+
+    def rec(start: int, end: int, snaps: int) -> None:
+        # Reverse primal steps ``start .. end-1``; state ``start`` is
+        # stored; ``snaps`` further slots are free.
+        n = end - start
+        if n == 0:
+            return
+        if n == 1:
+            actions.append(("restore", start))
+            actions.append(("adjoint", start))
+            return
+        if snaps == 0:
+            # No free slot: recompute from ``start`` for every adjoint
+            # step (the quadratic tail of the recurrence).
+            for target in range(end - 1, start - 1, -1):
+                actions.append(("restore", start))
+                if target > start:
+                    actions.append(("advance", start, target))
+                actions.append(("adjoint", target))
+            return
+        mid = start + _split(n, snaps)
+        actions.append(("restore", start))
+        actions.append(("advance", start, mid))
+        actions.append(("snapshot", mid))
+        rec(mid, end, snaps - 1)
+        # ``mid``'s slot frees once its half is reversed.
+        rec(start, mid, snaps)
+
+    rec(0, steps, snapshots - 1)
+    return actions
+
+
+#: materialized ops: ("checkpoint", ckpt_id, state) |
+#: ("restore", ckpt_id, state, recheckpoint_id | None) |
+#: ("advance", forward_steps) | ("adjoint", state)
+Op = Tuple
+
+
+def materialize(actions: List[Action]) -> List[Op]:
+    """Map the state-level schedule onto consume-once checkpoint ids.
+
+    A restore consumes its checkpoint; when the same stored state is
+    restored again later (with no fresh ``snapshot`` in between) the op
+    carries a ``recheckpoint_id`` so the driver re-stores it immediately.
+    """
+    # Future restore counts per action index, per state, between
+    # snapshots: walk backwards once.
+    ops: List[Op] = []
+    live: Dict[int, int] = {}  # state -> current ckpt id
+    next_id = 0
+    # remaining_restores[i] = for the action at i (a restore of state q),
+    # whether another restore of q occurs later before q is re-snapshotted.
+    needed_later: List[bool] = [False] * len(actions)
+    last_seen: Dict[int, bool] = {}
+    for i in range(len(actions) - 1, -1, -1):
+        action = actions[i]
+        if action[0] == "restore":
+            state = action[1]
+            needed_later[i] = last_seen.get(state, False)
+            last_seen[state] = True
+        elif action[0] == "snapshot":
+            last_seen[action[1]] = False
+    for i, action in enumerate(actions):
+        kind = action[0]
+        if kind == "snapshot":
+            state = action[1]
+            live[state] = next_id
+            ops.append(("checkpoint", next_id, state))
+            next_id += 1
+        elif kind == "restore":
+            state = action[1]
+            ckpt_id = live[state]
+            recheckpoint: Optional[int] = None
+            if needed_later[i]:
+                recheckpoint = next_id
+                live[state] = next_id
+                next_id += 1
+            ops.append(("restore", ckpt_id, state, recheckpoint))
+        elif kind == "advance":
+            ops.append(("advance", action[2] - action[1]))
+        else:  # adjoint
+            ops.append(("adjoint", action[1]))
+    return ops
+
+
+def oracle_restore_order(ops: List[Op]) -> List[int]:
+    """Restore-id order of the materialized schedule (hint-mode oracle)."""
+    return [op[1] for op in ops if op[0] == "restore"]
+
+
+@dataclass(frozen=True)
+class RevolveSpec:
+    """One adjoint run under binomial checkpointing."""
+
+    steps: int = 24
+    snapshots: int = 4
+    #: forward-state size (nominal bytes).
+    state_bytes: int = 64 * MiB
+    #: nominal seconds per recomputed forward step.
+    step_s: float = 0.01
+    #: nominal seconds per adjoint step.
+    adjoint_s: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ConfigError(f"steps must be >= 1: {self.steps}")
+        if self.snapshots < 1:
+            raise ConfigError(f"snapshots must be >= 1: {self.snapshots}")
+        if self.state_bytes <= 0:
+            raise ConfigError(f"state_bytes must be positive: {self.state_bytes}")
+        if self.step_s < 0 or self.adjoint_s < 0:
+            raise ConfigError("step_s and adjoint_s must be >= 0")
+
+
+@dataclass
+class RevolveResult:
+    """Outcome of one revolve run."""
+
+    restore_latencies: List[float] = field(default_factory=list)
+    verified: int = 0
+    forward_steps: int = 0
+    adjoint_steps: int = 0
+    wall_s: float = 0.0
+    engine_stats: dict = field(default_factory=dict)
+
+
+def run_revolve(engine, spec: RevolveSpec, hints: bool = False) -> RevolveResult:
+    """Drive ``engine`` through the materialized revolve schedule.
+
+    State payloads are seeded per *state*, so a re-checkpoint of a state
+    stores bit-identical bytes and every restore checksum-verifies.
+    """
+    actions = revolve_schedule(spec.steps, spec.snapshots)
+    ops = materialize(actions)
+    clock = engine.clock
+    scale = engine.scale
+    device_id = getattr(engine.device, "device_id", 0)
+    result = RevolveResult()
+    if hints:
+        for restore_id in oracle_restore_order(ops):
+            engine.prefetch_enqueue(restore_id)
+        engine.prefetch_start()
+    size = scale.align(spec.state_bytes)
+
+    def state_buffer(state: int) -> DeviceBuffer:
+        buffer = DeviceBuffer(size, scale, device_id)
+        buffer.fill_random(make_rng(spec.seed, "revolve-state", state))
+        return buffer
+
+    checksums: Dict[int, Tuple[int, int]] = {}  # ckpt -> (state, checksum)
+    started = clock.now()
+    for op in ops:
+        kind = op[0]
+        if kind == "checkpoint":
+            _, ckpt_id, state = op
+            buffer = state_buffer(state)
+            checksums[ckpt_id] = (state, buffer.checksum())
+            engine.checkpoint(ckpt_id, buffer, producer=state)
+        elif kind == "restore":
+            _, ckpt_id, state, recheckpoint = op
+            buffer = DeviceBuffer(size, scale, device_id)
+            blocked = engine.restore(ckpt_id, buffer)
+            result.restore_latencies.append(blocked)
+            _, expected = checksums.pop(ckpt_id)
+            if buffer.checksum() == expected:
+                result.verified += 1
+            if recheckpoint is not None:
+                # The state is still needed: re-store it under a fresh id
+                # (the application holds it in memory right now).
+                checksums[recheckpoint] = (state, expected)
+                engine.checkpoint(recheckpoint, buffer, producer=state)
+        elif kind == "advance":
+            result.forward_steps += op[1]
+            if spec.step_s > 0:
+                clock.sleep(op[1] * spec.step_s)
+        else:  # adjoint
+            result.adjoint_steps += 1
+            if spec.adjoint_s > 0:
+                clock.sleep(spec.adjoint_s)
+    result.wall_s = clock.now() - started
+    result.engine_stats = engine.stats()
+    return result

@@ -1,0 +1,217 @@
+"""Serving (kvcache) and binomial-checkpointing (revolve) workloads, plus
+the demand-join regression: a demand restore must piggyback on an
+in-flight speculative prefetch instead of issuing a duplicate SSD read."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.config import CacheConfig, HardwareSpec, PredictConfig
+from repro.core.engine import ScoreEngine
+from repro.tiers.topology import Cluster
+from repro.util.units import MiB
+from repro.workloads.kvcache import (
+    KvCacheSpec,
+    generate_kvcache_schedule,
+    oracle_restore_order,
+    run_kvcache,
+)
+from repro.workloads.revolve import (
+    RevolveSpec,
+    materialize,
+    min_forward_steps,
+    revolve_schedule,
+    run_revolve,
+)
+from tests.conftest import tiny_config
+
+
+# -- revolve schedule generation ----------------------------------------------
+class TestRevolveSchedule:
+    def test_quadratic_tail_closed_form(self):
+        for n in range(1, 12):
+            assert min_forward_steps(n, 0) == n * (n - 1) // 2
+
+    @pytest.mark.parametrize("steps,snapshots", [(6, 2), (12, 3), (24, 4), (17, 3)])
+    def test_recomputed_steps_match_recurrence(self, steps, snapshots):
+        actions = revolve_schedule(steps, snapshots)
+        advances = sum(a[2] - a[1] for a in actions if a[0] == "advance")
+        # The initial forward pass is the application's own; the schedule
+        # only recomputes, so its advance total is exactly W.
+        assert advances == min_forward_steps(steps, snapshots - 1)
+
+    @pytest.mark.parametrize("steps,snapshots", [(6, 2), (12, 3), (24, 4)])
+    def test_adjoints_reverse_every_step(self, steps, snapshots):
+        actions = revolve_schedule(steps, snapshots)
+        adjoints = [a[1] for a in actions if a[0] == "adjoint"]
+        assert adjoints == list(range(steps - 1, -1, -1))
+
+    @pytest.mark.parametrize("steps,snapshots", [(6, 2), (12, 3), (24, 4), (17, 3)])
+    def test_storage_never_exceeds_snapshots(self, steps, snapshots):
+        ops = materialize(revolve_schedule(steps, snapshots))
+        live = set()
+        max_live = 0
+        for op in ops:
+            if op[0] == "checkpoint":
+                assert op[1] not in live
+                live.add(op[1])
+            elif op[0] == "restore":
+                assert op[1] in live  # created earlier, not yet consumed
+                live.remove(op[1])
+                if op[3] is not None:
+                    live.add(op[3])
+            max_live = max(max_live, len(live))
+        assert max_live <= snapshots
+        assert not live  # every stored state is eventually consumed
+
+    def test_restore_order_is_not_lifo(self):
+        # The classic stress: a stored state is revisited *after* states
+        # checkpointed later — impossible under a pure stack discipline.
+        ops = materialize(revolve_schedule(24, 4))
+        order = [op[1] for op in ops if op[0] == "restore"]
+        assert order  # non-empty
+        assert any(b < a for a, b in zip(order, order[1:]))
+        assert any(b > a for a, b in zip(order, order[1:]))
+
+    def test_run_revolve_verifies_everything(self, context):
+        spec = RevolveSpec(steps=10, snapshots=3, state_bytes=64 * MiB,
+                           step_s=0.0, adjoint_s=0.0)
+        with ScoreEngine(context) as engine:
+            result = run_revolve(engine, spec, hints=True)
+        assert result.adjoint_steps == spec.steps
+        assert result.forward_steps == min_forward_steps(spec.steps, spec.snapshots - 1)
+        assert result.verified == len(result.restore_latencies) > 0
+
+
+# -- kvcache schedule ---------------------------------------------------------
+class TestKvCacheSchedule:
+    def test_restore_chains_per_session(self):
+        spec = KvCacheSpec(sessions=6, events=36, seed=1)
+        schedule = generate_kvcache_schedule(spec)
+        assert len(schedule) == spec.events
+        last = {}
+        first_seen = set()
+        for ev in schedule:
+            if ev.session not in first_seen:
+                assert ev.restore_id is None  # first activation creates
+                first_seen.add(ev.session)
+            else:
+                assert ev.restore_id == last[ev.session]
+            last[ev.session] = ev.suspend_id
+        # Suspend ids are unique and dense.
+        ids = [ev.suspend_id for ev in schedule]
+        assert sorted(ids) == list(range(spec.events))
+
+    def test_deterministic_and_time_ordered(self):
+        spec = KvCacheSpec(sessions=5, events=30, seed=9)
+        a = generate_kvcache_schedule(spec)
+        b = generate_kvcache_schedule(spec)
+        assert a == b
+        assert all(x.at <= y.at for x, y in zip(a, a[1:]))
+
+    def test_adversarial_still_chains(self):
+        spec = KvCacheSpec(sessions=5, events=40, adversarial=True, seed=2)
+        schedule = generate_kvcache_schedule(spec)
+        last = {}
+        for ev in schedule:
+            assert ev.restore_id == last.get(ev.session)
+            last[ev.session] = ev.suspend_id
+
+    def test_oracle_order_matches_restores(self):
+        spec = KvCacheSpec(sessions=4, events=24, seed=3)
+        schedule = generate_kvcache_schedule(spec)
+        oracle = oracle_restore_order(schedule)
+        assert oracle == [ev.restore_id for ev in schedule if ev.restore_id is not None]
+        assert len(oracle) == spec.events - spec.sessions
+
+
+class TestKvCacheLifecycle:
+    def _run(self, spec, predict_enabled=False, hints=False):
+        changes = {"telemetry": True}
+        if predict_enabled:
+            changes["predict"] = PredictConfig(enabled=True)
+        cfg = tiny_config(**changes)
+        # 2 GPU slots / 4 host slots for 8 live blocks: re-activations of
+        # cold sessions must come back from the SSD.
+        cfg = cfg.with_(
+            cache=CacheConfig(
+                gpu_cache_size=2 * 128 * MiB, host_cache_size=4 * 128 * MiB
+            )
+        )
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx) as engine:
+                result = run_kvcache(engine, spec, hints=hints)
+                ssd_reads = engine.telemetry.registry.counter(
+                    "tier.ssd.read_ops"
+                ).value
+        return result, ssd_reads
+
+    def test_reactivation_of_evicted_session_verifies(self):
+        spec = KvCacheSpec(
+            sessions=8, events=32, base_period_s=0.2, think_s=0.001, seed=4
+        )
+        result, ssd_reads = self._run(spec)
+        # Every re-activation restored the exact suspended bytes...
+        assert result.verified == len(result.restore_latencies) == spec.events - spec.sessions
+        # ...and the tiny caches forced at least one from the SSD.
+        assert ssd_reads > 0
+
+    def test_abandoned_sessions_are_final_suspends(self):
+        spec = KvCacheSpec(sessions=8, events=32, seed=4)
+        schedule = generate_kvcache_schedule(spec)
+        expected = sorted({ev.session: ev.suspend_id for ev in schedule}.values())
+        result, _ = self._run(spec)
+        # One per session: the last suspend never re-activates (session
+        # end) and its checkpoint is simply abandoned, never restored.
+        assert result.abandoned == expected
+        assert len(result.abandoned) == spec.sessions
+
+    def test_learned_mode_verifies_and_speculates(self):
+        spec = KvCacheSpec(
+            sessions=6, events=42, base_period_s=0.3, think_s=0.001, seed=5
+        )
+        result, _ = self._run(spec, predict_enabled=True)
+        assert result.verified == len(result.restore_latencies)
+        stats = result.engine_stats["prediction"]
+        assert stats["spec_prefetches"] > 0
+
+
+# -- demand restore joins in-flight speculative prefetch ----------------------
+class TestDemandJoinsPrefetch:
+    def test_no_duplicate_ssd_read(self, rng):
+        slow_ssd = dataclasses.replace(
+            HardwareSpec(), ssd_read_bandwidth=16 * MiB  # 128 MiB ~ 8 nominal s
+        )
+        cfg = tiny_config(telemetry=True, hardware=slow_ssd)
+        with Cluster(cfg) as cluster:
+            ctx = cluster.process_contexts()[0]
+            with ScoreEngine(ctx) as engine:
+                buf = ctx.device.alloc_buffer(128 * MiB)
+                buf.fill_random(rng)
+                expected = buf.checksum()
+                engine.checkpoint(0, buf)
+                engine.wait_for_flushes(timeout=600.0)
+                record = engine.catalog.get(0)
+                with engine.monitor:
+                    engine.gpu_cache.evict(record)
+                    engine.host_cache.evict(record)
+                reads = engine.telemetry.registry.counter("tier.ssd.read_ops")
+                assert reads.value == 0
+                # Kick off a prefetch of the SSD-only copy and catch it
+                # mid-flight (the slow SSD keeps the window open ~16 ms).
+                engine.prefetch_enqueue(0)
+                engine.prefetch_start()
+                deadline = time.monotonic() + 5.0
+                while not record.prefetch_inflight:
+                    assert time.monotonic() < deadline, "prefetch never started"
+                    time.sleep(0.0005)
+                # The demand restore must join the in-flight promotion —
+                # wait for its transfer — not issue a second SSD read.
+                out = ctx.device.alloc_buffer(128 * MiB)
+                engine.restore(0, out)
+                assert out.checksum() == expected
+                assert reads.value == 1
