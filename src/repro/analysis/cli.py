@@ -22,10 +22,11 @@ import os
 from typing import List, Optional, Sequence
 
 from repro.analysis.report import analyze_events, diff_reports, render_diff, render_report
-from repro.config import HardwareSpec, SloConfig
+from repro.config import FaultConfig, HardwareSpec, SloConfig
 from repro.errors import ConfigError
 from repro.log import enable_console_logging
 from repro.telemetry.bus import TraceEvent
+from repro.telemetry.cli import _parse_node_crash, _parse_partition
 from repro.telemetry.exporters import read_jsonl
 from repro.workloads.patterns import RestoreOrder
 
@@ -52,6 +53,15 @@ def _load_events(target: str, args, slo: SloConfig) -> List[TraceEvent]:
                 f"--ssd-bandwidth-factor must be positive: {args.ssd_bandwidth_factor}"
             )
         hardware = _scaled_ssd(HardwareSpec(), args.ssd_bandwidth_factor)
+    faults = None
+    if args.node_crash or args.partition:
+        if args.cluster is None:
+            raise ConfigError("--node-crash/--partition need --cluster")
+        faults = FaultConfig(
+            enabled=True,
+            node_crashes=tuple(args.node_crash or ()),
+            partitions=tuple(args.partition or ()),
+        )
     out = run_trace(
         target,
         out_dir=args.out_dir,
@@ -62,11 +72,13 @@ def _load_events(target: str, args, slo: SloConfig) -> List[TraceEvent]:
         sched=args.sched,
         reduce=args.reduce,
         similarity=args.similarity,
+        faults=faults,
         resilient=args.resilient,
         analysis=True,
         slo=slo,
         hardware=hardware,
         predict=args.predict,
+        cluster_nodes=args.cluster,
     )
     return read_jsonl(out["jsonl"])
 
@@ -120,6 +132,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--sched", action="store_true", help="enable QoS transfer scheduling")
     parser.add_argument("--reduce", action="store_true", help="enable the reduction pipeline")
+    parser.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="NODES",
+        help="run the live workload as an N-node checkpoint fabric",
+    )
+    parser.add_argument(
+        "--node-crash",
+        action="append",
+        type=_parse_node_crash,
+        metavar="NODE@TIME[:MODE]",
+        help="crash a node during the live run (see `repro trace`); "
+        "repeatable, needs --cluster",
+    )
+    parser.add_argument(
+        "--partition",
+        action="append",
+        type=_parse_partition,
+        metavar="A-B@START:END",
+        help="pairwise partition window during the live run; repeatable, "
+        "needs --cluster",
+    )
     parser.add_argument("--similarity", type=float, default=0.9)
     parser.add_argument("--resilient", action="store_true", help="enable the self-healing stack")
     parser.add_argument(

@@ -14,6 +14,11 @@ The package promotes the single-process topology to an N-node cluster:
   admission.
 * :mod:`repro.cluster.topology` — :class:`ClusterTopology`, the one-call
   builder: cluster + one engine per process context + service.
+* :mod:`repro.cluster.membership` — :class:`MembershipRegistry`, node
+  liveness plus the deterministic crash/rejoin/partition chaos driver.
+* :mod:`repro.cluster.repair` — :class:`ReplicaRepairer`, QoS-paced
+  anti-entropy re-replication restoring ``replica_factor`` after a node
+  failure, plus the rejoin path's catch-up backfill.
 
 Everything is gated on ``RuntimeConfig.cluster.enabled``; with the gate
 off no fabric object exists and the single-node path is bit-identical
@@ -23,7 +28,9 @@ off no fabric object exists and the single-node path is bit-identical
 from repro.cluster.aggregator import PfsWriteAggregator
 from repro.cluster.directory import ReplicaDirectory
 from repro.cluster.fabric import ClusterFabric, PeerSsdStore
-from repro.cluster.service import CheckpointService, ClientSession
+from repro.cluster.membership import MembershipRegistry
+from repro.cluster.repair import ReplicaRepairer
+from repro.cluster.service import CheckpointService, ClientSession, RestoreResult
 from repro.cluster.topology import ClusterTopology
 
 __all__ = [
@@ -31,7 +38,10 @@ __all__ = [
     "ClientSession",
     "ClusterFabric",
     "ClusterTopology",
+    "MembershipRegistry",
     "PeerSsdStore",
     "PfsWriteAggregator",
     "ReplicaDirectory",
+    "ReplicaRepairer",
+    "RestoreResult",
 ]

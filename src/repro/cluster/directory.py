@@ -7,6 +7,11 @@ The directory is pure metadata — bytes still move over the modeled
 interconnect links — and deliberately tiny: a dict under one lock, the
 in-process stand-in for the etcd/gossip membership map a real fabric
 would run.
+
+Mutations are idempotent: publishing an existing holder, withdrawing an
+absent holder, or withdrawing from an unknown key are all no-ops, so the
+crash path (a node withdrawing everything it held) can race ordinary
+evictions and per-key deletes without double-accounting.
 """
 
 from __future__ import annotations
@@ -26,24 +31,60 @@ class ReplicaDirectory:
         self._holders: Dict[StoreKey, Set[int]] = {}
 
     def publish(self, key: StoreKey, node_id: int) -> None:
-        """Record that ``node_id``'s SSD committed a durable copy of ``key``."""
+        """Record that ``node_id``'s SSD committed a durable copy of ``key``.
+
+        Idempotent: re-publishing an existing holder changes nothing.
+        """
         with self._lock:
             self._holders.setdefault(key, set()).add(node_id)
 
-    def withdraw(self, key: StoreKey, node_id: int) -> None:
-        """Drop ``node_id`` as a holder of ``key`` (eviction or delete)."""
+    def withdraw(self, key: StoreKey, node_id: int) -> bool:
+        """Drop ``node_id`` as a holder of ``key`` (eviction or delete).
+
+        Idempotent and safe against concurrent publish/withdraw of the same
+        key: a double withdraw, or a withdraw racing the publish that
+        re-adds the holder, simply converges on the latest state.  Returns
+        whether this call actually removed a holder entry.
+        """
         with self._lock:
             holders = self._holders.get(key)
-            if holders is None:
-                return
+            if holders is None or node_id not in holders:
+                return False
             holders.discard(node_id)
             if not holders:
                 del self._holders[key]
+            return True
+
+    def withdraw_node(self, node_id: int) -> List[StoreKey]:
+        """Drop ``node_id`` from every key it holds (whole-node failure).
+
+        One atomic sweep under the directory lock — concurrent publishes
+        land either before (and are withdrawn) or after (and stand, for a
+        node resurrected mid-sweep).  Returns the keys the node held, so
+        the repairer can seed its under-replication scan.
+        """
+        with self._lock:
+            withdrawn: List[StoreKey] = []
+            for key in list(self._holders):
+                holders = self._holders[key]
+                if node_id in holders:
+                    holders.discard(node_id)
+                    withdrawn.append(key)
+                    if not holders:
+                        del self._holders[key]
+            return withdrawn
 
     def holders(self, key: StoreKey) -> List[int]:
         """Node ids holding ``key``, sorted for deterministic routing."""
         with self._lock:
             return sorted(self._holders.get(key, ()))
+
+    def snapshot(self) -> List[Tuple[StoreKey, List[int]]]:
+        """A point-in-time copy of every (key, sorted holders) entry."""
+        with self._lock:
+            return sorted(
+                (key, sorted(holders)) for key, holders in self._holders.items()
+            )
 
     def __len__(self) -> int:
         with self._lock:

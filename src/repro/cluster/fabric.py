@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.cluster.aggregator import PfsWriteAggregator
 from repro.cluster.directory import ReplicaDirectory, StoreKey
+from repro.cluster.membership import MembershipRegistry
 from repro.errors import TransientTransferError
 from repro.simgpu.bandwidth import Link
 from repro.tiers.base import TierLevel
@@ -49,6 +50,17 @@ class ClusterFabric:
         self.pfs = cluster.pfs
         self.num_nodes = len(cluster.nodes)
         self.directory = ReplicaDirectory()
+        #: anti-entropy replica repair (None unless ``ClusterConfig.repair``);
+        #: built before the membership registry so crash sweeps can feed it.
+        self.repairer = None
+        if self.config.repair:
+            from repro.cluster.repair import ReplicaRepairer  # lazy: cycle
+
+            self.repairer = ReplicaRepairer(self)
+        #: node liveness + crash/rejoin/partition chaos driver.  Inert
+        #: (``membership.active`` False, zero per-op cost beyond one check)
+        #: until node events are configured or a crash is triggered.
+        self.membership = MembershipRegistry(self)
         self._lock = threading.Lock()
         self._peer_links: Dict[Tuple[int, int], Link] = {}
         self._aggregators: Dict[int, PfsWriteAggregator] = {}
@@ -107,6 +119,21 @@ class ClusterFabric:
             )
         return targets
 
+    def live_replica_targets(self, node_id: int) -> List[Tuple[int, "SsdStore", Link]]:
+        """The replica targets that are up and reachable right now.
+
+        The flusher swaps to this list while chaos is active so replication
+        skips dead or partitioned successors instead of burning its retry
+        budget against them; the repairer restores the factor once the ring
+        heals.
+        """
+        membership = self.membership
+        return [
+            (peer, ssd, link)
+            for peer, ssd, link in self.replica_targets(node_id)
+            if membership.in_ring(peer) and membership.reachable(node_id, peer)
+        ]
+
     # -- peer reads ------------------------------------------------------------
     def peer_source(self, reader_node: int, key: StoreKey) -> Optional["PeerSsdStore"]:
         """A readable neighbor SSD holding ``key``, or None.
@@ -120,12 +147,24 @@ class ClusterFabric:
             return None
         if self.faults.enabled and self.faults.hard_outage("ssd"):
             return None
+        chaos = self.membership.active
+        if chaos:
+            self.membership.tick()
         holders = self.directory.holders(key)
         if not holders:
             return None
         holders.sort(key=lambda h: (h - reader_node) % self.num_nodes)
+        skipped_by_membership = False
         for holder in holders:
             if holder == reader_node:
+                continue
+            if chaos and not (
+                self.membership.can_serve_reads(holder)
+                and self.membership.reachable(reader_node, holder)
+            ):
+                # Dead holder (directory lag) or a partition cutting us off
+                # from it: route around — degraded PFS-only when none left.
+                skipped_by_membership = True
                 continue
             remote = self.cluster.nodes[holder].ssd
             if not remote.contains(key):
@@ -133,6 +172,8 @@ class ClusterFabric:
             if not self.health.healthy(remote._track):
                 continue
             return PeerSsdStore(self, reader_node, holder, remote)
+        if skipped_by_membership:
+            self.membership.note_degraded_read()
         return None
 
     # -- PFS writes ------------------------------------------------------------

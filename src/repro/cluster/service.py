@@ -10,7 +10,9 @@ but the *control* structure is the real one:
 * **sessions** — ``connect`` pins each client to a home engine
   (round-robin across the cluster) and is bounded by
   ``service_max_sessions``; excess clients are refused with
-  :class:`~repro.errors.BackpressureError`.
+  :class:`~repro.errors.BackpressureError`.  ``disconnect`` drains the
+  session's in-flight RPCs and poisons the handle: any later call raises
+  a clean :class:`~repro.errors.LifecycleError`.
 * **admission** — each session allows ``service_queue_depth`` RPCs in
   flight; the bound is enforced at the door rather than by queueing
   unbounded work behind the engines.
@@ -19,21 +21,43 @@ but the *control* structure is the real one:
   foreign engine adopts the record (:meth:`ScoreEngine.adopt_foreign`)
   and promotes it over the fabric — peer SSD when a healthy holder
   exists, PFS otherwise.
+* **failover** — with ``ClusterConfig.failover``, a session whose pinned
+  engine dies (node crash) is transparently re-pinned to a surviving
+  engine and the in-flight op is replayed idempotently: a submit whose
+  checkpoint already reached a durable tier is *not* re-executed, and a
+  restore simply re-routes through the fabric (peer SSD or PFS).
 * **restore fan-in** — :meth:`restore_many` runs a batch of restores
   concurrently (one thread per RPC, like a real server's handler pool)
-  and returns per-restore latencies.
+  and returns a structured :class:`RestoreResult` per item, so one failed
+  worker never masks the rest of the batch.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import BackpressureError, CheckpointNotFound, LifecycleError
+from repro.errors import (
+    BackpressureError,
+    CheckpointNotFound,
+    InjectedCrash,
+    LifecycleError,
+)
 
 if TYPE_CHECKING:
     from repro.config import ClusterConfig
     from repro.core.engine import ScoreEngine
+
+
+@dataclass
+class RestoreResult:
+    """Per-item outcome of a :meth:`CheckpointService.restore_many` batch."""
+
+    ckpt_id: int
+    ok: bool
+    latency_s: Optional[float] = None
+    error: Optional[BaseException] = None
 
 
 class ClientSession:
@@ -43,13 +67,18 @@ class ClientSession:
         self.service = service
         self.client_id = client_id
         self.engine = engine
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
         self._inflight = 0
+        self._closed = False
 
     # -- admission -------------------------------------------------------------
     def _admit(self) -> None:
         depth = self.service.config.service_queue_depth
-        with self._lock:
+        with self._cond:
+            if self._closed:
+                raise LifecycleError(
+                    f"session {self.client_id} is disconnected"
+                )
             if self._inflight >= depth:
                 raise BackpressureError(
                     f"session {self.client_id}: {self._inflight} RPCs in flight "
@@ -58,8 +87,17 @@ class ClientSession:
             self._inflight += 1
 
     def _release(self) -> None:
-        with self._lock:
+        with self._cond:
             self._inflight -= 1
+            if self._inflight == 0:
+                self._cond.notify_all()
+
+    def _poison_and_drain(self) -> None:
+        """Close the admission door, then wait out the in-flight RPCs."""
+        with self._cond:
+            self._closed = True
+            while self._inflight > 0:
+                self._cond.wait()
 
     # -- RPCs ------------------------------------------------------------------
     def submit(self, ckpt_id: int, buffer) -> float:
@@ -67,11 +105,17 @@ class ClientSession:
         self._admit()
         try:
             self.service._rpc_hop()
-            self.service._place(ckpt_id, self.engine.process_id)
+            engine = self.service._session_engine(self)
+            self.service._place(ckpt_id, engine.process_id)
             try:
-                return self.engine.checkpoint(ckpt_id, buffer)
+                return engine.checkpoint(ckpt_id, buffer)
+            except InjectedCrash:
+                if not self.service._failover_ready(engine):
+                    self.service._unplace(ckpt_id, engine.process_id)
+                    raise
+                return self.service._failover_submit(self, ckpt_id, buffer, engine)
             except BaseException:
-                self.service._unplace(ckpt_id, self.engine.process_id)
+                self.service._unplace(ckpt_id, engine.process_id)
                 raise
         finally:
             self._release()
@@ -85,15 +129,21 @@ class ClientSession:
         self._admit()
         try:
             self.service._rpc_hop()
-            target = self.service._resolve_engine(engine) or self.engine
+            target = self.service._resolve_engine(engine) or self.service._session_engine(self)
             home_pid = self.service._home_of(ckpt_id)
             if home_pid is None:
                 raise CheckpointNotFound(
                     f"checkpoint {ckpt_id} was never submitted to the service"
                 )
-            if home_pid != target.process_id and not target.catalog.contains(ckpt_id):
-                target.adopt_foreign(home_pid, ckpt_id)
-            return target.restore(ckpt_id, buffer)
+            try:
+                return self.service._restore_on(target, home_pid, ckpt_id, buffer)
+            except InjectedCrash:
+                if not self.service._failover_ready(target):
+                    raise
+                # Explicit engine targets fail over too: any surviving
+                # engine can adopt the durable copy through the fabric.
+                fallback = self.service._repin(self, target)
+                return self.service._restore_on(fallback, home_pid, ckpt_id, buffer)
         finally:
             self._release()
 
@@ -126,6 +176,14 @@ class CheckpointService:
         self._next_engine = 0
         self._placement: Dict[int, int] = {}
         self._by_pid = {engine.process_id: engine for engine in self.engines}
+        self._fabric = self.engines[0].fabric
+        self.failovers = 0
+        self.replays_skipped = 0
+        registry = self.engines[0].telemetry.registry
+        self._m_failovers = registry.counter("cluster.service.failovers")
+        self._m_replays_skipped = registry.counter(
+            "cluster.service.replays_skipped"
+        )
 
     # -- sessions --------------------------------------------------------------
     def connect(self, client_id: str) -> ClientSession:
@@ -146,8 +204,103 @@ class CheckpointService:
             return session
 
     def disconnect(self, client_id: str) -> None:
+        """Tear a session down cleanly.
+
+        The session is unregistered first (no new connects resolve it),
+        then poisoned — later RPCs on a stale handle raise
+        :class:`~repro.errors.LifecycleError` — and finally drained: this
+        call blocks until every in-flight admission has released, so the
+        caller knows no RPC of the departed client is still running.
+        """
         with self._lock:
-            self._sessions.pop(client_id, None)
+            session = self._sessions.pop(client_id, None)
+        if session is not None:
+            session._poison_and_drain()
+
+    # -- failover --------------------------------------------------------------
+    def _membership(self):
+        return None if self._fabric is None else self._fabric.membership
+
+    def _failover_ready(self, engine) -> bool:
+        """Whether the failed engine's op should fail over instead of raise."""
+        return self.config.failover and engine.crashed.is_set()
+
+    def _live_engines(self) -> List["ScoreEngine"]:
+        membership = self._membership()
+        live = []
+        for engine in self.engines:
+            if engine.crashed.is_set():
+                continue
+            if membership is not None and membership.active:
+                if not membership.can_serve_reads(engine.node_id):
+                    continue
+            live.append(engine)
+        return live
+
+    def _session_engine(self, session: ClientSession):
+        """The session's engine, re-pinned away from a dead node first."""
+        engine = session.engine
+        if self.config.failover and engine.crashed.is_set():
+            return self._repin(session, engine)
+        return engine
+
+    def _repin(self, session: ClientSession, dead_engine):
+        """Move a session off a dead engine onto the next surviving one."""
+        live = self._live_engines()
+        if not live:
+            raise LifecycleError(
+                "no surviving engine to fail the session over to"
+            )
+        with self._lock:
+            target = live[self._next_engine % len(live)]
+            self._next_engine += 1
+        if session.engine is dead_engine:
+            session.engine = target
+        self.failovers += 1
+        self._m_failovers.inc()
+        target.telemetry.bus.instant(
+            "session-failover",
+            f"p{target.process_id}-app",
+            client=session.client_id,
+            from_pid=dead_engine.process_id,
+            to_pid=target.process_id,
+        )
+        return target
+
+    def _durable_somewhere(self, pid: int, ckpt_id: int) -> bool:
+        """Whether ``(pid, ckpt_id)`` already reached any durable tier."""
+        key = (pid, ckpt_id)
+        if self._fabric is not None and self._fabric.directory.holders(key):
+            return True
+        pfs = self.engines[0].pfs
+        return pfs is not None and pfs.contains(key)
+
+    def _failover_submit(self, session, ckpt_id, buffer, dead_engine) -> float:
+        """Replay an in-flight submit on a survivor, idempotently.
+
+        If the op already reached a durable tier before the node died, the
+        placement stands (restores adopt the foreign durable copy) and the
+        replay is skipped — exactly-once effect from at-least-once
+        delivery.  Otherwise the checkpoint re-runs on the new engine.
+        """
+        target = self._repin(session, dead_engine)
+        self._rpc_hop()
+        if self._durable_somewhere(dead_engine.process_id, ckpt_id):
+            self.replays_skipped += 1
+            self._m_replays_skipped.inc()
+            return 0.0
+        self._unplace(ckpt_id, dead_engine.process_id)
+        self._place(ckpt_id, target.process_id)
+        try:
+            return target.checkpoint(ckpt_id, buffer)
+        except BaseException:
+            self._unplace(ckpt_id, target.process_id)
+            raise
+
+    def _restore_on(self, target, home_pid: int, ckpt_id: int, buffer) -> float:
+        if home_pid != target.process_id and not target.catalog.contains(ckpt_id):
+            target.adopt_foreign(home_pid, ckpt_id)
+        return target.restore(ckpt_id, buffer)
 
     # -- placement -------------------------------------------------------------
     def _place(self, ckpt_id: int, pid: int) -> None:
@@ -180,6 +333,9 @@ class CheckpointService:
 
     def _rpc_hop(self) -> None:
         """Charge one client→service message hop on the virtual clock."""
+        membership = self._membership()
+        if membership is not None and membership.active:
+            membership.tick()
         if self.config.service_rpc_latency_s > 0:
             self.clock.sleep(self.config.service_rpc_latency_s)
 
@@ -204,21 +360,22 @@ class CheckpointService:
     # -- fan-in ----------------------------------------------------------------
     def restore_many(
         self, items: Sequence[Tuple[ClientSession, int, object, object]]
-    ) -> List[float]:
+    ) -> List[RestoreResult]:
         """Run ``(session, ckpt_id, buffer, engine)`` restores concurrently.
 
-        Returns per-item restore latencies in item order; the first failure
-        is re-raised after all workers finish (the rest of the batch is not
-        cancelled — server handlers run to completion).
+        Returns one :class:`RestoreResult` per item, in item order: each
+        carries its own success/error/latency, so a failed worker is
+        visible without masking the outcomes of the rest of the batch
+        (server handlers run to completion, never cancelled by a sibling).
         """
-        results: List[Optional[float]] = [None] * len(items)
-        errors: List[BaseException] = []
+        results: List[Optional[RestoreResult]] = [None] * len(items)
 
         def worker(i, session, ckpt_id, buffer, engine):
             try:
-                results[i] = session.restore(ckpt_id, buffer, engine=engine)
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
-                errors.append(exc)
+                latency = session.restore(ckpt_id, buffer, engine=engine)
+                results[i] = RestoreResult(ckpt_id, True, latency_s=latency)
+            except BaseException as exc:  # noqa: BLE001 - reported per item
+                results[i] = RestoreResult(ckpt_id, False, error=exc)
 
         threads = [
             threading.Thread(
@@ -233,8 +390,6 @@ class CheckpointService:
             thread.start()
         for thread in threads:
             thread.join()
-        if errors:
-            raise errors[0]
         return [r for r in results if r is not None]
 
     def stats(self) -> dict:
@@ -243,4 +398,6 @@ class CheckpointService:
                 "sessions": len(self._sessions),
                 "checkpoints": len(self._placement),
                 "engines": len(self.engines),
+                "failovers": self.failovers,
+                "replays_skipped": self.replays_skipped,
             }

@@ -409,6 +409,12 @@ class StreamConfig:
 #: optionally prefixed ``before-`` / ``after-`` (bare name == ``before-``).
 CRASH_STAGES = ("d2h", "d2s", "h2f", "f2p", "repl")
 
+#: node-crash modes a :class:`FaultConfig` ``node_crashes`` entry may name.
+#: ``"fail-stop"`` loses the node's SSD contents (media gone with the node);
+#: ``"power-loss"`` kills the node but preserves the SSD media, so a later
+#: rejoin republishes the surviving local copies.
+NODE_CRASH_MODES = ("fail-stop", "power-loss")
+
 
 @dataclass(frozen=True)
 class FaultConfig:
@@ -455,6 +461,22 @@ class FaultConfig:
     crash_point: Optional[str] = None
     #: fire the crash point only for this checkpoint id (None = first hit).
     crash_ckpt: Optional[int] = None
+    #: scheduled whole-node crashes: ``(node_id, time_s, mode)`` tuples on
+    #: the virtual clock, ``mode`` one of :data:`NODE_CRASH_MODES`.  At
+    #: ``time_s`` the node's engines stop accepting work, its SSD goes
+    #: offline (``"fail-stop"`` also wipes the media), and the replica
+    #: directory withdraws every copy it held.
+    node_crashes: tuple = ()
+    #: scheduled node rejoins: ``(node_id, time_s)`` tuples.  A rejoining
+    #: node powers its SSD back on (power-loss crashes keep their blobs),
+    #: republishes surviving copies, and — when the repairer is enabled —
+    #: stays out of the replication ring until catch-up backfill finishes.
+    node_rejoins: tuple = ()
+    #: pairwise network-partition windows: ``(node_a, node_b, start_s,
+    #: end_s)`` tuples on the virtual clock; while ``start <= now < end``
+    #: the two nodes cannot exchange fabric traffic (peer reads and
+    #: replication route around the cut, or drop to the PFS).
+    partitions: tuple = ()
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.transfer_fault_rate <= 1.0):
@@ -488,6 +510,39 @@ class FaultConfig:
                 raise ConfigError(
                     f"unknown crash_point {self.crash_point!r}; stages: {CRASH_STAGES}"
                 )
+        for entry in self.node_crashes:
+            if len(entry) != 3:
+                raise ConfigError(f"bad node_crashes entry: {entry!r}")
+            node_id, time_s, mode = entry
+            if not isinstance(node_id, int) or node_id < 0:
+                raise ConfigError(f"bad node_crashes node id: {node_id!r}")
+            if time_s < 0:
+                raise ConfigError(f"node_crashes time must be >= 0: {time_s}")
+            if mode not in NODE_CRASH_MODES:
+                raise ConfigError(
+                    f"unknown node-crash mode {mode!r}; modes: {NODE_CRASH_MODES}"
+                )
+        for entry in self.node_rejoins:
+            if len(entry) != 2:
+                raise ConfigError(f"bad node_rejoins entry: {entry!r}")
+            node_id, time_s = entry
+            if not isinstance(node_id, int) or node_id < 0:
+                raise ConfigError(f"bad node_rejoins node id: {node_id!r}")
+            if time_s < 0:
+                raise ConfigError(f"node_rejoins time must be >= 0: {time_s}")
+        for entry in self.partitions:
+            if len(entry) != 4:
+                raise ConfigError(f"bad partitions entry: {entry!r}")
+            node_a, node_b, start, end = entry
+            for node_id in (node_a, node_b):
+                if not isinstance(node_id, int) or node_id < 0:
+                    raise ConfigError(f"bad partitions node id: {node_id!r}")
+            if node_a == node_b:
+                raise ConfigError(
+                    f"partition endpoints must differ: {entry!r}"
+                )
+            if not (0.0 <= start < end):
+                raise ConfigError(f"bad partition window [{start}, {end})")
 
 
 @dataclass(frozen=True)
@@ -676,6 +731,24 @@ class ClusterConfig:
     service_queue_depth: int = 16
     #: modeled one-way RPC latency per service call, nominal seconds.
     service_rpc_latency_s: float = 200e-6
+    #: anti-entropy replica repair: after a node crash (or rejoin) the
+    #: :class:`~repro.cluster.repair.ReplicaRepairer` re-replicates every
+    #: under-replicated checkpoint from a surviving SSD holder (or the
+    #: PFS) until ``replica_factor`` live copies exist again.
+    repair: bool = False
+    #: nominal seconds between repairer scans of the replica directory.
+    repair_interval_s: float = 0.05
+    #: sched class repair copies admit under (``repro.sched.TransferClass``
+    #: name); the default rides the cascade-flush class so repair traffic
+    #: never preempts demand restores.
+    repair_class: str = "CASCADE_FLUSH"
+    #: cap on repair copies in flight per scan (bounds the burst a mass
+    #: withdrawal can inject into the fabric).
+    repair_max_inflight: int = 4
+    #: service session failover: when a pinned engine's node dies, re-pin
+    #: the session to a surviving engine and idempotently replay the
+    #: in-flight op instead of surfacing the node death to the client.
+    failover: bool = False
 
     def __post_init__(self) -> None:
         if self.replica_factor < 1:
@@ -707,6 +780,18 @@ class ClusterConfig:
         if self.service_rpc_latency_s < 0:
             raise ConfigError(
                 f"service_rpc_latency_s must be >= 0: {self.service_rpc_latency_s}"
+            )
+        if self.repair_interval_s <= 0:
+            raise ConfigError(
+                f"repair_interval_s must be positive: {self.repair_interval_s}"
+            )
+        if self.repair_class not in (
+            "DEMAND_READ", "CASCADE_FLUSH", "SPECULATIVE_PREFETCH"
+        ):
+            raise ConfigError(f"unknown repair_class: {self.repair_class!r}")
+        if self.repair_max_inflight < 1:
+            raise ConfigError(
+                f"repair_max_inflight must be >= 1: {self.repair_max_inflight}"
             )
 
 
@@ -871,6 +956,18 @@ class RuntimeConfig:
                 f"cluster.replica_factor ({self.cluster.replica_factor}) exceeds "
                 f"num_nodes ({self.num_nodes})"
             )
+        if self.faults.enabled:
+            chaos_nodes = (
+                [entry[0] for entry in self.faults.node_crashes]
+                + [entry[0] for entry in self.faults.node_rejoins]
+                + [n for entry in self.faults.partitions for n in entry[:2]]
+            )
+            for node_id in chaos_nodes:
+                if node_id >= self.num_nodes:
+                    raise ConfigError(
+                        f"fault node id {node_id} out of range for "
+                        f"num_nodes={self.num_nodes}"
+                    )
 
     @property
     def effective_processes_per_node(self) -> int:

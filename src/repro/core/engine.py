@@ -173,6 +173,9 @@ class ScoreEngine:
             # Per-node trace lanes: stamp this engine's p<pid>-* tracks with
             # its node id so Perfetto and `repro analyze` group per node.
             self.telemetry.bus.bind_process(self.process_id, self.node_id)
+            # Membership needs the engine list so a node crash can kill
+            # every engine the node hosts.
+            self.fabric.membership.register_engine(self)
         #: causal tracing (:mod:`repro.telemetry.causal`): when
         #: ``config.analysis.enabled`` (and the bus records), every
         #: checkpoint/restore/prefetch chain gets an op id that rides on all

@@ -883,7 +883,14 @@ class Flusher:
         # accounting: the home node owns the recipe, the partner only keeps a
         # byte-copy for node-failure recovery.
         stored = record.stored_size(TierLevel.SSD)
-        for _target_node, target_ssd, target_link in engine.replica_targets:
+        targets = engine.replica_targets
+        if engine.fabric is not None and engine.fabric.membership.active:
+            # Under node chaos, skip dead/partitioned targets instead of
+            # burning retries into an offline SSD; the repairer restores
+            # the factor once the target is back (or replaced).
+            engine.fabric.membership.tick()
+            targets = engine.fabric.live_replica_targets(engine.node_id)
+        for _target_node, target_ssd, target_link in targets:
 
             def copy_to_partner(ssd=target_ssd, link=target_link) -> None:
                 payload, _ = engine.ssd.get(

@@ -34,8 +34,10 @@ import os
 from typing import List, Optional, Sequence
 
 from repro.config import (
+    NODE_CRASH_MODES,
     AnalysisConfig,
     CacheConfig,
+    ClusterConfig,
     FaultConfig,
     HardwareSpec,
     ReduceConfig,
@@ -45,7 +47,7 @@ from repro.config import (
     StreamConfig,
     bench_config,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, InjectedCrash
 from repro.log import enable_console_logging
 from repro.telemetry.exporters import render_summary, write_chrome_trace, write_jsonl
 from repro.util.units import MiB
@@ -155,6 +157,7 @@ def run_trace(
     slo: Optional[SloConfig] = None,
     hardware: Optional[HardwareSpec] = None,
     predict: str = "hints",
+    cluster_nodes: Optional[int] = None,
 ) -> dict:
     """Run ``workload`` with tracing on; return the written paths."""
     from repro.harness.approaches import make_engine_factory
@@ -177,6 +180,21 @@ def run_trace(
     if workload in _PREDICTED and processes != 1:
         raise ConfigError(f"{workload} is a single-rank driver; --processes 1")
     cfg = bench_config(telemetry=True, processes_per_node=processes)
+    if cluster_nodes is not None:
+        if workload in _PREDICTED:
+            raise ConfigError(f"{workload} is single-rank; --cluster needs a grid")
+        if cluster_nodes < 2:
+            raise ConfigError("--cluster needs at least 2 nodes")
+        if processes % cluster_nodes != 0:
+            raise ConfigError(
+                f"--processes {processes} does not divide across "
+                f"--cluster {cluster_nodes} nodes"
+            )
+        cfg = cfg.with_(
+            num_nodes=cluster_nodes,
+            processes_per_node=processes // cluster_nodes,
+            cluster=ClusterConfig(enabled=True, repair=True),
+        )
     if hardware is not None:
         cfg = cfg.with_(hardware=hardware)
     if sched:
@@ -226,7 +244,21 @@ def run_trace(
         )
         factory = make_engine_factory("score")
         with Cluster(cfg) as cluster:
-            run_multiprocess_shot(cluster, factory, specs)
+            try:
+                run_multiprocess_shot(cluster, factory, specs)
+            except InjectedCrash:
+                # A scheduled node crash killed those ranks mid-shot; the
+                # survivors ran to completion and their telemetry (plus the
+                # node-death instants) is what the trace is for.
+                pass
+            fabric = cluster.fabric
+            if fabric is not None and fabric.membership.active:
+                # Apply any node events the shot ran past, then let the
+                # anti-entropy repairer settle the replica factor so its
+                # spans land in the trace.
+                fabric.membership.tick()
+                if fabric.repairer is not None:
+                    fabric.repairer.run()
             telemetry = cluster.telemetry
 
     os.makedirs(out_dir, exist_ok=True)
@@ -312,6 +344,75 @@ def _parse_outage(spec: str):
     return (tier, start, end, factor)
 
 
+def _parse_node_crash(spec: str):
+    """``NODE@TIME[:MODE]`` -> a ``FaultConfig.node_crashes`` entry
+    (mode defaults to ``fail-stop``; ``power-loss`` preserves the SSD)."""
+    head, sep, mode = spec.partition(":")
+    mode = mode if sep else "fail-stop"
+    if mode not in NODE_CRASH_MODES:
+        raise argparse.ArgumentTypeError(
+            f"unknown crash mode {mode!r} in {spec!r} "
+            f"(expected one of {', '.join(NODE_CRASH_MODES)})"
+        )
+    node_s, sep, time_s = head.partition("@")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE@TIME[:MODE], got {spec!r}"
+        )
+    try:
+        node, time = int(node_s), float(time_s)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"{spec!r}: {exc}")
+    if node < 0 or time < 0:
+        raise argparse.ArgumentTypeError(
+            f"{spec!r}: node id and time must be non-negative"
+        )
+    return (node, time, mode)
+
+
+def _parse_node_rejoin(spec: str):
+    """``NODE@TIME`` -> a ``FaultConfig.node_rejoins`` entry."""
+    node_s, sep, time_s = spec.partition("@")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"expected NODE@TIME, got {spec!r}")
+    try:
+        node, time = int(node_s), float(time_s)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"{spec!r}: {exc}")
+    if node < 0 or time < 0:
+        raise argparse.ArgumentTypeError(
+            f"{spec!r}: node id and time must be non-negative"
+        )
+    return (node, time)
+
+
+def _parse_partition(spec: str):
+    """``A-B@START:END`` -> a ``FaultConfig.partitions`` entry (a pairwise
+    network partition window in nominal seconds, end-exclusive)."""
+    pair, sep, window = spec.partition("@")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected A-B@START:END, got {spec!r}"
+        )
+    try:
+        node_a, node_b = (int(part) for part in pair.split("-", 1))
+        start, end = (float(part) for part in window.split(":", 1))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"{spec!r}: {exc}")
+    if node_a == node_b:
+        raise argparse.ArgumentTypeError(
+            f"{spec!r}: a partition needs two distinct nodes"
+        )
+    if node_a < 0 or node_b < 0:
+        raise argparse.ArgumentTypeError(f"{spec!r}: node ids must be non-negative")
+    if not 0.0 <= start < end:
+        raise argparse.ArgumentTypeError(
+            f"bad partition window [{start}, {end}) in {spec!r} "
+            "(need 0 <= start < end)"
+        )
+    return (node_a, node_b, start, end)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
@@ -389,6 +490,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="probability that a durable blob lands bit-corrupted at rest",
     )
     parser.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="NODES",
+        help="run the grid as an N-node checkpoint fabric (peer SSD reads, "
+        "ring replication, anti-entropy repair); --processes must divide N",
+    )
+    parser.add_argument(
+        "--node-crash",
+        action="append",
+        type=_parse_node_crash,
+        metavar="NODE@TIME[:MODE]",
+        help="crash a whole node at a nominal time, e.g. 1@5 (fail-stop, "
+        "SSD lost) or 1@5:power-loss (SSD survives); repeatable, "
+        "needs --cluster",
+    )
+    parser.add_argument(
+        "--node-rejoin",
+        action="append",
+        type=_parse_node_rejoin,
+        metavar="NODE@TIME",
+        help="rejoin a crashed node at a nominal time (catch-up backfill "
+        "before it re-enters the replication ring); repeatable",
+    )
+    parser.add_argument(
+        "--partition",
+        action="append",
+        type=_parse_partition,
+        metavar="A-B@START:END",
+        help="pairwise network partition window in nominal seconds, e.g. "
+        "0-1@5:20; repeatable, needs --cluster",
+    )
+    parser.add_argument(
         "--crash-point",
         default=None,
         help="kill the engine at a flush-stage boundary, e.g. after-h2f "
@@ -406,12 +540,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.verbose:
         enable_console_logging(logging.DEBUG)
+    node_chaos = args.node_crash or args.node_rejoin or args.partition
+    if node_chaos and args.cluster is None:
+        parser.exit(
+            2,
+            f"{parser.prog}: error: --node-crash/--node-rejoin/--partition "
+            "need --cluster\n",
+        )
     faults = None
     if (
         args.fault_rate > 0.0
         or args.outage
         or args.corruption_rate > 0.0
         or args.crash_point is not None
+        or node_chaos
     ):
         try:
             faults = FaultConfig(
@@ -421,6 +563,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 tier_outages=tuple(args.outage or ()),
                 corruption_rate=args.corruption_rate,
                 crash_point=args.crash_point,
+                node_crashes=tuple(args.node_crash or ()),
+                node_rejoins=tuple(args.node_rejoin or ()),
+                partitions=tuple(args.partition or ()),
             )
         except ConfigError as exc:
             parser.exit(2, f"{parser.prog}: error: {exc}\n")
@@ -439,6 +584,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             faults=faults,
             resilient=args.resilient,
             predict=args.predict,
+            cluster_nodes=args.cluster,
         )
     except ConfigError as exc:
         parser.exit(2, f"{parser.prog}: error: {exc}\n")

@@ -133,6 +133,11 @@ class InMemoryIndex:
         with self._lock:
             return sorted(k for k in self._sizes if k[0] == process_id)
 
+    def keys(self) -> list:
+        """Every key in the index, sorted (node crash/rejoin sweeps)."""
+        with self._lock:
+            return sorted(self._sizes)
+
     def size_of(self, key: StoreKey) -> int:
         return self.require(key)
 

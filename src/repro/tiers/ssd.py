@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.clock import VirtualClock
 from repro.config import HardwareSpec, ScaleModel
-from repro.errors import CheckpointNotFound
+from repro.errors import CheckpointNotFound, TierOfflineError
 from repro.simgpu.bandwidth import Link
 from repro.simgpu.memory import checksum_payload
 from repro.telemetry import Telemetry
@@ -99,6 +99,10 @@ class SsdStore(ObjectStore):
         self._replica_dir = None
         self._blobs: Dict[StoreKey, np.ndarray] = {}
         self._blob_lock = threading.Lock()
+        #: node-crash chaos (repro.cluster.membership): while offline every
+        #: data-path op raises TierOfflineError and ``contains`` answers
+        #: False, so routing treats the drive exactly like a dark tier.
+        self._offline = False
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
             self._rebuild_index()
@@ -135,6 +139,7 @@ class SsdStore(ObjectStore):
         Nothing is visible in the store until ``commit()`` — a torn stream
         leaves no partial object behind.
         """
+        self._require_online("put", key)
         slow = 1.0
         corrupt_at = None
         if self.faults is not None:
@@ -194,6 +199,58 @@ class SsdStore(ObjectStore):
         (:class:`repro.cluster.directory.ReplicaDirectory`)."""
         self._replica_dir = directory
 
+    # -- node-crash chaos ---------------------------------------------------
+    def _require_online(self, op: str, key: StoreKey) -> None:
+        if self._offline:
+            raise TierOfflineError(
+                f"{self._track} is offline (node crash), {op} {key}"
+            )
+
+    def crash(self, preserve_contents: bool) -> None:
+        """Take the drive down with its node.
+
+        ``preserve_contents=False`` models a fail-stop crash that loses the
+        media: blobs and index are wiped (files removed when file-backed).
+        ``preserve_contents=True`` is a power loss — the media survives and
+        :meth:`power_on` brings the copies back.  Either way, while offline
+        every data-path op raises :class:`~repro.errors.TierOfflineError`
+        and ``contains`` answers False.  Directory withdrawal is the
+        membership registry's job (it owns the cluster-wide sweep).
+        """
+        self._offline = True
+        if preserve_contents:
+            return
+        keys = self._index.keys()
+        if self._directory is not None:
+            for key in keys:
+                for path in (self._path(key), self._meta_path(key)):
+                    try:
+                        os.remove(path)
+                    except FileNotFoundError:
+                        pass
+        with self._blob_lock:
+            self._blobs.clear()
+        for key in keys:
+            self._index.remove(key)
+
+    def power_on(self):
+        """Bring a crashed drive back; returns the surviving keys.
+
+        A power-loss crash preserved the media, so every surviving key is
+        republished to the replica directory (a fail-stop crash wiped the
+        index, so the sweep republishes nothing).
+        """
+        self._offline = False
+        keys = self._index.keys()
+        if self._replica_dir is not None:
+            for key in keys:
+                self._replica_dir.publish(key, self.node_id)
+        return keys
+
+    @property
+    def offline(self) -> bool:
+        return self._offline
+
     def open_get(self, key: StoreKey, request=None, nominal_size=None):
         """Chunk-granular read handle; ``finish()`` yields the payload.
 
@@ -202,6 +259,7 @@ class SsdStore(ObjectStore):
         (streaming out of the drive's write buffer); such callers take the
         payload from their pipeline, not ``finish()``.
         """
+        self._require_online("get", key)
         if nominal_size is None:
             nominal_size = self._index.require(key)
         slow = 1.0
@@ -232,6 +290,8 @@ class SsdStore(ObjectStore):
         return payload[:]
 
     def delete(self, key: StoreKey) -> None:
+        if self._offline:
+            return  # the node is dead; nothing is reachable to delete
         if not self._index.remove(key):
             return
         if self._replica_dir is not None:
@@ -247,6 +307,8 @@ class SsdStore(ObjectStore):
                 self._blobs.pop(key, None)
 
     def contains(self, key: StoreKey) -> bool:
+        if self._offline:
+            return False
         return self._index.contains(key)
 
     def verify(self, key: StoreKey) -> bool:
@@ -256,7 +318,7 @@ class SsdStore(ObjectStore):
         Returns ``True`` when no CRC was stamped (nothing to verify) and
         ``False`` when the blob is missing or its bytes diverged.
         """
-        if not self._index.contains(key):
+        if self._offline or not self._index.contains(key):
             return False
         stored_crc = (self._index.meta(key) or {}).get("stored_crc")
         if stored_crc is None:

@@ -77,7 +77,11 @@ def run_service_load(
             out = target.device.alloc_buffer(snapshot_bytes)
             buffers.append((ckpt_id, out))
             items.append((session, ckpt_id, out, target))
-    latencies: List[float] = service.restore_many(items)
+    results = service.restore_many(items)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise failed[0].error
+    latencies: List[float] = [r.latency_s for r in results]
 
     checksums_ok = all(out.checksum() == checksums[cid] for cid, out in buffers)
     return {

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import ClusterConfig, RuntimeConfig
+from repro.config import ClusterConfig, FaultConfig, RuntimeConfig
 from repro.errors import ConfigError
 
 
@@ -20,11 +20,49 @@ from repro.errors import ConfigError
         {"service_max_sessions": 0},
         {"service_queue_depth": 0},
         {"service_rpc_latency_s": -1e-6},
+        {"repair_interval_s": 0.0},
+        {"repair_interval_s": -0.01},
+        {"repair_class": "BULK"},
+        {"repair_max_inflight": 0},
     ],
 )
 def test_bad_knobs_raise(kwargs):
     with pytest.raises(ConfigError):
         ClusterConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"node_crashes": ((0, 1.0),)},  # missing mode
+        {"node_crashes": ((0, 1.0, "brownout"),)},  # unknown mode
+        {"node_crashes": ((-1, 1.0, "fail-stop"),)},
+        {"node_crashes": ((0, -1.0, "fail-stop"),)},
+        {"node_rejoins": ((0,),)},
+        {"node_rejoins": ((-1, 1.0),)},
+        {"partitions": ((0, 0, 1.0, 2.0),)},  # same node twice
+        {"partitions": ((0, 1, 2.0, 1.0),)},  # end before start
+        {"partitions": ((0, 1, -1.0, 2.0),)},
+    ],
+)
+def test_bad_node_chaos_entries_raise(kwargs):
+    with pytest.raises(ConfigError):
+        FaultConfig(enabled=True, **kwargs)
+
+
+def test_node_chaos_ids_validated_against_node_count():
+    with pytest.raises(ConfigError):
+        RuntimeConfig(
+            num_nodes=2,
+            cluster=ClusterConfig(enabled=True),
+            faults=FaultConfig(enabled=True, node_crashes=((5, 1.0, "fail-stop"),)),
+        )
+    # In range is fine.
+    RuntimeConfig(
+        num_nodes=2,
+        cluster=ClusterConfig(enabled=True),
+        faults=FaultConfig(enabled=True, node_crashes=((1, 1.0, "fail-stop"),)),
+    )
 
 
 def test_defaults_validate():

@@ -107,6 +107,11 @@ def test_disabled_cluster_is_bit_identical():
             service_max_sessions=2,
             service_queue_depth=1,
             service_rpc_latency_s=0.1,
+            repair=True,
+            repair_interval_s=0.01,
+            repair_class="DEMAND_READ",
+            repair_max_inflight=1,
+            failover=True,
         )
     )
     assert json.dumps(default, default=str) == json.dumps(off, default=str)

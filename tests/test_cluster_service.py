@@ -195,6 +195,76 @@ class TestNodeTagging:
             assert "nodes" not in report
 
 
+class TestDisconnect:
+    def test_disconnect_poisons_the_stale_session(self):
+        with make_topology(service_config(num_nodes=2)) as topo:
+            session = topo.service.connect("c0")
+            session.submit(0, fill(session.engine))
+            for engine in topo.engines:
+                engine.wait_for_flushes(timeout=600.0)
+            topo.service.disconnect("c0")
+            with pytest.raises(LifecycleError):
+                session.query(0)
+            with pytest.raises(LifecycleError):
+                session.submit(1, fill(topo.engines[0]))
+            out = topo.engines[0].device.alloc_buffer(CKPT)
+            with pytest.raises(LifecycleError):
+                session.restore(0, out)
+            # Reconnecting the same client id yields a fresh, working session.
+            fresh = topo.service.connect("c0")
+            assert fresh is not session
+            fresh.restore(0, out)
+
+    def test_disconnect_drains_inflight_admissions(self):
+        import threading
+
+        with make_topology(service_config(num_nodes=1, replica_factor=1)) as topo:
+            session = topo.service.connect("c0")
+            session._admit()  # an RPC caught mid-flight
+            done = threading.Event()
+
+            def drain():
+                topo.service.disconnect("c0")
+                done.set()
+
+            t = threading.Thread(target=drain, daemon=True)
+            t.start()
+            assert not done.wait(0.1), "disconnect returned with an RPC in flight"
+            session._release()
+            t.join(timeout=5.0)
+            assert done.is_set()
+
+    def test_disconnect_of_unknown_client_is_a_noop(self):
+        with make_topology(service_config(num_nodes=1, replica_factor=1)) as topo:
+            topo.service.disconnect("never-connected")
+
+
+class TestRestoreMany:
+    def test_partial_failure_reports_per_item_results(self):
+        with make_topology(service_config(num_nodes=2)) as topo:
+            session = topo.service.connect("c0")
+            buf = fill(session.engine)
+            want = buf.checksum()
+            session.submit(0, buf)
+            for engine in topo.engines:
+                engine.wait_for_flushes(timeout=600.0)
+            good = topo.engines[1].device.alloc_buffer(CKPT)
+            bad = topo.engines[1].device.alloc_buffer(CKPT)
+            results = topo.service.restore_many(
+                [
+                    (session, 0, good, topo.engines[1]),
+                    (session, 404, bad, topo.engines[1]),
+                ]
+            )
+            assert [r.ckpt_id for r in results] == [0, 404]
+            assert results[0].ok and results[0].latency_s > 0
+            assert results[0].error is None
+            assert not results[1].ok and results[1].latency_s is None
+            assert isinstance(results[1].error, CheckpointNotFound)
+            # The failed sibling never masked the successful restore.
+            assert good.checksum() == want
+
+
 class TestStats:
     def test_stats_counts_sessions_and_checkpoints(self):
         with make_topology(service_config(num_nodes=2)) as topo:
@@ -204,7 +274,13 @@ class TestStats:
             for engine in topo.engines:
                 engine.wait_for_flushes(timeout=600.0)
             stats = topo.service.stats()
-            assert stats == {"sessions": 2, "checkpoints": 1, "engines": 2}
+            assert stats == {
+                "sessions": 2,
+                "checkpoints": 1,
+                "engines": 2,
+                "failovers": 0,
+                "replays_skipped": 0,
+            }
 
 
 def test_service_json_query_is_serialisable():
